@@ -1,0 +1,140 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (part 1), then times the core operations behind each
+   experiment with Bechamel microbenchmarks (part 2).
+
+   Scale control: DUOQUEST_BENCH_SCALE=quick runs small generated splits for
+   smoke testing; the default regenerates the full paper-sized splits. *)
+
+open Bechamel
+
+let scale () =
+  match Sys.getenv_opt "DUOQUEST_BENCH_SCALE" with
+  | Some ("quick" | "QUICK") -> `Quick
+  | Some _ | None -> `Full
+
+(* --- part 1: paper tables and figures --- *)
+
+let run_experiments () =
+  let t = Duobench.Experiments.create ~scale:(scale ()) () in
+  let ppf = Format.std_formatter in
+  Format.fprintf ppf "Duoquest reproduction: regenerating all paper artifacts (scale=%s)@."
+    (match scale () with `Quick -> "quick" | `Full -> "full");
+  Duobench.Experiments.run_all t ppf;
+  Format.pp_print_flush ppf ()
+
+(* --- part 2: Bechamel microbenchmarks, one per table/figure --- *)
+
+let movie_session = lazy (Duocore.Duoquest.create_session (Duobench.Movies.database ()))
+let mas_db = lazy (Duobench.Mas.database ())
+let mas_session = lazy (Duocore.Duoquest.create_session (Lazy.force mas_db))
+
+let micro_config =
+  { Duocore.Enumerate.default_config with
+    Duocore.Enumerate.max_pops = 3_000;
+    max_candidates = 10;
+    time_budget_s = 0.5 }
+
+let fig2_tsq =
+  Duocore.Tsq.make ~types:[ Duodb.Datatype.Text ]
+    ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "Forrest Gump") ] ]
+    ()
+
+let synth_movie mode tsq () =
+  ignore
+    (Duocore.Duoquest.synthesize ~config:micro_config ~mode ?tsq
+       ~literals:[ Duodb.Value.Int 1995 ]
+       (Lazy.force movie_session)
+       ~nlq:"Find all movies from before 1995" ())
+
+let mas_task_a1 = List.hd Duobench.Mas.nli_study_tasks
+
+let bench_tests () =
+  [
+    (* table1: capability matrix rendering *)
+    Test.make ~name:"table1/capability-matrix"
+      (Staged.stage (fun () -> ignore (Duocore.Capability.to_string ())));
+    (* table4: semantic rule checking over the catalogue *)
+    Test.make ~name:"table4/semantic-rules"
+      (Staged.stage (fun () ->
+           let schema = Duobench.Movies.schema in
+           List.iter
+             (fun (_, example, _) ->
+               match Duosql.Parser.query ~schema example with
+               | Ok q -> ignore (Duocore.Semantics.check_query schema q)
+               | Error _ -> ())
+             Duocore.Semantics.catalogue));
+    (* table5: dataset construction *)
+    Test.make ~name:"table5/mas-database-build"
+      (Staged.stage (fun () -> ignore (Duobench.Mas.database ())));
+    (* fig5/fig6: one Duoquest study synthesis on MAS task A1 *)
+    Test.make ~name:"fig5-6/duoquest-on-mas-A1"
+      (Staged.stage (fun () ->
+           ignore
+             (Duocore.Duoquest.synthesize ~config:micro_config
+                ~literals:mas_task_a1.Duobench.Mas.task_literals
+                (Lazy.force mas_session)
+                ~nlq:mas_task_a1.Duobench.Mas.task_nlq ())));
+    (* fig7-9: one SQuID-style discovery round *)
+    Test.make ~name:"fig7-9/pbe-discovery"
+      (Staged.stage (fun () ->
+           let db = Lazy.force mas_db in
+           let gold = Duobench.Mas.gold (List.hd Duobench.Mas.pbe_study_tasks) in
+           let rng = Duobench.Rng.create 5 in
+           match Duobench.Tsq_synth.user_tuples rng db gold ~n:2 with
+           | Some tuples -> ignore (Duopbe.Squid.discover db tuples)
+           | None -> ()));
+    (* fig10/fig11: dual-specification synthesis (the simulation's unit) *)
+    Test.make ~name:"fig10-11/duoquest-dual-spec"
+      (Staged.stage (synth_movie `Duoquest (Some fig2_tsq)));
+    (* fig12: the two ablations' unit operations *)
+    Test.make ~name:"fig12/nopq-chaining"
+      (Staged.stage (synth_movie `No_pq (Some fig2_tsq)));
+    Test.make ~name:"fig12/noguide-bfs"
+      (Staged.stage (synth_movie `No_guide (Some fig2_tsq)));
+    (* table6: TSQ synthesis itself *)
+    Test.make ~name:"table6/tsq-synthesis"
+      (Staged.stage (fun () ->
+           let db = Lazy.force mas_db in
+           let rng = Duobench.Rng.create 17 in
+           ignore
+             (Duobench.Tsq_synth.synthesize rng db
+                (Duobench.Mas.gold mas_task_a1)
+                ~detail:Duobench.Tsq_synth.Full)));
+    (* table7/table8: gold task execution on MAS *)
+    Test.make ~name:"table7-8/gold-task-execution"
+      (Staged.stage (fun () ->
+           let db = Lazy.force mas_db in
+           List.iter
+             (fun task ->
+               ignore (Duoengine.Executor.run db (Duobench.Mas.gold task)))
+             (Duobench.Mas.nli_study_tasks @ Duobench.Mas.pbe_study_tasks)));
+  ]
+
+let run_microbench () =
+  print_newline ();
+  print_endline "=== Bechamel microbenchmarks (one per paper artifact) ===";
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let tests = bench_tests () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-36s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
+        ols)
+    tests
+
+let () =
+  run_experiments ();
+  run_microbench ()

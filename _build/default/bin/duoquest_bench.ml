@@ -1,0 +1,47 @@
+(* Run individual experiments from the reproduction harness:
+   `duoquest_bench fig10 table6` or `duoquest_bench --list`. *)
+
+open Cmdliner
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List all experiment ids and exit.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use small generated splits (smoke-test scale).")
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids to run (default: all).")
+
+let run list quick ids =
+  if list then begin
+    List.iter
+      (fun id ->
+        Printf.printf "%-20s %s\n" id
+          (Option.value ~default:"" (Duobench.Experiments.describe id)))
+      Duobench.Experiments.all_ids;
+    `Ok ()
+  end
+  else begin
+    let t =
+      Duobench.Experiments.create ~scale:(if quick then `Quick else `Full) ()
+    in
+    let ppf = Format.std_formatter in
+    let ids = if ids = [] then Duobench.Experiments.all_ids else ids in
+    let rec go = function
+      | [] -> `Ok ()
+      | id :: rest -> (
+          match Duobench.Experiments.run t ppf id with
+          | Ok () -> go rest
+          | Error e -> `Error (false, e))
+    in
+    go ids
+  end
+
+let () =
+  let doc = "Regenerate the Duoquest paper's tables and figures" in
+  let cmd =
+    Cmd.v
+      (Cmd.info "duoquest_bench" ~version:"1.0.0" ~doc)
+      Term.(ret (const run $ list_arg $ quick_arg $ ids_arg))
+  in
+  exit (Cmd.eval cmd)

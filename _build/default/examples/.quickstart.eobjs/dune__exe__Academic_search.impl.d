@@ -1,0 +1,1 @@
+examples/academic_search.ml: Array Duobench Duocore Duodb Duoengine Duosql List Printf String

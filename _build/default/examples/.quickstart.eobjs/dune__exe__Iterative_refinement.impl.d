@@ -1,0 +1,1 @@
+examples/iterative_refinement.ml: Duobench Duocore Duodb Duosql List Printf

@@ -1,0 +1,1 @@
+examples/movie_night.ml: Duobench Duocore Duodb Duosql List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Duobench Duocore Duodb Duoengine Duosql List Printf String

@@ -1,0 +1,66 @@
+(* The interaction loop of Figure 1: issue an NLQ, inspect candidates, and
+   refine the sketch with more information until the desired query
+   surfaces at rank 1.
+
+   The scenario: "actors and how many movies they starred in" — ambiguous
+   enough that several groupings compete; each round adds one piece of
+   sketch knowledge and the candidate list tightens.
+
+   Run with: dune exec examples/iterative_refinement.exe *)
+
+module Tsq = Duocore.Tsq
+module V = Duodb.Value
+
+let nlq = "List actor names and the number of movies each actor starred in"
+
+let gold_sql =
+  "SELECT a.name, COUNT(*) FROM actor a JOIN starring s ON a.aid = s.aid \
+   GROUP BY a.name"
+
+let config =
+  { Duocore.Enumerate.default_config with
+    Duocore.Enumerate.time_budget_s = 8.0;
+    max_candidates = 30 }
+
+let round session gold n tsq label =
+  let outcome = Duocore.Duoquest.synthesize ~config ?tsq ~literals:[] session ~nlq () in
+  let rank = Duocore.Duoquest.rank_of outcome ~gold in
+  Printf.printf "round %d (%s): %d candidates, desired query at rank %s\n" n label
+    (List.length outcome.Duocore.Enumerate.out_candidates)
+    (match rank with Some r -> string_of_int r | None -> "-");
+  List.iteri
+    (fun i c ->
+      if i < 3 then
+        Printf.printf "    #%d %s\n" (i + 1)
+          (Duosql.Pretty.query c.Duocore.Enumerate.cand_query))
+    outcome.Duocore.Enumerate.out_candidates;
+  rank
+
+let () =
+  let db = Duobench.Movies.database () in
+  let session = Duocore.Duoquest.create_session db in
+  let gold = Duobench.Movies.parse gold_sql in
+
+  (* Round 1: NLQ only. *)
+  ignore (round session gold 1 None "no sketch");
+
+  (* Round 2: the user adds output types — two columns, text then number. *)
+  let tsq2 = Tsq.make ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ] () in
+  ignore (round session gold 2 (Some tsq2) "types only");
+
+  (* Round 3: one remembered example — Tom Hanks starred in two of the
+     movies in the catalogue. *)
+  let tsq3 =
+    Tsq.make
+      ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ]
+      ~tuples:[ [ Tsq.Exact (V.Text "Tom Hanks"); Tsq.Exact (V.Int 3) ] ]
+      ()
+  in
+  let rank3 = round session gold 3 (Some tsq3) "types + 1 example" in
+
+  (* The loop converges: with one exact example the desired query should
+     be at or near the top. *)
+  match rank3 with
+  | Some r when r <= 3 -> Printf.printf "\nconverged: desired query at rank %d\n" r
+  | Some r -> Printf.printf "\nstill rank %d; the user would add another example\n" r
+  | None -> print_endline "\nnot found; the user would rephrase the NLQ"

@@ -1,0 +1,55 @@
+(* Quickstart: the smallest end-to-end use of the public API.
+
+   1. build (or load) a database;
+   2. open a Duoquest session (this also builds the autocomplete index);
+   3. describe the desired query twice — in English, and as a table sketch;
+   4. read the ranked candidates.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. the paper's movie database: actor / movies / starring *)
+  let db = Duobench.Movies.database () in
+
+  (* 2. a session wraps the database with its inverted column index *)
+  let session = Duocore.Duoquest.create_session db in
+
+  (* 3a. the natural language query; double quotes tag literal text values *)
+  let nlq = "Show the names of movies from before 1995" in
+
+  (* 3b. the table sketch query: one output column of type text, and one
+     example row the user remembers — Forrest Gump should be in the
+     answer.  No sorting, no limit. *)
+  let tsq =
+    Duocore.Tsq.make
+      ~types:[ Duodb.Datatype.Text ]
+      ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "Forrest Gump") ] ]
+      ()
+  in
+
+  (* 4. synthesize: candidates arrive ranked by confidence, and every one
+     of them is guaranteed to satisfy the sketch (soundness). *)
+  let outcome =
+    Duocore.Duoquest.synthesize ~tsq ~literals:[ Duodb.Value.Int 1995 ]
+      session ~nlq ()
+  in
+  Printf.printf "NLQ: %s\n" nlq;
+  Printf.printf "TSQ: one text column; example row (Forrest Gump)\n\n";
+  List.iteri
+    (fun i c ->
+      Printf.printf "#%d (confidence %.4f)  %s\n" (i + 1)
+        c.Duocore.Enumerate.cand_confidence
+        (Duosql.Pretty.query c.Duocore.Enumerate.cand_query))
+    (Duocore.Duoquest.top_k outcome 5);
+
+  (* execute the top candidate to show its result *)
+  match outcome.Duocore.Enumerate.out_candidates with
+  | [] -> print_endline "no candidates!"
+  | best :: _ ->
+      let res = Duoengine.Executor.run_exn db best.Duocore.Enumerate.cand_query in
+      print_endline "\nTop candidate's result:";
+      List.iter
+        (fun row ->
+          Printf.printf "  %s\n"
+            (String.concat " | " (Array.to_list (Array.map Duodb.Value.to_display row))))
+        res.Duoengine.Executor.res_rows

@@ -1,0 +1,1 @@
+lib/bench/experiments.ml: Duocore Duodb Duoengine Duosql Format Hashtbl Lazy List Mas Movies Printf Rng Simulation Spider_gen String Study Tsq_synth

@@ -1,0 +1,1 @@
+lib/bench/mas.ml: Duodb Duosql List Printf Rng String

@@ -1,0 +1,1 @@
+lib/bench/mas.mli: Duodb Duosql

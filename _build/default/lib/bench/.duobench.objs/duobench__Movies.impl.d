@@ -1,0 +1,1 @@
+lib/bench/movies.ml: Duodb Duosql

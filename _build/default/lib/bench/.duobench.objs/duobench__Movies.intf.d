@@ -1,0 +1,1 @@
+lib/bench/movies.mli: Duodb Duosql

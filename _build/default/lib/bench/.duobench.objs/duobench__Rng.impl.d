@@ -1,0 +1,1 @@
+lib/bench/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/bench/rng.mli:

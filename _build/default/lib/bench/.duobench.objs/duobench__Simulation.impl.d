@@ -1,0 +1,1 @@
+lib/bench/simulation.ml: Duocore Duopbe Hashtbl List Option Rng Spider_gen Tsq_synth

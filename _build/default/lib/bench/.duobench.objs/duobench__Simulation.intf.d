@@ -1,0 +1,1 @@
+lib/bench/simulation.mli: Duocore Spider_gen Tsq_synth

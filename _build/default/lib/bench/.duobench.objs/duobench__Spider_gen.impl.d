@@ -1,0 +1,1 @@
+lib/bench/spider_gen.ml: Array Buffer Duocore Duodb Duoengine Duosql List Option Printf Rng String

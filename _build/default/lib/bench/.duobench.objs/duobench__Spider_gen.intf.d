@@ -1,0 +1,1 @@
+lib/bench/spider_gen.mli: Duodb Duosql

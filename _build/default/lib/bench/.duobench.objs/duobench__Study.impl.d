@@ -1,0 +1,1 @@
+lib/bench/study.ml: Duocore Duoengine Duopbe Duosql Float Hashtbl List Mas Option Rng String Tsq_synth User_sim

@@ -1,0 +1,1 @@
+lib/bench/study.mli: User_sim

@@ -1,0 +1,1 @@
+lib/bench/tsq_synth.ml: Array Duocore Duodb Duoengine Duosql Fun List Option Rng

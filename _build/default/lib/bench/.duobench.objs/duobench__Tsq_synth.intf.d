@@ -1,0 +1,1 @@
+lib/bench/tsq_synth.mli: Duocore Duodb Duosql Rng

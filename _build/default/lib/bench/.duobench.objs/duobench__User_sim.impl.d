@@ -1,0 +1,1 @@
+lib/bench/user_sim.ml: Float List Rng String

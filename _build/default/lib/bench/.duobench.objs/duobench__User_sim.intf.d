@@ -1,0 +1,1 @@
+lib/bench/user_sim.mli: Rng

@@ -1,0 +1,31 @@
+(** Experiment harness: one entry per table/figure of the paper's
+    evaluation (see DESIGN.md's per-experiment index), each printing the
+    corresponding rows/series to the given formatter.
+
+    Heavy inputs (the generated splits and the per-system simulation runs)
+    are computed lazily and shared across experiments within a process, so
+    [run_all] performs each synthesis sweep exactly once.
+
+    [scale] trades fidelity for speed: [`Full] uses the paper-sized splits
+    (589 dev / 1247 test tasks); [`Quick] uses small splits for smoke
+    runs. *)
+
+type scale =
+  [ `Full
+  | `Quick
+  ]
+
+type t
+
+val create : ?scale:scale -> unit -> t
+
+(** All experiment ids, in presentation order. *)
+val all_ids : string list
+
+(** [run t ppf id] executes one experiment; [Error msg] for unknown ids. *)
+val run : t -> Format.formatter -> string -> (unit, string) result
+
+val run_all : t -> Format.formatter -> unit
+
+(** One-line description per experiment id. *)
+val describe : string -> string option

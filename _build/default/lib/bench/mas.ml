@@ -1,0 +1,397 @@
+module Schema = Duodb.Schema
+module Value = Duodb.Value
+module Datatype = Duodb.Datatype
+
+let text = Datatype.Text
+let number = Datatype.Number
+
+let schema =
+  Schema.make ~name:"mas"
+    [
+      Schema.table "author"
+        [ ("aid", number); ("name", text); ("homepage", text); ("oid", number) ]
+        ~pk:[ "aid" ];
+      Schema.table "publication"
+        [ ("pid", number); ("title", text); ("abstract", text); ("year", number);
+          ("citation_count", number); ("cid", number); ("jid", number) ]
+        ~pk:[ "pid" ];
+      Schema.table "conference"
+        [ ("cid", number); ("name", text); ("homepage", text) ]
+        ~pk:[ "cid" ];
+      Schema.table "journal"
+        [ ("jid", number); ("name", text); ("homepage", text) ]
+        ~pk:[ "jid" ];
+      Schema.table "keyword"
+        [ ("kid", number); ("keyword", text) ]
+        ~pk:[ "kid" ];
+      Schema.table "organization"
+        [ ("oid", number); ("name", text); ("continent", text); ("homepage", text) ]
+        ~pk:[ "oid" ];
+      Schema.table "domain"
+        [ ("did", number); ("name", text) ]
+        ~pk:[ "did" ];
+      Schema.table "writes"
+        [ ("wid", number); ("aid", number); ("pid", number) ]
+        ~pk:[ "wid" ];
+      Schema.table "publication_keyword"
+        [ ("pkid", number); ("pid", number); ("kid", number) ]
+        ~pk:[ "pkid" ];
+      Schema.table "domain_author"
+        [ ("daid", number); ("aid", number); ("did", number) ]
+        ~pk:[ "daid" ];
+      Schema.table "domain_conference"
+        [ ("dcid", number); ("cid", number); ("did", number) ]
+        ~pk:[ "dcid" ];
+      Schema.table "domain_journal"
+        [ ("djid", number); ("jid", number); ("did", number) ]
+        ~pk:[ "djid" ];
+      Schema.table "domain_keyword"
+        [ ("dkid", number); ("kid", number); ("did", number) ]
+        ~pk:[ "dkid" ];
+      Schema.table "domain_publication"
+        [ ("dpid", number); ("did", number); ("pid", number) ]
+        ~pk:[ "dpid" ];
+      Schema.table "cite"
+        [ ("citing", number); ("cited", number) ]
+        ~pk:[];
+    ]
+    [
+      Schema.fk ("author", "oid") ("organization", "oid");
+      Schema.fk ("publication", "cid") ("conference", "cid");
+      Schema.fk ("publication", "jid") ("journal", "jid");
+      Schema.fk ("writes", "aid") ("author", "aid");
+      Schema.fk ("writes", "pid") ("publication", "pid");
+      Schema.fk ("publication_keyword", "pid") ("publication", "pid");
+      Schema.fk ("publication_keyword", "kid") ("keyword", "kid");
+      Schema.fk ("domain_author", "aid") ("author", "aid");
+      Schema.fk ("domain_author", "did") ("domain", "did");
+      Schema.fk ("domain_conference", "cid") ("conference", "cid");
+      Schema.fk ("domain_conference", "did") ("domain", "did");
+      Schema.fk ("domain_journal", "jid") ("journal", "jid");
+      Schema.fk ("domain_journal", "did") ("domain", "did");
+      Schema.fk ("domain_keyword", "kid") ("keyword", "kid");
+      Schema.fk ("domain_keyword", "did") ("domain", "did");
+      Schema.fk ("domain_publication", "did") ("domain", "did");
+      Schema.fk ("domain_publication", "pid") ("publication", "pid");
+      Schema.fk ("cite", "citing") ("publication", "pid");
+      Schema.fk ("cite", "cited") ("publication", "pid");
+    ]
+
+(* --- data pools --- *)
+
+let first_names =
+  [ "Wei"; "Maria"; "James"; "Aisha"; "Chen"; "Elena"; "Rahul"; "Sofia";
+    "Daniel"; "Yuki"; "Omar"; "Ingrid"; "Carlos"; "Priya"; "Tom"; "Nadia";
+    "Ivan"; "Grace"; "Ahmed"; "Lucia" ]
+
+let last_names =
+  [ "Zhang"; "Garcia"; "Smith"; "Khan"; "Liu"; "Petrov"; "Sharma"; "Rossi";
+    "Kim"; "Tanaka"; "Hassan"; "Larsen"; "Mendoza"; "Patel"; "Baker";
+    "Novak"; "Ivanov"; "Chen"; "Ali"; "Moreau" ]
+
+let title_topics =
+  [ "Query Optimization"; "Neural Networks"; "Data Integration";
+    "Stream Processing"; "Knowledge Graphs"; "Transaction Management";
+    "Program Synthesis"; "Entity Resolution"; "Index Structures";
+    "Crowdsourcing"; "Approximate Queries"; "Schema Mapping"; "Provenance";
+    "Text Mining"; "Graph Analytics" ]
+
+let title_modifiers =
+  [ "Scalable"; "Efficient"; "Adaptive"; "Distributed"; "Interactive";
+    "Robust"; "Incremental"; "Learned"; "Declarative"; "Parallel" ]
+
+let conference_names =
+  [ "SIGMOD"; "VLDB"; "ICDE"; "KDD"; "CHI"; "SOSP"; "NeurIPS"; "ACL" ]
+
+let journal_names = [ "TODS"; "VLDBJ"; "TKDE"; "JMLR"; "CACM" ]
+
+let organization_names =
+  [ ("University of Michigan", "North America");
+    ("Stanford University", "North America");
+    ("MIT", "North America");
+    ("ETH Zurich", "Europe");
+    ("University of Oxford", "Europe");
+    ("Tsinghua University", "Asia");
+    ("University of Tokyo", "Asia");
+    ("University of Melbourne", "Oceania");
+    ("TU Munich", "Europe");
+    ("University of Toronto", "North America") ]
+
+let domain_names =
+  [ "Databases"; "Machine Learning"; "Systems"; "Human Computer Interaction";
+    "Natural Language Processing"; "Theory" ]
+
+let keyword_names =
+  [ "indexing"; "joins"; "learning"; "privacy"; "caching"; "sampling";
+    "clustering"; "ranking"; "parsing"; "hashing"; "scheduling"; "replication";
+    "compression"; "visualization"; "benchmarking"; "crowdsourcing";
+    "optimization"; "streaming"; "provenance"; "integration" ]
+
+let i n = Value.Int n
+let t s = Value.Text s
+
+let database ?(seed = 42) () =
+  let rng = Rng.create seed in
+  let db = Duodb.Database.create schema in
+  let n_conf = List.length conference_names in
+  List.iteri
+    (fun idx name ->
+      Duodb.Database.insert db ~table:"conference"
+        [| i (idx + 1); t name; t (Printf.sprintf "http://%s.org" (String.lowercase_ascii name)) |])
+    conference_names;
+  List.iteri
+    (fun idx name ->
+      Duodb.Database.insert db ~table:"journal"
+        [| i (idx + 1); t name; t (Printf.sprintf "http://%s.org" (String.lowercase_ascii name)) |])
+    journal_names;
+  List.iteri
+    (fun idx (name, continent) ->
+      Duodb.Database.insert db ~table:"organization"
+        [| i (idx + 1); t name; t continent;
+           t (Printf.sprintf "http://org%d.edu" (idx + 1)) |])
+    organization_names;
+  List.iteri
+    (fun idx name -> Duodb.Database.insert db ~table:"domain" [| i (idx + 1); t name |])
+    domain_names;
+  List.iteri
+    (fun idx kw -> Duodb.Database.insert db ~table:"keyword" [| i (idx + 1); t kw |])
+    keyword_names;
+  (* Authors: 60, spread over organizations (org 1 gets a large group so
+     B3/B4-style tasks discriminate). *)
+  let n_authors = 60 in
+  let author_names =
+    (* distinct first+last combinations, deterministic *)
+    (* Offset the surname index by the "generation" so every draw is a
+       fresh pair: 20 first names x shifting surnames. *)
+    List.init n_authors (fun k ->
+        let f = List.nth first_names (k mod List.length first_names) in
+        let l =
+          List.nth last_names ((k + (k / List.length first_names)) mod List.length last_names)
+        in
+        f ^ " " ^ l)
+  in
+  List.iteri
+    (fun idx name ->
+      let oid =
+        if idx < 10 then 1 (* a big Michigan cluster *)
+        else 1 + Rng.int rng (List.length organization_names)
+      in
+      Duodb.Database.insert db ~table:"author"
+        [| i (idx + 1); t name; t (Printf.sprintf "http://people.org/%d" (idx + 1)); i oid |])
+    author_names;
+  (* Publications: 260, venue is conference or journal. *)
+  let n_pubs = 260 in
+  for pid = 1 to n_pubs do
+    let topic = Rng.choose rng title_topics in
+    let modifier = Rng.choose rng title_modifiers in
+    let title = Printf.sprintf "%s %s %d" modifier topic pid in
+    let year = Rng.range rng 1990 2020 in
+    let cites = Rng.int rng 400 in
+    let in_conf = Rng.bool rng 0.7 in
+    let cid = if in_conf then i (1 + Rng.int rng n_conf) else Value.Null in
+    let jid =
+      if in_conf then Value.Null else i (1 + Rng.int rng (List.length journal_names))
+    in
+    Duodb.Database.insert db ~table:"publication"
+      [| i pid; t title; t (Printf.sprintf "We study %s." (String.lowercase_ascii topic));
+         i year; i cites; cid; jid |]
+  done;
+  (* Authorship: 1-3 authors per publication; the first ten authors write
+     more (so per-author counts spread for A3/B4). *)
+  let wid = ref 0 in
+  for pid = 1 to n_pubs do
+    let n_auth = 1 + Rng.int rng 3 in
+    let chosen = ref [] in
+    for _ = 1 to n_auth do
+      let aid =
+        if Rng.bool rng 0.35 then 1 + Rng.int rng 10 else 1 + Rng.int rng n_authors
+      in
+      if not (List.mem aid !chosen) then chosen := aid :: !chosen
+    done;
+    List.iter
+      (fun aid ->
+        incr wid;
+        Duodb.Database.insert db ~table:"writes" [| i !wid; i aid; i pid |])
+      !chosen
+  done;
+  (* Keywords per publication. *)
+  let pkid = ref 0 in
+  for pid = 1 to n_pubs do
+    let n_kw = 1 + Rng.int rng 3 in
+    let chosen = ref [] in
+    for _ = 1 to n_kw do
+      let kid = 1 + Rng.int rng (List.length keyword_names) in
+      if not (List.mem kid !chosen) then chosen := kid :: !chosen
+    done;
+    List.iter
+      (fun kid ->
+        incr pkid;
+        Duodb.Database.insert db ~table:"publication_keyword" [| i !pkid; i pid; i kid |])
+      !chosen
+  done;
+  (* Domain links. *)
+  let daid = ref 0 in
+  for aid = 1 to n_authors do
+    let did = 1 + Rng.int rng (List.length domain_names) in
+    incr daid;
+    Duodb.Database.insert db ~table:"domain_author" [| i !daid; i aid; i did |];
+    (* authors 1-10 are also all in Databases, making task C2/B2 rich *)
+    if aid <= 10 && did <> 1 then begin
+      incr daid;
+      Duodb.Database.insert db ~table:"domain_author" [| i !daid; i aid; i 1 |]
+    end
+  done;
+  let dcid = ref 0 in
+  List.iteri
+    (fun idx _ ->
+      let did = if idx < 3 then 1 else 1 + Rng.int rng (List.length domain_names) in
+      incr dcid;
+      Duodb.Database.insert db ~table:"domain_conference" [| i !dcid; i (idx + 1); i did |])
+    conference_names;
+  let djid = ref 0 in
+  List.iteri
+    (fun idx _ ->
+      incr djid;
+      let did = 1 + Rng.int rng (List.length domain_names) in
+      Duodb.Database.insert db ~table:"domain_journal" [| i !djid; i (idx + 1); i did |])
+    journal_names;
+  let dkid = ref 0 in
+  List.iteri
+    (fun idx _ ->
+      incr dkid;
+      let did = 1 + Rng.int rng (List.length domain_names) in
+      Duodb.Database.insert db ~table:"domain_keyword" [| i !dkid; i (idx + 1); i did |])
+    keyword_names;
+  let dpid = ref 0 in
+  for pid = 1 to n_pubs do
+    incr dpid;
+    let did = 1 + Rng.int rng (List.length domain_names) in
+    Duodb.Database.insert db ~table:"domain_publication" [| i !dpid; i did; i pid |]
+  done;
+  (* Sparse citation graph. *)
+  for _ = 1 to 300 do
+    let a = 1 + Rng.int rng n_pubs and b = 1 + Rng.int rng n_pubs in
+    if a <> b then Duodb.Database.insert db ~table:"cite" [| i a; i b |]
+  done;
+  db
+
+(* --- study tasks (Appendix A, thresholds scaled to the instance) --- *)
+
+type level =
+  | Medium
+  | Hard
+
+let level_to_string = function Medium -> "Medium" | Hard -> "Hard"
+
+type task = {
+  task_id : string;
+  task_level : level;
+  task_nlq : string;
+  task_sql : string;
+  task_literals : Value.t list;
+}
+
+let gold task = Duosql.Parser.query_exn ~schema task.task_sql
+
+let mk task_id task_level task_nlq task_sql task_literals =
+  { task_id; task_level; task_nlq; task_sql; task_literals }
+
+let nli_study_tasks =
+  [
+    mk "A1" Medium
+      "List all publication titles in the \"SIGMOD\" conference and their year of publication"
+      "SELECT publication.title, publication.year FROM conference JOIN \
+       publication ON conference.cid = publication.cid WHERE conference.name \
+       = 'SIGMOD'"
+      [ t "SIGMOD" ];
+    mk "A2" Hard
+      "List keywords and the number of publications containing each keyword, \
+       ordered from most to least publications"
+      "SELECT keyword.keyword, COUNT(*) FROM keyword JOIN publication_keyword \
+       ON keyword.kid = publication_keyword.kid JOIN publication ON \
+       publication_keyword.pid = publication.pid GROUP BY keyword.keyword \
+       ORDER BY COUNT(*) DESC"
+      [];
+    mk "A3" Hard
+      "How many publications has each author from organization \"University of Michigan\" published"
+      "SELECT author.name, COUNT(*) FROM author JOIN writes ON writes.aid = \
+       author.aid JOIN organization ON organization.oid = author.oid JOIN \
+       publication ON publication.pid = writes.pid WHERE organization.name = \
+       'University of Michigan' GROUP BY author.name"
+      [ t "University of Michigan" ];
+    mk "A4" Hard
+      "List journals with more than 14 publications and the publication \
+       count for each journal"
+      "SELECT journal.name, COUNT(*) FROM journal JOIN publication ON \
+       journal.jid = publication.jid GROUP BY journal.name HAVING COUNT(*) > \
+       14"
+      [ i 14 ];
+    mk "B1" Medium
+      "List the titles and years of publications by author \"Wei Zhang\""
+      "SELECT publication.title, publication.year FROM publication JOIN \
+       writes ON writes.pid = publication.pid JOIN author ON author.aid = \
+       writes.aid WHERE author.name = 'Wei Zhang'"
+      [ t "Wei Zhang" ];
+    mk "B2" Medium
+      "List the conference names and homepages in the \"Databases\" domain"
+      "SELECT conference.name, conference.homepage FROM conference JOIN \
+       domain_conference ON domain_conference.cid = conference.cid JOIN \
+       domain ON domain.did = domain_conference.did WHERE domain.name = \
+       'Databases'"
+      [ t "Databases" ];
+    mk "B3" Hard
+      "List organizations with more than 5 authors and the number of authors \
+       for each organization"
+      "SELECT organization.name, COUNT(*) FROM author JOIN organization ON \
+       author.oid = organization.oid GROUP BY organization.name HAVING \
+       COUNT(*) > 5"
+      [ i 5 ];
+    mk "B4" Hard
+      "List authors from organization \"University of Michigan\" with more than 8 \
+       publications and the number of publications for each author"
+      "SELECT author.name, COUNT(*) FROM author JOIN writes ON author.aid = \
+       writes.aid JOIN organization ON author.oid = organization.oid JOIN \
+       publication ON writes.pid = publication.pid WHERE organization.name = \
+       'University of Michigan' GROUP BY author.name HAVING COUNT(*) > 8"
+      [ t "University of Michigan"; i 8 ];
+  ]
+
+let pbe_study_tasks =
+  [
+    mk "C1" Medium
+      "List all publication titles in the \"VLDB\" conference"
+      "SELECT publication.title FROM conference JOIN publication ON \
+       conference.cid = publication.cid WHERE conference.name = 'VLDB'"
+      [ t "VLDB" ];
+    mk "C2" Medium
+      "List authors in the \"Databases\" domain"
+      "SELECT author.name FROM author JOIN domain_author ON author.aid = \
+       domain_author.aid JOIN domain ON domain_author.did = domain.did WHERE \
+       domain.name = 'Databases'"
+      [ t "Databases" ];
+    mk "C3" Hard
+      "List authors with more than 2 papers in the \"SIGMOD\" conference"
+      "SELECT author.name FROM author JOIN writes ON author.aid = writes.aid \
+       JOIN publication ON writes.pid = publication.pid JOIN conference ON \
+       publication.cid = conference.cid WHERE conference.name = 'SIGMOD' \
+       GROUP BY author.name HAVING COUNT(*) > 2"
+      [ t "SIGMOD"; i 2 ];
+    mk "D1" Medium
+      "List the titles of publications published by author \"Maria Garcia\""
+      "SELECT publication.title FROM author JOIN writes ON author.aid = \
+       writes.aid JOIN publication ON writes.pid = publication.pid WHERE \
+       author.name = 'Maria Garcia'"
+      [ t "Maria Garcia" ];
+    mk "D2" Medium
+      "List the names of organizations in continent \"Europe\""
+      "SELECT organization.name FROM organization WHERE \
+       organization.continent = 'Europe'"
+      [ t "Europe" ];
+    mk "D3" Hard
+      "List authors with more than 3 papers in the \"KDD\" conference"
+      "SELECT author.name FROM author JOIN writes ON author.aid = writes.aid \
+       JOIN publication ON writes.pid = publication.pid JOIN conference ON \
+       publication.cid = conference.cid WHERE conference.name = 'KDD' GROUP \
+       BY author.name HAVING COUNT(*) > 3"
+      [ t "KDD"; i 3 ];
+  ]

@@ -1,0 +1,38 @@
+(** The Microsoft Academic Search (MAS) database of the user studies
+    (Section 5.1, Table 5): the 15-table schema of Li & Jagadish's NLI
+    work, populated with a seeded synthetic instance, plus the study task
+    suites of Appendix A (Tables 7 and 8).
+
+    The original MAS dump is not redistributable, so the instance is
+    synthetic; the schema, FK graph, and task set match the paper, and
+    data volumes are scaled so every task has a non-empty, discriminative
+    answer (HAVING thresholds are adjusted to the scaled data — e.g. the
+    paper's "more than 500 publications" journal filter becomes "more than
+    30"). *)
+
+val schema : Duodb.Schema.t
+
+(** Build the instance. Same seed, same database. *)
+val database : ?seed:int -> unit -> Duodb.Database.t
+
+type level =
+  | Medium
+  | Hard
+
+type task = {
+  task_id : string;  (** "A1" ... "D3" *)
+  task_level : level;
+  task_nlq : string;  (** English description, as the user would type it *)
+  task_sql : string;  (** gold SQL (parsed against {!schema}) *)
+  task_literals : Duodb.Value.t list;  (** the tagged literal set L *)
+}
+
+val gold : task -> Duosql.Ast.query
+
+(** Tasks A1-A4, B1-B4 (Table 7: study vs. NLI). *)
+val nli_study_tasks : task list
+
+(** Tasks C1-C3, D1-D3 (Table 8: study vs. PBE). *)
+val pbe_study_tasks : task list
+
+val level_to_string : level -> string

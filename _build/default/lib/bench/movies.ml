@@ -1,0 +1,65 @@
+module Schema = Duodb.Schema
+module Value = Duodb.Value
+module Datatype = Duodb.Datatype
+
+let schema =
+  Schema.make ~name:"movies_db"
+    [
+      Schema.table "actor"
+        [ ("aid", Datatype.Number); ("name", Datatype.Text);
+          ("gender", Datatype.Text); ("birth_yr", Datatype.Number);
+          ("birthplace", Datatype.Text); ("debut_yr", Datatype.Number) ]
+        ~pk:[ "aid" ];
+      Schema.table "movies"
+        [ ("mid", Datatype.Number); ("name", Datatype.Text);
+          ("year", Datatype.Number); ("revenue", Datatype.Number) ]
+        ~pk:[ "mid" ];
+      Schema.table "starring"
+        [ ("sid", Datatype.Number); ("aid", Datatype.Number);
+          ("mid", Datatype.Number) ]
+        ~pk:[ "sid" ];
+    ]
+    [
+      Schema.fk ("starring", "aid") ("actor", "aid");
+      Schema.fk ("starring", "mid") ("movies", "mid");
+    ]
+
+let i n = Value.Int n
+let t s = Value.Text s
+
+let database () =
+  let db = Duodb.Database.create schema in
+  Duodb.Database.insert_all db ~table:"actor"
+    [
+      [| i 1; t "Tom Hanks"; t "male"; i 1956; t "Concord"; i 1980 |];
+      [| i 2; t "Sandra Bullock"; t "female"; i 1964; t "Arlington"; i 1987 |];
+      [| i 3; t "Brad Pitt"; t "male"; i 1963; t "Shawnee"; i 1987 |];
+      [| i 4; t "Meryl Streep"; t "female"; i 1949; t "Summit"; i 1971 |];
+      [| i 5; t "Leonardo DiCaprio"; t "male"; i 1974; t "Los Angeles"; i 1991 |];
+      [| i 6; t "Kate Winslet"; t "female"; i 1975; t "Reading"; i 1994 |];
+    ];
+  Duodb.Database.insert_all db ~table:"movies"
+    [
+      [| i 10; t "Forrest Gump"; i 1994; i 678 |];
+      [| i 11; t "Gravity"; i 2013; i 723 |];
+      [| i 12; t "Seven"; i 1995; i 327 |];
+      [| i 13; t "The Post"; i 2017; i 193 |];
+      [| i 14; t "Titanic"; i 1997; i 2187 |];
+      [| i 15; t "Inception"; i 2010; i 836 |];
+      [| i 16; t "Philadelphia"; i 1993; i 206 |];
+    ];
+  Duodb.Database.insert_all db ~table:"starring"
+    [
+      [| i 100; i 1; i 10 |];
+      [| i 101; i 2; i 11 |];
+      [| i 102; i 3; i 12 |];
+      [| i 103; i 4; i 13 |];
+      [| i 104; i 5; i 14 |];
+      [| i 105; i 5; i 15 |];
+      [| i 106; i 1; i 13 |];
+      [| i 107; i 1; i 16 |];
+      [| i 108; i 6; i 14 |];
+    ];
+  db
+
+let parse sql = Duosql.Parser.query_exn ~schema sql

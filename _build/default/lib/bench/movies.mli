@@ -1,0 +1,9 @@
+(** The movie database of the paper's running example (Section 2.1):
+    actor / movies / starring, sized so the motivating queries CQ1-CQ3 are
+    distinguishable.  Used by the examples and the Table 4 demonstrations. *)
+
+val schema : Duodb.Schema.t
+val database : unit -> Duodb.Database.t
+
+(** Parse a SQL string against the movie schema (raises on error). *)
+val parse : string -> Duosql.Ast.query

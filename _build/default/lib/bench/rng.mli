@@ -1,0 +1,34 @@
+(** Deterministic splitmix64 PRNG.
+
+    All workload generation and user simulation is seeded through this
+    module so every experiment is exactly reproducible run-to-run without
+    touching the global [Random] state. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [0, bound). [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Bernoulli draw. *)
+val bool : t -> float -> bool
+
+(** Uniform element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** [sample t k xs] draws [k] distinct elements (or all when
+    [k >= length]), preserving no particular order. *)
+val sample : t -> int -> 'a list -> 'a list
+
+(** Fisher-Yates shuffle. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** Derive an independent generator (for per-task streams). *)
+val split : t -> t

@@ -1,0 +1,991 @@
+open Duosql.Ast
+module Value = Duodb.Value
+module Datatype = Duodb.Datatype
+module Schema = Duodb.Schema
+
+type difficulty =
+  [ `Easy
+  | `Medium
+  | `Hard
+  ]
+
+type task = {
+  sp_db : string;
+  sp_difficulty : difficulty;
+  sp_nlq : string;
+  sp_gold : query;
+  sp_literals : Value.t list;
+}
+
+type split = {
+  split_name : string;
+  databases : (string * Duodb.Database.t) list;
+  tasks : task list;
+}
+
+let difficulty_to_string = function
+  | `Easy -> "easy"
+  | `Medium -> "medium"
+  | `Hard -> "hard"
+
+let text = Datatype.Text
+let number = Datatype.Number
+let iv n = Value.Int n
+let tv s = Value.Text s
+
+(* --- shared value pools --- *)
+
+let person_names =
+  [ "Olivia Reed"; "Liam Carter"; "Emma Brooks"; "Noah Hayes"; "Ava Murphy";
+    "Ethan Price"; "Mia Coleman"; "Lucas Ward"; "Isabella Foster"; "Mason Gray";
+    "Sophia Bell"; "Logan Cooper"; "Amelia Ross"; "Jacob Bennett"; "Harper Diaz";
+    "Elijah Wood"; "Evelyn James"; "Daniel Cruz"; "Abigail Stone"; "Henry Webb";
+    "Emily Fox"; "Jackson Lane"; "Ella Burke"; "Aiden Shaw"; "Scarlett Nash" ]
+
+let city_names =
+  [ "Springfield"; "Riverton"; "Lakeside"; "Fairview"; "Ashford"; "Milbrook";
+    "Eastport"; "Granville"; "Oakdale"; "Winfield"; "Harborview"; "Kingsley" ]
+
+let country_names =
+  [ "United States"; "France"; "Japan"; "Brazil"; "Germany"; "Australia";
+    "Canada"; "Italy"; "Spain"; "Netherlands"; "South Korea"; "Mexico" ]
+
+let word_pool =
+  [ "Aurora"; "Velvet"; "Summit"; "Harbor"; "Cascade"; "Ember"; "Juniper";
+    "Meridian"; "Nova"; "Orchid"; "Quartz"; "Sable"; "Tundra"; "Vista";
+    "Willow"; "Zenith"; "Beacon"; "Cobalt"; "Drift"; "Falcon" ]
+
+let pick_name rng pool suffix_bound =
+  let base = Rng.choose rng pool in
+  if suffix_bound <= 1 then base
+  else Printf.sprintf "%s %d" base (1 + Rng.int rng suffix_bound)
+
+(* --- domain templates --- *)
+
+type domain = {
+  dom_name : string;
+  dom_build : Rng.t -> string -> Duodb.Database.t;
+}
+
+let concerts =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "stadium"
+            [ ("stadium_id", number); ("name", text); ("location", text);
+              ("capacity", number) ]
+            ~pk:[ "stadium_id" ];
+          Schema.table "singer"
+            [ ("singer_id", number); ("name", text); ("country", text);
+              ("age", number) ]
+            ~pk:[ "singer_id" ];
+          Schema.table "concert"
+            [ ("concert_id", number); ("concert_name", text); ("theme", text);
+              ("year", number); ("stadium_id", number) ]
+            ~pk:[ "concert_id" ];
+          Schema.table "singer_in_concert"
+            [ ("sic_id", number); ("concert_id", number); ("singer_id", number) ]
+            ~pk:[ "sic_id" ];
+        ]
+        [
+          Schema.fk ("concert", "stadium_id") ("stadium", "stadium_id");
+          Schema.fk ("singer_in_concert", "concert_id") ("concert", "concert_id");
+          Schema.fk ("singer_in_concert", "singer_id") ("singer", "singer_id");
+        ]
+    in
+    let db = Duodb.Database.create schema in
+    let n_stadium = Rng.range rng 6 10 in
+    for k = 1 to n_stadium do
+      Duodb.Database.insert db ~table:"stadium"
+        [| iv k; tv (pick_name rng word_pool 3 ^ " Arena"); tv (Rng.choose rng city_names);
+           iv (Rng.range rng 5 90 * 1000) |]
+    done;
+    let n_singer = Rng.range rng 12 20 in
+    for k = 1 to n_singer do
+      Duodb.Database.insert db ~table:"singer"
+        [| iv k; tv (pick_name rng person_names 4); tv (Rng.choose rng country_names);
+           iv (Rng.range rng 18 70) |]
+    done;
+    let n_concert = Rng.range rng 15 25 in
+    for k = 1 to n_concert do
+      Duodb.Database.insert db ~table:"concert"
+        [| iv k; tv (pick_name rng word_pool 5 ^ " Fest"); tv (Rng.choose rng [ "Pop"; "Rock"; "Jazz"; "Folk" ]);
+           iv (Rng.range rng 2005 2020); iv (1 + Rng.int rng n_stadium) |]
+    done;
+    let sic = ref 0 in
+    for c = 1 to n_concert do
+      for _ = 1 to Rng.range rng 1 3 do
+        incr sic;
+        Duodb.Database.insert db ~table:"singer_in_concert"
+          [| iv !sic; iv c; iv (1 + Rng.int rng n_singer) |]
+      done
+    done;
+    db
+  in
+  { dom_name = "concerts"; dom_build = build }
+
+let employees =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "department"
+            [ ("department_id", number); ("name", text); ("city", text);
+              ("budget", number) ]
+            ~pk:[ "department_id" ];
+          Schema.table "employee"
+            [ ("employee_id", number); ("name", text); ("title", text);
+              ("salary", number); ("age", number); ("department_id", number) ]
+            ~pk:[ "employee_id" ];
+        ]
+        [ Schema.fk ("employee", "department_id") ("department", "department_id") ]
+    in
+    let db = Duodb.Database.create schema in
+    let depts = [ "Engineering"; "Marketing"; "Finance"; "Operations"; "Design"; "Legal" ] in
+    List.iteri
+      (fun idx d ->
+        Duodb.Database.insert db ~table:"department"
+          [| iv (idx + 1); tv d; tv (Rng.choose rng city_names);
+             iv (Rng.range rng 100 900 * 1000) |])
+      depts;
+    let n_emp = Rng.range rng 25 45 in
+    for k = 1 to n_emp do
+      Duodb.Database.insert db ~table:"employee"
+        [| iv k; tv (pick_name rng person_names 4);
+           tv (Rng.choose rng [ "Analyst"; "Manager"; "Engineer"; "Director"; "Intern" ]);
+           iv (Rng.range rng 35 180 * 1000); iv (Rng.range rng 21 64);
+           iv (1 + Rng.int rng (List.length depts)) |]
+    done;
+    db
+  in
+  { dom_name = "employees"; dom_build = build }
+
+let world =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "country"
+            [ ("country_id", number); ("name", text); ("continent", text);
+              ("population", number); ("gdp", number) ]
+            ~pk:[ "country_id" ];
+          Schema.table "city"
+            [ ("city_id", number); ("name", text); ("population", number);
+              ("country_id", number) ]
+            ~pk:[ "city_id" ];
+        ]
+        [ Schema.fk ("city", "country_id") ("country", "country_id") ]
+    in
+    let db = Duodb.Database.create schema in
+    let continents = [ "Asia"; "Europe"; "Africa"; "Americas"; "Oceania" ] in
+    let n_country = Rng.range rng 8 12 in
+    for k = 1 to n_country do
+      Duodb.Database.insert db ~table:"country"
+        [| iv k; tv (List.nth country_names ((k - 1) mod List.length country_names));
+           tv (Rng.choose rng continents); iv (Rng.range rng 1 1400 * 100000);
+           iv (Rng.range rng 10 2000) |]
+    done;
+    let n_city = Rng.range rng 20 35 in
+    for k = 1 to n_city do
+      Duodb.Database.insert db ~table:"city"
+        [| iv k; tv (pick_name rng city_names 4); iv (Rng.range rng 5 900 * 10000);
+           iv (1 + Rng.int rng n_country) |]
+    done;
+    db
+  in
+  { dom_name = "world"; dom_build = build }
+
+let shops =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "shop"
+            [ ("shop_id", number); ("name", text); ("district", text);
+              ("open_year", number) ]
+            ~pk:[ "shop_id" ];
+          Schema.table "product"
+            [ ("product_id", number); ("name", text); ("category", text);
+              ("price", number); ("shop_id", number) ]
+            ~pk:[ "product_id" ];
+        ]
+        [ Schema.fk ("product", "shop_id") ("shop", "shop_id") ]
+    in
+    let db = Duodb.Database.create schema in
+    let n_shop = Rng.range rng 6 10 in
+    for k = 1 to n_shop do
+      Duodb.Database.insert db ~table:"shop"
+        [| iv k; tv (pick_name rng word_pool 3 ^ " Store"); tv (Rng.choose rng city_names);
+           iv (Rng.range rng 1990 2020) |]
+    done;
+    let n_prod = Rng.range rng 25 45 in
+    for k = 1 to n_prod do
+      Duodb.Database.insert db ~table:"product"
+        [| iv k; tv (pick_name rng word_pool 6);
+           tv (Rng.choose rng [ "Food"; "Clothing"; "Electronics"; "Toys" ]);
+           iv (Rng.range rng 2 500); iv (1 + Rng.int rng n_shop) |]
+    done;
+    db
+  in
+  { dom_name = "shops"; dom_build = build }
+
+let courses =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "instructor"
+            [ ("instructor_id", number); ("name", text); ("department", text) ]
+            ~pk:[ "instructor_id" ];
+          Schema.table "course"
+            [ ("course_id", number); ("title", text); ("credits", number);
+              ("instructor_id", number) ]
+            ~pk:[ "course_id" ];
+          Schema.table "student"
+            [ ("student_id", number); ("name", text); ("major", text);
+              ("year", number) ]
+            ~pk:[ "student_id" ];
+          Schema.table "takes"
+            [ ("takes_id", number); ("student_id", number); ("course_id", number);
+              ("grade", number) ]
+            ~pk:[ "takes_id" ];
+        ]
+        [
+          Schema.fk ("course", "instructor_id") ("instructor", "instructor_id");
+          Schema.fk ("takes", "student_id") ("student", "student_id");
+          Schema.fk ("takes", "course_id") ("course", "course_id");
+        ]
+    in
+    let db = Duodb.Database.create schema in
+    let majors = [ "Biology"; "History"; "Physics"; "Economics"; "Computer Science" ] in
+    let n_instr = Rng.range rng 6 10 in
+    for k = 1 to n_instr do
+      Duodb.Database.insert db ~table:"instructor"
+        [| iv k; tv (pick_name rng person_names 3); tv (Rng.choose rng majors) |]
+    done;
+    let n_course = Rng.range rng 10 16 in
+    for k = 1 to n_course do
+      Duodb.Database.insert db ~table:"course"
+        [| iv k; tv ("Introduction to " ^ Rng.choose rng word_pool);
+           iv (Rng.range rng 1 5); iv (1 + Rng.int rng n_instr) |]
+    done;
+    let n_student = Rng.range rng 15 30 in
+    for k = 1 to n_student do
+      Duodb.Database.insert db ~table:"student"
+        [| iv k; tv (pick_name rng person_names 4); tv (Rng.choose rng majors);
+           iv (Rng.range rng 1 4) |]
+    done;
+    let tk = ref 0 in
+    for s = 1 to n_student do
+      for _ = 1 to Rng.range rng 1 4 do
+        incr tk;
+        Duodb.Database.insert db ~table:"takes"
+          [| iv !tk; iv s; iv (1 + Rng.int rng n_course); iv (Rng.range rng 50 100) |]
+      done
+    done;
+    db
+  in
+  { dom_name = "courses"; dom_build = build }
+
+let pets =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "owner"
+            [ ("owner_id", number); ("name", text); ("city", text); ("age", number) ]
+            ~pk:[ "owner_id" ];
+          Schema.table "pet"
+            [ ("pet_id", number); ("name", text); ("pet_type", text);
+              ("weight", number); ("owner_id", number) ]
+            ~pk:[ "pet_id" ];
+        ]
+        [ Schema.fk ("pet", "owner_id") ("owner", "owner_id") ]
+    in
+    let db = Duodb.Database.create schema in
+    let n_owner = Rng.range rng 10 18 in
+    for k = 1 to n_owner do
+      Duodb.Database.insert db ~table:"owner"
+        [| iv k; tv (pick_name rng person_names 3); tv (Rng.choose rng city_names);
+           iv (Rng.range rng 18 80) |]
+    done;
+    let n_pet = Rng.range rng 18 30 in
+    for k = 1 to n_pet do
+      Duodb.Database.insert db ~table:"pet"
+        [| iv k; tv (Rng.choose rng word_pool);
+           tv (Rng.choose rng [ "dog"; "cat"; "bird"; "rabbit" ]);
+           iv (Rng.range rng 1 60); iv (1 + Rng.int rng n_owner) |]
+    done;
+    db
+  in
+  { dom_name = "pets"; dom_build = build }
+
+let books =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "writer"
+            [ ("writer_id", number); ("name", text); ("country", text) ]
+            ~pk:[ "writer_id" ];
+          Schema.table "book"
+            [ ("book_id", number); ("title", text); ("genre", text);
+              ("year", number); ("pages", number); ("writer_id", number) ]
+            ~pk:[ "book_id" ];
+        ]
+        [ Schema.fk ("book", "writer_id") ("writer", "writer_id") ]
+    in
+    let db = Duodb.Database.create schema in
+    let n_writer = Rng.range rng 8 14 in
+    for k = 1 to n_writer do
+      Duodb.Database.insert db ~table:"writer"
+        [| iv k; tv (pick_name rng person_names 3); tv (Rng.choose rng country_names) |]
+    done;
+    let n_book = Rng.range rng 20 35 in
+    for k = 1 to n_book do
+      Duodb.Database.insert db ~table:"book"
+        [| iv k; tv ("The " ^ pick_name rng word_pool 5);
+           tv (Rng.choose rng [ "Mystery"; "Fantasy"; "Biography"; "Poetry" ]);
+           iv (Rng.range rng 1950 2020); iv (Rng.range rng 80 900);
+           iv (1 + Rng.int rng n_writer) |]
+    done;
+    db
+  in
+  { dom_name = "books"; dom_build = build }
+
+let museums =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "museum"
+            [ ("museum_id", number); ("name", text); ("city", text);
+              ("num_paintings", number) ]
+            ~pk:[ "museum_id" ];
+          Schema.table "visitor"
+            [ ("visitor_id", number); ("name", text); ("age", number) ]
+            ~pk:[ "visitor_id" ];
+          Schema.table "visit"
+            [ ("visit_id", number); ("museum_id", number); ("visitor_id", number);
+              ("num_tickets", number) ]
+            ~pk:[ "visit_id" ];
+        ]
+        [
+          Schema.fk ("visit", "museum_id") ("museum", "museum_id");
+          Schema.fk ("visit", "visitor_id") ("visitor", "visitor_id");
+        ]
+    in
+    let db = Duodb.Database.create schema in
+    let n_museum = Rng.range rng 5 9 in
+    for k = 1 to n_museum do
+      Duodb.Database.insert db ~table:"museum"
+        [| iv k; tv (pick_name rng word_pool 3 ^ " Museum"); tv (Rng.choose rng city_names);
+           iv (Rng.range rng 50 2000) |]
+    done;
+    let n_visitor = Rng.range rng 12 20 in
+    for k = 1 to n_visitor do
+      Duodb.Database.insert db ~table:"visitor"
+        [| iv k; tv (pick_name rng person_names 3); iv (Rng.range rng 8 80) |]
+    done;
+    let vt = ref 0 in
+    for v = 1 to n_visitor do
+      for _ = 1 to Rng.range rng 1 3 do
+        incr vt;
+        Duodb.Database.insert db ~table:"visit"
+          [| iv !vt; iv (1 + Rng.int rng n_museum); iv v; iv (Rng.range rng 1 6) |]
+      done
+    done;
+    db
+  in
+  { dom_name = "museums"; dom_build = build }
+
+let orchestras =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "conductor"
+            [ ("conductor_id", number); ("name", text); ("nationality", text);
+              ("age", number) ]
+            ~pk:[ "conductor_id" ];
+          Schema.table "orchestra"
+            [ ("orchestra_id", number); ("name", text); ("year_founded", number);
+              ("conductor_id", number) ]
+            ~pk:[ "orchestra_id" ];
+        ]
+        [ Schema.fk ("orchestra", "conductor_id") ("conductor", "conductor_id") ]
+    in
+    let db = Duodb.Database.create schema in
+    let n_cond = Rng.range rng 6 10 in
+    for k = 1 to n_cond do
+      Duodb.Database.insert db ~table:"conductor"
+        [| iv k; tv (pick_name rng person_names 3); tv (Rng.choose rng country_names);
+           iv (Rng.range rng 30 80) |]
+    done;
+    let n_orch = Rng.range rng 10 16 in
+    for k = 1 to n_orch do
+      Duodb.Database.insert db ~table:"orchestra"
+        [| iv k; tv (pick_name rng city_names 3 ^ " Symphony"); iv (Rng.range rng 1880 2010);
+           iv (1 + Rng.int rng n_cond) |]
+    done;
+    db
+  in
+  { dom_name = "orchestras"; dom_build = build }
+
+let airlines =
+  let build rng name =
+    let schema =
+      Schema.make ~name
+        [
+          Schema.table "airline"
+            [ ("airline_id", number); ("name", text); ("country", text) ]
+            ~pk:[ "airline_id" ];
+          Schema.table "flight"
+            [ ("flight_id", number); ("flight_number", text); ("origin", text);
+              ("destination", text); ("distance", number); ("airline_id", number) ]
+            ~pk:[ "flight_id" ];
+        ]
+        [ Schema.fk ("flight", "airline_id") ("airline", "airline_id") ]
+    in
+    let db = Duodb.Database.create schema in
+    let n_air = Rng.range rng 5 8 in
+    for k = 1 to n_air do
+      Duodb.Database.insert db ~table:"airline"
+        [| iv k; tv (pick_name rng word_pool 3 ^ " Air"); tv (Rng.choose rng country_names) |]
+    done;
+    let n_flight = Rng.range rng 25 40 in
+    for k = 1 to n_flight do
+      Duodb.Database.insert db ~table:"flight"
+        [| iv k; tv (Printf.sprintf "FL%03d" k); tv (Rng.choose rng city_names);
+           tv (Rng.choose rng city_names); iv (Rng.range rng 100 9000);
+           iv (1 + Rng.int rng n_air) |]
+    done;
+    db
+  in
+  { dom_name = "airlines"; dom_build = build }
+
+let domains =
+  [ concerts; employees; world; shops; courses; pets; books; museums;
+    orchestras; airlines ]
+
+(* --- generic task generation --- *)
+
+let phrase s = String.map (fun c -> if c = '_' then ' ' else c) s
+
+(* Columns a user would name: not keys. *)
+let interesting_columns schema =
+  let fk_cols =
+    List.concat_map
+      (fun e ->
+        [ (e.Schema.fk_table, e.Schema.fk_column); (e.Schema.pk_table, e.Schema.pk_column) ])
+      schema.Schema.foreign_keys
+  in
+  List.filter
+    (fun c ->
+      (not (Schema.is_pk_column schema ~table:c.Schema.col_table c.Schema.col_name))
+      && not (List.mem (c.Schema.col_table, c.Schema.col_name) fk_cols))
+    (Schema.all_columns schema)
+
+let cols_of_tables schema tables =
+  List.filter (fun c -> List.mem c.Schema.col_table tables) (interesting_columns schema)
+
+let col_ref_of c = col c.Schema.col_table c.Schema.col_name
+
+(* Sample a realistic literal from the column's data. *)
+let sample_value rng db (c : Schema.column) =
+  let tbl = Duodb.Database.table_exn db c.Schema.col_table in
+  let vs = List.filter (fun v -> not (Value.is_null v)) (Duodb.Table.column_values tbl c.Schema.col_name) in
+  match vs with [] -> None | _ -> Some (Rng.choose rng vs)
+
+let op_phrase rng op =
+  match op with
+  | Gt -> Rng.choose rng [ "greater than"; "more than"; "above"; "over" ]
+  | Ge -> Rng.choose rng [ "at least"; "no less than" ]
+  | Lt -> Rng.choose rng [ "less than"; "below"; "under"; "smaller than" ]
+  | Le -> Rng.choose rng [ "at most"; "no more than" ]
+  | Eq -> ""
+  | Neq -> "not"
+  | Like -> "containing"
+  | Not_like -> "not containing"
+
+let agg_phrase rng = function
+  | Count -> Rng.choose rng [ "the number of"; "how many" ]
+  | Sum -> Rng.choose rng [ "the total"; "the sum of" ]
+  | Avg -> Rng.choose rng [ "the average"; "the mean" ]
+  | Min -> Rng.choose rng [ "the minimum"; "the smallest" ]
+  | Max -> Rng.choose rng [ "the maximum"; "the largest" ]
+
+let value_phrase v =
+  match v with
+  | Value.Text s -> Printf.sprintf "\"%s\"" s
+  | Value.Int _ | Value.Float _ -> Value.to_display v
+  | Value.Null -> "null"
+
+(* A candidate FROM clause: either a single table or tables joined along
+   1-2 FK edges. *)
+let choose_tables rng schema ~want_join =
+  let tables = List.map (fun t -> t.Schema.tbl_name) schema.Schema.tables in
+  if (not want_join) || schema.Schema.foreign_keys = [] then
+    [ Rng.choose rng tables ]
+  else begin
+    let e = Rng.choose rng schema.Schema.foreign_keys in
+    let base = [ e.Schema.fk_table; e.Schema.pk_table ] in
+    if Rng.bool rng 0.35 then begin
+      (* extend by one more hop when possible *)
+      let exts =
+        List.filter
+          (fun e' ->
+            let a = e'.Schema.fk_table and b = e'.Schema.pk_table in
+            List.mem a base <> List.mem b base)
+          schema.Schema.foreign_keys
+      in
+      match exts with
+      | [] -> base
+      | _ ->
+          let e' = Rng.choose rng exts in
+          let extra =
+            if List.mem e'.Schema.fk_table base then e'.Schema.pk_table
+            else e'.Schema.fk_table
+          in
+          base @ [ extra ]
+    end
+    else base
+  end
+
+let from_of rng schema tables =
+  ignore rng;
+  match Duocore.Steiner.tree schema tables with
+  | Some tr -> Some (Duocore.Joinpath.from_of_tree tr)
+  | None -> None
+
+(* Group-count distribution for a HAVING threshold that keeps some groups. *)
+let having_threshold db from group_col =
+  let q =
+    {
+      q_distinct = false;
+      q_select = [ { p_agg = None; p_col = Some group_col; p_distinct = false }; count_star ];
+      q_from = from;
+      q_where = None;
+      q_group_by = [ group_col ];
+      q_having = None;
+      q_order_by = [];
+      q_limit = None;
+    }
+  in
+  match Duoengine.Executor.run db q with
+  | Error _ -> None
+  | Ok res ->
+      let counts =
+        List.filter_map
+          (fun row ->
+            match row.(1) with Value.Int n -> Some n | _ -> None)
+          res.Duoengine.Executor.res_rows
+      in
+      let sorted = List.sort compare counts in
+      let n = List.length sorted in
+      if n < 3 then None
+      else
+        let k = List.nth sorted (n / 2) in
+        if k >= 1 && List.exists (fun c -> c > k) sorted then Some k else None
+
+(* One generation attempt; None when the draw is unusable. *)
+let attempt rng db difficulty =
+  let schema = Duodb.Database.schema db in
+  let want_join = Rng.bool rng 0.55 in
+  let tables = choose_tables rng schema ~want_join in
+  match from_of rng schema tables with
+  | None -> None
+  | Some from -> (
+      let avail = cols_of_tables schema from.f_tables in
+      let text_cols =
+        List.filter (fun c -> Datatype.equal c.Schema.col_type text) avail
+      in
+      let num_cols =
+        List.filter (fun c -> Datatype.equal c.Schema.col_type number) avail
+      in
+      if avail = [] then None
+      else
+        (* main entity phrase: the "many" side of the join when counting
+           join rows, else the FROM base table *)
+        let many_side (f : from_clause) =
+          match f.f_tables with
+          | [ t ] -> t
+          | _ -> (
+              let fk_side =
+                List.filter
+                  (fun t ->
+                    List.exists (fun j -> String.equal j.j_from.cr_table t) f.f_joins
+                    && not
+                         (List.exists (fun j -> String.equal j.j_to.cr_table t) f.f_joins))
+                  f.f_tables
+              in
+              match fk_side with t :: _ -> t | [] -> List.hd f.f_tables)
+        in
+        let entity = phrase (many_side from) ^ "s" in
+        let nlq = Buffer.create 64 in
+        let literals = ref [] in
+        (* --- WHERE (medium and hard) --- *)
+        let gen_pred used =
+          let cands = List.filter (fun c -> not (List.memq c used)) avail in
+          if cands = [] then None
+          else
+            let c = Rng.choose rng cands in
+            match sample_value rng db c with
+            | None -> None
+            | Some v -> (
+                match c.Schema.col_type with
+                | Datatype.Text -> (
+                    match v with
+                    | Value.Text s when Rng.bool rng 0.12 && String.length s >= 4 ->
+                        (* LIKE with a prefix pattern *)
+                        let prefix = String.sub s 0 3 in
+                        let pat = prefix ^ "%" in
+                        Some
+                          ( c,
+                            pred (col_ref_of c) Like (tv pat),
+                            Printf.sprintf "whose %s starts with \"%s\"" (phrase c.Schema.col_name) prefix,
+                            [ tv pat ] )
+                    | _ ->
+                        let op, phrase_op =
+                          if Rng.bool rng 0.08 then (Neq, "is not") else (Eq, "is")
+                        in
+                        Some
+                          ( c,
+                            pred (col_ref_of c) op v,
+                            Printf.sprintf "whose %s %s %s" (phrase c.Schema.col_name) phrase_op (value_phrase v),
+                            [ v ] ))
+                | Datatype.Number ->
+                    if Rng.bool rng 0.15 then begin
+                      match sample_value rng db c with
+                      | Some v2 when not (Value.equal v v2) ->
+                          let lo = if Value.compare v v2 < 0 then v else v2 in
+                          let hi = if Value.compare v v2 < 0 then v2 else v in
+                          Some
+                            ( c,
+                              between (col_ref_of c) lo hi,
+                              Printf.sprintf "whose %s is between %s and %s"
+                                (phrase c.Schema.col_name) (value_phrase lo) (value_phrase hi),
+                              [ lo; hi ] )
+                      | _ -> None
+                    end
+                    else
+                      let op = Rng.choose rng [ Gt; Lt; Ge; Le ] in
+                      Some
+                        ( c,
+                          pred (col_ref_of c) op v,
+                          Printf.sprintf "whose %s is %s %s" (phrase c.Schema.col_name)
+                            (op_phrase rng op) (value_phrase v),
+                          [ v ] ))
+        in
+        let where, where_phrases, where_cols =
+          match difficulty with
+          | `Easy -> (None, [], [])
+          | `Medium | `Hard ->
+              let n_preds = if Rng.bool rng 0.75 then 1 else 2 in
+              let rec build k used acc_preds acc_phr =
+                if k = 0 then (acc_preds, acc_phr, used)
+                else
+                  match gen_pred used with
+                  | None -> (acc_preds, acc_phr, used)
+                  | Some (c, p, phr, lits) ->
+                      literals := !literals @ lits;
+                      build (k - 1) (c :: used) (acc_preds @ [ p ]) (acc_phr @ [ phr ])
+              in
+              let preds, phrases, used = build n_preds [] [] [] in
+              if preds = [] then (None, [], [])
+              else
+                let conn =
+                  if List.length preds >= 2 && Rng.bool rng 0.2 then Or else And
+                in
+                (Some { c_preds = preds; c_conn = conn }, phrases, used)
+        in
+        (match difficulty with
+        | (`Medium | `Hard) when where = None -> raise Exit
+        | _ -> ());
+        (* --- SELECT / GROUP --- *)
+        match difficulty with
+        | `Hard -> (
+            (* grouped aggregation *)
+            let group_cands =
+              List.filter (fun c -> not (List.memq c where_cols)) text_cols
+            in
+            match group_cands with
+            | [] -> None
+            | _ ->
+                let g = Rng.choose rng group_cands in
+                let gref = col_ref_of g in
+                let agg_proj, agg_phrase_str =
+                  if Rng.bool rng 0.7 then (count_star, "the number of " ^ entity)
+                  else
+                    match List.filter (fun c -> not (List.memq c where_cols)) num_cols with
+                    | [] -> (count_star, "the number of " ^ entity)
+                    | ncs ->
+                        let nc = Rng.choose rng ncs in
+                        let a = Rng.choose rng [ Sum; Avg; Min; Max ] in
+                        ( proj_agg a (col_ref_of nc),
+                          Printf.sprintf "%s %s" (agg_phrase rng a) (phrase nc.Schema.col_name) )
+                in
+                let having =
+                  if agg_proj.p_agg = Some Count && Rng.bool rng 0.4 then
+                    match having_threshold db from gref with
+                    | Some k ->
+                        literals := !literals @ [ iv k ];
+                        Some
+                          ( { c_preds = [ { pr_agg = Some Count; pr_col = None; pr_rhs = Cmp (Gt, iv k) } ];
+                              c_conn = And },
+                            Printf.sprintf " with more than %d %s" k entity )
+                    | None -> None
+                  else None
+                in
+                let order =
+                  if Rng.bool rng 0.35 then
+                    Some
+                      ( [ { o_agg = Some Count; o_col = None; o_dir = Desc } ],
+                        " ordered from most to least" )
+                  else None
+                in
+                Buffer.add_string nlq
+                  (Printf.sprintf "For each %s, show %s" (phrase g.Schema.col_name) agg_phrase_str);
+                List.iter (fun p -> Buffer.add_string nlq (" " ^ p)) where_phrases;
+                Option.iter (fun (_, p) -> Buffer.add_string nlq p) having;
+                Option.iter (fun (_, p) -> Buffer.add_string nlq p) order;
+                let q =
+                  {
+                    q_distinct = false;
+                    q_select = [ proj_col gref; agg_proj ];
+                    q_from = from;
+                    q_where = where;
+                    q_group_by = [ gref ];
+                    q_having = Option.map fst having;
+                    q_order_by = Option.fold ~none:[] ~some:fst order;
+                    q_limit = None;
+                  }
+                in
+                Some (q, Buffer.contents nlq, !literals))
+        | `Easy | `Medium ->
+            let single_agg = Rng.bool rng 0.2 in
+            if single_agg then begin
+              let agg_proj, agg_txt =
+                if Rng.bool rng 0.5 || num_cols = [] then
+                  (count_star, "How many " ^ entity ^ " are there")
+                else
+                  let nc = Rng.choose rng num_cols in
+                  let a = Rng.choose rng [ Sum; Avg; Min; Max ] in
+                  ( proj_agg a (col_ref_of nc),
+                    Printf.sprintf "What is %s %s of %s" (agg_phrase rng a)
+                      (phrase nc.Schema.col_name) entity )
+              in
+              Buffer.add_string nlq agg_txt;
+              List.iter (fun p -> Buffer.add_string nlq (" " ^ p)) where_phrases;
+              let q =
+                {
+                  q_distinct = false;
+                  q_select = [ agg_proj ];
+                  q_from = from;
+                  q_where = where;
+                  q_group_by = [];
+                  q_having = None;
+                  q_order_by = [];
+                  q_limit = None;
+                }
+              in
+              Some (q, Buffer.contents nlq, !literals)
+            end
+            else begin
+              let proj_cands =
+                List.filter (fun c -> not (List.memq c where_cols)) avail
+              in
+              if proj_cands = [] then None
+              else begin
+                let n_proj = min (List.length proj_cands) (1 + Rng.int rng 2) in
+                let chosen = Rng.sample rng n_proj proj_cands in
+                let projs = List.map (fun c -> proj_col (col_ref_of c)) chosen in
+                let entity =
+                  match chosen with
+                  | c :: _ -> phrase c.Schema.col_table ^ "s"
+                  | [] -> entity
+                in
+                Buffer.add_string nlq
+                  (Printf.sprintf "Show the %s of %s"
+                     (String.concat " and " (List.map (fun c -> phrase c.Schema.col_name) chosen))
+                     entity);
+                List.iter (fun p -> Buffer.add_string nlq (" " ^ p)) where_phrases;
+                let order, limit =
+                  if num_cols <> [] && Rng.bool rng 0.4 then begin
+                    let oc = Rng.choose rng num_cols in
+                    let dir = if Rng.bool rng 0.5 then Desc else Asc in
+                    let dir_txt =
+                      match dir with
+                      | Desc -> Rng.choose rng [ "from highest to lowest"; "in descending order" ]
+                      | Asc -> Rng.choose rng [ "from lowest to highest"; "in ascending order" ]
+                    in
+                    Buffer.add_string nlq
+                      (Printf.sprintf " sorted by %s %s" (phrase oc.Schema.col_name) dir_txt);
+                    let limit =
+                      if Rng.bool rng 0.45 then begin
+                        let k = Rng.choose rng [ 1; 3; 5 ] in
+                        if k > 1 then begin
+                          Buffer.add_string nlq (Printf.sprintf ", top %d only" k);
+                          literals := !literals @ [ iv k ]
+                        end
+                        else Buffer.add_string nlq ", first one only";
+                        Some k
+                      end
+                      else None
+                    in
+                    ([ { o_agg = None; o_col = Some (col_ref_of oc); o_dir = dir } ], limit)
+                  end
+                  else ([], None)
+                in
+                let q =
+                  {
+                    q_distinct = false;
+                    q_select = projs;
+                    q_from = from;
+                    q_where = where;
+                    q_group_by = [];
+                    q_having = None;
+                    q_order_by = order;
+                    q_limit = limit;
+                  }
+                in
+                Some (q, Buffer.contents nlq, !literals)
+              end
+            end)
+
+(* Gold queries must not carry joins the query does not need — a redundant
+   join would make a strictly simpler equivalent query outrank the gold.
+   Counting queries are the exception: COUNT of all rows over a join counts
+   join rows, so the chosen FROM is semantic there.  [many_side_table]
+   mirrors the NLQ's counting entity. *)
+let many_side_table (f : from_clause) =
+  match f.f_tables with
+  | [ t ] -> Some t
+  | _ -> (
+      let fk_side =
+        List.filter
+          (fun t ->
+            List.exists (fun j -> String.equal j.j_from.cr_table t) f.f_joins
+            && not (List.exists (fun j -> String.equal j.j_to.cr_table t) f.f_joins))
+          f.f_tables
+      in
+      match fk_side, f.f_tables with
+      | t :: _, _ -> Some t
+      | [], t :: _ -> Some t
+      | [], [] -> None)
+
+let rebuild_minimal_from schema q =
+  let has_count_star =
+    List.exists (fun p -> p.p_agg = Some Count && p.p_col = None) q.q_select
+  in
+  if q.q_group_by <> [] && has_count_star then Some q
+  else begin
+    let tables = referenced_tables q in
+    let tables =
+      if has_count_star then
+        match many_side_table q.q_from with
+        | Some t when not (List.mem t tables) -> t :: tables
+        | _ -> tables
+      else tables
+    in
+    match tables with
+    | [] -> (
+        match q.q_from.f_tables with
+        | t :: _ -> Some { q with q_from = from_table t }
+        | [] -> None)
+    | _ -> (
+        match Duocore.Steiner.tree schema tables with
+        | Some tr -> Some { q with q_from = Duocore.Joinpath.from_of_tree tr }
+        | None -> None)
+  end
+
+let gen_task rng db_name db difficulty =
+  let rec try_gen k =
+    if k = 0 then None
+    else
+      match (try attempt rng db difficulty with Exit -> None) with
+      | None -> try_gen (k - 1)
+      | Some (q, nlq, lits) -> (
+          match rebuild_minimal_from (Duodb.Database.schema db) q with
+          | None -> try_gen (k - 1)
+          | Some q -> (
+          let schema = Duodb.Database.schema db in
+          match Duocore.Semantics.check_query schema q with
+          | Error _ -> try_gen (k - 1)
+          | Ok () -> (
+              match Duoengine.Executor.run db q with
+              | Error _ -> try_gen (k - 1)
+              | Ok res ->
+                  if res.Duoengine.Executor.res_rows = [] then try_gen (k - 1)
+                  else
+                    Some
+                      {
+                        sp_db = db_name;
+                        sp_difficulty = difficulty;
+                        sp_nlq = nlq;
+                        sp_gold = q;
+                        sp_literals = lits;
+                      })))
+  in
+  try_gen 40
+
+(* Distribute [total] tasks over [n] databases as evenly as possible. *)
+let quotas total n =
+  List.init n (fun i -> (total / n) + if i < total mod n then 1 else 0)
+
+let make_split split_name ~seed ~n_dbs ~easy ~medium ~hard =
+  let rng = Rng.create seed in
+  let databases =
+    List.init n_dbs (fun i ->
+        let dom = List.nth domains (i mod List.length domains) in
+        let name = Printf.sprintf "%s_%d" dom.dom_name (i / List.length domains + 1) in
+        (name, dom.dom_build (Rng.split rng) name))
+  in
+  let gen_for difficulty total =
+    List.concat
+      (List.map2
+         (fun (name, db) quota ->
+           let trng = Rng.split rng in
+           (* Prefer distinct gold queries; accept a repeat draw only after
+              several attempts so small schemas can still fill quotas. *)
+           let rec collect n acc seen =
+             if n = 0 then List.rev acc
+             else
+               let rec draw k =
+                 match gen_task trng name db difficulty with
+                 | None -> None
+                 | Some task ->
+                     let key = Duosql.Pretty.query task.sp_gold in
+                     if List.mem key seen && k > 0 then draw (k - 1)
+                     else Some (task, key)
+               in
+               match draw 20 with
+               | None -> List.rev acc
+               | Some (task, key) -> collect (n - 1) (task :: acc) (key :: seen)
+           in
+           collect quota [] [])
+         databases (quotas total n_dbs))
+  in
+  let tasks = gen_for `Easy easy @ gen_for `Medium medium @ gen_for `Hard hard in
+  { split_name; databases; tasks }
+
+let dev () = make_split "spider-dev" ~seed:1001 ~n_dbs:20 ~easy:239 ~medium:252 ~hard:98
+
+let test () =
+  make_split "spider-test" ~seed:2002 ~n_dbs:40 ~easy:524 ~medium:481 ~hard:242
+
+let mini ?(seed = 7) ~n_dbs ~per_db () =
+  let third = per_db / 3 in
+  make_split "spider-mini" ~seed ~n_dbs ~easy:(third * n_dbs)
+    ~medium:(third * n_dbs)
+    ~hard:((per_db - (2 * third)) * n_dbs)
+
+let schema_stats split =
+  let n = float_of_int (List.length split.databases) in
+  let sum f =
+    List.fold_left (fun acc (_, db) -> acc + f (Duodb.Database.schema db)) 0 split.databases
+  in
+  ( float_of_int (sum Schema.num_tables) /. n,
+    float_of_int (sum Schema.num_columns) /. n,
+    float_of_int (sum Schema.num_foreign_keys) /. n )

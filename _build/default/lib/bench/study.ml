@@ -1,0 +1,173 @@
+module Enumerate = Duocore.Enumerate
+module Duoquest = Duocore.Duoquest
+module Tsq = Duocore.Tsq
+
+type arm = {
+  arm_system : string;
+  arm_task : string;
+  arm_trials : User_sim.trial list;
+}
+
+type study = {
+  study_name : string;
+  arms : arm list;
+}
+
+let study_config =
+  { Enumerate.default_config with
+    Enumerate.max_pops = 25_000;
+    max_candidates = 60;
+    time_budget_s = 15.0 }
+
+(* Synthesis outcomes depend only on (task, tsq); memoize across the 8
+   simulated users of an arm when their sketches coincide. *)
+let run_duoquest session (task : Mas.task) tsq =
+  Duoquest.synthesize ~config:study_config ?tsq
+    ~literals:task.Mas.task_literals session ~nlq:task.Mas.task_nlq ()
+
+let duoquest_trial rng session db (task : Mas.task) profile =
+  let gold = Mas.gold task in
+  let typing = User_sim.typing_time rng profile task.Mas.task_nlq in
+  let n_examples = if Rng.bool rng 0.5 then 1 else 2 in
+  let make_tsq n =
+    match Tsq_synth.user_tuples rng db gold ~n with
+    | None -> None
+    | Some tuples ->
+        (match Duoengine.Executor.output_types db gold with
+        | Ok types ->
+            Some
+              (Tsq.make ~types ~tuples
+                 ~sorted:(gold.Duosql.Ast.q_order_by <> [])
+                 ~limit:(Option.value ~default:0 gold.Duosql.Ast.q_limit)
+                 ())
+        | Error _ -> None)
+  in
+  let attempt n_examples elapsed =
+    let tsq = make_tsq n_examples in
+    let entry = User_sim.tuple_entry_time rng profile n_examples in
+    let outcome = run_duoquest session task tsq in
+    let rank = Duoquest.rank_of outcome ~gold in
+    let trial =
+      User_sim.inspect_candidates rng profile ~elapsed:(elapsed +. entry) ~rank
+        ~available:(List.length outcome.Enumerate.out_candidates)
+    in
+    { trial with User_sim.examples_used = n_examples }
+  in
+  let first = attempt n_examples typing in
+  if first.User_sim.success || first.User_sim.time_s >= User_sim.budget_s -. 30.0
+  then first
+  else begin
+    (* refinement round: add one more example (Figure 1's loop) *)
+    let second = attempt (n_examples + 1) first.User_sim.time_s in
+    { second with
+      User_sim.examples_used = n_examples + 1;
+      time_s = Float.min User_sim.budget_s second.User_sim.time_s }
+  end
+
+let nli_trial rng session (task : Mas.task) profile =
+  let gold = Mas.gold task in
+  let typing = User_sim.typing_time rng profile task.Mas.task_nlq in
+  let outcome =
+    Duoquest.synthesize ~config:study_config ~mode:`Nli
+      ~literals:task.Mas.task_literals session ~nlq:task.Mas.task_nlq ()
+  in
+  let rank = Duoquest.rank_of outcome ~gold in
+  User_sim.inspect_candidates rng profile ~elapsed:typing ~rank
+    ~available:(List.length outcome.Enumerate.out_candidates)
+
+let pbe_trial rng db (task : Mas.task) profile =
+  let gold = Mas.gold task in
+  (* Iteratively add examples until the filter explanations cover the gold
+     predicates, the fact bank runs dry, or time runs out. *)
+  let rec rounds n elapsed =
+    if n > 5 || elapsed >= User_sim.budget_s then
+      { User_sim.success = false; time_s = User_sim.budget_s; examples_used = n - 1 }
+    else
+      let entry = User_sim.tuple_entry_time rng profile n in
+      let review = User_sim.filter_review_time rng profile in
+      let elapsed = elapsed +. entry +. review in
+      match Tsq_synth.user_tuples rng db gold ~n with
+      | None -> { User_sim.success = false; time_s = User_sim.budget_s; examples_used = n }
+      | Some tuples -> (
+          match Duopbe.Squid.discover db tuples with
+          | Some result when Duopbe.Squid.correct_for result ~gold ->
+              { User_sim.success = elapsed <= User_sim.budget_s;
+                time_s = Float.min elapsed User_sim.budget_s;
+                examples_used = n }
+          | Some _ | None -> rounds (n + 1) elapsed)
+  in
+  rounds 2 0.0
+
+let run_study study_name tasks baseline_trial ~seed =
+  let db = Mas.database () in
+  let session = Duoquest.create_session db in
+  let users = User_sim.participants ~seed in
+  let rng = Rng.create (seed * 31 + 7) in
+  let half = List.length tasks / 2 in
+  let set_a = List.filteri (fun i _ -> i < half) tasks in
+  let set_b = List.filteri (fun i _ -> i >= half) tasks in
+  let arms = Hashtbl.create 32 in
+  let record system (task : Mas.task) trial =
+    let key = (system, task.Mas.task_id) in
+    let cur = Option.value ~default:[] (Hashtbl.find_opt arms key) in
+    Hashtbl.replace arms key (trial :: cur)
+  in
+  List.iteri
+    (fun i profile ->
+      let urng = Rng.split rng in
+      let dq_set, base_set = if i mod 2 = 0 then (set_a, set_b) else (set_b, set_a) in
+      List.iter
+        (fun task -> record "Duoquest" task (duoquest_trial urng session db task profile))
+        dq_set;
+      List.iter
+        (fun task -> record "baseline" task (baseline_trial urng session db task profile))
+        base_set)
+    users;
+  let arm_list =
+    Hashtbl.fold
+      (fun (system, task) trials acc ->
+        { arm_system = system; arm_task = task; arm_trials = trials } :: acc)
+      arms []
+  in
+  let arm_list =
+    List.sort
+      (fun a b ->
+        match String.compare a.arm_task b.arm_task with
+        | 0 -> String.compare a.arm_system b.arm_system
+        | c -> c)
+      arm_list
+  in
+  { study_name; arms = arm_list }
+
+let nli_study ?(seed = 1234) () =
+  run_study "user study vs NLI" Mas.nli_study_tasks
+    (fun rng session _db task profile -> nli_trial rng session task profile)
+    ~seed
+
+let pbe_study ?(seed = 5678) () =
+  run_study "user study vs PBE" Mas.pbe_study_tasks
+    (fun rng _session db task profile -> pbe_trial rng db task profile)
+    ~seed
+
+let success_rate arm =
+  let n = List.length arm.arm_trials in
+  if n = 0 then 0.0
+  else
+    float_of_int (List.length (List.filter (fun t -> t.User_sim.success) arm.arm_trials))
+    /. float_of_int n
+
+let mean_success_time arm =
+  match List.filter (fun t -> t.User_sim.success) arm.arm_trials with
+  | [] -> None
+  | ok ->
+      Some
+        (List.fold_left (fun acc t -> acc +. t.User_sim.time_s) 0.0 ok
+        /. float_of_int (List.length ok))
+
+let mean_examples arm =
+  match List.filter (fun t -> t.User_sim.success) arm.arm_trials with
+  | [] -> None
+  | ok ->
+      Some
+        (List.fold_left (fun acc t -> acc +. float_of_int t.User_sim.examples_used) 0.0 ok
+        /. float_of_int (List.length ok))

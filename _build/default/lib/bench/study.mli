@@ -1,0 +1,41 @@
+(** The two within-subject user studies (Sections 5.2 and 5.3), run with
+    simulated participants.
+
+    16 users; in each study half performs the first task set on Duoquest
+    and the second on the baseline, the other half the reverse, so every
+    (task, system) pair collects 8 trials (Section 5.1.3).
+
+    Duoquest trials: the user types the NLQ, supplies 1-2 example tuples
+    from partial domain knowledge (the fact bank is emulated by
+    {!Tsq_synth.user_tuples}), then scans the streamed candidates; one TSQ
+    refinement round (an extra example) is attempted when time remains,
+    mirroring the interaction loop of Figure 1.
+
+    NLI trials skip the TSQ; PBE trials iterate example tuples through the
+    SQuID-style baseline and review its filter explanations. *)
+
+type arm = {
+  arm_system : string;
+  arm_task : string;  (** task id *)
+  arm_trials : User_sim.trial list;
+}
+
+type study = {
+  study_name : string;
+  arms : arm list;  (** one per (system, task) *)
+}
+
+(** Fig. 5/6 source: Duoquest vs NLI on tasks A1-B4. *)
+val nli_study : ?seed:int -> unit -> study
+
+(** Fig. 7/8/9 source: Duoquest vs PBE on tasks C1-D3. *)
+val pbe_study : ?seed:int -> unit -> study
+
+(** Per-arm aggregates. *)
+val success_rate : arm -> float
+
+(** Mean time over successful trials ([None] when none succeeded). *)
+val mean_success_time : arm -> float option
+
+(** Mean example count over successful trials. *)
+val mean_examples : arm -> float option

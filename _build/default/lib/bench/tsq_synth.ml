@@ -1,0 +1,94 @@
+module Value = Duodb.Value
+module Tsq = Duocore.Tsq
+
+type detail =
+  | Full
+  | Partial
+  | Minimal
+
+let detail_to_string = function
+  | Full -> "Full"
+  | Partial -> "Partial"
+  | Minimal -> "Minimal"
+
+(* Pick [n] result rows; when the query sorts, keep them in result order so
+   the ordered-match semantics of Definition 2.4 hold. *)
+let pick_rows rng sorted n rows =
+  let total = List.length rows in
+  if total <= n then rows
+  else if sorted then begin
+    let idxs = List.sort_uniq compare (Rng.sample rng n (List.init total Fun.id)) in
+    List.filteri (fun i _ -> List.mem i idxs) rows
+  end
+  else Rng.sample rng n rows
+
+let synthesize ?(n_examples = 2) rng db gold ~detail =
+  match Duoengine.Executor.run db gold with
+  | Error _ -> None
+  | Ok res ->
+      if res.Duoengine.Executor.res_rows = [] then None
+      else begin
+        let types = List.map snd res.Duoengine.Executor.res_cols in
+        let sorted = gold.Duosql.Ast.q_order_by <> [] in
+        let limit = Option.value ~default:0 gold.Duosql.Ast.q_limit in
+        let tuples =
+          match detail with
+          | Minimal -> []
+          | Full | Partial ->
+              let rows =
+                pick_rows rng sorted n_examples res.Duoengine.Executor.res_rows
+              in
+              let tuples =
+                List.map
+                  (fun row -> Array.to_list (Array.map (fun v -> Tsq.Exact v) row))
+                  rows
+              in
+              if detail = Partial && List.length types >= 2 then begin
+                (* erase all values of one randomly selected column *)
+                let erased = Rng.int rng (List.length types) in
+                List.map
+                  (List.mapi (fun i cell -> if i = erased then Tsq.Any else cell))
+                  tuples
+              end
+              else tuples
+        in
+        Some (Tsq.make ~types ~tuples ~sorted ~limit ())
+      end
+
+let user_tuples ?(exact_p = 0.7) ?(range_p = 0.2) rng db gold ~n =
+  match Duoengine.Executor.run db gold with
+  | Error _ -> None
+  | Ok res ->
+      if res.Duoengine.Executor.res_rows = [] then None
+      else begin
+        let sorted = gold.Duosql.Ast.q_order_by <> [] in
+        let rows = pick_rows rng sorted n res.Duoengine.Executor.res_rows in
+        let fuzz v =
+          if Rng.bool rng exact_p then Tsq.Exact v
+          else
+            match v with
+            | Value.Int x when Rng.bool rng (range_p /. (1.0 -. exact_p)) ->
+                (* a range the user half-remembers, containing the truth *)
+                let lo = x - Rng.range rng 1 5 and hi = x + Rng.range rng 1 5 in
+                Tsq.Range (Value.Int lo, Value.Int hi)
+            | Value.Float x when Rng.bool rng (range_p /. (1.0 -. exact_p)) ->
+                Tsq.Range (Value.Float (x -. 2.0), Value.Float (x +. 2.0))
+            | _ -> Tsq.Any
+        in
+        let tuples =
+          List.map (fun row -> Array.to_list (Array.map fuzz row)) rows
+        in
+        (* A tuple of only Any cells carries no information; keep at least
+           one exact cell per tuple by pinning the first column. *)
+        let tuples =
+          List.map2
+            (fun row tup ->
+              if List.exists (fun c -> c <> Tsq.Any) tup then tup
+              else
+                match Array.to_list row with
+                | v :: rest -> Tsq.Exact v :: List.map (fun _ -> Tsq.Any) rest
+                | [] -> tup)
+            rows tuples
+        in
+        Some tuples
+      end

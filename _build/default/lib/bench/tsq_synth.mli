@@ -1,0 +1,40 @@
+(** TSQ synthesis for the simulation study (Section 5.4.1) and the detail
+    sweep (Section 5.4.4, Table 6).
+
+    For each task, the gold query's result determines the sketch: type
+    annotations from the output schema, two example tuples drawn from the
+    result set (order-preserving when the query sorts), and tau/k from the
+    gold ORDER BY / LIMIT clauses. *)
+
+type detail =
+  | Full  (** types + 2 example tuples + tau/k *)
+  | Partial
+      (** Full with every value of one randomly chosen column erased
+          (tasks with at least 2 projected columns; otherwise = Full) *)
+  | Minimal  (** types + tau/k only, no example tuples *)
+
+val detail_to_string : detail -> string
+
+(** [synthesize rng db gold ~detail ~n_examples] builds the sketch;
+    [None] when the gold query fails to execute or returns no rows.
+    [n_examples] defaults to 2 (capped to the result size). *)
+val synthesize :
+  ?n_examples:int ->
+  Rng.t ->
+  Duodb.Database.t ->
+  Duosql.Ast.query ->
+  detail:detail ->
+  Duocore.Tsq.t option
+
+(** Example tuples a simulated user would supply from partial domain
+    knowledge: cells are kept exact with probability [exact_p], converted
+    to a numeric range around the true value with probability [range_p],
+    and erased otherwise. *)
+val user_tuples :
+  ?exact_p:float ->
+  ?range_p:float ->
+  Rng.t ->
+  Duodb.Database.t ->
+  Duosql.Ast.query ->
+  n:int ->
+  Duocore.Tsq.tuple list option

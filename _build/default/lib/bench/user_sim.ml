@@ -1,0 +1,52 @@
+type profile = {
+  sql_reader : bool;
+  speed : float;
+}
+
+let budget_s = 300.0
+
+let participants ~seed =
+  let rng = Rng.create seed in
+  List.init 16 (fun i ->
+      { sql_reader = i < 10; speed = 0.75 +. (Rng.float rng *. 0.5) })
+
+type trial = {
+  success : bool;
+  time_s : float;
+  examples_used : int;
+}
+
+let uniform rng lo hi = lo +. (Rng.float rng *. (hi -. lo))
+
+let words s =
+  List.length (List.filter (fun w -> w <> "") (String.split_on_char ' ' s))
+
+let typing_time rng profile nlq =
+  float_of_int (words nlq) *. uniform rng 1.2 2.2 *. profile.speed
+
+let tuple_entry_time rng profile n =
+  float_of_int n *. uniform rng 8.0 18.0 *. profile.speed
+
+let filter_review_time rng profile = uniform rng 15.0 30.0 *. profile.speed
+
+let inspect_candidates rng profile ~elapsed ~rank ~available =
+  let per_candidate () =
+    (if profile.sql_reader then uniform rng 4.0 12.0 else uniform rng 8.0 20.0)
+    *. profile.speed
+  in
+  let rec scan i elapsed =
+    if elapsed > budget_s then
+      { success = false; time_s = budget_s; examples_used = 0 }
+    else
+      match rank with
+      | Some r when i = r ->
+          (* found it; small confirmation cost *)
+          let t = elapsed +. (uniform rng 2.0 6.0 *. profile.speed) in
+          { success = t <= budget_s; time_s = Float.min t budget_s; examples_used = 0 }
+      | _ ->
+          if i > available then
+            (* exhausted the list without finding the gold query *)
+            { success = false; time_s = Float.min elapsed budget_s; examples_used = 0 }
+          else scan (i + 1) (elapsed +. per_candidate ())
+  in
+  scan 1 elapsed

@@ -1,0 +1,45 @@
+(** Simulated study participants (substituting the paper's 16 human
+    subjects, Section 5.1.2).
+
+    A user carries a speed multiplier and an interaction style: users with
+    SQL experience read candidate queries directly; novices rely on the
+    "Query Preview" result sample, which takes longer per candidate
+    (Section 5.1.4).  All stochastic choices are drawn from a seeded
+    {!Rng.t}, so studies are reproducible.
+
+    Cost model (seconds, scaled by the user's speed):
+    - typing the NLQ: per-word cost;
+    - entering one TSQ example tuple through autocomplete: per-tuple cost;
+    - inspecting one candidate: cheap for SQL readers, expensive for
+      preview users;
+    - reviewing a PBE filter list: flat cost per round.
+
+    A trial succeeds when the user identifies the gold query within the
+    5-minute budget (Section 5.1.3). *)
+
+type profile = {
+  sql_reader : bool;
+  speed : float;  (** multiplier around 1.0 *)
+}
+
+(** The 16 participants of the studies: 10 with SQL experience, 6 without
+    (Section 5.1.2), speeds varied deterministically from [seed]. *)
+val participants : seed:int -> profile list
+
+type trial = {
+  success : bool;
+  time_s : float;  (** total interaction time, capped at the budget *)
+  examples_used : int;
+}
+
+val budget_s : float
+
+(** [inspect_candidates rng profile ~elapsed ~rank ~available] walks the
+    ranked list: returns the trial outcome given the gold query's rank
+    ([None] = not in the list) and the number of candidates available. *)
+val inspect_candidates :
+  Rng.t -> profile -> elapsed:float -> rank:int option -> available:int -> trial
+
+val typing_time : Rng.t -> profile -> string -> float
+val tuple_entry_time : Rng.t -> profile -> int -> float
+val filter_review_time : Rng.t -> profile -> float

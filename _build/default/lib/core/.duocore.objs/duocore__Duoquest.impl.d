@@ -1,0 +1,1 @@
+lib/core/duoquest.ml: Duodb Duoguide Duonl Duosql Enumerate List

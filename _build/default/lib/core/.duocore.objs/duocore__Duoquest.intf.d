@@ -1,0 +1,1 @@
+lib/core/duoquest.mli: Duodb Duosql Enumerate Tsq

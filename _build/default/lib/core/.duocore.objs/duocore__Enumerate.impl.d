@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Duodb Duoguide Duonl Duosql Frontier Hashtbl Joinpath List Option Partial Sys Tsq Verify

@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Duodb Duoguide Duosql Partial Tsq Verify

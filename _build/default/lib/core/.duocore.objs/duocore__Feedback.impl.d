@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Array Duoengine Enumerate List Tsq

@@ -1,0 +1,1 @@
+lib/core/frontier.ml: Array Partial

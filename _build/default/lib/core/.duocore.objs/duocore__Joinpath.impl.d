@@ -1,0 +1,1 @@
+lib/core/joinpath.ml: Duodb Duosql Hashtbl List Steiner String

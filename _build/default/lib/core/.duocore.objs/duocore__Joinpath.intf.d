@@ -1,0 +1,1 @@
+lib/core/joinpath.mli: Duodb Duosql Steiner

@@ -1,0 +1,1 @@
+lib/core/partial.ml: Buffer Duodb Duoguide Duosql Float Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/steiner.ml: Duodb Hashtbl List Queue String

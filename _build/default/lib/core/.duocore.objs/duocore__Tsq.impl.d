@@ -1,0 +1,1 @@
+lib/core/tsq.ml: Array Bool Duodb Duoengine Duosql Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/tsq.mli: Duodb Duoengine Duosql Format

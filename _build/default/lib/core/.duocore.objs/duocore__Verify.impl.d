@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Bool Duodb Duoengine Duoguide Duosql Hashtbl List Option Partial Printf Result Semantics String Sys Tsq

@@ -1,0 +1,55 @@
+type row = {
+  system : string;
+  soundness : bool;
+  joins : bool;
+  selections : bool;
+  grouping : bool;
+  no_schema : bool;
+  partial_tuples : bool;
+  open_world : bool;
+  note : string option;
+}
+
+let mk system soundness joins selections grouping no_schema partial_tuples
+    open_world note =
+  { system; soundness; joins; selections; grouping; no_schema; partial_tuples;
+    open_world; note }
+
+let duoquest = mk "Duoquest" true true true true true true true None
+
+(* N/A cells in the paper (NLIs have no example-tuple interface) are encoded
+   as [true] with a note, matching Table 1's "N/A". *)
+let table =
+  [
+    mk "NLIs" false true true true true true true
+      (Some "PT/OW not applicable: no example input");
+    mk "QBE" true true true false false false false None;
+    mk "MWeaver" true true false false true true true None;
+    mk "S4" true true false false true true true None;
+    mk "SQuID" true true true true true true true
+      (Some "no projected aggregates in SELECT");
+    mk "TALOS" true true true true true false false None;
+    mk "QFE" true true false false true false false None;
+    mk "PALEO" true false true true false true false None;
+    mk "Scythe" true true true true false true false None;
+    mk "REGAL+" true true false true true false true None;
+    duoquest;
+  ]
+
+let check b = if b then "yes" else "-"
+
+let to_string () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %5s %4s %3s %3s %3s %3s %3s  %s\n" "System" "Sound"
+       "Join" "Sel" "Agg" "NS" "PT" "OW" "Note");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %5s %4s %3s %3s %3s %3s %3s  %s\n" r.system
+           (check r.soundness) (check r.joins) (check r.selections)
+           (check r.grouping) (check r.no_schema) (check r.partial_tuples)
+           (check r.open_world)
+           (Option.value ~default:"" r.note)))
+    table;
+  Buffer.contents buf

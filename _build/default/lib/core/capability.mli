@@ -1,0 +1,23 @@
+(** The system-capability matrix of Table 1: soundness, query
+    expressiveness (joins, selections, grouping/aggregation), and required
+    user knowledge (no schema knowledge, partial tuples, open world). *)
+
+type row = {
+  system : string;
+  soundness : bool;
+  joins : bool;
+  selections : bool;
+  grouping : bool;
+  no_schema : bool;  (** [true] when schema knowledge is NOT required *)
+  partial_tuples : bool;
+  open_world : bool;
+  note : string option;
+}
+
+(** All rows of Table 1, Duoquest last. *)
+val table : row list
+
+val duoquest : row
+
+(** Render the matrix as fixed-width text (the bench prints this). *)
+val to_string : unit -> string

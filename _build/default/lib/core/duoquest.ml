@@ -1,0 +1,59 @@
+type session = {
+  s_db : Duodb.Database.t;
+  s_index : Duodb.Index.t;
+}
+
+let create_session db = { s_db = db; s_index = Duodb.Index.build db }
+let session_db s = s.s_db
+let session_index s = s.s_index
+
+type mode =
+  [ `Duoquest
+  | `Nli
+  | `No_guide
+  | `No_pq
+  ]
+
+let mode_name = function
+  | `Duoquest -> "Duoquest"
+  | `Nli -> "NLI"
+  | `No_guide -> "NoGuide"
+  | `No_pq -> "NoPQ"
+
+let synthesize ?(config = Enumerate.default_config) ?(mode = `Duoquest) ?tsq
+    ?literals ?on_candidate session ~nlq () =
+  let config =
+    match mode with
+    | `Duoquest | `Nli -> config
+    | `No_guide -> { config with Enumerate.guided = false }
+    | `No_pq -> { config with Enumerate.prune_partial = false }
+  in
+  let tsq = match mode with `Nli -> None | `Duoquest | `No_guide | `No_pq -> tsq in
+  let analyzed =
+    match literals with
+    | None -> Duonl.Nlq.analyze ~index:session.s_index nlq
+    | Some lits -> Duonl.Nlq.with_literals ~index:session.s_index nlq lits
+  in
+  let ctx =
+    Duoguide.Model.make ~temperature:config.Enumerate.temperature
+      ~index:session.s_index
+      (Duodb.Database.schema session.s_db)
+      analyzed
+  in
+  let literal_values =
+    List.map (fun l -> l.Duonl.Nlq.lit_value) analyzed.Duonl.Nlq.literals
+  in
+  Enumerate.run config ctx session.s_db ~tsq ~literals:literal_values
+    ?on_candidate ()
+
+let rank_of outcome ~gold =
+  let rec find i = function
+    | [] -> None
+    | c :: rest ->
+        if Duosql.Equal.queries c.Enumerate.cand_query gold then Some i
+        else find (i + 1) rest
+  in
+  find 1 outcome.Enumerate.out_candidates
+
+let top_k outcome k =
+  List.filteri (fun i _ -> i < k) outcome.Enumerate.out_candidates

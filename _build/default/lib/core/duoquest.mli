@@ -1,0 +1,56 @@
+(** The Duoquest system facade (Section 4).
+
+    A {!session} packages a database with its inverted column index (the
+    autocomplete substrate).  {!synthesize} consumes the dual specification
+    — an NLQ plus an optional TSQ — and streams ranked candidate queries,
+    exactly the Enumerator + Verifier micro-service pair of Figure 3.
+
+    The [mode] argument selects the paper's systems:
+    - [`Duoquest] — GPQE with guidance and partial-query pruning;
+    - [`Nli] — guided enumeration with no TSQ (the SyntaxSQLNet-style
+      baseline; the TSQ argument is ignored);
+    - [`No_guide] — uniform enumeration, TSQ pruning kept (ablation);
+    - [`No_pq] — guidance kept, but only complete queries verified
+      (the chaining baseline of Section 3.5). *)
+
+type session
+
+val create_session : Duodb.Database.t -> session
+val session_db : session -> Duodb.Database.t
+val session_index : session -> Duodb.Index.t
+
+type mode =
+  [ `Duoquest
+  | `Nli
+  | `No_guide
+  | `No_pq
+  ]
+
+val mode_name : mode -> string
+
+(** [synthesize session ~nlq ()] runs query synthesis.
+
+    - [literals]: the tagged literal set [L]; extracted from the NLQ's
+      quoted spans and numbers when omitted.
+    - [tsq]: the table sketch query; omitting it (or passing [`Nli]) makes
+      the run single-specification.
+    - [config]: enumeration budgets (see {!Enumerate.config}).
+    - [on_candidate]: streaming callback, as the front-end displays
+      candidates one at a time. *)
+val synthesize :
+  ?config:Enumerate.config ->
+  ?mode:mode ->
+  ?tsq:Tsq.t ->
+  ?literals:Duodb.Value.t list ->
+  ?on_candidate:(Enumerate.candidate -> unit) ->
+  session ->
+  nlq:string ->
+  unit ->
+  Enumerate.outcome
+
+(** 1-based rank of the gold query among the candidates (by
+    {!Duosql.Equal.queries}), or [None]. *)
+val rank_of : Enumerate.outcome -> gold:Duosql.Ast.query -> int option
+
+(** First [k] candidates in emission order. *)
+val top_k : Enumerate.outcome -> int -> Enumerate.candidate list

@@ -1,0 +1,431 @@
+open Duosql.Ast
+module Model = Duoguide.Model
+
+type config = {
+  guided : bool;
+  prune_partial : bool;
+  max_pops : int;
+  max_candidates : int;
+  time_budget_s : float;
+  temperature : float;
+  semantic_rules : bool;
+  max_frontier : int;
+}
+
+let default_config =
+  {
+    guided = true;
+    prune_partial = true;
+    max_pops = 200_000;
+    max_candidates = 100;
+    time_budget_s = 60.0;
+    temperature = 1.0;
+    semantic_rules = true;
+    max_frontier = 400_000;
+  }
+
+type candidate = {
+  cand_query : query;
+  cand_confidence : float;
+  cand_index : int;
+  cand_pops : int;
+  cand_time_s : float;
+}
+
+type outcome = {
+  out_candidates : candidate list;
+  out_pops : int;
+  out_pushed : int;
+  out_stats : Verify.stats;
+  out_elapsed_s : float;
+  out_expand_s : float;
+  out_verify_s : float;
+  out_exhausted : bool;
+}
+
+type hints = {
+  h_nproj : int option;
+  h_limit : int option;
+}
+
+let no_hints = { h_nproj = None; h_limit = None }
+
+let hints_of_tsq tsq =
+  {
+    h_nproj = Tsq.width tsq;
+    h_limit = (if tsq.Tsq.limit > 0 then Some tsq.Tsq.limit else None);
+  }
+
+(* --- phase sequencing --- *)
+
+let after_group (t : Partial.t) =
+  if t.Partial.kw.Model.kw_order then Partial.P_order_target else Partial.P_done
+
+let after_where (t : Partial.t) =
+  if t.Partial.kw.Model.kw_group then Partial.P_group_col else after_group t
+
+let after_select (t : Partial.t) =
+  if t.Partial.kw.Model.kw_where then Partial.P_where_num else after_where t
+
+let next_after_slot (t : Partial.t) i =
+  if i + 1 < t.Partial.nproj then Partial.P_proj_target (i + 1) else after_select t
+
+let next_after_pred (t : Partial.t) i =
+  if i + 1 < t.Partial.where_n then Partial.P_where_col (i + 1)
+  else if t.Partial.where_n >= 2 then Partial.P_where_conn
+  else after_where t
+
+(* --- helpers --- *)
+
+let col_ref_of c = col c.Duodb.Schema.col_table c.Duodb.Schema.col_name
+
+(* Candidate join paths for a state whose referenced tables may have grown
+   (Section 3.3.4): keep the current path when it still covers, otherwise
+   fork one state per candidate clause. *)
+let step (t : Partial.t) phase prob =
+  { t with
+    Partial.phase;
+    confidence = t.Partial.confidence *. prob;
+    depth = t.Partial.depth + 1 }
+
+let is_counting (t : Partial.t) =
+  List.exists
+    (fun s -> s.Partial.pj_target = Model.Target_count_star)
+    t.Partial.projs
+
+(* Progressive join path construction (Section 3.3.4), deferred: when a
+   decision makes the current join path stale, the state first passes
+   through a [P_joinpath] phase whose expansion enumerates the candidate
+   clauses.  Deferring keeps column fan-out and join fan-out additive
+   rather than multiplicative.  Counting states revisit the join decision
+   after every step because COUNT of all rows depends on every joined
+   table (extensions up to two FK hops); revisits are deduped by the run
+   loop. *)
+let advance (t : Partial.t) phase prob =
+  let t' = step t phase prob in
+  let tables = Partial.referenced_tables t' in
+  if tables = [] then t'
+  else
+    match t'.Partial.from with
+    | Some f
+      when Joinpath.covers f tables
+           && ((not (is_counting t'))
+              || List.length f.Duosql.Ast.f_tables > List.length tables) ->
+        t'
+    | Some _ | None -> { t' with Partial.phase = Partial.P_joinpath phase }
+
+let uniform cands =
+  match cands with
+  | [] -> []
+  | _ ->
+      let p = 1.0 /. float_of_int (List.length cands) in
+      List.map (fun (x, _) -> (x, p)) cands
+
+let replace_last lst x =
+  match List.rev lst with
+  | [] -> invalid_arg "replace_last: empty"
+  | _ :: rest -> List.rev (x :: rest)
+
+let expand ~guided hints ctx (t : Partial.t) =
+  let maybe_uniform cands = if guided then cands else uniform cands in
+  match t.Partial.phase with
+  | Partial.P_done -> []
+  | Partial.P_joinpath next ->
+      let tables = Partial.referenced_tables t in
+      if tables = [] then [ { t with Partial.phase = next } ]
+      else
+        let depth = if is_counting t then 2 else 1 in
+        (* Join-path siblings keep the parent's confidence (Section 3.3.4);
+           the frontier breaks ties toward shorter paths. *)
+        List.map
+          (fun f -> { t with Partial.from = Some f; phase = next })
+          (Joinpath.construct ~depth (Model.schema ctx) ~tables)
+  | Partial.P_keywords ->
+      List.map
+        (fun (kw, p) -> step { t with Partial.kw } Partial.P_num_proj p)
+        (maybe_uniform (Model.keywords ctx))
+  | Partial.P_num_proj ->
+      List.map
+        (fun (n, p) ->
+          step { t with Partial.nproj = n } (Partial.P_proj_target 0) p)
+        (maybe_uniform (Model.num_projections ctx ~hint:hints.h_nproj))
+  | Partial.P_proj_target i ->
+      let used = List.map (fun s -> s.Partial.pj_target) t.Partial.projs in
+      List.concat_map
+        (fun (target, p) ->
+          let slot =
+            {
+              Partial.pj_target = target;
+              pj_agg =
+                (match target with
+                | Model.Target_count_star -> Some (Some Count)
+                | Model.Target_column _ -> None);
+            }
+          in
+          let t' = { t with Partial.projs = t.Partial.projs @ [ slot ] } in
+          let phase =
+            match target with
+            | Model.Target_count_star -> next_after_slot t' i
+            | Model.Target_column _ -> Partial.P_proj_agg i
+          in
+          [ advance t' phase p ])
+        (maybe_uniform (Model.projection_targets ctx ~used))
+  | Partial.P_proj_agg i -> (
+      match List.rev t.Partial.projs with
+      | { Partial.pj_target = Model.Target_column c; _ } :: _ ->
+          List.map
+            (fun (agg, p) ->
+              let slot = { Partial.pj_target = Model.Target_column c; pj_agg = Some agg } in
+              let t' = { t with Partial.projs = replace_last t.Partial.projs slot } in
+              step t' (next_after_slot t' i) p)
+            (maybe_uniform (Model.aggregates ctx c.Duodb.Schema.col_type))
+      | _ -> [])
+  | Partial.P_where_num ->
+      List.map
+        (fun (n, p) ->
+          step { t with Partial.where_n = n } (Partial.P_where_col 0) p)
+        (maybe_uniform (Model.num_predicates ctx))
+  | Partial.P_where_col i ->
+      let used =
+        List.filter_map
+          (fun pr ->
+            Option.bind pr.pr_col (fun c ->
+                Duodb.Schema.find_column (Model.schema ctx) ~table:c.cr_table c.cr_col))
+          t.Partial.where_preds
+      in
+      List.map
+        (fun (c, p) ->
+          advance { t with Partial.where_pending = Some c } (Partial.P_where_op i) p)
+        (maybe_uniform (Model.where_columns ctx ~used))
+  | Partial.P_where_op i -> (
+      match t.Partial.where_pending with
+      | None -> []
+      | Some c ->
+          let shapes = maybe_uniform (Model.operators ctx c.Duodb.Schema.col_type) in
+          List.concat_map
+            (fun (shape, p_shape) ->
+              let rhss =
+                match shape with
+                | Model.Shape_cmp op ->
+                    List.map
+                      (fun (v, p_val) -> (Cmp (op, v), p_shape *. p_val))
+                      (maybe_uniform (Model.values ctx c))
+                | Model.Shape_between ->
+                    let ranges = Model.value_ranges ctx in
+                    let n = List.length ranges in
+                    if n = 0 then []
+                    else
+                      List.map
+                        (fun (lo, hi) ->
+                          (Between (lo, hi), p_shape /. float_of_int n))
+                        ranges
+              in
+              List.map
+                (fun (rhs, p) ->
+                  let pred = { pr_agg = None; pr_col = Some (col_ref_of c); pr_rhs = rhs } in
+                  let t' =
+                    { t with
+                      Partial.where_preds = t.Partial.where_preds @ [ pred ];
+                      where_pending = None }
+                  in
+                  step t' (next_after_pred t' i) p)
+                rhss)
+            shapes)
+  | Partial.P_where_conn ->
+      List.map
+        (fun (conn, p) -> step { t with Partial.conn } (after_where t) p)
+        (maybe_uniform (Model.connective ctx))
+  | Partial.P_group_col ->
+      let projected =
+        List.filter_map
+          (fun s ->
+            match s.Partial.pj_agg with
+            | Some None -> Partial.target_col s.Partial.pj_target
+            | _ -> None)
+          t.Partial.projs
+      in
+      List.map
+        (fun (c, p) ->
+          advance
+            { t with Partial.group_col = Some (col_ref_of c) }
+            Partial.P_having_presence p)
+        (maybe_uniform (Model.group_columns ctx ~projected))
+  | Partial.P_having_presence ->
+      List.map
+        (fun (present, p) ->
+          if present then step t Partial.P_having_pred p
+          else step t (after_group t) p)
+        (maybe_uniform (Model.having_presence ctx))
+  | Partial.P_having_pred ->
+      (* HAVING targets: COUNT of all rows, or an aggregate over a
+         numeric projected column. *)
+      let numeric_projected =
+        List.filter_map
+          (fun s ->
+            match Partial.target_col s.Partial.pj_target with
+            | Some c
+              when Duodb.Datatype.equal c.Duodb.Schema.col_type Duodb.Datatype.Number ->
+                Some c
+            | _ -> None)
+          t.Partial.projs
+      in
+      let targets =
+        (Some Count, None)
+        :: List.concat_map
+             (fun c ->
+               List.map
+                 (fun a -> (Some a, Some (col_ref_of c)))
+                 [ Sum; Avg; Min; Max ])
+             numeric_projected
+      in
+      let p_target = 1.0 /. float_of_int (List.length targets) in
+      let numeric_values =
+        List.filter Duodb.Value.is_numeric
+          (List.map (fun l -> l.Duonl.Nlq.lit_value) (Model.nlq ctx).Duonl.Nlq.literals)
+      in
+      let ops = maybe_uniform (Model.operators ctx Duodb.Datatype.Number) in
+      List.concat_map
+        (fun (agg, colref) ->
+          List.concat_map
+            (fun (shape, p_op) ->
+              match shape with
+              | Model.Shape_between -> []
+              | Model.Shape_cmp op ->
+                  let n_vals = List.length numeric_values in
+                  if n_vals = 0 then []
+                  else
+                    List.map
+                      (fun v ->
+                        let pred =
+                          { pr_agg = agg; pr_col = colref; pr_rhs = Cmp (op, v) }
+                        in
+                        step
+                          { t with Partial.having_pred = Some pred }
+                          (after_group t)
+                          (p_target *. p_op /. float_of_int n_vals))
+                      numeric_values)
+            ops)
+        targets
+  | Partial.P_order_target ->
+      let projected =
+        List.filter_map
+          (fun s ->
+            match s.Partial.pj_agg with
+            | Some agg -> Some (agg, Partial.target_col s.Partial.pj_target)
+            | None -> None)
+          t.Partial.projs
+      in
+      List.map
+        (fun ((agg, colopt), p) ->
+          let item = (agg, Option.map col_ref_of colopt) in
+          advance { t with Partial.order_item = Some item } Partial.P_order_dir p)
+        (maybe_uniform (Model.order_targets ctx ~projected))
+  | Partial.P_order_dir ->
+      List.map
+        (fun (dir, p) -> step { t with Partial.order_dir = dir } Partial.P_limit p)
+        (maybe_uniform (Model.direction ctx))
+  | Partial.P_limit ->
+      List.map
+        (fun (lim, p) -> step { t with Partial.limit = lim } Partial.P_done p)
+        (maybe_uniform (Model.limit ctx ~hint:hints.h_limit))
+
+exception Budget_exhausted
+
+let run config ctx db ~tsq ~literals ?(on_candidate = fun _ -> ()) () =
+  let start = Sys.time () in
+  let stats = Verify.new_stats () in
+  let env =
+    Verify.make_env ~stats ~semantics:config.semantic_rules ~db ~tsq ~literals ()
+  in
+  let hints = match tsq with Some s -> hints_of_tsq s | None -> no_hints in
+  let frontier = Frontier.create ~cap:config.max_frontier () in
+  let visited = Hashtbl.create 4096 in
+  let push_fresh (child : Partial.t) =
+    let key = Partial.key child in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.replace visited key ();
+      Frontier.push frontier child
+    end
+  in
+  Frontier.push frontier Partial.root;
+  let candidates = ref [] in
+  let n_candidates = ref 0 in
+  let pops = ref 0 in
+  let exhausted = ref false in
+  let expand_s = ref 0.0 in
+  let verify_s = ref 0.0 in
+  let timed acc f =
+    let t0 = Sys.time () in
+    let r = f () in
+    acc := !acc +. (Sys.time () -. t0);
+    r
+  in
+  let emit pq q =
+    let duplicate =
+      List.exists (fun c -> Duosql.Equal.queries c.cand_query q) !candidates
+    in
+    if not duplicate then begin
+      let c =
+        {
+          cand_query = q;
+          cand_confidence = pq.Partial.confidence;
+          cand_index = !n_candidates;
+          cand_pops = !pops;
+          cand_time_s = Sys.time () -. start;
+        }
+      in
+      candidates := c :: !candidates;
+      incr n_candidates;
+      on_candidate c;
+      if !n_candidates >= config.max_candidates then raise Budget_exhausted
+    end
+  in
+  (try
+     while true do
+       if Frontier.is_empty frontier then begin
+         exhausted := true;
+         raise Budget_exhausted
+       end;
+       if !pops >= config.max_pops then raise Budget_exhausted;
+       if Sys.time () -. start > config.time_budget_s then raise Budget_exhausted;
+       (match Frontier.pop frontier with
+       | None -> raise Budget_exhausted
+       | Some p when Partial.is_complete p ->
+           (* Complete states are emitted when popped, so candidates stream
+              out in nonincreasing confidence order. *)
+           incr pops;
+           (match Partial.to_query p with
+           | Some q -> emit p q
+           | None -> ())
+       | Some p ->
+           incr pops;
+           let children =
+             timed expand_s (fun () -> expand ~guided:config.guided hints ctx p)
+           in
+           List.iter
+             (fun (child : Partial.t) ->
+               (* verification can dominate a pop; respect the budget *)
+               if Sys.time () -. start > config.time_budget_s then
+                 raise Budget_exhausted;
+               if Partial.is_complete child then begin
+                 (* Complete queries are always verified (NoPQ included). *)
+                 if timed verify_s (fun () -> Verify.verify env child) then
+                   push_fresh child
+               end
+               else if
+                 (not config.prune_partial)
+                 || timed verify_s (fun () -> Verify.verify env child)
+               then push_fresh child)
+             children)
+     done
+   with Budget_exhausted -> ());
+  {
+    out_candidates = List.rev !candidates;
+    out_pops = !pops;
+    out_pushed = Frontier.pushed frontier;
+    out_stats = stats;
+    out_elapsed_s = Sys.time () -. start;
+    out_expand_s = !expand_s;
+    out_verify_s = !verify_s;
+    out_exhausted = !exhausted;
+  }

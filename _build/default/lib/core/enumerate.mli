@@ -1,0 +1,76 @@
+(** Guided partial query enumeration (Algorithm 1).
+
+    Maintains a best-first frontier of partial-query states, repeatedly pops
+    the highest-confidence state, expands it by one inference decision
+    ([EnumNextStep], Section 3.3.2), verifies each child against the TSQ
+    (Algorithm 3), and emits surviving complete queries as ranked
+    candidates.
+
+    The two GPQE ingredients can be disabled independently for the paper's
+    ablations (Section 5.4.3): [guided = false] replaces every module
+    distribution with a uniform one (NoGuide — breadth-first-like
+    enumeration, literals still used); [prune_partial = false] verifies
+    complete queries only (NoPQ — the naive chaining approach of
+    Section 3.5). *)
+
+type config = {
+  guided : bool;
+  prune_partial : bool;
+  max_pops : int;  (** enumeration budget: states popped from the frontier *)
+  max_candidates : int;  (** stop after emitting this many candidates *)
+  time_budget_s : float;  (** processor-time budget *)
+  temperature : float;  (** guidance temperature (Section: Duoguide) *)
+  semantic_rules : bool;  (** apply the Table 4 rules (ablation switch) *)
+  max_frontier : int;
+      (** frontier memory guard: compact to the best half beyond this many
+          queued states *)
+}
+
+(** Duoquest defaults: guided, pruning, 200k pops, 100 candidates, 60 s. *)
+val default_config : config
+
+type candidate = {
+  cand_query : Duosql.Ast.query;
+  cand_confidence : float;
+  cand_index : int;  (** 0-based emission rank *)
+  cand_pops : int;  (** frontier pops before this emission *)
+  cand_time_s : float;  (** processor time at emission *)
+}
+
+type outcome = {
+  out_candidates : candidate list;  (** in emission order *)
+  out_pops : int;
+  out_pushed : int;
+  out_stats : Verify.stats;
+  out_elapsed_s : float;
+  out_expand_s : float;  (** time spent in EnumNextStep *)
+  out_verify_s : float;  (** time spent in the verification cascade *)
+  out_exhausted : bool;  (** the frontier emptied within budget *)
+}
+
+(** TSQ-derived enumeration hints (projection width, limit); these only
+    re-rank module outputs — the TSQ's authoritative effect is pruning. *)
+type hints = {
+  h_nproj : int option;
+  h_limit : int option;
+}
+
+val no_hints : hints
+val hints_of_tsq : Tsq.t -> hints
+
+(** One [EnumNextStep]: all children of a state, confidences updated.
+    Exposed for tests (completeness and Property-1 checks). *)
+val expand :
+  guided:bool -> hints -> Duoguide.Model.ctx -> Partial.t -> Partial.t list
+
+(** Run the enumeration.  [tsq = None] is the pure-NLI setting.
+    [on_candidate] fires at each emission (the paper's streaming UI). *)
+val run :
+  config ->
+  Duoguide.Model.ctx ->
+  Duodb.Database.t ->
+  tsq:Tsq.t option ->
+  literals:Duodb.Value.t list ->
+  ?on_candidate:(candidate -> unit) ->
+  unit ->
+  outcome

@@ -1,0 +1,17 @@
+let cells_of_row row =
+  Array.to_list (Array.map (fun v -> Tsq.Exact v) row)
+
+let accept_row tsq row = Tsq.add_positive tsq (cells_of_row row)
+let reject_row tsq row = Tsq.add_negative tsq (cells_of_row row)
+
+let tolerate_noise (tsq : Tsq.t) ~slack =
+  if slack <= 0 then { tsq with Tsq.min_support = None }
+  else
+    let n = List.length tsq.Tsq.tuples in
+    { tsq with Tsq.min_support = Some (max 0 (n - slack)) }
+
+let rerank db tsq candidates =
+  let cache = Duoengine.Executor.create_cache () in
+  List.filter
+    (fun c -> Tsq.satisfies ~cache tsq db c.Enumerate.cand_query)
+    candidates

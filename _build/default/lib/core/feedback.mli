@@ -1,0 +1,26 @@
+(** Iterative sketch refinement (the Figure 1 loop, extended per Section 7):
+    after inspecting a candidate's result preview, the user marks rows as
+    right or wrong, and the sketch absorbs that feedback for the next
+    synthesis round. *)
+
+(** [accept_row tsq row] adds the result row as a positive example tuple
+    (exact cells). *)
+val accept_row : Tsq.t -> Duodb.Value.t array -> Tsq.t
+
+(** [reject_row tsq row] adds the result row as a negative example: no
+    candidate whose result contains it survives verification. *)
+val reject_row : Tsq.t -> Duodb.Value.t array -> Tsq.t
+
+(** [tolerate_noise tsq ~slack] relaxes the sketch to require all but
+    [slack] of its example tuples (the noisy-example mode of Section 7).
+    [slack = 0] restores exact matching. *)
+val tolerate_noise : Tsq.t -> slack:int -> Tsq.t
+
+(** One refinement round: re-rank the outcome of a synthesis run against a
+    refined sketch, dropping candidates that no longer satisfy it.  Cheaper
+    than a fresh synthesis when the user only pruned a few candidates. *)
+val rerank :
+  Duodb.Database.t ->
+  Tsq.t ->
+  Enumerate.candidate list ->
+  Enumerate.candidate list

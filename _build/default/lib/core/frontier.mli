@@ -1,0 +1,29 @@
+(** Best-first frontier for Algorithm 1: a binary min-heap ordered by
+    {!Partial.compare_priority} (highest confidence first, then shorter join
+    paths, then insertion order for determinism). *)
+
+type t
+
+(** [create ?cap ()] — when more than [cap] states are queued, the frontier
+    is compacted to its best [cap/2] entries (bounded best-first search: a
+    memory guard, the only deviation from complete enumeration, and only
+    under extreme fan-out). Default: unbounded. *)
+val create : ?cap:int -> unit -> t
+
+(** States discarded by compaction so far. *)
+val dropped : t -> int
+
+(** Number of states currently queued. *)
+val size : t -> int
+
+val is_empty : t -> bool
+
+(** [push t pq] enqueues a state, stamping it with an insertion sequence
+    number. *)
+val push : t -> Partial.t -> unit
+
+(** Remove and return the highest-priority state. *)
+val pop : t -> Partial.t option
+
+(** Total states ever pushed (the sequence counter). *)
+val pushed : t -> int

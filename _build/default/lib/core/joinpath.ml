@@ -1,0 +1,82 @@
+open Duosql.Ast
+
+let edge_to_join (e : Duodb.Schema.foreign_key) =
+  {
+    j_from = col e.Duodb.Schema.fk_table e.Duodb.Schema.fk_column;
+    j_to = col e.Duodb.Schema.pk_table e.Duodb.Schema.pk_column;
+  }
+
+let from_of_tree (tr : Steiner.tree) =
+  { f_tables = tr.Steiner.tr_tables; f_joins = List.map edge_to_join tr.Steiner.tr_edges }
+
+let covers from tables = List.for_all (fun t -> List.mem t from.f_tables) tables
+let length from = List.length from.f_joins
+
+let clause_equal a b =
+  List.sort String.compare a.f_tables = List.sort String.compare b.f_tables
+
+(* One-FK-hop extensions (Algorithm 2, lines 10-12): for each FK edge
+   incident to a tree table and leading to a table outside the tree, add
+   the join. *)
+let extensions schema (from : from_clause) =
+  List.concat_map
+    (fun t ->
+      List.filter_map
+        (fun e ->
+          let next =
+            if String.equal e.Duodb.Schema.fk_table t then e.Duodb.Schema.pk_table
+            else e.Duodb.Schema.fk_table
+          in
+          if List.mem next from.f_tables then None
+          else
+            Some
+              {
+                f_tables = from.f_tables @ [ next ];
+                f_joins = from.f_joins @ [ edge_to_join e ];
+              })
+        (Duodb.Schema.join_edges schema ~table:t))
+    from.f_tables
+
+(* Construction is called once per enumerated child state; memoize per
+   (schema, tables, depth).  Schemas are immutable during synthesis. *)
+let memo : (string * string * int, from_clause list) Hashtbl.t = Hashtbl.create 256
+
+let construct_uncached ?(depth = 1) schema ~tables =
+  match tables with
+  | [] ->
+      (* No column references yet: every table is a candidate base
+         (Algorithm 2, line 6). *)
+      List.map
+        (fun ts -> from_table ts.Duodb.Schema.tbl_name)
+        schema.Duodb.Schema.tables
+  | _ -> (
+      match Steiner.tree schema tables with
+      | None -> []
+      | Some tr ->
+          let base = from_of_tree tr in
+          let rec expand_level level frontier acc =
+            if level = 0 then acc
+            else
+              let next = List.concat_map (extensions schema) frontier in
+              let acc', fresh =
+                List.fold_left
+                  (fun (acc, fresh) f ->
+                    if List.exists (clause_equal f) acc then (acc, fresh)
+                    else (acc @ [ f ], fresh @ [ f ]))
+                  (acc, []) next
+              in
+              expand_level (level - 1) fresh acc'
+          in
+          expand_level depth [ base ] [ base ])
+
+let construct ?(depth = 1) schema ~tables =
+  let key =
+    (schema.Duodb.Schema.name, String.concat ";" (List.sort String.compare tables), depth)
+  in
+  match Hashtbl.find_opt memo key with
+  | Some r -> r
+  | None ->
+      let r = construct_uncached ~depth schema ~tables in
+      if Hashtbl.length memo > 100_000 then Hashtbl.reset memo;
+      Hashtbl.replace memo key r;
+      r

@@ -1,0 +1,231 @@
+open Duosql.Ast
+
+type phase =
+  | P_keywords
+  | P_num_proj
+  | P_proj_target of int
+  | P_proj_agg of int
+  | P_where_num
+  | P_where_col of int
+  | P_where_op of int
+  | P_where_conn
+  | P_group_col
+  | P_having_presence
+  | P_having_pred
+  | P_order_target
+  | P_order_dir
+  | P_limit
+  | P_done
+  | P_joinpath of phase
+
+type proj_slot = {
+  pj_target : Duoguide.Model.col_target;
+  pj_agg : Duosql.Ast.agg option option;
+}
+
+type t = {
+  phase : phase;
+  kw : Duoguide.Model.kw_set;
+  nproj : int;
+  projs : proj_slot list;
+  where_n : int;
+  where_preds : pred list;
+  where_pending : Duodb.Schema.column option;
+  conn : connective;
+  group_col : col_ref option;
+  having_pred : pred option;
+  order_item : (agg option * col_ref option) option;
+  order_dir : dir;
+  limit : int option;
+  from : from_clause option;
+  confidence : float;
+  depth : int;
+}
+
+let root =
+  {
+    phase = P_keywords;
+    kw = { Duoguide.Model.kw_where = false; kw_group = false; kw_order = false };
+    nproj = 0;
+    projs = [];
+    where_n = 0;
+    where_preds = [];
+    where_pending = None;
+    conn = And;
+    group_col = None;
+    having_pred = None;
+    order_item = None;
+    order_dir = Asc;
+    limit = None;
+    from = None;
+    confidence = 1.0;
+    depth = 0;
+  }
+
+let is_complete t = t.phase = P_done
+
+let target_col = function
+  | Duoguide.Model.Target_column c -> Some c
+  | Duoguide.Model.Target_count_star -> None
+
+let col_ref_of_column c =
+  col c.Duodb.Schema.col_table c.Duodb.Schema.col_name
+
+let proj_of_slot slot =
+  match slot.pj_target, slot.pj_agg with
+  | Duoguide.Model.Target_count_star, _ -> Some count_star
+  | Duoguide.Model.Target_column c, Some agg ->
+      Some { p_agg = agg; p_col = Some (col_ref_of_column c); p_distinct = false }
+  | Duoguide.Model.Target_column _, None -> None
+
+let to_query t =
+  if not (is_complete t) then None
+  else
+    match t.from with
+    | None -> None
+    | Some from ->
+        let projs = List.filter_map proj_of_slot t.projs in
+        if List.length projs <> List.length t.projs then None
+        else
+          let where =
+            match t.where_preds with
+            | [] -> None
+            | preds -> Some { c_preds = preds; c_conn = t.conn }
+          in
+          let having =
+            Option.map (fun p -> { c_preds = [ p ]; c_conn = And }) t.having_pred
+          in
+          let order_by =
+            match t.order_item with
+            | None -> []
+            | Some (agg, col) -> [ { o_agg = agg; o_col = col; o_dir = t.order_dir } ]
+          in
+          Some
+            {
+              q_distinct = false;
+              q_select = projs;
+              q_from = from;
+              q_where = where;
+              q_group_by = Option.to_list t.group_col;
+              q_having = having;
+              q_order_by = order_by;
+              q_limit = t.limit;
+            }
+
+let referenced_tables t =
+  let cols =
+    List.filter_map (fun s -> target_col s.pj_target) t.projs
+    |> List.map col_ref_of_column
+  in
+  let where_cols =
+    List.filter_map (fun p -> p.pr_col) t.where_preds
+    @ (match t.where_pending with
+      | Some c -> [ col_ref_of_column c ]
+      | None -> [])
+  in
+  let having_cols =
+    Option.fold ~none:[] ~some:(fun p -> Option.to_list p.pr_col) t.having_pred
+  in
+  let order_cols =
+    Option.fold ~none:[] ~some:(fun (_, c) -> Option.to_list c) t.order_item
+  in
+  let all = cols @ where_cols @ Option.to_list t.group_col @ having_cols @ order_cols in
+  List.sort_uniq String.compare (List.map (fun c -> c.cr_table) all)
+
+let decided_projections t =
+  List.map (fun s -> (s.pj_agg, target_col s.pj_target)) t.projs
+
+let used_literals t =
+  List.concat_map
+    (fun p ->
+      match p.pr_rhs with
+      | Cmp (_, v) -> [ v ]
+      | Between (lo, hi) -> [ lo; hi ])
+    (t.where_preds @ Option.to_list t.having_pred)
+
+let to_string t =
+  let slot_str s =
+    match proj_of_slot s with
+    | Some p -> Duosql.Pretty.proj p
+    | None -> (
+        match target_col s.pj_target with
+        | Some c -> Printf.sprintf "?(%s.%s)" c.Duodb.Schema.col_table c.Duodb.Schema.col_name
+        | None -> "?")
+  in
+  let select =
+    match t.projs with
+    | [] -> "?"
+    | slots ->
+        let holes = max 0 (t.nproj - List.length slots) in
+        String.concat ", " (List.map slot_str slots @ List.init holes (fun _ -> "?"))
+  in
+  let from =
+    match t.from with
+    | Some f -> Duosql.Pretty.from_clause f
+    | None -> "?"
+  in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "SELECT %s FROM %s" select from);
+  if t.kw.Duoguide.Model.kw_where && t.phase <> P_keywords then begin
+    let preds = List.map Duosql.Pretty.pred t.where_preds in
+    let holes = max 0 (t.where_n - List.length preds) in
+    let conn = match t.conn with And -> " AND " | Or -> " OR " in
+    Buffer.add_string buf
+      (" WHERE " ^ String.concat conn (preds @ List.init holes (fun _ -> "?")))
+  end;
+  if t.kw.Duoguide.Model.kw_group && t.phase <> P_keywords then
+    Buffer.add_string buf
+      (match t.group_col with
+      | Some c -> " GROUP BY " ^ Duosql.Pretty.col_ref c
+      | None -> " GROUP BY ?");
+  Option.iter (fun p -> Buffer.add_string buf (" HAVING " ^ Duosql.Pretty.pred p)) t.having_pred;
+  if t.kw.Duoguide.Model.kw_order && t.phase <> P_keywords then
+    Buffer.add_string buf
+      (match t.order_item with
+      | Some (agg, c) ->
+          " ORDER BY "
+          ^ Duosql.Pretty.order_item { o_agg = agg; o_col = c; o_dir = t.order_dir }
+      | None -> " ORDER BY ?");
+  Option.iter (fun n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)) t.limit;
+  Buffer.contents buf
+
+let rec phase_index = function
+  | P_joinpath inner -> 1000 + phase_index inner
+  | P_keywords -> 0
+  | P_num_proj -> 1
+  | P_proj_target i -> 100 + i
+  | P_proj_agg i -> 200 + i
+  | P_where_num -> 2
+  | P_where_col i -> 300 + i
+  | P_where_op i -> 400 + i
+  | P_where_conn -> 3
+  | P_group_col -> 4
+  | P_having_presence -> 5
+  | P_having_pred -> 6
+  | P_order_target -> 7
+  | P_order_dir -> 8
+  | P_limit -> 9
+  | P_done -> 10
+
+let key t =
+  Printf.sprintf "%d|%d|%d|%s|%b%b%b|%s|%s"
+    (phase_index t.phase) t.nproj t.where_n
+    (match t.conn with And -> "&" | Or -> "|")
+    t.kw.Duoguide.Model.kw_where t.kw.Duoguide.Model.kw_group
+    t.kw.Duoguide.Model.kw_order
+    (match t.where_pending with
+    | Some c -> c.Duodb.Schema.col_table ^ "." ^ c.Duodb.Schema.col_name
+    | None -> "")
+    (to_string t)
+
+let join_length t =
+  match t.from with
+  | None -> 0
+  | Some f -> List.length f.f_joins
+
+let compare_priority (a, seq_a) (b, seq_b) =
+  let c = Float.compare b.confidence a.confidence in
+  if c <> 0 then c
+  else
+    let c = Int.compare (join_length a) (join_length b) in
+    if c <> 0 then c else Int.compare seq_a seq_b

@@ -1,0 +1,105 @@
+type tree = {
+  tr_tables : string list;
+  tr_edges : Duodb.Schema.foreign_key list;
+}
+
+let other_end e t =
+  if String.equal e.Duodb.Schema.fk_table t then e.Duodb.Schema.pk_table
+  else e.Duodb.Schema.fk_table
+
+(* BFS over the join graph, returning the edge list of a shortest path. *)
+let shortest_path schema a b =
+  if String.equal a b then Some []
+  else begin
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited a [];
+    let queue = Queue.create () in
+    Queue.push a queue;
+    let rec bfs () =
+      if Queue.is_empty queue then None
+      else begin
+        let t = Queue.pop queue in
+        let path = Hashtbl.find visited t in
+        let rec try_edges = function
+          | [] -> bfs ()
+          | e :: rest ->
+              let next = other_end e t in
+              if Hashtbl.mem visited next then try_edges rest
+              else begin
+                let path' = e :: path in
+                if String.equal next b then Some (List.rev path')
+                else begin
+                  Hashtbl.replace visited next path';
+                  Queue.push next queue;
+                  try_edges rest
+                end
+              end
+        in
+        try_edges (Duodb.Schema.join_edges schema ~table:t)
+      end
+    in
+    bfs ()
+  end
+
+let edge_equal (a : Duodb.Schema.foreign_key) b =
+  String.equal a.Duodb.Schema.fk_table b.Duodb.Schema.fk_table
+  && String.equal a.Duodb.Schema.fk_column b.Duodb.Schema.fk_column
+  && String.equal a.Duodb.Schema.pk_table b.Duodb.Schema.pk_table
+  && String.equal a.Duodb.Schema.pk_column b.Duodb.Schema.pk_column
+
+let tables_of_edges first edges =
+  let add acc t = if List.mem t acc then acc else acc @ [ t ] in
+  List.fold_left
+    (fun acc e ->
+      add (add acc e.Duodb.Schema.fk_table) e.Duodb.Schema.pk_table)
+    [ first ] edges
+
+(* Metric-closure approximation: grow the tree by repeatedly attaching the
+   closest unconnected terminal along its shortest path to any tree node. *)
+let tree schema terminals =
+  let terminals = List.sort_uniq String.compare terminals in
+  match terminals with
+  | [] -> None
+  | first :: rest ->
+      let rec grow covered edges pending =
+        match pending with
+        | [] -> Some { tr_tables = tables_of_edges first edges; tr_edges = edges }
+        | _ ->
+            (* closest pending terminal to the current tree *)
+            let best =
+              List.fold_left
+                (fun acc term ->
+                  let best_path =
+                    List.fold_left
+                      (fun bp node ->
+                        match shortest_path schema node term with
+                        | None -> bp
+                        | Some p -> (
+                            match bp with
+                            | Some p' when List.length p' <= List.length p -> bp
+                            | _ -> Some p))
+                      None covered
+                  in
+                  match best_path, acc with
+                  | None, _ -> acc
+                  | Some p, Some (_, p') when List.length p' <= List.length p -> acc
+                  | Some p, _ -> Some (term, p))
+                None pending
+            in
+            (match best with
+            | None -> None  (* disconnected *)
+            | Some (term, path) ->
+                let edges' =
+                  List.fold_left
+                    (fun acc e -> if List.exists (edge_equal e) acc then acc else acc @ [ e ])
+                    edges path
+                in
+                let covered' = tables_of_edges first edges' in
+                let covered' = if List.mem term covered' then covered' else covered' @ [ term ] in
+                grow covered'
+                  edges'
+                  (List.filter (fun t -> not (String.equal t term)) pending))
+      in
+      grow [ first ] [] rest
+
+let size t = List.length t.tr_edges

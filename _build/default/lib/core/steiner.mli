@@ -1,0 +1,23 @@
+(** Steiner trees on the schema's join graph.
+
+    Nodes are tables, edges are FK-PK relationships with unit weight
+    (Section 3.3.4).  Schemas are small, so the classic metric-closure
+    approximation is exact enough in practice and deterministic. *)
+
+type tree = {
+  tr_tables : string list;  (** tables in the tree, first terminal first *)
+  tr_edges : Duodb.Schema.foreign_key list;  (** the FK-PK edges used *)
+}
+
+(** [tree schema terminals] connects all [terminals]; [None] when the join
+    graph cannot connect them.  A single terminal yields the trivial
+    single-table tree. *)
+val tree : Duodb.Schema.t -> string list -> tree option
+
+(** [shortest_path schema a b] is the list of FK edges on a shortest path
+    between two tables ([None] when disconnected). *)
+val shortest_path :
+  Duodb.Schema.t -> string -> string -> Duodb.Schema.foreign_key list option
+
+(** Number of edges in the tree. *)
+val size : tree -> int

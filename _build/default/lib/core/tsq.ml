@@ -1,0 +1,182 @@
+module Value = Duodb.Value
+
+type cell =
+  | Any
+  | Exact of Value.t
+  | Range of Value.t * Value.t
+
+type tuple = cell list
+
+type t = {
+  types : Duodb.Datatype.t list option;
+  tuples : tuple list;
+  sorted : bool;
+  limit : int;
+  negatives : tuple list;
+  min_support : int option;
+}
+
+let empty =
+  { types = None; tuples = []; sorted = false; limit = 0; negatives = [];
+    min_support = None }
+
+let make ?types ?(tuples = []) ?(sorted = false) ?(limit = 0) ?(negatives = [])
+    ?min_support () =
+  { types; tuples; sorted; limit; negatives; min_support }
+
+let required_support t =
+  let n = List.length t.tuples in
+  match t.min_support with
+  | None -> n
+  | Some m -> max 0 (min m n)
+
+let add_positive t tuple = { t with tuples = t.tuples @ [ tuple ] }
+let add_negative t tuple = { t with negatives = t.negatives @ [ tuple ] }
+
+let cell_matches cell v =
+  match cell with
+  | Any -> true
+  | Exact x -> Value.equal x v
+  | Range (lo, hi) ->
+      (not (Value.is_null v)) && Value.compare v lo >= 0 && Value.compare v hi <= 0
+
+let tuple_matches tuple row =
+  List.length tuple = Array.length row
+  && List.for_all2 cell_matches tuple (Array.to_list row)
+
+(* Each example tuple needs a distinct result row (Definition 2.4, item 2):
+   backtracking bipartite matching, generalized to "at least [support] of
+   the tuples must be assigned" for the noisy-example extension.  Example
+   counts are tiny (typically 2), so exhaustive search is fine. *)
+let distinct_match_atleast support tuples rows =
+  let rows = Array.of_list rows in
+  let n = Array.length rows in
+  let total = List.length tuples in
+  let rec assign matched skipped used = function
+    | [] -> matched >= support
+    | tup :: rest ->
+        (* can we still reach the target even if everything else fails? *)
+        matched + (total - matched - skipped) >= support
+        && (let rec try_row i =
+              if i >= n then false
+              else if (not (List.mem i used)) && tuple_matches tup rows.(i) then
+                assign (matched + 1) skipped (i :: used) rest || try_row (i + 1)
+              else try_row (i + 1)
+            in
+            try_row 0
+           || assign matched (skipped + 1) used rest)
+  in
+  support <= 0 || assign 0 0 [] tuples
+
+
+
+(* Order-preserving variant (Definition 2.4, item 3): example tuples must
+   match result rows at strictly increasing indices, in the order the
+   examples were given; at least [support] of them under noise tolerance. *)
+let ordered_match_atleast support tuples rows =
+  let rows = Array.of_list rows in
+  let n = Array.length rows in
+  let total = List.length tuples in
+  let rec assign matched skipped from = function
+    | [] -> matched >= support
+    | tup :: rest ->
+        matched + (total - matched - skipped) >= support
+        && (let rec try_row i =
+              if i >= n then false
+              else if tuple_matches tup rows.(i) then
+                assign (matched + 1) skipped (i + 1) rest || try_row (i + 1)
+              else try_row (i + 1)
+            in
+            try_row from
+           || assign matched (skipped + 1) from rest)
+  in
+  support <= 0 || assign 0 0 0 tuples
+
+
+
+let satisfies ?cache ?max_rows t db q =
+  let open Duosql.Ast in
+  let clause_ok =
+    (* tau mirrors the ORDER BY clause and k the LIMIT clause, as in
+       Example 3.3. *)
+    Bool.equal t.sorted (q.q_order_by <> [])
+    && (if t.limit = 0 then q.q_limit = None
+        else match q.q_limit with Some n -> n <= t.limit | None -> false)
+  in
+  clause_ok
+  &&
+  match Duoengine.Executor.run ?cache ?max_rows db q with
+  | Error _ -> false
+  | Ok res ->
+      let types_ok =
+        match t.types with
+        | None -> true
+        | Some tys ->
+            List.length tys = List.length res.Duoengine.Executor.res_cols
+            && List.for_all2
+                 (fun ty (_, ty') -> Duodb.Datatype.equal ty ty')
+                 tys res.Duoengine.Executor.res_cols
+      in
+      let tuples_ok =
+        t.tuples = []
+        || (List.for_all
+              (fun tup ->
+                List.length tup = List.length res.Duoengine.Executor.res_cols)
+              t.tuples
+           &&
+           let support = required_support t in
+           if t.sorted && List.length t.tuples >= 2 then
+             ordered_match_atleast support t.tuples res.Duoengine.Executor.res_rows
+           else distinct_match_atleast support t.tuples res.Duoengine.Executor.res_rows)
+      in
+      let negatives_ok =
+        List.for_all
+          (fun neg ->
+            List.length neg = List.length res.Duoengine.Executor.res_cols
+            && not
+                 (List.exists (tuple_matches neg) res.Duoengine.Executor.res_rows))
+          t.negatives
+      in
+      let limit_ok =
+        t.limit = 0 || List.length res.Duoengine.Executor.res_rows <= t.limit
+      in
+      types_ok && tuples_ok && negatives_ok && limit_ok
+
+let num_tuples t = List.length t.tuples
+
+let width t =
+  match t.types with
+  | Some tys -> Some (List.length tys)
+  | None -> (
+      match t.tuples with
+      | tup :: _ -> Some (List.length tup)
+      | [] -> None)
+
+let pp_cell ppf = function
+  | Any -> Format.pp_print_string ppf "_"
+  | Exact v -> Value.pp ppf v
+  | Range (lo, hi) -> Format.fprintf ppf "[%a,%a]" Value.pp lo Value.pp hi
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>TSQ{";
+  (match t.types with
+  | None -> Format.fprintf ppf " types=?;"
+  | Some tys ->
+      Format.fprintf ppf " types=(%s);"
+        (String.concat "," (List.map Duodb.Datatype.to_string tys)));
+  List.iter
+    (fun tup ->
+      Format.fprintf ppf "@, (%s)"
+        (String.concat ", "
+           (List.map (fun c -> Format.asprintf "%a" pp_cell c) tup)))
+    t.tuples;
+  List.iter
+    (fun tup ->
+      Format.fprintf ppf "@, NOT (%s)"
+        (String.concat ", "
+           (List.map (fun c -> Format.asprintf "%a" pp_cell c) tup)))
+    t.negatives;
+  Format.fprintf ppf "@, sorted=%b limit=%d%s }@]" t.sorted t.limit
+    (match t.min_support with
+    | None -> ""
+    | Some m -> Printf.sprintf " support>=%d" m)

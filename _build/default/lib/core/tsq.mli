@@ -1,0 +1,82 @@
+(** Table sketch queries (Definition 2.3) and TSQ satisfaction
+    (Definition 2.4).
+
+    A TSQ [T = (alpha, chi, tau, k)] carries optional column type
+    annotations, optional example tuples whose cells are exact values,
+    ranges, or empty (match-anything), a sorted flag, and a limit
+    ([k = 0] means unlimited). *)
+
+type cell =
+  | Any
+  | Exact of Duodb.Value.t
+  | Range of Duodb.Value.t * Duodb.Value.t  (** inclusive bounds *)
+
+type tuple = cell list
+
+type t = {
+  types : Duodb.Datatype.t list option;  (** alpha *)
+  tuples : tuple list;  (** chi *)
+  sorted : bool;  (** tau *)
+  limit : int;  (** k; 0 = no limit *)
+  negatives : tuple list;
+      (** rows the user marked as wrong: no result row may match one
+          (the paper's Section 7 iterative-interaction extension) *)
+  min_support : int option;
+      (** noisy-example tolerance (Section 7): at least this many of the
+          example tuples must be satisfied; [None] = all of them *)
+}
+
+(** The empty sketch: no annotations, no tuples, unsorted, unlimited.
+    Every in-scope query satisfies it. *)
+val empty : t
+
+val make :
+  ?types:Duodb.Datatype.t list ->
+  ?tuples:tuple list ->
+  ?sorted:bool ->
+  ?limit:int ->
+  ?negatives:tuple list ->
+  ?min_support:int ->
+  unit ->
+  t
+
+(** Number of example tuples a query must satisfy: [min_support] clamped to
+    [0, length tuples], defaulting to all of them. *)
+val required_support : t -> int
+
+(** [add_positive t tuple] / [add_negative t tuple] — sketch refinement as
+    in the Figure 1 interaction loop. *)
+val add_positive : t -> tuple -> t
+
+val add_negative : t -> tuple -> t
+
+(** [cell_matches cell v]: [Any] matches everything; [Exact x] matches
+    values equal to [x]; [Range (lo, hi)] matches [lo <= v <= hi]
+    (numeric comparison across int/float). *)
+val cell_matches : cell -> Duodb.Value.t -> bool
+
+(** [tuple_matches tuple row] checks cells positionally; the tuple must have
+    exactly the row's width. *)
+val tuple_matches : tuple -> Duodb.Value.t array -> bool
+
+(** [satisfies t db q] is the function [T(q, D)] of Definition 2.4: executes
+    [q] and checks (1) type annotations, (2) a distinct result tuple per
+    example tuple (maximum bipartite matching, so overlapping examples are
+    handled correctly), (3) order preservation when sorted, and (4) the row
+    limit.  Queries that fail to execute do not satisfy. *)
+val satisfies :
+  ?cache:Duoengine.Executor.relation_cache ->
+  ?max_rows:int ->
+  t ->
+  Duodb.Database.t ->
+  Duosql.Ast.query ->
+  bool
+
+(** Number of example tuples. *)
+val num_tuples : t -> int
+
+(** Width of the sketch: length of [types] or of the first tuple; [None]
+    when the sketch constrains neither. *)
+val width : t -> int option
+
+val pp : Format.formatter -> t -> unit

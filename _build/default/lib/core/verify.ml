@@ -1,0 +1,468 @@
+open Duosql.Ast
+module Value = Duodb.Value
+module Datatype = Duodb.Datatype
+
+type stats = {
+  mutable column_probes : int;
+  mutable row_probes : int;
+  mutable full_executions : int;
+  mutable pruned : int;
+  mutable pruned_by_clauses : int;
+  mutable pruned_by_semantics : int;
+  mutable pruned_by_types : int;
+  mutable pruned_by_column : int;
+  mutable pruned_by_row : int;
+  mutable pruned_by_complete : int;
+  mutable stage_seconds : float array;
+}
+
+let new_stats () =
+  { column_probes = 0; row_probes = 0; full_executions = 0; pruned = 0;
+    pruned_by_clauses = 0; pruned_by_semantics = 0; pruned_by_types = 0;
+    pruned_by_column = 0; pruned_by_row = 0; pruned_by_complete = 0;
+    stage_seconds = Array.make 6 0.0 }
+
+(* Verification queries abort past this relation size — the stand-in for
+   the real system's per-query timeout (Section 3.4's "costly depending on
+   the nature of the query"). *)
+let verification_max_rows = 20_000
+
+type env = {
+  e_db : Duodb.Database.t;
+  e_tsq : Tsq.t option;
+  e_literals : Value.t list;
+  e_semantics : bool;
+  e_stats : stats;
+  (* (table, column, cell) -> probe result *)
+  e_cache : (string * string * string, bool) Hashtbl.t;
+  (* rendered row-probe query + positions -> probe result *)
+  e_row_cache : (string, bool) Hashtbl.t;
+  e_relcache : Duoengine.Executor.relation_cache;
+  (* (table, column) -> min/max range, for AVG checks *)
+  e_range_cache : (string * string, (Value.t * Value.t) option) Hashtbl.t;
+}
+
+let make_env ?stats ?(semantics = true) ~db ~tsq ~literals () =
+  {
+    e_db = db;
+    e_tsq = tsq;
+    e_literals = literals;
+    e_semantics = semantics;
+    e_stats = (match stats with Some s -> s | None -> new_stats ());
+    e_cache = Hashtbl.create 256;
+    e_row_cache = Hashtbl.create 256;
+    e_relcache = Duoengine.Executor.create_cache ();
+    e_range_cache = Hashtbl.create 64;
+  }
+
+let stats env = env.e_stats
+
+(* --- phase predicates --- *)
+
+(* A state deciding its join path carries the progress of the wrapped
+   phase. *)
+let rec effective_phase = function
+  | Partial.P_joinpath inner -> effective_phase inner
+  | p -> p
+
+let kw_decided (t : Partial.t) =
+  effective_phase t.Partial.phase <> Partial.P_keywords
+
+let select_done (t : Partial.t) =
+  match effective_phase t.Partial.phase with
+  | Partial.P_keywords | Partial.P_num_proj | Partial.P_proj_target _
+  | Partial.P_proj_agg _ ->
+      false
+  | Partial.P_where_num | Partial.P_where_col _ | Partial.P_where_op _
+  | Partial.P_where_conn | Partial.P_group_col | Partial.P_having_presence
+  | Partial.P_having_pred | Partial.P_order_target | Partial.P_order_dir
+  | Partial.P_limit | Partial.P_done ->
+      true
+  | Partial.P_joinpath _ -> assert false (* effective_phase unwraps *)
+
+let where_done (t : Partial.t) =
+  match effective_phase t.Partial.phase with
+  | Partial.P_keywords | Partial.P_num_proj | Partial.P_proj_target _
+  | Partial.P_proj_agg _ | Partial.P_where_num | Partial.P_where_col _
+  | Partial.P_where_op _ | Partial.P_where_conn ->
+      false
+  | Partial.P_group_col | Partial.P_having_presence | Partial.P_having_pred
+  | Partial.P_order_target | Partial.P_order_dir | Partial.P_limit
+  | Partial.P_done ->
+      true
+  | Partial.P_joinpath _ -> assert false
+
+let group_decided (t : Partial.t) =
+  match effective_phase t.Partial.phase with
+  | Partial.P_having_presence | Partial.P_having_pred | Partial.P_order_target
+  | Partial.P_order_dir | Partial.P_limit | Partial.P_done ->
+      true
+  | Partial.P_joinpath _ -> assert false
+  | Partial.P_keywords | Partial.P_num_proj | Partial.P_proj_target _
+  | Partial.P_proj_agg _ | Partial.P_where_num | Partial.P_where_col _
+  | Partial.P_where_op _ | Partial.P_where_conn | Partial.P_group_col ->
+      false
+
+(* --- stage 1: clause presence (Example 3.3) --- *)
+
+let verify_clauses env (t : Partial.t) =
+  match env.e_tsq with
+  | None -> true
+  | Some tsq ->
+      (not (kw_decided t))
+      || begin
+           let kw = t.Partial.kw in
+           Bool.equal tsq.Tsq.sorted kw.Duoguide.Model.kw_order
+           && ((tsq.Tsq.limit = 0) || kw.Duoguide.Model.kw_order)
+           &&
+           match t.Partial.limit with
+           | None -> true
+           | Some n -> tsq.Tsq.limit > 0 && n <= tsq.Tsq.limit
+         end
+
+(* --- stage 2: semantic rules on decided parts (Table 4) --- *)
+
+let decided_slot_proj (s : Partial.proj_slot) =
+  match s.Partial.pj_target, s.Partial.pj_agg with
+  | Duoguide.Model.Target_count_star, _ -> Some count_star
+  | Duoguide.Model.Target_column c, Some agg ->
+      Some
+        { p_agg = agg;
+          p_col = Some (col c.Duodb.Schema.col_table c.Duodb.Schema.col_name);
+          p_distinct = false }
+  | Duoguide.Model.Target_column _, None -> None
+
+let verify_semantics env (t : Partial.t) =
+  env.e_semantics = false
+  ||
+  let schema = Duodb.Database.schema env.e_db in
+  let decided_projs = List.filter_map decided_slot_proj t.Partial.projs in
+  List.for_all (Semantics.projection_types_ok schema) decided_projs
+  && List.for_all (Semantics.predicate_types_ok schema) t.Partial.where_preds
+  && Option.fold ~none:true
+       ~some:(Semantics.predicate_types_ok schema)
+       t.Partial.having_pred
+  && (* Ungrouped aggregation is decidable as soon as SELECT is complete. *)
+  (not (select_done t)
+  || t.Partial.kw.Duoguide.Model.kw_group
+  || not
+       (List.exists (fun p -> Option.is_some p.p_agg) decided_projs
+       && List.exists (fun p -> p.p_agg = None) decided_projs))
+  && (* Predicate consistency and constant-output once WHERE is final. *)
+  ((not (where_done t))
+  || t.Partial.where_preds = []
+  ||
+  let cond = { c_preds = t.Partial.where_preds; c_conn = t.Partial.conn } in
+  Semantics.condition_consistent cond
+  && Semantics.no_constant_projection decided_projs (Some cond))
+  && (* Grouping rules once the GROUP BY column is decided. *)
+  ((not (group_decided t))
+  || (not t.Partial.kw.Duoguide.Model.kw_group)
+  ||
+  match t.Partial.group_col with
+  | None -> true
+  | Some g ->
+      (not (Duodb.Schema.is_pk_column schema ~table:g.cr_table g.cr_col))
+      && List.for_all
+           (fun p ->
+             match p.p_agg, p.p_col with
+             | None, Some c -> equal_col_ref c g
+             | _ -> true)
+           decided_projs)
+
+(* --- stage 3: projection types vs annotations (Example 3.4) --- *)
+
+let proj_output_type schema (s : Partial.proj_slot) =
+  match s.Partial.pj_target, s.Partial.pj_agg with
+  | Duoguide.Model.Target_count_star, _ -> Some Datatype.Number
+  | Duoguide.Model.Target_column _, Some (Some (Count | Sum | Avg)) ->
+      Some Datatype.Number
+  | Duoguide.Model.Target_column c, Some (Some (Min | Max) | None) ->
+      Option.map
+        (fun col -> col.Duodb.Schema.col_type)
+        (Duodb.Schema.find_column schema ~table:c.Duodb.Schema.col_table
+           c.Duodb.Schema.col_name)
+  | Duoguide.Model.Target_column _, None -> None (* aggregate undecided *)
+
+let verify_column_types env (t : Partial.t) =
+  match Option.bind env.e_tsq (fun tsq -> tsq.Tsq.types) with
+  | None -> true
+  | Some tys ->
+      let n_ann = List.length tys in
+      (t.Partial.nproj = 0 || t.Partial.nproj = n_ann)
+      && List.length t.Partial.projs <= n_ann
+      && List.for_all2
+           (fun slot ty ->
+             match proj_output_type (Duodb.Database.schema env.e_db) slot with
+             | None -> true
+             | Some ty' -> Datatype.equal ty ty')
+           t.Partial.projs
+           (List.filteri (fun i _ -> i < List.length t.Partial.projs) tys)
+
+(* --- stage 4: column-wise probes (Example 3.5) --- *)
+
+let cell_key = function
+  | Tsq.Any -> "_"
+  | Tsq.Exact v -> "=" ^ Value.to_sql v
+  | Tsq.Range (lo, hi) -> "[" ^ Value.to_sql lo ^ "," ^ Value.to_sql hi ^ "]"
+
+(* Existence probe: SELECT 1 FROM table WHERE col <cell> LIMIT 1, executed
+   as a direct column scan. *)
+let column_probe env (c : Duodb.Schema.column) cell =
+  let key = (c.Duodb.Schema.col_table, c.Duodb.Schema.col_name, cell_key cell) in
+  match Hashtbl.find_opt env.e_cache key with
+  | Some r -> r
+  | None ->
+      env.e_stats.column_probes <- env.e_stats.column_probes + 1;
+      let tbl = Duodb.Database.table_exn env.e_db c.Duodb.Schema.col_table in
+      let idx = Duodb.Table.column_index tbl c.Duodb.Schema.col_name in
+      let r = Duodb.Table.exists (fun row -> Tsq.cell_matches cell row.(idx)) tbl in
+      Hashtbl.replace env.e_cache key r;
+      r
+
+let cell_interval = function
+  | Tsq.Any -> None
+  | Tsq.Exact v -> Some (v, v)
+  | Tsq.Range (lo, hi) -> Some (lo, hi)
+
+let ranges_intersect (a_lo, a_hi) (b_lo, b_hi) =
+  Value.compare a_lo b_hi <= 0 && Value.compare b_lo a_hi <= 0
+
+let verify_by_column env (t : Partial.t) =
+  let tuples =
+    match env.e_tsq with None -> [] | Some tsq -> tsq.Tsq.tuples
+  in
+  let support =
+    match env.e_tsq with None -> 0 | Some tsq -> Tsq.required_support tsq
+  in
+  tuples = []
+  || support
+     <= List.length
+          (List.filter
+             (fun tuple ->
+         let cells = Array.of_list tuple in
+         List.for_all
+           (fun (i, slot) ->
+             if i >= Array.length cells then true
+             else
+               let cell = cells.(i) in
+               match cell, slot.Partial.pj_target, slot.Partial.pj_agg with
+               | Tsq.Any, _, _ -> true
+               | _, Duoguide.Model.Target_count_star, _ -> true
+               | _, Duoguide.Model.Target_column _, None -> true
+               | _, Duoguide.Model.Target_column _, Some (Some (Count | Sum)) ->
+                   true (* no conclusion for partial queries *)
+               | _, Duoguide.Model.Target_column c, Some (Some Avg) -> (
+                   (* AVG lies within the column's min-max range. *)
+                   let rkey = (c.Duodb.Schema.col_table, c.Duodb.Schema.col_name) in
+                   let range =
+                     match Hashtbl.find_opt env.e_range_cache rkey with
+                     | Some r -> r
+                     | None ->
+                         env.e_stats.column_probes <- env.e_stats.column_probes + 1;
+                         let tbl =
+                           Duodb.Database.table_exn env.e_db c.Duodb.Schema.col_table
+                         in
+                         let r = Duodb.Table.column_range tbl c.Duodb.Schema.col_name in
+                         Hashtbl.replace env.e_range_cache rkey r;
+                         r
+                   in
+                   match range, cell_interval cell with
+                   | Some r1, Some r2 -> ranges_intersect r1 r2
+                   | None, _ | _, None -> false)
+               | _, Duoguide.Model.Target_column c, Some (Some (Min | Max) | None) ->
+                   column_probe env c cell)
+           (List.mapi (fun i s -> (i, s)) t.Partial.projs))
+             tuples)
+
+(* --- stage 5: row-wise probes (Example 3.6) --- *)
+
+let slot_has_agg (s : Partial.proj_slot) =
+  match s.Partial.pj_target, s.Partial.pj_agg with
+  | Duoguide.Model.Target_count_star, _ -> true
+  | Duoguide.Model.Target_column _, Some (Some _) -> true
+  | Duoguide.Model.Target_column _, (Some None | None) -> false
+
+let can_check_rows (t : Partial.t) =
+  let has_agg = List.exists slot_has_agg t.Partial.projs in
+  (not has_agg) || (where_done t && group_decided t)
+
+(* Distinct matching restricted to the decided projection positions, with
+   the noisy-example support threshold. *)
+let distinct_match_on ~support positions tuples rows =
+  let rows = Array.of_list rows in
+  let n = Array.length rows in
+  let total = List.length tuples in
+  let tuple_ok tup row =
+    let cells = Array.of_list tup in
+    List.for_all
+      (fun (out_idx, cell_idx) ->
+        cell_idx >= Array.length cells
+        || Tsq.cell_matches cells.(cell_idx) row.(out_idx))
+      positions
+  in
+  let rec assign matched skipped used = function
+    | [] -> matched >= support
+    | tup :: rest ->
+        matched + (total - matched - skipped) >= support
+        && (let rec try_row i =
+              if i >= n then false
+              else if (not (List.mem i used)) && tuple_ok tup rows.(i) then
+                assign (matched + 1) skipped (i :: used) rest || try_row (i + 1)
+              else try_row (i + 1)
+            in
+            try_row 0
+           || assign matched (skipped + 1) used rest)
+  in
+  support <= 0 || assign 0 0 [] tuples
+
+let verify_by_row env (t : Partial.t) =
+  let tuples =
+    match env.e_tsq with None -> [] | Some tsq -> tsq.Tsq.tuples
+  in
+  if tuples = [] then true
+  else if Partial.is_complete t then true
+    (* complete states go through the full Definition 2.4 check instead *)
+  else if not (can_check_rows t) then true
+  else
+    match t.Partial.from with
+    | None -> true
+    | Some from ->
+        (* Keep only fully decided slots; record (output position, cell
+           index) pairs so skipped slots stay unconstrained. *)
+        let decided =
+          List.filteri (fun _ s -> Option.is_some (decided_slot_proj s)) t.Partial.projs
+        in
+        if decided = [] then true
+        else begin
+          let indexed =
+            List.mapi (fun i s -> (i, s)) t.Partial.projs
+            |> List.filter (fun (_, s) -> Option.is_some (decided_slot_proj s))
+          in
+          let select = List.filter_map (fun (_, s) -> decided_slot_proj s) indexed in
+          let positions = List.mapi (fun out (cell_idx, _) -> (out, cell_idx)) indexed in
+          let where =
+            if where_done t && t.Partial.where_preds <> [] then
+              Some { c_preds = t.Partial.where_preds; c_conn = t.Partial.conn }
+            else None
+          in
+          let group_by =
+            if group_decided t then Option.to_list t.Partial.group_col else []
+          in
+          (* A state still deciding its join path may reference tables the
+             current clause does not cover yet; row checking waits. *)
+          let probe_tables =
+            List.sort_uniq String.compare
+              (List.filter_map
+                 (fun p -> Option.map (fun c -> c.cr_table) p.p_col)
+                 select
+              @ (match where with
+                | Some w ->
+                    List.filter_map
+                      (fun p -> Option.map (fun c -> c.cr_table) p.pr_col)
+                      w.c_preds
+                | None -> [])
+              @ List.map (fun c -> c.cr_table) group_by)
+          in
+          (* With a single decided plain slot and no WHERE/GROUP decided,
+             the row probe adds nothing over the column probe. *)
+          let redundant =
+            List.length positions = 1 && where = None && group_by = []
+            && not (List.exists slot_has_agg t.Partial.projs)
+          in
+          if
+            redundant
+            || not (List.for_all (fun tb -> List.mem tb from.f_tables) probe_tables)
+          then true
+          else begin
+            let probe =
+              {
+                q_distinct = false;
+                q_select = select;
+                q_from = from;
+                q_where = where;
+                q_group_by = group_by;
+                q_having = None;
+                q_order_by = [];
+                q_limit = None;
+              }
+            in
+            let key =
+              Duosql.Pretty.query probe ^ "|"
+              ^ String.concat ","
+                  (List.map (fun (o, c) -> Printf.sprintf "%d:%d" o c) positions)
+            in
+            match Hashtbl.find_opt env.e_row_cache key with
+            | Some r -> r
+            | None ->
+                env.e_stats.row_probes <- env.e_stats.row_probes + 1;
+                let r =
+                  match
+                    Duoengine.Executor.run ~cache:env.e_relcache
+                      ~max_rows:verification_max_rows env.e_db probe
+                  with
+                  | Error _ -> false
+                  | Ok res ->
+                      let support =
+                        match env.e_tsq with
+                        | None -> 0
+                        | Some tsq -> Tsq.required_support tsq
+                      in
+                      distinct_match_on ~support positions tuples
+                        res.Duoengine.Executor.res_rows
+                in
+                Hashtbl.replace env.e_row_cache key r;
+                r
+          end
+        end
+
+(* --- complete-query stage --- *)
+
+let verify_literals env q =
+  let used = literals q in
+  List.for_all (fun l -> List.exists (Value.equal l) used) env.e_literals
+
+let verify_complete env q =
+  verify_literals env q
+  && ((not env.e_semantics)
+     || Result.is_ok (Semantics.check_query (Duodb.Database.schema env.e_db) q))
+  &&
+  match env.e_tsq with
+  | None -> true
+  | Some tsq ->
+      env.e_stats.full_executions <- env.e_stats.full_executions + 1;
+      Tsq.satisfies ~cache:env.e_relcache ~max_rows:verification_max_rows tsq
+        env.e_db q
+
+let verify env (t : Partial.t) =
+  let s = env.e_stats in
+  let stage_idx = ref 0 in
+  let stage check bump =
+    let i = !stage_idx in
+    incr stage_idx;
+    let t0 = Sys.time () in
+    let ok = check env t in
+    s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Sys.time () -. t0);
+    ok || (bump (); false)
+  in
+  let ok =
+    stage verify_clauses (fun () -> s.pruned_by_clauses <- s.pruned_by_clauses + 1)
+    && stage verify_semantics (fun () -> s.pruned_by_semantics <- s.pruned_by_semantics + 1)
+    && stage verify_column_types (fun () -> s.pruned_by_types <- s.pruned_by_types + 1)
+    && stage verify_by_column (fun () -> s.pruned_by_column <- s.pruned_by_column + 1)
+    && stage verify_by_row (fun () -> s.pruned_by_row <- s.pruned_by_row + 1)
+    &&
+    match Partial.to_query t with
+    | Some q when Partial.is_complete t ->
+        let t0 = Sys.time () in
+        let ok = verify_complete env q in
+        s.stage_seconds.(5) <- s.stage_seconds.(5) +. (Sys.time () -. t0);
+        ok
+        || begin
+             s.pruned_by_complete <- s.pruned_by_complete + 1;
+             false
+           end
+    | Some _ | None -> true
+  in
+  if not ok then s.pruned <- s.pruned + 1;
+  ok

@@ -1,0 +1,78 @@
+(** Ascending-cost cascading verification (Section 3.4, Algorithm 3).
+
+    Stages run cheapest-first and prune a partial query as early as its
+    decided parts contradict the TSQ:
+
+    + [VerifyClauses] — clause presence vs the sketch's sorted flag and
+      limit (no database access);
+    + [VerifySemantics] — the Table 4 rules on decided parts (no database
+      access);
+    + [VerifyColumnTypes] — projection types vs the sketch's type
+      annotations (schema only);
+    + [VerifyByColumn] — column-wise existence probes, one per decided
+      projection and example cell (cheap single-table queries, cached);
+    + [VerifyByRow] — row-wise probes requiring example cells to co-occur
+      in one tuple; for aggregated projections this waits until WHERE and
+      GROUP BY are complete ([CanCheckRows]);
+    + for complete queries — [VerifyLiterals] (all tagged NLQ literals
+      appear in the query) and the full Definition 2.4 satisfaction check
+      (which subsumes [VerifyByOrder]).
+
+    All stages are {e monotone}: a stage that fails on a partial query also
+    fails on every completion of it, so pruning never discards a prefix of
+    a satisfying query (property-tested in the suite). *)
+
+type stats = {
+  mutable column_probes : int;  (** column-wise verification queries run *)
+  mutable row_probes : int;  (** row-wise verification queries run *)
+  mutable full_executions : int;  (** complete-query executions *)
+  mutable pruned : int;  (** states rejected by any stage *)
+  mutable pruned_by_clauses : int;
+  mutable pruned_by_semantics : int;
+  mutable pruned_by_types : int;
+  mutable pruned_by_column : int;
+  mutable pruned_by_row : int;
+  mutable pruned_by_complete : int;
+  mutable stage_seconds : float array;
+      (** processor time per cascade stage: clauses, semantics, types,
+          column, row, complete *)
+}
+
+val new_stats : unit -> stats
+
+(** A verification environment: database, sketch, tagged literals, probe
+    cache and counters. *)
+type env
+
+(** [semantics = false] disables the Table 4 rules (for the
+    ablation bench); default [true]. *)
+val make_env :
+  ?stats:stats ->
+  ?semantics:bool ->
+  db:Duodb.Database.t ->
+  tsq:Tsq.t option ->
+  literals:Duodb.Value.t list ->
+  unit ->
+  env
+
+val stats : env -> stats
+
+(** [verify env pq] is Algorithm 3's [Verify]: true when the partial query
+    survives every applicable stage. *)
+val verify : env -> Partial.t -> bool
+
+(** Individual stages, exposed for tests and the cascade-order ablation. *)
+val verify_clauses : env -> Partial.t -> bool
+
+val verify_semantics : env -> Partial.t -> bool
+val verify_column_types : env -> Partial.t -> bool
+val verify_by_column : env -> Partial.t -> bool
+
+(** Returns true when row-wise checking is allowed on this state
+    ([CanCheckRows]). *)
+val can_check_rows : Partial.t -> bool
+
+val verify_by_row : env -> Partial.t -> bool
+
+(** Complete-query stage: literal usage plus full TSQ satisfaction. *)
+val verify_complete : env -> Duosql.Ast.query -> bool

@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Array Duodb Duosql Float Hashtbl List Option Printf String

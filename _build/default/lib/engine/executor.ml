@@ -1,0 +1,386 @@
+open Duosql.Ast
+module Value = Duodb.Value
+module Datatype = Duodb.Datatype
+
+(* Hashing on values directly avoids rendering SQL strings for every join
+   bucket, group key, and DISTINCT check. *)
+module Vkey = struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash vs = Hashtbl.hash (List.map Value.hash vs)
+end
+
+module Vtbl = Hashtbl.Make (Vkey)
+
+type resultset = {
+  res_cols : (string * Datatype.t) list;
+  res_rows : Value.t array list;
+}
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+(* A joined relation: wide rows concatenating the base tables' columns,
+   with a lookup from (table, column) to position. *)
+type relation = {
+  rel_index : (string * string, int) Hashtbl.t;
+  rel_rows : Value.t array list;
+}
+
+let column_type db c =
+  match Duodb.Schema.find_column (Duodb.Database.schema db) ~table:c.cr_table c.cr_col with
+  | Some col -> col.Duodb.Schema.col_type
+  | None -> fail "unknown column %s.%s" c.cr_table c.cr_col
+
+let table_columns db t =
+  match Duodb.Schema.find_table (Duodb.Database.schema db) t with
+  | Some ts -> ts.Duodb.Schema.tbl_columns
+  | None -> fail "unknown table %s" t
+
+(* Cartesian base of a single table. *)
+let base_relation db t =
+  let cols = table_columns db t in
+  let rel_index = Hashtbl.create 16 in
+  List.iteri (fun i c -> Hashtbl.replace rel_index (t, c.Duodb.Schema.col_name) i) cols;
+  let tbl = Duodb.Database.table_exn db t in
+  { rel_index; rel_rows = Array.to_list (Duodb.Table.rows tbl) }
+
+(* Hash join [rel] with table [t] on [left] (a column of rel) = [right]
+   (a column of t). *)
+let join_step ?(max_rows = max_int) db rel t ~left ~right =
+  let cols = table_columns db t in
+  let tbl = Duodb.Database.table_exn db t in
+  let right_idx = Duodb.Table.column_index tbl right in
+  let buckets = Vtbl.create 256 in
+  Duodb.Table.iter
+    (fun row ->
+      let v = row.(right_idx) in
+      if not (Value.is_null v) then Vtbl.add buckets [ v ] row)
+    tbl;
+  let left_idx =
+    match Hashtbl.find_opt rel.rel_index left with
+    | Some i -> i
+    | None -> fail "join column %s.%s not in relation" (fst left) (snd left)
+  in
+  let width = Hashtbl.length rel.rel_index in
+  let rel_index = Hashtbl.copy rel.rel_index in
+  List.iteri
+    (fun i c -> Hashtbl.replace rel_index (t, c.Duodb.Schema.col_name) (width + i))
+    cols;
+  let count = ref 0 in
+  let rel_rows =
+    List.concat_map
+      (fun wide ->
+        let v = wide.(left_idx) in
+        if Value.is_null v then []
+        else begin
+          let matches = Vtbl.find_all buckets [ v ] in
+          count := !count + List.length matches;
+          if !count > max_rows then fail "joined relation exceeds %d rows" max_rows;
+          List.rev_map (fun row -> Array.append wide row) matches
+        end)
+      rel.rel_rows
+  in
+  { rel_index; rel_rows }
+
+(* [Error msg] entries memoize relations that exceeded the row bound, so
+   repeated probes over an exploding join fail fast. *)
+type relation_cache = (string, (relation, string) result) Hashtbl.t
+
+let create_cache () : relation_cache = Hashtbl.create 64
+
+let from_key (f : from_clause) =
+  String.concat ";" f.f_tables ^ "|"
+  ^ String.concat ";"
+      (List.map
+         (fun j ->
+           j.j_from.cr_table ^ "." ^ j.j_from.cr_col ^ "=" ^ j.j_to.cr_table
+           ^ "." ^ j.j_to.cr_col)
+         f.f_joins)
+
+(* Build the joined relation following the FROM clause's join tree. *)
+let build_relation ?max_rows db (f : from_clause) =
+  match f.f_tables with
+  | [] -> fail "empty FROM clause"
+  | first :: rest ->
+      let rec attach rel pending edges =
+        if pending = [] then rel
+        else
+          let joined t = Hashtbl.fold (fun (tb, _) _ acc -> acc || String.equal tb t) rel.rel_index false in
+          let usable e =
+            let a = e.j_from.cr_table and b = e.j_to.cr_table in
+            if joined a && (not (joined b)) && List.mem b pending then
+              Some (b, (e.j_from.cr_table, e.j_from.cr_col), e.j_to.cr_col)
+            else if joined b && (not (joined a)) && List.mem a pending then
+              Some (a, (e.j_to.cr_table, e.j_to.cr_col), e.j_from.cr_col)
+            else None
+          in
+          match List.find_map usable edges with
+          | None -> fail "FROM clause is not a connected join tree"
+          | Some (t, left, right) ->
+              let rel = join_step ?max_rows db rel t ~left ~right in
+              attach rel (List.filter (fun x -> not (String.equal x t)) pending) edges
+      in
+      attach (base_relation db first) rest f.f_joins
+
+let lookup rel c =
+  match Hashtbl.find_opt rel.rel_index (c.cr_table, c.cr_col) with
+  | Some i -> i
+  | None -> fail "column %s.%s not in FROM clause" c.cr_table c.cr_col
+
+(* Scalar predicate evaluation on a single wide row. *)
+let eval_cmp op lhs rhs =
+  if Value.is_null lhs || Value.is_null rhs then false
+  else
+    match op with
+    | Eq -> Value.equal lhs rhs
+    | Neq -> not (Value.equal lhs rhs)
+    | Lt -> Value.compare lhs rhs < 0
+    | Le -> Value.compare lhs rhs <= 0
+    | Gt -> Value.compare lhs rhs > 0
+    | Ge -> Value.compare lhs rhs >= 0
+    | Like -> (
+        match lhs, rhs with
+        | Value.Text s, Value.Text p -> Value.like s ~pattern:p
+        | _ -> fail "LIKE requires text operands")
+    | Not_like -> (
+        match lhs, rhs with
+        | Value.Text s, Value.Text p -> not (Value.like s ~pattern:p)
+        | _ -> fail "NOT LIKE requires text operands")
+
+let eval_rhs rhs v =
+  match rhs with
+  | Cmp (op, lit) -> eval_cmp op v lit
+  | Between (lo, hi) ->
+      (not (Value.is_null v))
+      && Value.compare v lo >= 0
+      && Value.compare v hi <= 0
+
+let eval_where rel cond wide =
+  let eval_pred p =
+    match p.pr_agg, p.pr_col with
+    | Some _, _ -> fail "aggregate predicate in WHERE"
+    | None, None -> fail "missing column in WHERE predicate"
+    | None, Some c -> eval_rhs p.pr_rhs wide.(lookup rel c)
+  in
+  match cond.c_conn with
+  | And -> List.for_all eval_pred cond.c_preds
+  | Or -> List.exists eval_pred cond.c_preds
+
+(* Aggregate over a group of wide rows. *)
+let eval_agg rel agg col distinct group =
+  let values () =
+    let c = match col with Some c -> c | None -> fail "aggregate needs a column" in
+    let i = lookup rel c in
+    List.filter_map
+      (fun row -> if Value.is_null row.(i) then None else Some row.(i))
+      group
+  in
+  let distinct_values vs =
+    let seen = Vtbl.create 16 in
+    List.filter
+      (fun v ->
+        if Vtbl.mem seen [ v ] then false
+        else begin
+          Vtbl.add seen [ v ] ();
+          true
+        end)
+      vs
+  in
+  let numeric vs =
+    List.map
+      (fun v -> if Value.is_numeric v then Value.to_float v else fail "numeric aggregate over text")
+      vs
+  in
+  match agg with
+  | Count -> (
+      match col with
+      | None -> Value.Int (List.length group)
+      | Some _ ->
+          let vs = values () in
+          let vs = if distinct then distinct_values vs else vs in
+          Value.Int (List.length vs))
+  | Sum -> (
+      match values () with
+      | [] -> Value.Null
+      | vs ->
+          let total = List.fold_left ( +. ) 0. (numeric vs) in
+          if Float.is_integer total then Value.Int (int_of_float total) else Value.Float total)
+  | Avg -> (
+      match values () with
+      | [] -> Value.Null
+      | vs ->
+          let fs = numeric vs in
+          Value.Float (List.fold_left ( +. ) 0. fs /. float_of_int (List.length fs)))
+  | Min -> (
+      match values () with
+      | [] -> Value.Null
+      | v :: vs -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v vs)
+  | Max -> (
+      match values () with
+      | [] -> Value.Null
+      | v :: vs -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v vs)
+
+(* Evaluate a projection-like item (agg option, col option, distinct) for a
+   group.  For unaggregated items the group's first row supplies the value
+   (SQL-legal only when the item is in GROUP BY; Semantics rules enforce
+   this upstream, and tests rely on executor-level enforcement too). *)
+let eval_item rel ~grouped (agg, col, distinct) group =
+  match agg with
+  | Some a -> eval_agg rel a col distinct group
+  | None -> (
+      match col, group with
+      | Some c, row :: _ -> row.(lookup rel c)
+      | Some _, [] -> Value.Null
+      | None, _ -> if grouped then fail "bare star projection" else fail "bare star projection")
+
+let eval_having rel cond group =
+  let eval_pred p =
+    let v = eval_item rel ~grouped:true (p.pr_agg, p.pr_col, false) group in
+    eval_rhs p.pr_rhs v
+  in
+  match cond.c_conn with
+  | And -> List.for_all eval_pred cond.c_preds
+  | Or -> List.exists eval_pred cond.c_preds
+
+let proj_type db (p : proj) =
+  match p.p_agg with
+  | Some Count -> Datatype.Number
+  | Some (Sum | Avg) -> Datatype.Number
+  | Some (Min | Max) | None -> (
+      match p.p_col with
+      | Some c -> column_type db c
+      | None -> Datatype.Number)
+
+let output_types db q =
+  try Ok (List.map (proj_type db) q.q_select) with
+  | Exec_error e -> Error e
+
+(* Group the filtered rows when the query aggregates; otherwise each row is
+   its own singleton group. *)
+let make_groups q rel rows =
+  let needs_groups =
+    q.q_group_by <> []
+    || List.exists (fun p -> Option.is_some p.p_agg) q.q_select
+    || Option.is_some q.q_having
+    || List.exists (fun o -> Option.is_some o.o_agg) q.q_order_by
+  in
+  if not needs_groups then List.map (fun r -> [ r ]) rows
+  else if q.q_group_by = [] then [ rows ]  (* single group, even when empty *)
+  else begin
+    let idxs = List.map (lookup rel) q.q_group_by in
+    let order = ref [] in
+    let buckets = Vtbl.create 64 in
+    List.iter
+      (fun row ->
+        let key = List.map (fun i -> row.(i)) idxs in
+        match Vtbl.find_opt buckets key with
+        | Some cell -> cell := row :: !cell
+        | None ->
+            let cell = ref [ row ] in
+            Vtbl.add buckets key cell;
+            order := key :: !order)
+      rows;
+    List.rev_map (fun key -> List.rev !(Vtbl.find buckets key)) !order
+  end
+
+let build_relation_cached ?cache ?max_rows db f =
+  match cache with
+  | None -> build_relation ?max_rows db f
+  | Some tbl -> (
+      let key = from_key f in
+      match Hashtbl.find_opt tbl key with
+      | Some (Ok rel) -> rel
+      | Some (Error e) -> raise (Exec_error e)
+      | None -> (
+          match build_relation ?max_rows db f with
+          | rel ->
+              Hashtbl.replace tbl key (Ok rel);
+              rel
+          | exception Exec_error e ->
+              Hashtbl.replace tbl key (Error e);
+              raise (Exec_error e)))
+
+let run ?cache ?max_rows db q =
+  try
+    let rel = build_relation_cached ?cache ?max_rows db q.q_from in
+    (* Validate every referenced column against the FROM clause up front. *)
+    List.iter (fun c -> ignore (lookup rel c)) (referenced_columns q);
+    let rows =
+      match q.q_where with
+      | None -> rel.rel_rows
+      | Some cond -> List.filter (eval_where rel cond) rel.rel_rows
+    in
+    let groups = make_groups q rel rows in
+    let groups =
+      match q.q_having with
+      | None -> groups
+      | Some cond -> List.filter (eval_having rel cond) groups
+    in
+    (* Project and compute ORDER BY keys in the same pass so sort keys can
+       reference non-projected expressions. *)
+    let project group =
+      let out =
+        Array.of_list
+          (List.map (fun p -> eval_item rel ~grouped:true (p.p_agg, p.p_col, p.p_distinct) group) q.q_select)
+      in
+      let keys =
+        List.map (fun o -> eval_item rel ~grouped:true (o.o_agg, o.o_col, false) group) q.q_order_by
+      in
+      (out, keys)
+    in
+    let projected = List.map project groups in
+    let projected =
+      if not q.q_distinct then projected
+      else begin
+        let seen = Vtbl.create 64 in
+        List.filter
+          (fun (out, _) ->
+            let k = Array.to_list out in
+            if Vtbl.mem seen k then false
+            else begin
+              Vtbl.add seen k ();
+              true
+            end)
+          projected
+      end
+    in
+    let projected =
+      if q.q_order_by = [] then projected
+      else
+        let dirs = List.map (fun o -> o.o_dir) q.q_order_by in
+        let cmp (_, ka) (_, kb) =
+          let rec go ks1 ks2 ds =
+            match ks1, ks2, ds with
+            | [], [], _ -> 0
+            | k1 :: r1, k2 :: r2, d :: rd ->
+                let c = Value.compare k1 k2 in
+                let c = match d with Asc -> c | Desc -> -c in
+                if c <> 0 then c else go r1 r2 rd
+            | _ -> 0
+          in
+          go ka kb dirs
+        in
+        List.stable_sort cmp projected
+    in
+    let out_rows = List.map fst projected in
+    let out_rows =
+      match q.q_limit with
+      | None -> out_rows
+      | Some n -> List.filteri (fun i _ -> i < n) out_rows
+    in
+    let res_cols =
+      List.map (fun p -> (Duosql.Pretty.proj p, proj_type db p)) q.q_select
+    in
+    Ok { res_cols; res_rows = out_rows }
+  with
+  | Exec_error e -> Error e
+
+let run_exn ?cache ?max_rows db q =
+  match run ?cache ?max_rows db q with
+  | Ok r -> r
+  | Error e -> failwith (Printf.sprintf "Executor.run_exn: %s on %s" e (Duosql.Pretty.query q))
+
+let cardinality r = List.length r.res_rows

@@ -1,0 +1,51 @@
+(** In-memory execution of {!Duosql.Ast} queries.
+
+    Implements the complete task scope: inner joins along FK-PK edges,
+    WHERE filtering, grouping with aggregates, HAVING, SELECT DISTINCT,
+    ORDER BY (on projected or non-projected expressions), and LIMIT.
+
+    SQL semantics notes:
+    - comparisons involving [NULL] are false; aggregates skip nulls except
+      [COUNT] of all rows;
+    - an aggregate query without GROUP BY yields exactly one row (e.g.
+      [COUNT] 0 on an empty input);
+    - ORDER BY is a stable sort, so ties keep join order, making results
+      deterministic. *)
+
+type resultset = {
+  res_cols : (string * Duodb.Datatype.t) list;
+      (** output column labels (pretty-printed projection) and types *)
+  res_rows : Duodb.Value.t array list;
+}
+
+(** Memoizes joined relations keyed by the FROM clause, for callers (the
+    verification cascade) that execute many probe queries over the same
+    join tree.  Safe because databases are append-only during synthesis. *)
+type relation_cache
+
+val create_cache : unit -> relation_cache
+
+(** [run ?cache ?max_rows db q] executes [q]. [Error msg] reports unknown
+    tables/columns, disconnected FROM clauses, aggregates over incompatible
+    types, or non-grouped projections mixed with aggregates.  [max_rows]
+    bounds the intermediate joined relation — the execution-time guard the
+    verifier uses in place of a wall-clock query timeout; exceeding it is
+    an error. *)
+val run :
+  ?cache:relation_cache ->
+  ?max_rows:int ->
+  Duodb.Database.t ->
+  Duosql.Ast.query ->
+  (resultset, string) result
+
+(** Like {!run} but raises [Failure]. *)
+val run_exn :
+  ?cache:relation_cache -> ?max_rows:int -> Duodb.Database.t -> Duosql.Ast.query -> resultset
+
+(** [output_types db q] computes the projection types without executing:
+    [Count] is numeric, [Sum]/[Avg] numeric, [Min]/[Max] and plain
+    projections keep the column type. *)
+val output_types : Duodb.Database.t -> Duosql.Ast.query -> (Duodb.Datatype.t list, string) result
+
+(** Number of rows in a result. *)
+val cardinality : resultset -> int

@@ -1,0 +1,1 @@
+lib/guidance/model.ml: Array Duodb Duonl Duosql Hints List Score String

@@ -1,0 +1,1 @@
+lib/guidance/model.mli: Duodb Duonl Duosql

@@ -1,0 +1,1 @@
+lib/guidance/score.ml: Array Duodb Duonl Float List String

@@ -1,0 +1,1 @@
+lib/guidance/score.mli: Duodb

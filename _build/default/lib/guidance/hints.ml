@@ -1,0 +1,94 @@
+(* All entries are pre-stemmed to match Duonl.Token.stem output. *)
+
+let count_matches words lexicon =
+  List.fold_left
+    (fun acc w -> if List.mem w lexicon then acc +. 1.0 else acc)
+    0.0 words
+
+(* Bigram matcher: "more than", "at least", ... on the stemmed stream. *)
+let count_bigrams words bigrams =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+        let hit = List.exists (fun (x, y) -> String.equal a x && String.equal b y) bigrams in
+        go (if hit then acc +. 1.0 else acc) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0.0 words
+
+let order_lexicon =
+  [ "order"; "sort"; "rank"; "earliest"; "latest"; "newest"; "oldest";
+    "recent"; "ascend"; "descend"; "alphabetical"; "chronological"; "top";
+    "increas"; "decreas" ]
+
+let order_signal words = count_matches words order_lexicon
+
+let group_lexicon = [ "per"; "every"; "group"; "respective"; "correspond" ]
+
+(* "each" is a stopword in Token, but "for each" style phrasing usually
+   leaves "per"/"every"/aggregate words as residue; we additionally accept
+   the unstopped "each" if present. *)
+let group_signal words = count_matches words ("each" :: group_lexicon)
+
+let where_lexicon =
+  [ "where"; "whose"; "only"; "before"; "after"; "between"; "above"; "below";
+    "over"; "under"; "contain"; "start"; "end"; "exceed"; "within"; "than" ]
+
+let where_signal words = count_matches words where_lexicon
+
+let having_lexicon = [ "than"; "least"; "exceed"; "more"; "fewer"; "over" ]
+
+let having_signal words =
+  (* HAVING phrasing pairs a grouping cue with a count comparison. *)
+  let cmp = count_matches words having_lexicon in
+  let grp = group_signal words in
+  if grp > 0.0 then cmp else cmp /. 2.0
+
+let count_lexicon = [ "count"; "number"; "time" ]
+let sum_lexicon = [ "total"; "sum"; "combined"; "altogether" ]
+let avg_lexicon = [ "average"; "mean" ]
+let max_lexicon = [ "maximum"; "most"; "highest"; "largest"; "biggest"; "max" ]
+let min_lexicon = [ "minimum"; "least"; "lowest"; "smallest"; "fewest"; "min" ]
+
+let agg_signals words =
+  let none = 1.0 in
+  let count = count_matches words count_lexicon in
+  let sum = count_matches words sum_lexicon in
+  let avg = count_matches words avg_lexicon in
+  let mx = count_matches words max_lexicon in
+  let mn = count_matches words min_lexicon in
+  (none, count, sum, avg, mx, mn)
+
+let desc_lexicon =
+  [ "descend"; "decreas"; "most"; "latest"; "newest"; "recent"; "highest";
+    "largest"; "biggest" ]
+
+let descending_signal words = count_matches words desc_lexicon
+
+let limit_lexicon = [ "top"; "first"; "best" ]
+
+let limit_signal words = count_matches words limit_lexicon
+
+(* Index layout matches Duosql.Ast.cmp declaration order:
+   Eq Neq Lt Le Gt Ge Like Not_like *)
+let op_signals words =
+  let s = Array.make 8 0.0 in
+  let add i v = s.(i) <- s.(i) +. v in
+  add 0 (0.5 +. count_matches words [ "i"; "equal"; "exactly"; "name" ]);
+  add 1 (count_matches words [ "not"; "other"; "except"; "besides" ]);
+  add 2 (count_matches words [ "before"; "under"; "below"; "earlier" ]
+         +. count_bigrams words [ ("less", "than"); ("fewer", "than"); ("smaller", "than") ]);
+  add 3 (count_bigrams words [ ("at", "most"); ("no", "more") ]);
+  add 4 (count_matches words [ "after"; "over"; "above"; "exceed"; "later" ]
+         +. count_bigrams words [ ("more", "than"); ("greater", "than"); ("larger", "than") ]);
+  add 5 (count_bigrams words [ ("at", "least"); ("no", "less"); ("no", "fewer") ]);
+  add 6 (count_matches words [ "contain"; "include"; "like"; "substring"; "match" ]
+         +. count_bigrams words [ ("start", "with"); ("end", "with") ]);
+  add 7 (count_bigrams words [ ("not", "contain"); ("not", "like") ]);
+  s
+
+let or_lexicon = [ "or"; "either"; "alternatively" ]
+
+let or_signal words =
+  (* "or" itself is a stopword for content extraction, so callers pass raw
+     word streams here. *)
+  count_matches words or_lexicon

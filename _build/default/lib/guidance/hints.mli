@@ -1,0 +1,39 @@
+(** Hint lexicon: surface words that signal SQL constructs.
+
+    This is the stand-in for the distributional knowledge a trained
+    SyntaxSQLNet acquires from the Spider corpus; here it is an explicit,
+    inspectable lexicon.  All entries are matched against {e stemmed}
+    content words (see {!Duonl.Token.stem}). *)
+
+(** [count_matches words lexicon] counts how many of [words] appear in
+    [lexicon]. *)
+val count_matches : string list -> string list -> float
+
+(** Evidence strength that the NLQ requests an ORDER BY clause. *)
+val order_signal : string list -> float
+
+(** Evidence that the NLQ requests grouping. *)
+val group_signal : string list -> float
+
+(** Evidence for a WHERE clause beyond the presence of literals. *)
+val where_signal : string list -> float
+
+(** Evidence for a HAVING clause (count/sum comparisons on groups). *)
+val having_signal : string list -> float
+
+(** Per-aggregate evidence: scores for (None, Count, Sum, Avg, Min, Max). *)
+val agg_signals : string list -> float * float * float * float * float * float
+
+(** Evidence that sorting should be descending. *)
+val descending_signal : string list -> float
+
+(** Evidence that results are limited to the top row(s): "top", "first",
+    superlatives. *)
+val limit_signal : string list -> float
+
+(** Comparison-operator evidence given the words adjacent to a numeric
+    literal: scores for (=, !=, <, <=, >, >=, LIKE, NOT LIKE). *)
+val op_signals : string list -> float array
+
+(** Evidence that predicates combine with OR rather than AND. *)
+val or_signal : string list -> float

@@ -1,0 +1,365 @@
+type ctx = {
+  c_schema : Duodb.Schema.t;
+  c_nlq : Duonl.Nlq.t;
+  c_temperature : float;
+  c_words : string list;  (* stemmed content words *)
+  c_all_words : string list;  (* stemmed words incl. stopwords, for "or" etc. *)
+  (* per-column raw evidence, precomputed once: expansion calls the column
+     modules thousands of times per synthesis *)
+  c_base_scores : (Duodb.Schema.column * float) list;
+  c_where_scores : (Duodb.Schema.column * float) list;
+}
+
+let make ?(temperature = 1.0) ?index schema nlq =
+  (* Re-ground literals when an index is supplied and the NLQ lacks
+     groundings. *)
+  let nlq =
+    match index with
+    | None -> nlq
+    | Some idx ->
+        let ground l =
+          match l.Duonl.Nlq.lit_value with
+          | Duodb.Value.Text s when l.Duonl.Nlq.lit_columns = [] ->
+              { l with
+                Duonl.Nlq.lit_columns =
+                  List.map
+                    (fun h -> (h.Duodb.Index.hit_table, h.Duodb.Index.hit_column))
+                    (Duodb.Index.lookup idx s) }
+          | _ -> l
+        in
+        { nlq with Duonl.Nlq.literals = List.map ground nlq.Duonl.Nlq.literals }
+  in
+  let c_words = Duonl.Nlq.content_words nlq in
+  let grounded = List.concat_map (fun l -> l.Duonl.Nlq.lit_columns) nlq.Duonl.Nlq.literals in
+  let has_numeric_lit =
+    List.exists (fun l -> Duodb.Value.is_numeric l.Duonl.Nlq.lit_value) nlq.Duonl.Nlq.literals
+  in
+  let fk_columns =
+    List.concat_map
+      (fun e ->
+        [ (e.Duodb.Schema.fk_table, e.Duodb.Schema.fk_column);
+          (e.Duodb.Schema.pk_table, e.Duodb.Schema.pk_column) ])
+      schema.Duodb.Schema.foreign_keys
+  in
+  let base_score col =
+    let sim = Score.column_similarity ~nlq_words:c_words col in
+    (* users rarely ask for key columns by name *)
+    let key_penalty =
+      if
+        Duodb.Schema.is_pk_column schema ~table:col.Duodb.Schema.col_table
+          col.Duodb.Schema.col_name
+        || List.mem (col.Duodb.Schema.col_table, col.Duodb.Schema.col_name) fk_columns
+      then -1.0
+      else 0.0
+    in
+    (3.0 *. sim) +. key_penalty
+  in
+  let where_score col =
+    let ground_bonus =
+      if
+        List.exists
+          (fun (tb, cn) ->
+            String.equal tb col.Duodb.Schema.col_table
+            && String.equal cn col.Duodb.Schema.col_name)
+          grounded
+      then 2.5
+      else 0.0
+    in
+    let numeric_bonus =
+      if has_numeric_lit
+         && Duodb.Datatype.equal col.Duodb.Schema.col_type Duodb.Datatype.Number
+      then 0.7
+      else 0.0
+    in
+    base_score col +. ground_bonus +. numeric_bonus
+  in
+  let all_cols = Duodb.Schema.all_columns schema in
+  {
+    c_schema = schema;
+    c_nlq = nlq;
+    c_temperature = temperature;
+    c_words;
+    c_all_words = Duonl.Token.words nlq.Duonl.Nlq.tokens;
+    c_base_scores = List.map (fun c -> (c, base_score c)) all_cols;
+    c_where_scores = List.map (fun c -> (c, where_score c)) all_cols;
+  }
+
+let schema t = t.c_schema
+let nlq t = t.c_nlq
+
+let norm t cands = Score.normalize ~temperature:t.c_temperature cands
+
+(* --- KW module --- *)
+
+type kw_set = {
+  kw_where : bool;
+  kw_group : bool;
+  kw_order : bool;
+}
+
+let keywords t =
+  let w = t.c_words in
+  let has_literals = t.c_nlq.Duonl.Nlq.literals <> [] in
+  let where_ev =
+    Hints.where_signal w +. (if has_literals then 1.5 else 0.0)
+  in
+  let group_ev =
+    Hints.group_signal w
+    +. (let _, c, s, a, _, _ = Hints.agg_signals w in
+        (* aggregate phrasing next to an entity word often implies grouping *)
+        0.4 *. (c +. s +. a))
+  in
+  let order_ev = Hints.order_signal w in
+  let base = 0.6 in
+  let score set =
+    (if set.kw_where then where_ev else base)
+    +. (if set.kw_group then group_ev else base)
+    +. if set.kw_order then order_ev else base
+  in
+  let all =
+    List.concat_map
+      (fun wh ->
+        List.concat_map
+          (fun gr ->
+            List.map
+              (fun ord -> { kw_where = wh; kw_group = gr; kw_order = ord })
+              [ false; true ])
+          [ false; true ])
+      [ false; true ]
+  in
+  norm t (List.map (fun s -> (s, score s)) all)
+
+(* --- COL module --- *)
+
+type col_target =
+  | Target_column of Duodb.Schema.column
+  | Target_count_star
+
+let equal_column (a : Duodb.Schema.column) (b : Duodb.Schema.column) =
+  String.equal a.Duodb.Schema.col_table b.Duodb.Schema.col_table
+  && String.equal a.Duodb.Schema.col_name b.Duodb.Schema.col_name
+
+let equal_target a b =
+  match a, b with
+  | Target_count_star, Target_count_star -> true
+  | Target_column x, Target_column y -> equal_column x y
+  | Target_count_star, Target_column _ | Target_column _, Target_count_star -> false
+
+let projection_targets t ~used =
+  let _, count_ev, _, _, _, _ = Hints.agg_signals t.c_words in
+  let cands =
+    (Target_count_star, count_ev -. 0.5)
+    :: List.map (fun (c, s) -> (Target_column c, s)) t.c_base_scores
+  in
+  let cands =
+    List.filter (fun (c, _) -> not (List.exists (equal_target c) used)) cands
+  in
+  norm t cands
+
+let num_projections t ~hint =
+  let base = [| 0.0; 1.2; 0.8; 0.2; -0.4 |] in
+  (* Name-similar columns raise the expected projection width. *)
+  let similar =
+    List.filter
+      (fun c -> Score.column_similarity ~nlq_words:t.c_words c > 0.45)
+      (Duodb.Schema.all_columns t.c_schema)
+  in
+  let expected = min 4 (max 1 (List.length similar)) in
+  let cands =
+    List.init 4 (fun i ->
+        let n = i + 1 in
+        let s = base.(n) +. (if n = expected then 0.8 else 0.0) in
+        let s = match hint with Some h when h = n -> s +. 2.5 | _ -> s in
+        (n, s))
+  in
+  norm t cands
+
+let where_columns t ~used =
+  let cands =
+    List.filter (fun (c, _) -> not (List.exists (equal_column c) used)) t.c_where_scores
+  in
+  norm t cands
+
+let group_columns t ~projected =
+  let cands =
+    List.map
+      (fun (c, s) ->
+        let proj_bonus = if List.exists (equal_column c) projected then 2.0 else 0.0 in
+        (c, s +. proj_bonus))
+      t.c_base_scores
+  in
+  norm t cands
+
+(* --- AGG module --- *)
+
+let aggregates t ty =
+  let none, count, sum, avg, mx, mn = Hints.agg_signals t.c_words in
+  let cands =
+    match ty with
+    | Duodb.Datatype.Text -> [ (None, none +. 1.0); (Some Duosql.Ast.Count, count) ]
+    | Duodb.Datatype.Number ->
+        [
+          (None, none +. 0.6);
+          (Some Duosql.Ast.Count, count -. 0.3);
+          (Some Duosql.Ast.Sum, sum);
+          (Some Duosql.Ast.Avg, avg);
+          (Some Duosql.Ast.Min, mn);
+          (Some Duosql.Ast.Max, mx);
+        ]
+  in
+  norm t cands
+
+(* --- OP module --- *)
+
+type op_shape =
+  | Shape_cmp of Duosql.Ast.cmp
+  | Shape_between
+
+let operators t ty =
+  let s = Hints.op_signals t.c_all_words in
+  let numeric_lits = Duonl.Nlq.numeric_literals t.c_nlq in
+  match ty with
+  | Duodb.Datatype.Text ->
+      norm t
+        [
+          (Shape_cmp Duosql.Ast.Eq, s.(0) +. 1.0);
+          (Shape_cmp Duosql.Ast.Neq, s.(1) -. 0.5);
+          (Shape_cmp Duosql.Ast.Like, s.(6) -. 0.3);
+          (Shape_cmp Duosql.Ast.Not_like, s.(7) -. 0.8);
+        ]
+  | Duodb.Datatype.Number ->
+      let between_ev =
+        if List.length numeric_lits >= 2 then
+          0.4 +. Hints.count_matches t.c_words [ "between"; "within" ]
+        else -2.0
+      in
+      norm t
+        [
+          (Shape_cmp Duosql.Ast.Eq, s.(0));
+          (Shape_cmp Duosql.Ast.Neq, s.(1) -. 0.5);
+          (Shape_cmp Duosql.Ast.Lt, s.(2));
+          (Shape_cmp Duosql.Ast.Le, s.(3) -. 0.3);
+          (Shape_cmp Duosql.Ast.Gt, s.(4));
+          (Shape_cmp Duosql.Ast.Ge, s.(5) -. 0.3);
+          (Shape_between, between_ev);
+        ]
+
+(* --- Value assignment --- *)
+
+let values t col =
+  let lits = t.c_nlq.Duonl.Nlq.literals in
+  let is_text = Duodb.Datatype.equal col.Duodb.Schema.col_type Duodb.Datatype.Text in
+  let cands =
+    List.filter_map
+      (fun l ->
+        match l.Duonl.Nlq.lit_value with
+        | Duodb.Value.Text _ when is_text ->
+            let bonus =
+              if
+                List.exists
+                  (fun (tb, cn) ->
+                    String.equal tb col.Duodb.Schema.col_table
+                    && String.equal cn col.Duodb.Schema.col_name)
+                  l.Duonl.Nlq.lit_columns
+              then 2.0
+              else if l.Duonl.Nlq.lit_columns = [] then 0.0
+              else -1.0  (* grounded elsewhere *)
+            in
+            Some (l.Duonl.Nlq.lit_value, 1.0 +. bonus)
+        | (Duodb.Value.Int _ | Duodb.Value.Float _) when not is_text ->
+            Some (l.Duonl.Nlq.lit_value, 1.0)
+        | Duodb.Value.Text _ | Duodb.Value.Int _ | Duodb.Value.Float _
+        | Duodb.Value.Null ->
+            None)
+      lits
+  in
+  match cands with [] -> [] | _ -> norm t cands
+
+let value_ranges t =
+  let nums = List.sort_uniq Duodb.Value.compare (Duonl.Nlq.numeric_literals t.c_nlq) in
+  let rec pairs = function
+    | [] -> []
+    | lo :: rest -> List.map (fun hi -> (lo, hi)) rest @ pairs rest
+  in
+  pairs nums
+
+let num_predicates t =
+  let lit_count = List.length t.c_nlq.Duonl.Nlq.literals in
+  let cands =
+    List.init 3 (fun i ->
+        let n = i + 1 in
+        let s = if n <= lit_count then 1.0 else -0.5 -. float_of_int (n - lit_count) in
+        (n, s +. if n = 1 then 0.3 else 0.0))
+  in
+  norm t cands
+
+(* --- AND/OR module --- *)
+
+let connective t =
+  let or_ev = Hints.or_signal t.c_all_words in
+  norm t [ (Duosql.Ast.And, 1.0); (Duosql.Ast.Or, or_ev -. 0.3) ]
+
+(* --- HAVING module --- *)
+
+let having_presence t =
+  let ev = Hints.having_signal t.c_words in
+  norm t [ (false, 1.0); (true, ev -. 0.4) ]
+
+(* --- DESC/ASC module --- *)
+
+let direction t =
+  let desc_ev = Hints.descending_signal t.c_words in
+  norm t [ (Duosql.Ast.Asc, 0.6); (Duosql.Ast.Desc, desc_ev) ]
+
+let limit t ~hint =
+  let limit_ev = Hints.limit_signal t.c_words in
+  let nums =
+    List.filter_map
+      (function Duodb.Value.Int n when n > 0 && n <= 1000 -> Some n | _ -> None)
+      (Duonl.Nlq.numeric_literals t.c_nlq)
+  in
+  let cands =
+    (None, 1.0 -. limit_ev)
+    :: (Some 1, limit_ev -. 0.2)
+    :: List.map (fun n -> (Some n, limit_ev -. 0.4)) (List.sort_uniq compare nums)
+  in
+  let cands =
+    match hint with
+    | Some k ->
+        List.map (fun (c, s) -> (c, if c = Some k then s +. 3.0 else s)) cands
+        |> fun l -> if List.mem_assoc (Some k) l then l else (Some k, 2.5) :: l
+    | None -> cands
+  in
+  norm t cands
+
+let order_targets t ~projected =
+  let order_words = t.c_words in
+  let proj_cands =
+    List.map
+      (fun (agg, col) ->
+        let sim =
+          match col with
+          | Some c -> Score.column_similarity ~nlq_words:order_words c
+          | None -> 0.0
+        in
+        ((agg, col), 1.0 +. sim))
+      projected
+  in
+  (* Non-projected numeric columns can also order results (e.g. "from
+     earliest"), and COUNT of all rows orders grouped queries. *)
+  let extra =
+    List.filter_map
+      (fun c ->
+        if Duodb.Datatype.equal c.Duodb.Schema.col_type Duodb.Datatype.Number
+           && not (List.exists (fun (_, pc) -> match pc with Some p -> equal_column p c | None -> false) projected)
+        then
+          let sim = Score.column_similarity ~nlq_words:order_words c in
+          if sim > 0.3 then Some ((None, Some c), 0.2 +. sim) else None
+        else None)
+      (Duodb.Schema.all_columns t.c_schema)
+  in
+  let count_cand =
+    let _, count_ev, _, _, _, _ = Hints.agg_signals t.c_words in
+    [ ((Some Duosql.Ast.Count, None), count_ev -. 0.5) ]
+  in
+  norm t (proj_cands @ extra @ count_cand)

@@ -1,0 +1,1 @@
+lib/nl/nlq.ml: Duodb Float List Token

@@ -1,0 +1,1 @@
+lib/nl/nlq.mli: Duodb Token

@@ -1,0 +1,1 @@
+lib/nl/token.mli:

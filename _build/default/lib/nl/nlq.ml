@@ -1,0 +1,62 @@
+type literal = {
+  lit_value : Duodb.Value.t;
+  lit_columns : (string * string) list;
+}
+
+type t = {
+  raw : string;
+  tokens : Token.t list;
+  literals : literal list;
+}
+
+let ground_text index s =
+  match index with
+  | None -> []
+  | Some idx ->
+      List.map
+        (fun h -> (h.Duodb.Index.hit_table, h.Duodb.Index.hit_column))
+        (Duodb.Index.lookup idx s)
+
+let number_value f =
+  if Float.is_integer f && Float.abs f < 1e15 then Duodb.Value.Int (int_of_float f)
+  else Duodb.Value.Float f
+
+let literal_of_token index = function
+  | Token.Quoted s ->
+      Some { lit_value = Duodb.Value.Text s; lit_columns = ground_text index s }
+  | Token.Number f -> Some { lit_value = number_value f; lit_columns = [] }
+  | Token.Word _ -> None
+
+let analyze ?index raw =
+  let tokens = Token.tokenize raw in
+  let literals = List.filter_map (literal_of_token index) tokens in
+  { raw; tokens; literals }
+
+let with_literals ?index raw lits =
+  let tokens = Token.tokenize raw in
+  let literals =
+    List.map
+      (fun v ->
+        match v with
+        | Duodb.Value.Text s -> { lit_value = v; lit_columns = ground_text index s }
+        | Duodb.Value.Int _ | Duodb.Value.Float _ | Duodb.Value.Null ->
+            { lit_value = v; lit_columns = [] })
+      lits
+  in
+  { raw; tokens; literals }
+
+let content_words t =
+  List.filter (fun w -> not (Token.is_stopword w)) (Token.words t.tokens)
+
+let text_literals t =
+  List.filter_map
+    (fun l ->
+      match l.lit_value with
+      | Duodb.Value.Text s -> Some s
+      | Duodb.Value.Int _ | Duodb.Value.Float _ | Duodb.Value.Null -> None)
+    t.literals
+
+let numeric_literals t =
+  List.filter_map
+    (fun l -> if Duodb.Value.is_numeric l.lit_value then Some l.lit_value else None)
+    t.literals

@@ -1,0 +1,33 @@
+(** Analyzed natural language queries.
+
+    Per the problem definition (Section 2.3) the input NLQ [N] carries a set
+    of text and numeric literal values [L], obtained in the paper through an
+    autocomplete tagging interface.  [analyze] extracts those literals
+    (double-quoted spans and numeric tokens) and grounds text literals to
+    candidate columns via the inverted column index. *)
+
+type literal = {
+  lit_value : Duodb.Value.t;
+  lit_columns : (string * string) list;
+      (** candidate (table, column) groundings; empty when unknown *)
+}
+
+type t = {
+  raw : string;
+  tokens : Token.t list;
+  literals : literal list;
+}
+
+(** [analyze ?index raw] tokenizes and extracts literals.  With [index],
+    text literals are grounded to the columns containing them. *)
+val analyze : ?index:Duodb.Index.t -> string -> t
+
+(** Build an NLQ with an explicitly provided literal set (the simulation
+    study supplies literals from the gold query, as Section 5.4.1 does). *)
+val with_literals : ?index:Duodb.Index.t -> string -> Duodb.Value.t list -> t
+
+(** Content words (stemmed, stopwords removed). *)
+val content_words : t -> string list
+
+val text_literals : t -> string list
+val numeric_literals : t -> Duodb.Value.t list

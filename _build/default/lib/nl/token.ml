@@ -1,0 +1,85 @@
+type t =
+  | Word of string
+  | Number of float
+  | Quoted of string
+
+let ends_with ~suffix s =
+  let ls = String.length s and lu = String.length suffix in
+  ls >= lu && String.sub s (ls - lu) lu = suffix
+
+let stem w =
+  let n = String.length w in
+  let es_plural =
+    (* -es only marks a plural after sibilants: classes, boxes, churches *)
+    List.exists
+      (fun suffix -> ends_with ~suffix w)
+      [ "sses"; "xes"; "zes"; "ches"; "shes" ]
+  in
+  if n <= 3 then w
+  else if ends_with ~suffix:"ies" w && n > 4 then String.sub w 0 (n - 3) ^ "y"
+  else if es_plural then String.sub w 0 (n - 2)
+  else if ends_with ~suffix:"s" w && not (ends_with ~suffix:"ss" w) then
+    String.sub w 0 (n - 1)
+  else if ends_with ~suffix:"ing" w && n > 5 then String.sub w 0 (n - 3)
+  else if ends_with ~suffix:"ed" w && n > 4 then String.sub w 0 (n - 2)
+  else w
+
+let stopwords =
+  [ "a"; "an"; "the"; "of"; "in"; "on"; "at"; "to"; "for"; "with"; "by";
+    "and"; "or"; "is"; "are"; "was"; "were"; "be"; "been"; "it"; "its";
+    "that"; "this"; "these"; "those"; "as"; "from"; "into"; "their";
+    "there"; "each"; "all"; "any"; "me"; "my"; "please"; "show"; "list";
+    "find"; "give"; "what"; "which"; "who"; "whose"; "how"; "many"; "much";
+    "do"; "does"; "have"; "has"; "had"; "i"; "we"; "you"; "they"; "them" ]
+
+let is_stopword w = List.mem w stopwords
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\'' || c = '.' || c = '-'
+
+let classify raw =
+  let lower = String.lowercase_ascii raw in
+  match float_of_string_opt raw with
+  | Some f -> Number f
+  | None ->
+      (* Strip possessives and trailing punctuation-ish chars kept by the
+         scanner (periods, hyphens at edges). *)
+      let trimmed =
+        let l = String.length lower in
+        let stop = if l > 2 && ends_with ~suffix:"'s" lower then l - 2 else l in
+        String.sub lower 0 stop
+      in
+      let trimmed = String.concat "" (String.split_on_char '.' trimmed) in
+      if trimmed = "" then Word raw else Word (stem trimmed)
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if s.[i] = '"' then begin
+      (* Double-quoted literal span. *)
+      let j = try String.index_from s (i + 1) '"' with Not_found -> n in
+      let inner = String.sub s (i + 1) (min j n - i - 1) in
+      let next = if j >= n then n else j + 1 in
+      go next (Quoted inner :: acc)
+    end
+    else if is_word_char s.[i] then begin
+      let j = ref i in
+      while !j < n && is_word_char s.[!j] do
+        incr j
+      done;
+      let raw = String.sub s i (!j - i) in
+      go !j (classify raw :: acc)
+    end
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let words toks = List.filter_map (function Word w -> Some w | Number _ | Quoted _ -> None) toks
+
+let to_string = function
+  | Word w -> w
+  | Number f ->
+      if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+  | Quoted s -> "\"" ^ s ^ "\""

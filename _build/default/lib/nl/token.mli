@@ -1,0 +1,29 @@
+(** NLQ tokenization and normalization.
+
+    The guidance model works on lowercase, lightly stemmed word tokens; the
+    tokenizer also recognizes numbers and double-quoted spans (which mark
+    literal text values, as in the paper's front-end where typing a double-quote
+    triggers autocomplete tagging). *)
+
+type t =
+  | Word of string  (** lowercased, stemmed *)
+  | Number of float
+  | Quoted of string  (** literal text value, original casing *)
+
+(** [tokenize s] splits on whitespace and punctuation, lowercases words,
+    applies {!stem}, parses numeric tokens, and keeps double-quoted spans
+    intact. *)
+val tokenize : string -> t list
+
+(** Word tokens only (stemmed), in order. *)
+val words : t list -> string list
+
+(** Light suffix stemmer: plural [-s]/[-es]/[-ies], [-ing], [-ed].
+    Deliberately conservative — it never shortens words below 3
+    characters. *)
+val stem : string -> string
+
+(** Stopwords filtered by the guidance model's lexical matchers. *)
+val is_stopword : string -> bool
+
+val to_string : t -> string

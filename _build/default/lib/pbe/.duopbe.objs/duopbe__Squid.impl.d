@@ -1,0 +1,1 @@
+lib/pbe/squid.ml: Array Duocore Duodb Duoengine Duosql List String

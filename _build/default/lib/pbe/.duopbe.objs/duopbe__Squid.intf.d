@@ -1,0 +1,1 @@
+lib/pbe/squid.mli: Duocore Duodb Duosql

@@ -1,0 +1,339 @@
+open Duosql.Ast
+module Value = Duodb.Value
+module Tsq = Duocore.Tsq
+
+type filter =
+  | F_eq of Value.t
+  | F_range of Value.t * Value.t
+
+type result = {
+  projections : Duodb.Schema.column list;
+  filters : (Duodb.Schema.column * filter) list;
+  count_properties : (string list * int) list;
+  witness_count : int;
+}
+
+let supported_query db q =
+  let schema = Duodb.Database.schema db in
+  let text_col c =
+    match Duodb.Schema.find_column schema ~table:c.cr_table c.cr_col with
+    | Some col -> Duodb.Datatype.equal col.Duodb.Schema.col_type Duodb.Datatype.Text
+    | None -> false
+  in
+  (* Projections: plain text columns only — no aggregates, no numbers. *)
+  List.for_all
+    (fun p ->
+      p.p_agg = None
+      && match p.p_col with Some c -> text_col c | None -> false)
+    q.q_select
+  (* HAVING is expressible only as a COUNT property over the derived
+     relation. *)
+  && (match q.q_having with
+     | None -> true
+     | Some cond ->
+         List.for_all
+           (fun pr ->
+             pr.pr_agg = Some Count
+             && match pr.pr_rhs with
+                | Cmp ((Eq | Lt | Le | Gt | Ge), _) | Between _ -> true
+                | Cmp ((Neq | Like | Not_like), _) -> false)
+           cond.c_preds)
+  && (match q.q_where with
+     | None -> true
+     | Some cond ->
+         List.for_all
+           (fun pr ->
+             match pr.pr_rhs with
+             | Cmp ((Eq | Lt | Le | Gt | Ge), _) | Between _ -> true
+             | Cmp ((Neq | Like | Not_like), _) -> false)
+           cond.c_preds)
+  (* Grouped aggregate output is not expressible. *)
+  && (q.q_group_by = []
+     || List.for_all (fun p -> p.p_agg = None) q.q_select)
+
+(* Candidate schema text columns containing every exact cell at position
+   [i] of the examples. *)
+let candidate_columns db examples i =
+  let schema = Duodb.Database.schema db in
+  let cells =
+    List.filter_map
+      (fun tup -> List.nth_opt tup i)
+      examples
+  in
+  let exact_texts =
+    List.filter_map
+      (function Tsq.Exact (Value.Text s) -> Some s | _ -> None)
+      cells
+  in
+  let has_non_text =
+    List.exists
+      (function
+        | Tsq.Exact (Value.Int _ | Value.Float _) | Tsq.Range _ -> true
+        | Tsq.Exact _ | Tsq.Any -> false)
+      cells
+  in
+  if has_non_text then []  (* numeric projections unsupported *)
+  else
+    List.filter
+      (fun c ->
+        Duodb.Datatype.equal c.Duodb.Schema.col_type Duodb.Datatype.Text
+        && (exact_texts = []
+           ||
+           let tbl = Duodb.Database.table_exn db c.Duodb.Schema.col_table in
+           let idx = Duodb.Table.column_index tbl c.Duodb.Schema.col_name in
+           List.for_all
+             (fun s ->
+               Duodb.Table.exists
+                 (fun row -> Value.equal row.(idx) (Value.Text s))
+                 tbl)
+             exact_texts))
+      (Duodb.Schema.all_columns schema)
+
+(* Choose, per position, the candidate column minimizing the joint Steiner
+   tree; greedy left-to-right with first-found preference. *)
+let choose_projections db examples width =
+  let schema = Duodb.Database.schema db in
+  let rec go i chosen =
+    if i >= width then Some (List.rev chosen)
+    else
+      let cands = candidate_columns db examples i in
+      let try_cand c =
+        let tables =
+          List.sort_uniq String.compare
+            (List.map (fun col -> col.Duodb.Schema.col_table) (c :: chosen))
+        in
+        match Duocore.Steiner.tree schema tables with
+        | Some tr -> Some (c, Duocore.Steiner.size tr)
+        | None -> None
+      in
+      let best =
+        List.fold_left
+          (fun acc c ->
+            match try_cand c, acc with
+            | Some (c, sz), Some (_, sz') when sz < sz' -> Some (c, sz)
+            | Some (c, sz), None -> Some (c, sz)
+            | _, acc -> acc)
+          None cands
+      in
+      match best with
+      | None -> None
+      | Some (c, _) -> go (i + 1) (c :: chosen)
+  in
+  go 0 []
+
+let col_ref_of c = col c.Duodb.Schema.col_table c.Duodb.Schema.col_name
+
+(* Filter abduction over one (possibly extended) join clause: find the
+   columns whose values the witnesses of every example share.  SQuID calls
+   these semantic properties; extending the clause over FK hops derives
+   properties of related entities (an author's conference, a movie's
+   genre). *)
+let abduce_filters db examples projections (from : from_clause) =
+  let schema = Duodb.Database.schema db in
+  let all_cols =
+    List.concat_map
+      (fun t ->
+        match Duodb.Schema.find_table schema t with
+        | Some ts -> ts.Duodb.Schema.tbl_columns
+        | None -> [])
+      from.f_tables
+  in
+  let wide =
+    simple (List.map (fun c -> proj_col (col_ref_of c)) all_cols) from
+  in
+  match Duoengine.Executor.run db wide with
+  | Error _ -> None
+  | Ok res ->
+      let rows = res.Duoengine.Executor.res_rows in
+      let proj_idx =
+        List.map
+          (fun p ->
+            let rec find i = function
+              | [] -> -1
+              | c :: rest ->
+                  if
+                    String.equal c.Duodb.Schema.col_table p.Duodb.Schema.col_table
+                    && String.equal c.Duodb.Schema.col_name p.Duodb.Schema.col_name
+                  then i
+                  else find (i + 1) rest
+            in
+            find 0 all_cols)
+          projections
+      in
+      (* Witness rows per example: joined rows whose projected cells match
+         the example's cells.  Projections outside this clause are treated
+         as unconstrained. *)
+      let witnesses_of tup =
+        let cells = Array.of_list tup in
+        List.filter
+          (fun row ->
+            List.for_all
+              (fun (pos, idx) ->
+                idx < 0 || pos >= Array.length cells
+                || Tsq.cell_matches cells.(pos) row.(idx))
+              (List.mapi (fun pos idx -> (pos, idx)) proj_idx))
+          rows
+      in
+      let witness_sets = List.map witnesses_of examples in
+      if List.exists (fun ws -> ws = []) witness_sets then None
+      else begin
+        let witness_count =
+          List.fold_left (fun acc ws -> acc + List.length ws) 0 witness_sets
+        in
+        let min_witnesses =
+          List.fold_left (fun acc ws -> min acc (List.length ws)) max_int witness_sets
+        in
+        (* A column yields an equality filter when some value covers every
+           example (appears in at least one witness of each); numeric
+           columns also yield the spanning range. *)
+        let filters =
+          List.concat
+            (List.mapi
+               (fun idx c ->
+                 let values_per_example =
+                   List.map
+                     (fun ws ->
+                       List.sort_uniq Value.compare
+                         (List.filter_map
+                            (fun row ->
+                              if Value.is_null row.(idx) then None
+                              else Some row.(idx))
+                            ws))
+                     witness_sets
+                 in
+                 if List.exists (fun vs -> vs = []) values_per_example then []
+                 else
+                   let first, rest =
+                     match values_per_example with
+                     | f :: r -> (f, r)
+                     | [] -> ([], [])
+                   in
+                   let common =
+                     List.filter
+                       (fun v -> List.for_all (List.exists (Value.equal v)) rest)
+                       first
+                   in
+                   let eqs = List.map (fun v -> (c, F_eq v)) common in
+                   let range =
+                     if
+                       Duodb.Datatype.equal c.Duodb.Schema.col_type
+                         Duodb.Datatype.Number
+                     then
+                       let all = List.concat values_per_example in
+                       match List.sort Value.compare all with
+                       | [] -> []
+                       | sorted ->
+                           [ (c, F_range (List.hd sorted, List.nth sorted (List.length sorted - 1))) ]
+                     else []
+                   in
+                   eqs @ range)
+               all_cols)
+        in
+        Some (filters, witness_count, min_witnesses)
+      end
+
+let discover db examples =
+  let width =
+    List.fold_left (fun acc tup -> max acc (List.length tup)) 0 examples
+  in
+  if width = 0 then None
+  else
+    match choose_projections db examples width with
+    | None -> None
+    | Some projections -> (
+        let schema = Duodb.Database.schema db in
+        let tables =
+          List.sort_uniq String.compare
+            (List.map (fun c -> c.Duodb.Schema.col_table) projections)
+        in
+        (* Base clause for the witness count, plus FK-hop extensions whose
+           derived properties (shared values and per-entity counts) become
+           additional candidate filters. *)
+        let clauses = Duocore.Joinpath.construct ~depth:3 schema ~tables in
+        match clauses with
+        | [] -> None
+        | base :: extensions -> (
+            match abduce_filters db examples projections base with
+            | None -> None
+            | Some (filters, witness_count, _) ->
+                let extra, count_properties =
+                  List.fold_left
+                    (fun (fs_acc, cp_acc) clause ->
+                      match abduce_filters db examples projections clause with
+                      | Some (fs, _, min_w) ->
+                          let cp =
+                            if min_w >= 2 then
+                              (clause.f_tables, min_w) :: cp_acc
+                            else cp_acc
+                          in
+                          (fs_acc @ fs, cp)
+                      | None -> (fs_acc, cp_acc))
+                    ([], []) extensions
+                in
+                let dedup =
+                  List.fold_left
+                    (fun acc (c, f) ->
+                      if
+                        List.exists
+                          (fun (c2, f2) ->
+                            String.equal c.Duodb.Schema.col_table c2.Duodb.Schema.col_table
+                            && String.equal c.Duodb.Schema.col_name c2.Duodb.Schema.col_name
+                            && f = f2)
+                          acc
+                      then acc
+                      else acc @ [ (c, f) ])
+                    [] (filters @ extra)
+                in
+                Some
+                  { projections; filters = dedup;
+                    count_properties = List.rev count_properties;
+                    witness_count }))
+
+let correct_for result ~gold =
+  let proj_ok =
+    List.length gold.q_select = List.length result.projections
+    && List.for_all2
+         (fun p c ->
+           match p.p_col with
+           | Some cr ->
+               String.equal cr.cr_table c.Duodb.Schema.col_table
+               && String.equal cr.cr_col c.Duodb.Schema.col_name
+           | None -> false)
+         gold.q_select result.projections
+  in
+  let filter_cols = List.map fst result.filters in
+  let preds_ok =
+    match gold.q_where with
+    | None -> true
+    | Some cond ->
+        List.for_all
+          (fun pr ->
+            match pr.pr_col with
+            | None -> false
+            | Some cr ->
+                List.exists
+                  (fun c ->
+                    String.equal c.Duodb.Schema.col_table cr.cr_table
+                    && String.equal c.Duodb.Schema.col_name cr.cr_col)
+                  filter_cols)
+          cond.c_preds
+  in
+  (* A HAVING-COUNT intent is covered when some derived clause shows every
+     example entity with >= 2 witnesses over the gold query's tables
+     (literal values ignored, as in Section 5.4.2). *)
+  let having_ok =
+    match gold.q_having with
+    | None -> true
+    | Some cond ->
+        List.for_all
+          (fun pr ->
+            pr.pr_agg = Some Count
+            && List.exists
+                 (fun (tables, _) ->
+                   List.for_all
+                     (fun t -> List.mem t tables)
+                     gold.q_from.f_tables)
+                 result.count_properties)
+          cond.c_preds
+  in
+  proj_ok && preds_ok && having_ok

@@ -1,0 +1,47 @@
+(** A SQuID-style programming-by-example baseline (Fariha & Meliou, 2019)
+    matching the capability envelope of Table 1 and Section 5.4.2:
+
+    - open-world: examples are a subset of the desired output;
+    - partial tuples and no schema knowledge required;
+    - abductive discovery of selection predicates from example witnesses;
+    - {e not} supported: projections of numeric columns or aggregates, and
+      selection predicates using negation or LIKE.
+
+    Given example tuples alone, the system (1) maps each example column to
+    candidate schema text columns by containment, (2) joins them along a
+    Steiner tree, and (3) abduces candidate filters: properties shared by
+    every example's witness rows, which it would present as checkable
+    "filters" in its explanation interface. *)
+
+type filter =
+  | F_eq of Duodb.Value.t  (** all witnesses share this value *)
+  | F_range of Duodb.Value.t * Duodb.Value.t
+      (** numeric witnesses span this interval *)
+
+type result = {
+  projections : Duodb.Schema.column list;
+      (** chosen column per example position *)
+  filters : (Duodb.Schema.column * filter) list;
+      (** candidate selection predicates *)
+  count_properties : (string list * int) list;
+      (** derived count properties: over the given join clause, every
+          example entity has at least this many witness rows (SQuID's
+          aggregate semantic properties — how HAVING-COUNT intents are
+          covered) *)
+  witness_count : int;  (** joined rows matching all examples *)
+}
+
+(** [supported_query q] — whether the desired query is inside this
+    baseline's capability envelope (used to report the paper's
+    "unsupported" counts). *)
+val supported_query : Duodb.Database.t -> Duosql.Ast.query -> bool
+
+(** [discover db examples] runs predicate discovery.  [None] when the
+    example columns cannot be mapped to text columns or cannot be joined. *)
+val discover : Duodb.Database.t -> Duocore.Tsq.tuple list -> result option
+
+(** The paper's correctness criterion (Section 5.4.2): the gold query's
+    projected columns match the produced projections positionally, and
+    every gold selection predicate's column appears among the candidate
+    filters (literal values ignored). *)
+val correct_for : result -> gold:Duosql.Ast.query -> bool

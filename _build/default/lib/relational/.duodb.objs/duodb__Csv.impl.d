@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Buffer Database Datatype Filename List Printf Schema String Sys Table Value

@@ -1,0 +1,1 @@
+lib/relational/index.ml: Array Database Datatype List Map Option Schema String Table Value

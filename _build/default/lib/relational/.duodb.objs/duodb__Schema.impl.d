@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Datatype Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Datatype List Printf Schema String Value

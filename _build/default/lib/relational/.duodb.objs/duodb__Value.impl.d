@@ -1,0 +1,1 @@
+lib/relational/value.ml: Array Float Format Hashtbl Int Printf String

@@ -1,0 +1,175 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let field_of_value = function
+  | Value.Null -> ""
+  | v -> quote (Value.to_display v)
+
+let rows_to_string ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (List.map quote header));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (Array.to_list (Array.map field_of_value row)));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let table_to_string tbl =
+  let header =
+    List.map (fun c -> c.Schema.col_name) (Table.schema tbl).Schema.tbl_columns
+  in
+  rows_to_string ~header (Array.to_list (Table.rows tbl))
+
+(* --- parsing --- *)
+
+(* Split one CSV document into records of fields, honouring quotes. *)
+let parse_records s =
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let n = String.length s in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let rec go i in_quotes =
+    if i >= n then begin
+      if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+      List.rev !records
+    end
+    else
+      let c = s.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && s.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else
+        match c with
+        | '"' -> go (i + 1) true
+        | ',' ->
+            flush_field ();
+            go (i + 1) false
+        | '\r' -> go (i + 1) false
+        | '\n' ->
+            flush_record ();
+            go (i + 1) false
+        | _ ->
+            Buffer.add_char buf c;
+            go (i + 1) false
+  in
+  go 0 false
+
+let value_of_field ty s =
+  if s = "" then Ok Value.Null
+  else
+    match ty with
+    | Datatype.Text -> Ok (Value.Text s)
+    | Datatype.Number -> (
+        match int_of_string_opt s with
+        | Some n -> Ok (Value.Int n)
+        | None -> (
+            match float_of_string_opt s with
+            | Some f -> Ok (Value.Float f)
+            | None -> Error (Printf.sprintf "expected a number, got %S" s)))
+
+let table_of_string ts s =
+  match parse_records s with
+  | [] -> Error "empty CSV document"
+  | header :: rows -> (
+      let expected = List.map (fun c -> c.Schema.col_name) ts.Schema.tbl_columns in
+      if header <> expected then
+        Error
+          (Printf.sprintf "header mismatch: expected %s, got %s"
+             (String.concat "," expected) (String.concat "," header))
+      else
+        let tbl = Table.create ts in
+        let rec insert_all line = function
+          | [] -> Ok tbl
+          | fields :: rest ->
+              if List.length fields <> List.length ts.Schema.tbl_columns then
+                Error (Printf.sprintf "line %d: wrong field count" line)
+              else
+                let parsed =
+                  List.map2
+                    (fun c f -> value_of_field c.Schema.col_type f)
+                    ts.Schema.tbl_columns fields
+                in
+                let rec collect acc = function
+                  | [] -> Ok (List.rev acc)
+                  | Ok v :: r -> collect (v :: acc) r
+                  | Error e :: _ -> Error (Printf.sprintf "line %d: %s" line e)
+                in
+                (match collect [] parsed with
+                | Error e -> Error e
+                | Ok values ->
+                    Table.insert tbl (Array.of_list values);
+                    insert_all (line + 1) rest)
+        in
+        insert_all 2 rows)
+
+let export_database db ~dir =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun ts ->
+        let tbl = Database.table_exn db ts.Schema.tbl_name in
+        let path = Filename.concat dir (ts.Schema.tbl_name ^ ".csv") in
+        let oc = open_out path in
+        output_string oc (table_to_string tbl);
+        close_out oc)
+      (Database.schema db).Schema.tables;
+    Ok ()
+  with Sys_error e -> Error e
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let import_database schema ~dir =
+  try
+    let db = Database.create schema in
+    let rec load = function
+      | [] -> Ok db
+      | ts :: rest -> (
+          let path = Filename.concat dir (ts.Schema.tbl_name ^ ".csv") in
+          if not (Sys.file_exists path) then load rest
+          else
+            match table_of_string ts (read_file path) with
+            | Error e -> Error (ts.Schema.tbl_name ^ ": " ^ e)
+            | Ok tbl ->
+                Table.iter (Database.insert db ~table:ts.Schema.tbl_name) tbl;
+                load rest)
+    in
+    load schema.Schema.tables
+  with Sys_error e -> Error e

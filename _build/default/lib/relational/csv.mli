@@ -1,0 +1,24 @@
+(** CSV import/export for tables and databases.
+
+    Format: RFC-4180-style — comma-separated, double-quote quoting with
+    quote doubling, first line is the header.  The empty field reads back
+    as [Null]; fields of numeric columns parse as numbers. *)
+
+(** Render one table, header first. *)
+val table_to_string : Table.t -> string
+
+(** [table_of_string schema_table s] parses rows into a fresh table.
+    Header column names must match the schema (order included). *)
+val table_of_string : Schema.table -> string -> (Table.t, string) result
+
+(** Write every table of the database as [<dir>/<table>.csv].  Creates the
+    directory when missing. *)
+val export_database : Database.t -> dir:string -> (unit, string) result
+
+(** Load a database from a directory written by {!export_database}; tables
+    without a file stay empty. *)
+val import_database : Schema.t -> dir:string -> (Database.t, string) result
+
+(** Render arbitrary rows with a header (used by the CLI's full query
+    view). *)
+val rows_to_string : header:string list -> Value.t array list -> string

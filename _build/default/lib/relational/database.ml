@@ -1,0 +1,82 @@
+type t = {
+  dschema : Schema.t;
+  tables : (string, Table.t) Hashtbl.t;
+}
+
+let create dschema =
+  let tables = Hashtbl.create 16 in
+  List.iter
+    (fun tbl -> Hashtbl.replace tables tbl.Schema.tbl_name (Table.create tbl))
+    dschema.Schema.tables;
+  { dschema; tables }
+
+let schema t = t.dschema
+let name t = t.dschema.Schema.name
+let table t tbl = Hashtbl.find_opt t.tables tbl
+
+let table_exn t tbl =
+  match table t tbl with
+  | Some x -> x
+  | None ->
+      invalid_arg (Printf.sprintf "Database.table_exn: no table %S in %s" tbl (name t))
+
+let insert t ~table row = Table.insert (table_exn t table) row
+let insert_all t ~table rows = Table.insert_all (table_exn t table) rows
+
+let total_rows t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Table.row_count tbl) t.tables 0
+
+(* Key of a row restricted to the given column names, for PK uniqueness and
+   FK membership checks. *)
+let key_of tbl cols row =
+  List.map (fun c -> row.(Table.column_index tbl c)) cols
+
+let check_integrity t =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (* Primary key uniqueness. *)
+  List.iter
+    (fun ts ->
+      match ts.Schema.tbl_pk with
+      | [] -> ()
+      | pk ->
+          let tbl = table_exn t ts.Schema.tbl_name in
+          let seen = Hashtbl.create 64 in
+          Table.iter
+            (fun row ->
+              let k = List.map Value.to_sql (key_of tbl pk row) in
+              if Hashtbl.mem seen k then
+                add "duplicate primary key %s in %s" (String.concat "," k)
+                  ts.Schema.tbl_name
+              else Hashtbl.add seen k ())
+            tbl)
+    t.dschema.Schema.tables;
+  (* Foreign key membership. *)
+  List.iter
+    (fun e ->
+      let src = table_exn t e.Schema.fk_table in
+      let dst = table_exn t e.Schema.pk_table in
+      let dst_idx = Table.column_index dst e.Schema.pk_column in
+      let keys = Hashtbl.create 256 in
+      Table.iter (fun row -> Hashtbl.replace keys (Value.to_sql row.(dst_idx)) ()) dst;
+      let src_idx = Table.column_index src e.Schema.fk_column in
+      Table.iter
+        (fun row ->
+          let v = row.(src_idx) in
+          if (not (Value.is_null v)) && not (Hashtbl.mem keys (Value.to_sql v)) then
+            add "dangling foreign key %s.%s=%s (-> %s.%s)" e.Schema.fk_table
+              e.Schema.fk_column (Value.to_sql v) e.Schema.pk_table
+              e.Schema.pk_column)
+        src)
+    t.dschema.Schema.foreign_keys;
+  List.rev !violations
+
+let pp_stats ppf t =
+  Format.fprintf ppf "@[<v>database %s: %d tables, %d rows@," (name t)
+    (Schema.num_tables t.dschema) (total_rows t);
+  List.iter
+    (fun ts ->
+      Format.fprintf ppf "  %-24s %6d rows@," ts.Schema.tbl_name
+        (Table.row_count (table_exn t ts.Schema.tbl_name)))
+    t.dschema.Schema.tables;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** A database: a schema plus one {!Table.t} of rows per schema table. *)
+
+type t
+
+(** [create schema] builds a database with one empty table per schema
+    table. *)
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+val name : t -> string
+
+val table : t -> string -> Table.t option
+val table_exn : t -> string -> Table.t
+
+(** [insert db ~table row] appends a row into [table]. *)
+val insert : t -> table:string -> Value.t array -> unit
+
+val insert_all : t -> table:string -> Value.t array list -> unit
+
+(** Total rows across all tables. *)
+val total_rows : t -> int
+
+(** [check_integrity db] verifies that every foreign key value (when not
+    null) references an existing primary key value, and that primary keys
+    are unique.  Returns the list of violations as human-readable strings
+    (empty when consistent). *)
+val check_integrity : t -> string list
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t =
+  | Text
+  | Number
+
+let equal a b =
+  match a, b with
+  | Text, Text | Number, Number -> true
+  | Text, Number | Number, Text -> false
+
+let to_string = function Text -> "text" | Number -> "number"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "text" -> Some Text
+  | "number" -> Some Number
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_value = function
+  | Value.Null -> None
+  | Value.Int _ | Value.Float _ -> Some Number
+  | Value.Text _ -> Some Text
+
+let value_matches ty v =
+  match of_value v with
+  | None -> true
+  | Some ty' -> equal ty ty'

@@ -1,0 +1,21 @@
+(** Column data types in the paper's scope: text or number (Section 2.2,
+    Table 2). *)
+
+type t =
+  | Text
+  | Number
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** Parse "text" / "number" (case-insensitive). *)
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** Type of a value, if determinate. [Value.Null] has no type. *)
+val of_value : Value.t -> t option
+
+(** [value_matches ty v] holds when [v] could be stored in a column of type
+    [ty]; [Null] matches both types. *)
+val value_matches : t -> Value.t -> bool

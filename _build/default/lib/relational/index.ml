@@ -1,0 +1,81 @@
+type hit = {
+  hit_value : string;
+  hit_table : string;
+  hit_column : string;
+}
+
+module Smap = Map.Make (String)
+
+type t = {
+  (* lowercased value -> hits (original casing preserved in hits) *)
+  mutable postings : hit list Smap.t;
+  mutable size : int;
+}
+
+let add t key hit =
+  let existing = Option.value ~default:[] (Smap.find_opt key t.postings) in
+  let dup =
+    List.exists
+      (fun h ->
+        String.equal h.hit_table hit.hit_table
+        && String.equal h.hit_column hit.hit_column)
+      existing
+  in
+  if not dup then begin
+    t.postings <- Smap.add key (hit :: existing) t.postings;
+    t.size <- t.size + 1
+  end
+
+let build db =
+  let t = { postings = Smap.empty; size = 0 } in
+  let schema = Database.schema db in
+  List.iter
+    (fun ts ->
+      let tbl = Database.table_exn db ts.Schema.tbl_name in
+      List.iter
+        (fun c ->
+          if Datatype.equal c.Schema.col_type Datatype.Text then
+            let idx = Table.column_index tbl c.Schema.col_name in
+            Table.iter
+              (fun row ->
+                match row.(idx) with
+                | Value.Text s when String.length s > 0 ->
+                    add t (String.lowercase_ascii s)
+                      { hit_value = s;
+                        hit_table = ts.Schema.tbl_name;
+                        hit_column = c.Schema.col_name }
+                | Value.Text _ | Value.Null | Value.Int _ | Value.Float _ -> ())
+              tbl)
+        ts.Schema.tbl_columns)
+    schema.Schema.tables;
+  t
+
+let lookup t value =
+  Option.value ~default:[] (Smap.find_opt (String.lowercase_ascii value) t.postings)
+
+let is_prefix ~prefix s =
+  String.length prefix <= String.length s
+  && String.equal prefix (String.sub s 0 (String.length prefix))
+
+let complete t ?(limit = 10) ~prefix () =
+  let prefix = String.lowercase_ascii prefix in
+  (* Maps iterate in key order, so we can stop once past the prefix range. *)
+  let exception Done of hit list in
+  let collect acc key hits =
+    if List.length acc >= limit then raise (Done acc)
+    else if is_prefix ~prefix key then
+      let remaining = limit - List.length acc in
+      let taken = List.filteri (fun i _ -> i < remaining) hits in
+      acc @ taken
+    else if String.compare key prefix > 0 then raise (Done acc)
+    else acc
+  in
+  try Smap.fold (fun k v acc -> collect acc k v) t.postings []
+  with Done acc -> acc
+
+let contains t ~table ~column value =
+  List.exists
+    (fun h -> String.equal h.hit_table table && String.equal h.hit_column column)
+    (lookup t value)
+
+let size t = t.size

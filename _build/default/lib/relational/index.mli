@@ -1,0 +1,30 @@
+(** Master inverted column index over all text columns of a database
+    (Section 4): maps every distinct text value to the columns containing
+    it.  Backs the autocomplete interface for literal tagging and TSQ cells,
+    and lets the guidance model ground NLQ literals to schema columns. *)
+
+type t
+
+type hit = {
+  hit_value : string;  (** the stored text value *)
+  hit_table : string;
+  hit_column : string;
+}
+
+(** Build the index by scanning every text column of the database. *)
+val build : Database.t -> t
+
+(** Columns containing [value] exactly (case-insensitive). *)
+val lookup : t -> string -> hit list
+
+(** Autocomplete: distinct values starting with [prefix] (case-insensitive),
+    at most [limit], lexicographically ordered, with one hit per
+    value/column pair. *)
+val complete : t -> ?limit:int -> prefix:string -> unit -> hit list
+
+(** [contains t ~table ~column value] checks membership of [value] in a
+    specific column without a database scan. *)
+val contains : t -> table:string -> column:string -> string -> bool
+
+(** Number of distinct (value, column) postings. *)
+val size : t -> int

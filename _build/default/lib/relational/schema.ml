@@ -1,0 +1,131 @@
+type column = {
+  col_table : string;
+  col_name : string;
+  col_type : Datatype.t;
+}
+
+type table = {
+  tbl_name : string;
+  tbl_columns : column list;
+  tbl_pk : string list;
+}
+
+type foreign_key = {
+  fk_table : string;
+  fk_column : string;
+  pk_table : string;
+  pk_column : string;
+}
+
+type t = {
+  name : string;
+  tables : table list;
+  foreign_keys : foreign_key list;
+}
+
+let table name cols ~pk =
+  let tbl_columns =
+    List.map (fun (c, ty) -> { col_table = name; col_name = c; col_type = ty }) cols
+  in
+  { tbl_name = name; tbl_columns; tbl_pk = pk }
+
+let fk (fk_table, fk_column) (pk_table, pk_column) =
+  { fk_table; fk_column; pk_table; pk_column }
+
+let find_table t name =
+  List.find_opt (fun tbl -> String.equal tbl.tbl_name name) t.tables
+
+let find_table_exn t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "Schema.find_table_exn: no table %S in %s" name t.name)
+
+let find_column t ~table name =
+  match find_table t table with
+  | None -> None
+  | Some tbl -> List.find_opt (fun c -> String.equal c.col_name name) tbl.tbl_columns
+
+let find_column_exn t ~table name =
+  match find_column t ~table name with
+  | Some c -> c
+  | None ->
+      invalid_arg (Printf.sprintf "Schema.find_column_exn: no column %s.%s" table name)
+
+let validate t =
+  let fail fmt = Printf.ksprintf invalid_arg ("Schema.make: " ^^ fmt) in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun tbl ->
+      if Hashtbl.mem seen tbl.tbl_name then fail "duplicate table %S" tbl.tbl_name;
+      Hashtbl.add seen tbl.tbl_name ();
+      let col_seen = Hashtbl.create 16 in
+      List.iter
+        (fun c ->
+          if not (String.equal c.col_table tbl.tbl_name) then
+            fail "column %s.%s claims table %S" tbl.tbl_name c.col_name c.col_table;
+          if Hashtbl.mem col_seen c.col_name then
+            fail "duplicate column %s.%s" tbl.tbl_name c.col_name;
+          Hashtbl.add col_seen c.col_name ())
+        tbl.tbl_columns;
+      List.iter
+        (fun k ->
+          if not (Hashtbl.mem col_seen k) then
+            fail "primary key column %s.%s does not exist" tbl.tbl_name k)
+        tbl.tbl_pk)
+    t.tables;
+  List.iter
+    (fun e ->
+      let check tbl col =
+        match find_column t ~table:tbl col with
+        | Some _ -> ()
+        | None -> fail "foreign key references missing column %s.%s" tbl col
+      in
+      check e.fk_table e.fk_column;
+      check e.pk_table e.pk_column)
+    t.foreign_keys
+
+let make ~name tables foreign_keys =
+  let t = { name; tables; foreign_keys } in
+  validate t;
+  t
+
+let all_columns t = List.concat_map (fun tbl -> tbl.tbl_columns) t.tables
+
+let is_pk_column t ~table col =
+  match find_table t table with
+  | None -> false
+  | Some tbl -> List.exists (String.equal col) tbl.tbl_pk
+
+let num_tables t = List.length t.tables
+let num_columns t = List.length (all_columns t)
+let num_foreign_keys t = List.length t.foreign_keys
+
+let join_edges t ~table =
+  List.filter
+    (fun e -> String.equal e.fk_table table || String.equal e.pk_table table)
+    t.foreign_keys
+
+let joinable t t1 t2 =
+  List.filter
+    (fun e ->
+      (String.equal e.fk_table t1 && String.equal e.pk_table t2)
+      || (String.equal e.fk_table t2 && String.equal e.pk_table t1))
+    t.foreign_keys
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schema %s@," t.name;
+  List.iter
+    (fun tbl ->
+      Format.fprintf ppf "  @[<h>%s(%s)@]@," tbl.tbl_name
+        (String.concat ", "
+           (List.map
+              (fun c ->
+                let mark = if List.exists (String.equal c.col_name) tbl.tbl_pk then "*" else "" in
+                Printf.sprintf "%s%s:%s" mark c.col_name (Datatype.to_string c.col_type))
+              tbl.tbl_columns)))
+    t.tables;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %s.%s -> %s.%s@," e.fk_table e.fk_column e.pk_table e.pk_column)
+    t.foreign_keys;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,79 @@
+(** Database schemas: typed columns, primary keys, and foreign key-primary
+    key (FK-PK) relationships.
+
+    The paper restricts joins to inner joins on FK-PK edges (Section 2.5),
+    so the schema also exposes the undirected {e join graph} whose nodes are
+    tables and whose edges are FK-PK relationships; progressive join path
+    construction (Algorithm 2) computes Steiner trees on this graph. *)
+
+type column = {
+  col_table : string;  (** owning table name *)
+  col_name : string;
+  col_type : Datatype.t;
+}
+
+type table = {
+  tbl_name : string;
+  tbl_columns : column list;
+  tbl_pk : string list;  (** primary key column names, possibly composite *)
+}
+
+(** A directed FK-PK edge: [fk_table.fk_column] references
+    [pk_table.pk_column]. *)
+type foreign_key = {
+  fk_table : string;
+  fk_column : string;
+  pk_table : string;
+  pk_column : string;
+}
+
+type t = {
+  name : string;
+  tables : table list;
+  foreign_keys : foreign_key list;
+}
+
+(** {1 Construction} *)
+
+(** [make ~name tables fks] validates that table names are distinct, that
+    PK and FK column references exist, and that FK endpoints are distinct
+    tables or self-references on existing columns.
+    Raises [Invalid_argument] with a description otherwise. *)
+val make : name:string -> table list -> foreign_key list -> t
+
+(** Convenience builder: [table name cols ~pk] with [cols] given as
+    [(name, type)] pairs. *)
+val table : string -> (string * Datatype.t) list -> pk:string list -> table
+
+(** [fk (t1, c1) (t2, c2)] is the FK-PK edge [t1.c1 -> t2.c2]. *)
+val fk : string * string -> string * string -> foreign_key
+
+(** {1 Lookup} *)
+
+val find_table : t -> string -> table option
+val find_table_exn : t -> string -> table
+val find_column : t -> table:string -> string -> column option
+val find_column_exn : t -> table:string -> string -> column
+
+(** All columns of all tables, in schema order. *)
+val all_columns : t -> column list
+
+(** [is_pk_column schema ~table col] holds when [col] is part of [table]'s
+    primary key. *)
+val is_pk_column : t -> table:string -> string -> bool
+
+val num_tables : t -> int
+val num_columns : t -> int
+val num_foreign_keys : t -> int
+
+(** {1 Join graph} *)
+
+(** Undirected adjacency: for each table, the FK-PK edges incident to it
+    (each edge reported from both endpoints). *)
+val join_edges : t -> table:string -> foreign_key list
+
+(** [joinable schema t1 t2] returns the FK-PK edges connecting the two
+    tables in either direction. *)
+val joinable : t -> string -> string -> foreign_key list
+
+val pp : Format.formatter -> t -> unit

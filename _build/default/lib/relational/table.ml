@@ -1,0 +1,85 @@
+type t = {
+  tschema : Schema.table;
+  mutable data : Value.t array array;
+  mutable len : int;
+}
+
+let create tschema = { tschema; data = [||]; len = 0 }
+let schema t = t.tschema
+let name t = t.tschema.Schema.tbl_name
+let row_count t = t.len
+
+let column_index t col =
+  let rec find i = function
+    | [] ->
+        invalid_arg
+          (Printf.sprintf "Table.column_index: no column %s.%s" (name t) col)
+    | c :: rest ->
+        if String.equal c.Schema.col_name col then i else find (i + 1) rest
+  in
+  find 0 t.tschema.Schema.tbl_columns
+
+let grow t =
+  let cap = Array.length t.data in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  let data' = Array.make cap' [||] in
+  Array.blit t.data 0 data' 0 t.len;
+  t.data <- data'
+
+let insert t row =
+  let cols = t.tschema.Schema.tbl_columns in
+  let arity = List.length cols in
+  if Array.length row <> arity then
+    invalid_arg
+      (Printf.sprintf "Table.insert: table %s expects %d values, got %d" (name t)
+         arity (Array.length row));
+  List.iteri
+    (fun i c ->
+      if not (Datatype.value_matches c.Schema.col_type row.(i)) then
+        invalid_arg
+          (Printf.sprintf "Table.insert: %s.%s expects %s, got %s" (name t)
+             c.Schema.col_name
+             (Datatype.to_string c.Schema.col_type)
+             (Value.to_sql row.(i))))
+    cols;
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- row;
+  t.len <- t.len + 1
+
+let insert_all t rows = List.iter (insert t) rows
+let rows t = Array.sub t.data 0 t.len
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let column_values t col =
+  let idx = column_index t col in
+  List.rev (fold (fun acc row -> row.(idx) :: acc) [] t)
+
+let column_range t col =
+  let idx = column_index t col in
+  fold
+    (fun acc row ->
+      let v = row.(idx) in
+      if Value.is_null v then acc
+      else
+        match acc with
+        | None -> Some (v, v)
+        | Some (lo, hi) ->
+            let lo = if Value.compare v lo < 0 then v else lo in
+            let hi = if Value.compare v hi > 0 then v else hi in
+            Some (lo, hi))
+    None t

@@ -1,0 +1,46 @@
+(** In-memory table storage: a table schema plus its rows.
+
+    Rows are value arrays indexed in the order of the schema's column list.
+    Storage is append-only; the synthesis workloads build databases once and
+    only read them afterwards. *)
+
+type t
+
+(** [create schema_table] makes an empty table.  Row width is fixed to the
+    number of columns. *)
+val create : Schema.table -> t
+
+val schema : t -> Schema.table
+val name : t -> string
+
+(** [insert t row] appends a row.  Raises [Invalid_argument] when the arity
+    differs from the schema or a value's type contradicts its column type. *)
+val insert : t -> Value.t array -> unit
+
+(** [insert_all t rows] inserts rows in order. *)
+val insert_all : t -> Value.t array list -> unit
+
+val row_count : t -> int
+
+(** Position of a column name within rows. Raises [Not_found]-style
+    [Invalid_argument] for unknown columns. *)
+val column_index : t -> string -> int
+
+(** All rows in insertion order. The returned array is the live storage —
+    callers must not mutate it. *)
+val rows : t -> Value.t array array
+
+(** [column_values t col] is the column vector for [col]. *)
+val column_values : t -> string -> Value.t list
+
+(** [fold f init t] folds over rows in insertion order. *)
+val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
+
+val iter : (Value.t array -> unit) -> t -> unit
+
+(** [exists p t] holds when some row satisfies [p]. *)
+val exists : (Value.t array -> bool) -> t -> bool
+
+(** Min and max of a column ignoring [Null]s; [None] when all null/empty.
+    Used by AVG range verification (Section 3.4). *)
+val column_range : t -> string -> (Value.t * Value.t) option

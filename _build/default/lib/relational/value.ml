@@ -1,0 +1,79 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+
+let rank = function Null -> 0 | Int _ | Float _ -> 1 | Text _ -> 2
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Float x, Float y -> Float.compare x y
+  | Text x, Text y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let is_null = function Null -> true | Int _ | Float _ | Text _ -> false
+let is_numeric = function Int _ | Float _ -> true | Null | Text _ -> false
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Null -> invalid_arg "Value.to_float: Null"
+  | Text s -> invalid_arg ("Value.to_float: Text " ^ s)
+
+(* Render floats without a trailing dot so that e.g. 3.0 prints as "3". *)
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_display = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> float_to_string f
+  | Text s -> s
+
+let escape_quotes s =
+  String.concat "''" (String.split_on_char '\'' s)
+
+let to_sql = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> float_to_string f
+  | Text s -> "'" ^ escape_quotes s ^ "'"
+
+let pp ppf v = Format.pp_print_string ppf (to_sql v)
+
+(* Case-insensitive LIKE matching by dynamic programming over the pattern.
+   [%] matches any substring, [_] any single character. *)
+let like s ~pattern =
+  let s = String.lowercase_ascii s
+  and p = String.lowercase_ascii pattern in
+  let n = String.length s and m = String.length p in
+  (* ok.(i).(j): does s[i..] match p[j..]? Filled right-to-left. *)
+  let ok = Array.make_matrix (n + 1) (m + 1) false in
+  ok.(n).(m) <- true;
+  for j = m - 1 downto 0 do
+    ok.(n).(j) <- p.[j] = '%' && ok.(n).(j + 1)
+  done;
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      ok.(i).(j) <-
+        (match p.[j] with
+        | '%' -> ok.(i).(j + 1) || ok.(i + 1).(j)
+        | '_' -> ok.(i + 1).(j + 1)
+        | c -> c = s.[i] && ok.(i + 1).(j + 1))
+    done
+  done;
+  ok.(0).(0)
+
+let hash = function
+  | Null -> 17
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | Text s -> Hashtbl.hash s

@@ -1,0 +1,44 @@
+(** Scalar values stored in database cells.
+
+    The paper's task scope (Section 2.5) only distinguishes [text] and
+    [number] columns; we keep integers and floats separate in storage but
+    compare them numerically so that a TSQ range such as [[2010, 2017]]
+    matches a float-typed year column. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+
+(** Total order used for ORDER BY and range comparisons. [Null] sorts before
+    every other value; numbers compare numerically across [Int]/[Float];
+    numbers sort before text. *)
+val compare : t -> t -> int
+
+(** Structural equality modulo numeric representation: [Int 3] equals
+    [Float 3.0]. *)
+val equal : t -> t -> bool
+
+val is_null : t -> bool
+
+(** [is_numeric v] is true for [Int] and [Float] values. *)
+val is_numeric : t -> bool
+
+(** Numeric view of a value. Raises [Invalid_argument] on text. *)
+val to_float : t -> float
+
+(** SQL-literal rendering: text is single-quoted with quote doubling. *)
+val to_sql : t -> string
+
+(** Raw rendering without quoting, used for display and CSV-ish output. *)
+val to_display : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Case-insensitive LIKE with [%] (any substring) and [_] (any character)
+    wildcards, as used by predicate evaluation. *)
+val like : string -> pattern:string -> bool
+
+(** Hash compatible with [equal] (numeric values hash by magnitude). *)
+val hash : t -> int

@@ -1,0 +1,1 @@
+lib/sqlfront/ast.ml: Duodb Hashtbl List Option String

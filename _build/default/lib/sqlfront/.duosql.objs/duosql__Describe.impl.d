@@ -1,0 +1,1 @@
+lib/sqlfront/describe.ml: Ast Buffer Duodb List Option Printf String

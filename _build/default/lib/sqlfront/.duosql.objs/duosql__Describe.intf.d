@@ -1,0 +1,1 @@
+lib/sqlfront/describe.mli: Ast

@@ -1,0 +1,1 @@
+lib/sqlfront/equal.ml: Ast Bool Int List Option String

@@ -1,0 +1,1 @@
+lib/sqlfront/equal.mli: Ast

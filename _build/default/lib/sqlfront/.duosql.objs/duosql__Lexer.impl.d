@@ -1,0 +1,1 @@
+lib/sqlfront/lexer.ml: Buffer Duodb List Printf String

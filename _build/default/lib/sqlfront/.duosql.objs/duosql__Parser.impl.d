@@ -1,0 +1,1 @@
+lib/sqlfront/parser.ml: Array Ast Duodb Lexer List Option Printf String

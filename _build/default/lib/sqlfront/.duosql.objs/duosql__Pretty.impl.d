@@ -1,0 +1,1 @@
+lib/sqlfront/pretty.ml: Ast Buffer Duodb Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/sqlfront/pretty.mli: Ast Format

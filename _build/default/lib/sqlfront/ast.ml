@@ -1,0 +1,176 @@
+type col_ref = {
+  cr_table : string;
+  cr_col : string;
+}
+
+type agg =
+  | Count
+  | Sum
+  | Avg
+  | Min
+  | Max
+
+type proj = {
+  p_agg : agg option;
+  p_col : col_ref option;
+  p_distinct : bool;
+}
+
+type cmp =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Like
+  | Not_like
+
+type pred_rhs =
+  | Cmp of cmp * Duodb.Value.t
+  | Between of Duodb.Value.t * Duodb.Value.t
+
+type pred = {
+  pr_agg : agg option;
+  pr_col : col_ref option;
+  pr_rhs : pred_rhs;
+}
+
+type connective =
+  | And
+  | Or
+
+type condition = {
+  c_preds : pred list;
+  c_conn : connective;
+}
+
+type dir =
+  | Asc
+  | Desc
+
+type order_item = {
+  o_agg : agg option;
+  o_col : col_ref option;
+  o_dir : dir;
+}
+
+type join_edge = {
+  j_from : col_ref;
+  j_to : col_ref;
+}
+
+type from_clause = {
+  f_tables : string list;
+  f_joins : join_edge list;
+}
+
+type query = {
+  q_distinct : bool;
+  q_select : proj list;
+  q_from : from_clause;
+  q_where : condition option;
+  q_group_by : col_ref list;
+  q_having : condition option;
+  q_order_by : order_item list;
+  q_limit : int option;
+}
+
+let col cr_table cr_col = { cr_table; cr_col }
+let proj_col c = { p_agg = None; p_col = Some c; p_distinct = false }
+let proj_agg a c = { p_agg = Some a; p_col = Some c; p_distinct = false }
+let count_star = { p_agg = Some Count; p_col = None; p_distinct = false }
+let pred c op v = { pr_agg = None; pr_col = Some c; pr_rhs = Cmp (op, v) }
+let between c lo hi = { pr_agg = None; pr_col = Some c; pr_rhs = Between (lo, hi) }
+let from_table t = { f_tables = [ t ]; f_joins = [] }
+
+let simple projs from =
+  {
+    q_distinct = false;
+    q_select = projs;
+    q_from = from;
+    q_where = None;
+    q_group_by = [];
+    q_having = None;
+    q_order_by = [];
+    q_limit = None;
+  }
+
+let equal_col_ref a b =
+  String.equal a.cr_table b.cr_table && String.equal a.cr_col b.cr_col
+
+let equal_agg a b =
+  match a, b with
+  | None, None -> true
+  | Some x, Some y -> x = y
+  | None, Some _ | Some _, None -> false
+
+let equal_rhs a b =
+  match a, b with
+  | Cmp (o1, v1), Cmp (o2, v2) -> o1 = o2 && Duodb.Value.equal v1 v2
+  | Between (l1, h1), Between (l2, h2) ->
+      Duodb.Value.equal l1 l2 && Duodb.Value.equal h1 h2
+  | Cmp _, Between _ | Between _, Cmp _ -> false
+
+let equal_pred a b =
+  equal_agg a.pr_agg b.pr_agg
+  && (match a.pr_col, b.pr_col with
+     | None, None -> true
+     | Some x, Some y -> equal_col_ref x y
+     | None, Some _ | Some _, None -> false)
+  && equal_rhs a.pr_rhs b.pr_rhs
+
+let condition_cols c =
+  List.filter_map (fun p -> p.pr_col) c.c_preds
+
+let referenced_columns q =
+  let select = List.filter_map (fun p -> p.p_col) q.q_select in
+  let where = Option.fold ~none:[] ~some:condition_cols q.q_where in
+  let having = Option.fold ~none:[] ~some:condition_cols q.q_having in
+  let order = List.filter_map (fun o -> o.o_col) q.q_order_by in
+  select @ where @ q.q_group_by @ having @ order
+
+let referenced_tables q =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun c ->
+      if Hashtbl.mem seen c.cr_table then None
+      else begin
+        Hashtbl.add seen c.cr_table ();
+        Some c.cr_table
+      end)
+    (referenced_columns q)
+
+let condition_literals c =
+  List.concat_map
+    (fun p ->
+      match p.pr_rhs with
+      | Cmp (_, v) -> [ v ]
+      | Between (lo, hi) -> [ lo; hi ])
+    c.c_preds
+
+let literals q =
+  Option.fold ~none:[] ~some:condition_literals q.q_where
+  @ Option.fold ~none:[] ~some:condition_literals q.q_having
+  @ (match q.q_limit with
+    | Some n when n > 0 -> [ Duodb.Value.Int n ]
+    | Some _ | None -> [])
+
+let has_aggregate q = List.exists (fun p -> Option.is_some p.p_agg) q.q_select
+
+let agg_to_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Like -> "LIKE"
+  | Not_like -> "NOT LIKE"

@@ -1,0 +1,146 @@
+(** Abstract syntax for the paper's task scope (Section 2.5):
+    select-project-join-aggregate queries with grouping, HAVING, sorting and
+    LIMIT; flat predicate lists under a single logical connective; inner
+    joins on FK-PK edges.  Set operations, nested subqueries, and self-joins
+    are outside the scope (Section 3.3.6), so a table appears at most once
+    in a FROM clause and column references name their table directly. *)
+
+type col_ref = {
+  cr_table : string;
+  cr_col : string;
+}
+
+type agg =
+  | Count
+  | Sum
+  | Avg
+  | Min
+  | Max
+
+(** A projection: an optional aggregate applied to a column, or to [*]
+    ([p_col = None], only valid with [Count]).  [p_distinct] renders as
+    [COUNT(DISTINCT c)]. *)
+type proj = {
+  p_agg : agg option;
+  p_col : col_ref option;
+  p_distinct : bool;
+}
+
+type cmp =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Like
+  | Not_like
+
+(** Right-hand side of a predicate: comparison against a literal, or
+    [BETWEEN lo AND hi].  Column-to-column comparisons only occur in join
+    conditions, which live in the FROM clause. *)
+type pred_rhs =
+  | Cmp of cmp * Duodb.Value.t
+  | Between of Duodb.Value.t * Duodb.Value.t
+
+(** A selection predicate.  [pr_agg] is only meaningful inside HAVING;
+    [pr_col = None] stands for [COUNT of all rows] and also requires an aggregate. *)
+type pred = {
+  pr_agg : agg option;
+  pr_col : col_ref option;
+  pr_rhs : pred_rhs;
+}
+
+type connective =
+  | And
+  | Or
+
+(** A flat predicate list joined by a single connective (Section 2.5
+    disallows mixed AND/OR nesting). *)
+type condition = {
+  c_preds : pred list;
+  c_conn : connective;
+}
+
+type dir =
+  | Asc
+  | Desc
+
+type order_item = {
+  o_agg : agg option;
+  o_col : col_ref option;  (** [None] = [COUNT of all rows], requires [o_agg] *)
+  o_dir : dir;
+}
+
+(** An equi-join on a FK-PK edge; direction is not semantically
+    meaningful. *)
+type join_edge = {
+  j_from : col_ref;
+  j_to : col_ref;
+}
+
+(** Tables joined along [f_joins]; a valid clause has
+    [length f_joins = length f_tables - 1] and forms a tree. *)
+type from_clause = {
+  f_tables : string list;
+  f_joins : join_edge list;
+}
+
+type query = {
+  q_distinct : bool;
+  q_select : proj list;
+  q_from : from_clause;
+  q_where : condition option;
+  q_group_by : col_ref list;
+  q_having : condition option;
+  q_order_by : order_item list;
+  q_limit : int option;
+}
+
+(** {1 Constructors and accessors} *)
+
+val col : string -> string -> col_ref
+
+(** Plain column projection. *)
+val proj_col : col_ref -> proj
+
+(** Aggregated projection. *)
+val proj_agg : agg -> col_ref -> proj
+
+(** [COUNT of all rows]. *)
+val count_star : proj
+
+(** Simple comparison predicate on an unaggregated column. *)
+val pred : col_ref -> cmp -> Duodb.Value.t -> pred
+
+val between : col_ref -> Duodb.Value.t -> Duodb.Value.t -> pred
+
+(** Single-table FROM clause. *)
+val from_table : string -> from_clause
+
+(** Minimal query: [SELECT projs FROM from_clause]. *)
+val simple : proj list -> from_clause -> query
+
+(** {1 Queries over the AST} *)
+
+(** All column references appearing anywhere in the query except the FROM
+    clause (SELECT, WHERE, GROUP BY, HAVING, ORDER BY) — the set Algorithm 2
+    builds join paths from. *)
+val referenced_columns : query -> col_ref list
+
+(** Distinct table names among {!referenced_columns}. *)
+val referenced_tables : query -> string list
+
+(** All literal values appearing in WHERE/HAVING predicates, plus the LIMIT
+    value (the paper's literal set [L] covers every constant in the desired
+    query). *)
+val literals : query -> Duodb.Value.t list
+
+(** True when some projection carries an aggregate. *)
+val has_aggregate : query -> bool
+
+val equal_col_ref : col_ref -> col_ref -> bool
+val equal_agg : agg option -> agg option -> bool
+val equal_pred : pred -> pred -> bool
+val agg_to_string : agg -> string
+val cmp_to_string : cmp -> string

@@ -1,0 +1,109 @@
+open Ast
+
+let phrase s = String.map (fun c -> if c = '_' then ' ' else c) s
+
+let col_phrase c = phrase c.cr_col ^ " of " ^ phrase c.cr_table
+
+let agg_phrase agg arg =
+  match agg with
+  | Count -> (
+      match arg with
+      | None -> "the number of rows"
+      | Some c -> "the number of " ^ col_phrase c ^ " values")
+  | Sum -> "the total " ^ (match arg with Some c -> col_phrase c | None -> "value")
+  | Avg -> "the average " ^ (match arg with Some c -> col_phrase c | None -> "value")
+  | Min -> "the smallest " ^ (match arg with Some c -> col_phrase c | None -> "value")
+  | Max -> "the largest " ^ (match arg with Some c -> col_phrase c | None -> "value")
+
+let projection p =
+  match p.p_agg with
+  | None -> (
+      match p.p_col with
+      | Some c ->
+          (if p.p_distinct then "each distinct " else "the ")
+          ^ col_phrase c
+      | None -> "everything")
+  | Some a ->
+      let base = agg_phrase a p.p_col in
+      if p.p_distinct then base ^ " (distinct)" else base
+
+let value_phrase v =
+  match v with
+  | Duodb.Value.Text s -> "\"" ^ s ^ "\""
+  | _ -> Duodb.Value.to_display v
+
+let cmp_phrase = function
+  | Eq -> "is"
+  | Neq -> "is not"
+  | Lt -> "is below"
+  | Le -> "is at most"
+  | Gt -> "is above"
+  | Ge -> "is at least"
+  | Like -> "matches"
+  | Not_like -> "does not match"
+
+let pred_lhs p =
+  match p.pr_agg with
+  | None -> (
+      match p.pr_col with
+      | Some c -> "the " ^ col_phrase c
+      | None -> "the row")
+  | Some a -> agg_phrase a p.pr_col
+
+let predicate p =
+  match p.pr_rhs with
+  | Cmp (op, v) ->
+      Printf.sprintf "%s %s %s" (pred_lhs p) (cmp_phrase op) (value_phrase v)
+  | Between (lo, hi) ->
+      Printf.sprintf "%s is between %s and %s" (pred_lhs p) (value_phrase lo)
+        (value_phrase hi)
+
+let condition c =
+  let conn = match c.c_conn with And -> " and " | Or -> " or " in
+  String.concat conn (List.map predicate c.c_preds)
+
+let order_phrase o =
+  let what =
+    match o.o_agg with
+    | None -> (
+        match o.o_col with
+        | Some c -> "the " ^ col_phrase c
+        | None -> "the result")
+    | Some a -> agg_phrase a o.o_col
+  in
+  let dir =
+    match o.o_dir with
+    | Asc -> "from lowest to highest"
+    | Desc -> "from highest to lowest"
+  in
+  what ^ " " ^ dir
+
+let query q =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "show ";
+  Buffer.add_string buf (String.concat ", and " (List.map projection q.q_select));
+  (match q.q_from.f_tables with
+  | [ t ] -> Buffer.add_string buf (Printf.sprintf " from the %s table" (phrase t))
+  | ts ->
+      Buffer.add_string buf
+        (Printf.sprintf " by combining %s" (String.concat ", " (List.map phrase ts))));
+  (match q.q_group_by with
+  | [] -> ()
+  | cols ->
+      Buffer.add_string buf
+        (", for each " ^ String.concat " and " (List.map col_phrase cols)));
+  Option.iter
+    (fun c -> Buffer.add_string buf ("; keep rows where " ^ condition c))
+    q.q_where;
+  Option.iter
+    (fun c -> Buffer.add_string buf ("; keep groups where " ^ condition c))
+    q.q_having;
+  (match q.q_order_by with
+  | [] -> ()
+  | items ->
+      Buffer.add_string buf
+        ("; ordered by " ^ String.concat ", then " (List.map order_phrase items)));
+  Option.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "; first %d row%s only" n (if n = 1 then "" else "s")))
+    q.q_limit;
+  Buffer.contents buf

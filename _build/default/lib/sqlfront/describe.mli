@@ -1,0 +1,17 @@
+(** Render a query as an English sentence.
+
+    Addresses the paper's first future-work item (Section 7): users without
+    SQL knowledge need to validate candidate queries without reading SQL.
+    The front-end shows this description next to each candidate, alongside
+    the result preview. *)
+
+(** [query q] — e.g. ["the name of each movie whose year is before 1995,
+    ordered by year from lowest to highest"]. *)
+val query : Ast.query -> string
+
+(** Describe a single projection ("the number of rows", "the largest
+    revenue"). *)
+val projection : Ast.proj -> string
+
+(** Describe one predicate ("year is at least 1995"). *)
+val predicate : Ast.pred -> string

@@ -1,0 +1,61 @@
+open Ast
+
+(* Multiset equality under an equivalence predicate. *)
+let multiset_equal eq xs ys =
+  let rec remove x = function
+    | [] -> None
+    | y :: rest -> if eq x y then Some rest else Option.map (fun r -> y :: r) (remove x rest)
+  in
+  let rec go xs ys =
+    match xs with
+    | [] -> ys = []
+    | x :: rest -> (
+        match remove x ys with
+        | None -> false
+        | Some ys' -> go rest ys')
+  in
+  List.length xs = List.length ys && go xs ys
+
+let equal_proj a b =
+  equal_agg a.p_agg b.p_agg
+  && Bool.equal a.p_distinct b.p_distinct
+  && (match a.p_col, b.p_col with
+     | None, None -> true
+     | Some x, Some y -> equal_col_ref x y
+     | None, Some _ | Some _, None -> false)
+
+let equal_join a b =
+  (equal_col_ref a.j_from b.j_from && equal_col_ref a.j_to b.j_to)
+  || (equal_col_ref a.j_from b.j_to && equal_col_ref a.j_to b.j_from)
+
+let equal_order a b =
+  equal_agg a.o_agg b.o_agg
+  && a.o_dir = b.o_dir
+  && (match a.o_col, b.o_col with
+     | None, None -> true
+     | Some x, Some y -> equal_col_ref x y
+     | None, Some _ | Some _, None -> false)
+
+let conditions a b =
+  match a, b with
+  | None, None -> true
+  | Some x, Some y ->
+      let conn_ok =
+        x.c_conn = y.c_conn
+        || List.length x.c_preds <= 1  (* connective is vacuous for 1 pred *)
+      in
+      conn_ok && multiset_equal equal_pred x.c_preds y.c_preds
+  | None, Some _ | Some _, None -> false
+
+let queries a b =
+  Bool.equal a.q_distinct b.q_distinct
+  && List.length a.q_select = List.length b.q_select
+  && List.for_all2 equal_proj a.q_select b.q_select
+  && multiset_equal String.equal a.q_from.f_tables b.q_from.f_tables
+  && multiset_equal equal_join a.q_from.f_joins b.q_from.f_joins
+  && conditions a.q_where b.q_where
+  && multiset_equal equal_col_ref a.q_group_by b.q_group_by
+  && conditions a.q_having b.q_having
+  && List.length a.q_order_by = List.length b.q_order_by
+  && List.for_all2 equal_order a.q_order_by b.q_order_by
+  && Option.equal Int.equal a.q_limit b.q_limit

@@ -1,0 +1,13 @@
+(** Structural query equivalence for the benchmark's exact-match metric.
+
+    Two queries are considered equal when they agree on: the DISTINCT flag;
+    the projection list {e in order} (the TSQ fixes column order); the FROM
+    tables and join edges as sets (join edge direction ignored); WHERE and
+    HAVING predicates as sets under the same connective (a single-predicate
+    condition matches under either connective); GROUP BY columns as a set;
+    the ORDER BY list in order; and LIMIT. *)
+
+val queries : Ast.query -> Ast.query -> bool
+
+(** Set-equality of two conditions as described above. *)
+val conditions : Ast.condition option -> Ast.condition option -> bool

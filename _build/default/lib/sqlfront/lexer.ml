@@ -1,0 +1,95 @@
+type token =
+  | Ident of string
+  | Number of Duodb.Value.t
+  | String of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Op of string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if c = '(' then go (i + 1) (Lparen :: acc)
+      else if c = ')' then go (i + 1) (Rparen :: acc)
+      else if c = ',' then go (i + 1) (Comma :: acc)
+      else if c = '*' then go (i + 1) (Star :: acc)
+      else if c = '=' then go (i + 1) (Op "=" :: acc)
+      else if c = '!' && i + 1 < n && s.[i + 1] = '=' then go (i + 2) (Op "!=" :: acc)
+      else if c = '<' then
+        if i + 1 < n && s.[i + 1] = '=' then go (i + 2) (Op "<=" :: acc)
+        else if i + 1 < n && s.[i + 1] = '>' then go (i + 2) (Op "!=" :: acc)
+        else go (i + 1) (Op "<" :: acc)
+      else if c = '>' then
+        if i + 1 < n && s.[i + 1] = '=' then go (i + 2) (Op ">=" :: acc)
+        else go (i + 1) (Op ">" :: acc)
+      else if c = '\'' || c = '"' then begin
+        (* Quoted literal; single quotes escape by doubling. *)
+        let quote = c in
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then Error (Printf.sprintf "unterminated string at offset %d" i)
+          else if s.[j] = quote then
+            if quote = '\'' && j + 1 < n && s.[j + 1] = quote then begin
+              Buffer.add_char buf quote;
+              scan (j + 2)
+            end
+            else Ok (j + 1)
+          else begin
+            Buffer.add_char buf s.[j];
+            scan (j + 1)
+          end
+        in
+        match scan (i + 1) with
+        | Error e -> Error e
+        | Ok next -> go next (String (Buffer.contents buf) :: acc)
+      end
+      else if is_digit c || (c = '-' && i + 1 < n && is_digit s.[i + 1]) then begin
+        let j = ref (if c = '-' then i + 1 else i) in
+        let is_float = ref false in
+        while
+          !j < n
+          && (is_digit s.[!j] || (s.[!j] = '.' && !j + 1 < n && is_digit s.[!j + 1]))
+        do
+          if s.[!j] = '.' then is_float := true;
+          incr j
+        done;
+        let text = String.sub s i (!j - i) in
+        let v =
+          if !is_float then Duodb.Value.Float (float_of_string text)
+          else Duodb.Value.Int (int_of_string text)
+        in
+        go !j (Number v :: acc)
+      end
+      else if c = '.' then go (i + 1) (Dot :: acc)
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        go !j (Ident (String.sub s i (!j - i)) :: acc)
+      end
+      else Error (Printf.sprintf "unexpected character %C at offset %d" c i)
+  in
+  go 0 []
+
+let token_to_string = function
+  | Ident s -> s
+  | Number v -> Duodb.Value.to_sql v
+  | String s -> "'" ^ s ^ "'"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Star -> "*"
+  | Op s -> s

@@ -1,0 +1,18 @@
+(** Tokenizer for the SQL dialect accepted by {!Parser}. *)
+
+type token =
+  | Ident of string  (** identifier or keyword, original casing preserved *)
+  | Number of Duodb.Value.t  (** [Int] or [Float] literal *)
+  | String of string  (** contents of a ['...'] or ["..."] literal *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Op of string  (** one of [=], [!=], [<>], [<], [<=], [>], [>=] *)
+
+(** [tokenize s] lexes [s]; [Error msg] reports the first bad character or
+    unterminated string. *)
+val tokenize : string -> (token list, string) result
+
+val token_to_string : token -> string

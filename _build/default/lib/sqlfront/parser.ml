@@ -1,0 +1,376 @@
+(* Parsing happens in two passes: the grammar pass builds a "raw" query in
+   which column references are (optional qualifier, name) pairs, because
+   SELECT is parsed before the FROM clause that defines aliases.  The
+   resolution pass then rewrites raw references into real [Ast.col_ref]s
+   using the alias table and, for unqualified names, the schema. *)
+
+type rcol = {
+  rq : string option;
+  rn : string;
+}
+
+type rlhs = {
+  rl_agg : Ast.agg option;
+  rl_col : rcol option;  (* None = "*" *)
+  rl_distinct : bool;
+}
+
+type rpred =
+  | Rcmp of rlhs * Ast.cmp * Duodb.Value.t
+  | Rbetween of rlhs * Duodb.Value.t * Duodb.Value.t
+
+type rquery = {
+  r_distinct : bool;
+  r_select : rlhs list;
+  r_tables : (string * string) list;  (* (alias, table) *)
+  r_joins : (rcol * rcol) list;
+  r_where : (rpred list * Ast.connective) option;
+  r_group : rcol list;
+  r_having : (rpred list * Ast.connective) option;
+  r_order : (rlhs * Ast.dir) list;
+  r_limit : int option;
+}
+
+exception Parse_error of string
+
+type state = {
+  toks : Lexer.token array;
+  mutable pos : int;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = if st.pos < Array.length st.toks then Some st.toks.(st.pos) else None
+let advance st = st.pos <- st.pos + 1
+
+let is_kw st kw =
+  match peek st with
+  | Some (Lexer.Ident s) -> String.equal (String.uppercase_ascii s) kw
+  | _ -> false
+
+let eat_kw st kw =
+  if is_kw st kw then advance st
+  else
+    fail "expected %s at token %d (%s)" kw st.pos
+      (match peek st with Some t -> Lexer.token_to_string t | None -> "<eof>")
+
+let accept_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st what =
+  match peek st with
+  | Some (Lexer.Ident s) ->
+      advance st;
+      s
+  | t ->
+      fail "expected %s, got %s" what
+        (match t with Some t -> Lexer.token_to_string t | None -> "<eof>")
+
+let agg_of_ident s =
+  match String.uppercase_ascii s with
+  | "COUNT" -> Some Ast.Count
+  | "SUM" -> Some Ast.Sum
+  | "AVG" -> Some Ast.Avg
+  | "MIN" -> Some Ast.Min
+  | "MAX" -> Some Ast.Max
+  | _ -> None
+
+let keywords =
+  [ "SELECT"; "DISTINCT"; "FROM"; "JOIN"; "ON"; "WHERE"; "AND"; "OR"; "GROUP";
+    "BY"; "HAVING"; "ORDER"; "LIMIT"; "BETWEEN"; "LIKE"; "NOT"; "AS"; "ASC";
+    "DESC" ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+(* colref ::= ident ["." ident] *)
+let parse_rcol st =
+  let first = expect_ident st "column reference" in
+  match peek st with
+  | Some Lexer.Dot ->
+      advance st;
+      let second = expect_ident st "column name" in
+      { rq = Some first; rn = second }
+  | _ -> { rq = None; rn = first }
+
+(* lhs ::= [DISTINCT] colref | agg "(" [DISTINCT] (colref | "*") ")" *)
+let parse_rlhs st =
+  let distinct_prefix = accept_kw st "DISTINCT" in
+  match peek st with
+  | Some (Lexer.Ident s) when Option.is_some (agg_of_ident s) && st.pos + 1 < Array.length st.toks
+                              && st.toks.(st.pos + 1) = Lexer.Lparen ->
+      let agg = agg_of_ident s in
+      advance st;
+      advance st;
+      let inner_distinct = accept_kw st "DISTINCT" in
+      let col =
+        match peek st with
+        | Some Lexer.Star ->
+            advance st;
+            None
+        | _ -> Some (parse_rcol st)
+      in
+      (match peek st with
+      | Some Lexer.Rparen -> advance st
+      | _ -> fail "expected ) after aggregate argument");
+      { rl_agg = agg; rl_col = col; rl_distinct = distinct_prefix || inner_distinct }
+  | Some Lexer.Star ->
+      advance st;
+      { rl_agg = None; rl_col = None; rl_distinct = distinct_prefix }
+  | _ ->
+      let c = parse_rcol st in
+      { rl_agg = None; rl_col = Some c; rl_distinct = distinct_prefix }
+
+let parse_literal st =
+  match peek st with
+  | Some (Lexer.Number v) ->
+      advance st;
+      v
+  | Some (Lexer.String s) ->
+      advance st;
+      Duodb.Value.Text s
+  | t ->
+      fail "expected literal, got %s"
+        (match t with Some t -> Lexer.token_to_string t | None -> "<eof>")
+
+(* pred ::= lhs (op literal | BETWEEN lit AND lit | [NOT] LIKE lit) *)
+let parse_rpred st =
+  let lhs = parse_rlhs st in
+  match peek st with
+  | Some (Lexer.Op o) ->
+      advance st;
+      let v = parse_literal st in
+      let cmp =
+        match o with
+        | "=" -> Ast.Eq
+        | "!=" -> Ast.Neq
+        | "<" -> Ast.Lt
+        | "<=" -> Ast.Le
+        | ">" -> Ast.Gt
+        | ">=" -> Ast.Ge
+        | _ -> fail "unknown operator %s" o
+      in
+      Rcmp (lhs, cmp, v)
+  | _ when is_kw st "BETWEEN" ->
+      advance st;
+      let lo = parse_literal st in
+      eat_kw st "AND";
+      let hi = parse_literal st in
+      Rbetween (lhs, lo, hi)
+  | _ when is_kw st "LIKE" ->
+      advance st;
+      let v = parse_literal st in
+      Rcmp (lhs, Ast.Like, v)
+  | _ when is_kw st "NOT" ->
+      advance st;
+      eat_kw st "LIKE";
+      let v = parse_literal st in
+      Rcmp (lhs, Ast.Not_like, v)
+  | t ->
+      fail "expected predicate operator, got %s"
+        (match t with Some t -> Lexer.token_to_string t | None -> "<eof>")
+
+(* cond ::= pred ((AND | OR) pred)*, one connective only (Section 2.5). *)
+let parse_rcond st =
+  let first = parse_rpred st in
+  let rec more acc conn =
+    if accept_kw st "AND" then
+      match conn with
+      | Some Ast.Or -> fail "mixed AND/OR conditions are outside the task scope"
+      | _ -> more (parse_rpred st :: acc) (Some Ast.And)
+    else if accept_kw st "OR" then
+      match conn with
+      | Some Ast.And -> fail "mixed AND/OR conditions are outside the task scope"
+      | _ -> more (parse_rpred st :: acc) (Some Ast.Or)
+    else (List.rev acc, Option.value ~default:Ast.And conn)
+  in
+  more [ first ] None
+
+(* tref ::= ident [AS ident | ident]  — a bare trailing ident that is not a
+   keyword is treated as an implicit alias. *)
+let parse_tref st =
+  let table = expect_ident st "table name" in
+  if accept_kw st "AS" then
+    let alias = expect_ident st "alias" in
+    (alias, table)
+  else
+    match peek st with
+    | Some (Lexer.Ident s) when not (is_keyword s) ->
+        advance st;
+        (s, table)
+    | _ -> (table, table)
+
+let parse_from st =
+  let first = parse_tref st in
+  let rec joins trefs edges =
+    if accept_kw st "JOIN" then begin
+      let tref = parse_tref st in
+      eat_kw st "ON";
+      let a = parse_rcol st in
+      (match peek st with
+      | Some (Lexer.Op "=") -> advance st
+      | _ -> fail "expected = in join condition");
+      let b = parse_rcol st in
+      joins (tref :: trefs) ((a, b) :: edges)
+    end
+    else (List.rev trefs, List.rev edges)
+  in
+  joins [ first ] []
+
+let parse_rquery st =
+  eat_kw st "SELECT";
+  let r_distinct = accept_kw st "DISTINCT" in
+  let rec projs acc =
+    let p = parse_rlhs st in
+    if peek st = Some Lexer.Comma then begin
+      advance st;
+      projs (p :: acc)
+    end
+    else List.rev (p :: acc)
+  in
+  let r_select = projs [] in
+  eat_kw st "FROM";
+  let r_tables, r_joins = parse_from st in
+  let r_where = if accept_kw st "WHERE" then Some (parse_rcond st) else None in
+  let r_group =
+    if accept_kw st "GROUP" then begin
+      eat_kw st "BY";
+      let rec cols acc =
+        let c = parse_rcol st in
+        if peek st = Some Lexer.Comma then begin
+          advance st;
+          cols (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  let r_having = if accept_kw st "HAVING" then Some (parse_rcond st) else None in
+  let r_order =
+    if accept_kw st "ORDER" then begin
+      eat_kw st "BY";
+      let rec items acc =
+        let lhs = parse_rlhs st in
+        let dir =
+          if accept_kw st "DESC" then Ast.Desc
+          else begin
+            ignore (accept_kw st "ASC");
+            Ast.Asc
+          end
+        in
+        if peek st = Some Lexer.Comma then begin
+          advance st;
+          items ((lhs, dir) :: acc)
+        end
+        else List.rev ((lhs, dir) :: acc)
+      in
+      items []
+    end
+    else []
+  in
+  let r_limit =
+    if accept_kw st "LIMIT" then
+      match peek st with
+      | Some (Lexer.Number (Duodb.Value.Int n)) ->
+          advance st;
+          Some n
+      | _ -> fail "expected integer after LIMIT"
+    else None
+  in
+  (match peek st with
+  | None -> ()
+  | Some t -> fail "trailing input: %s" (Lexer.token_to_string t));
+  { r_distinct; r_select; r_tables; r_joins; r_where; r_group; r_having;
+    r_order; r_limit }
+
+(* --- Resolution pass --- *)
+
+let resolve_col ~aliases ~schema ~tables rc =
+  match rc.rq with
+  | Some q -> (
+      match List.assoc_opt q aliases with
+      | Some table -> Ast.col table rc.rn
+      | None -> fail "unknown table or alias %S" q)
+  | None -> (
+      match schema with
+      | None -> fail "unqualified column %S needs a schema to resolve" rc.rn
+      | Some sch -> (
+          let owners =
+            List.filter
+              (fun t -> Option.is_some (Duodb.Schema.find_column sch ~table:t rc.rn))
+              tables
+          in
+          match owners with
+          | [ t ] -> Ast.col t rc.rn
+          | [] -> fail "column %S not found in FROM tables" rc.rn
+          | _ :: _ :: _ -> fail "ambiguous unqualified column %S" rc.rn))
+
+let resolve_lhs ~aliases ~schema ~tables (l : rlhs) =
+  let col = Option.map (resolve_col ~aliases ~schema ~tables) l.rl_col in
+  (l.rl_agg, col, l.rl_distinct)
+
+let resolve_pred ~aliases ~schema ~tables p =
+  let mk lhs rhs =
+    let agg, col, _ = resolve_lhs ~aliases ~schema ~tables lhs in
+    { Ast.pr_agg = agg; pr_col = col; pr_rhs = rhs }
+  in
+  match p with
+  | Rcmp (lhs, op, v) -> mk lhs (Ast.Cmp (op, v))
+  | Rbetween (lhs, lo, hi) -> mk lhs (Ast.Between (lo, hi))
+
+let resolve_cond ~aliases ~schema ~tables (preds, conn) =
+  { Ast.c_preds = List.map (resolve_pred ~aliases ~schema ~tables) preds;
+    c_conn = conn }
+
+let resolve rq ~schema =
+  let aliases = rq.r_tables in
+  let tables = List.map snd rq.r_tables in
+  let rescol = resolve_col ~aliases ~schema ~tables in
+  let q_select =
+    List.map
+      (fun l ->
+        let agg, col, distinct = resolve_lhs ~aliases ~schema ~tables l in
+        (match agg, col with
+        | None, None -> fail "bare * projection is outside the task scope"
+        | _ -> ());
+        { Ast.p_agg = agg; p_col = col; p_distinct = distinct })
+      rq.r_select
+  in
+  let q_from =
+    { Ast.f_tables = tables;
+      f_joins =
+        List.map (fun (a, b) -> { Ast.j_from = rescol a; j_to = rescol b }) rq.r_joins }
+  in
+  let q_order =
+    List.map
+      (fun (l, dir) ->
+        let agg, col, _ = resolve_lhs ~aliases ~schema ~tables l in
+        { Ast.o_agg = agg; o_col = col; o_dir = dir })
+      rq.r_order
+  in
+  { Ast.q_distinct = rq.r_distinct;
+    q_select;
+    q_from;
+    q_where = Option.map (resolve_cond ~aliases ~schema ~tables) rq.r_where;
+    q_group_by = List.map rescol rq.r_group;
+    q_having = Option.map (resolve_cond ~aliases ~schema ~tables) rq.r_having;
+    q_order_by = q_order;
+    q_limit = rq.r_limit }
+
+let query ?schema s =
+  match Lexer.tokenize s with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks = Array.of_list toks; pos = 0 } in
+      try Ok (resolve (parse_rquery st) ~schema) with
+      | Parse_error e -> Error e)
+
+let query_exn ?schema s =
+  match query ?schema s with
+  | Ok q -> q
+  | Error e -> failwith (Printf.sprintf "Parser.query_exn: %s in %S" e s)

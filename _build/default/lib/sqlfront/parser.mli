@@ -1,0 +1,30 @@
+(** Recursive-descent parser for the SPJA dialect of {!Ast}.
+
+    Accepted grammar (keywords case-insensitive):
+
+    {v
+    query   ::= SELECT [DISTINCT] projs FROM from
+                [WHERE cond] [GROUP BY cols] [HAVING cond]
+                [ORDER BY orders] [LIMIT int]
+    projs   ::= proj ("," proj)*
+    proj    ::= [DISTINCT] colref | agg "(" [DISTINCT] (colref | "*") ")"
+    from    ::= tref (JOIN tref ON colref "=" colref)*
+    tref    ::= ident [AS ident | ident]          (alias optional)
+    cond    ::= pred ((AND | OR) pred)*           (single connective)
+    pred    ::= lhs op literal | lhs BETWEEN literal AND literal
+                | lhs [NOT] LIKE literal
+    lhs     ::= colref | agg "(" (colref | "*") ")"
+    colref  ::= ident "." ident | ident
+    v}
+
+    Aliases are resolved away: the produced AST refers to real table names.
+    Unqualified column names are resolved against the FROM-clause tables,
+    which requires the [schema] argument; qualified references work without
+    it.  Mixing AND and OR in one condition is rejected (task scope,
+    Section 2.5). *)
+
+val query : ?schema:Duodb.Schema.t -> string -> (Ast.query, string) result
+
+(** Like {!query} but raises [Failure] on parse errors; convenient for
+    hard-coded task definitions. *)
+val query_exn : ?schema:Duodb.Schema.t -> string -> Ast.query

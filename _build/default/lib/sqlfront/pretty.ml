@@ -1,0 +1,101 @@
+open Ast
+
+let col_ref c = c.cr_table ^ "." ^ c.cr_col
+
+let agg_arg ?(distinct = false) = function
+  | None -> "*"
+  | Some c -> if distinct then "DISTINCT " ^ col_ref c else col_ref c
+
+let proj p =
+  match p.p_agg with
+  | None -> (
+      match p.p_col with
+      | Some c -> if p.p_distinct then "DISTINCT " ^ col_ref c else col_ref c
+      | None -> "*")
+  | Some a ->
+      Printf.sprintf "%s(%s)" (agg_to_string a) (agg_arg ~distinct:p.p_distinct p.p_col)
+
+let pred_lhs p =
+  match p.pr_agg with
+  | None -> (
+      match p.pr_col with
+      | Some c -> col_ref c
+      | None -> "*")
+  | Some a -> Printf.sprintf "%s(%s)" (agg_to_string a) (agg_arg p.pr_col)
+
+let pred p =
+  match p.pr_rhs with
+  | Cmp (op, v) ->
+      Printf.sprintf "%s %s %s" (pred_lhs p) (cmp_to_string op) (Duodb.Value.to_sql v)
+  | Between (lo, hi) ->
+      Printf.sprintf "%s BETWEEN %s AND %s" (pred_lhs p) (Duodb.Value.to_sql lo)
+        (Duodb.Value.to_sql hi)
+
+let condition c =
+  let conn = match c.c_conn with And -> " AND " | Or -> " OR " in
+  String.concat conn (List.map pred c.c_preds)
+
+(* Order the FROM tables so that each table after the first is connected to
+   the already-emitted prefix by some join edge, enabling a left-deep
+   [JOIN ... ON] chain.  Falls back to declaration order if the join graph
+   is not connected (an invalid clause, preserved for debuggability). *)
+let from_clause f =
+  match f.f_tables with
+  | [] -> invalid_arg "Pretty.from_clause: empty FROM"
+  | [ t ] -> t
+  | first :: rest ->
+      let edge_touches seen e =
+        let a = e.j_from.cr_table and b = e.j_to.cr_table in
+        if List.mem a seen && not (List.mem b seen) then Some (b, e)
+        else if List.mem b seen && not (List.mem a seen) then Some (a, e)
+        else None
+      in
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf first;
+      let rec emit seen pending edges =
+        if pending = [] then ()
+        else
+          match List.find_map (edge_touches seen) edges with
+          | Some (next, e) when List.mem next pending ->
+              Buffer.add_string buf
+                (Printf.sprintf " JOIN %s ON %s = %s" next (col_ref e.j_from)
+                   (col_ref e.j_to));
+              emit (next :: seen)
+                (List.filter (fun t -> not (String.equal t next)) pending)
+                (List.filter (fun e' -> e' != e) edges)
+          | Some _ | None ->
+              (* Disconnected join graph: emit remaining tables bare. *)
+              List.iter (fun t -> Buffer.add_string buf (" JOIN " ^ t)) pending
+      in
+      emit [ first ] rest f.f_joins;
+      Buffer.contents buf
+
+let order_item o =
+  let lhs =
+    match o.o_agg with
+    | None -> (
+        match o.o_col with
+        | Some c -> col_ref c
+        | None -> "*")
+    | Some a -> Printf.sprintf "%s(%s)" (agg_to_string a) (agg_arg o.o_col)
+  in
+  match o.o_dir with Asc -> lhs ^ " ASC" | Desc -> lhs ^ " DESC"
+
+let query q =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if q.q_distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map proj q.q_select));
+  Buffer.add_string buf (" FROM " ^ from_clause q.q_from);
+  Option.iter (fun c -> Buffer.add_string buf (" WHERE " ^ condition c)) q.q_where;
+  if q.q_group_by <> [] then
+    Buffer.add_string buf
+      (" GROUP BY " ^ String.concat ", " (List.map col_ref q.q_group_by));
+  Option.iter (fun c -> Buffer.add_string buf (" HAVING " ^ condition c)) q.q_having;
+  if q.q_order_by <> [] then
+    Buffer.add_string buf
+      (" ORDER BY " ^ String.concat ", " (List.map order_item q.q_order_by));
+  Option.iter (fun n -> Buffer.add_string buf (" LIMIT " ^ string_of_int n)) q.q_limit;
+  Buffer.contents buf
+
+let pp_query ppf q = Format.pp_print_string ppf (query q)

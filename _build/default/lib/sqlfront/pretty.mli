@@ -1,0 +1,18 @@
+(** Rendering of {!Ast} queries to SQL text.
+
+    Output uses fully qualified [table.column] references and renders join
+    paths as a left-deep chain of [JOIN ... ON] clauses; {!Parser.query}
+    parses everything this module prints (round-trip property tested in the
+    suite). *)
+
+val col_ref : Ast.col_ref -> string
+val proj : Ast.proj -> string
+val pred : Ast.pred -> string
+val condition : Ast.condition -> string
+val from_clause : Ast.from_clause -> string
+val order_item : Ast.order_item -> string
+
+(** Render a complete query on one line. *)
+val query : Ast.query -> string
+
+val pp_query : Format.formatter -> Ast.query -> unit

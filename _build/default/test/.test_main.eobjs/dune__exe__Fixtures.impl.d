@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Duodb Duoengine Duosql String

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Duodb Filename Fixtures

@@ -1,0 +1,1 @@
+test/test_describe.ml: Alcotest Duosql Fixtures

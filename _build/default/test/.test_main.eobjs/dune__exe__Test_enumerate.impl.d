@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Duocore Duodb Duoengine Duoguide Duonl Duosql Fixtures List

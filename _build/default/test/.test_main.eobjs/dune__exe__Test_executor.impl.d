@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Array Duodb Duoengine Duosql Fixtures List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_executor_ref.ml: Alcotest Array Duodb Duoengine Duosql Fixtures Float List QCheck QCheck_alcotest

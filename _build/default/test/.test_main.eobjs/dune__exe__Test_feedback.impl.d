@@ -1,0 +1,1 @@
+test/test_feedback.ml: Alcotest Array Duocore Duodb Duoengine Fixtures List

@@ -1,0 +1,1 @@
+test/test_frontier.ml: Alcotest Duocore Duosql Gen List Option QCheck QCheck_alcotest

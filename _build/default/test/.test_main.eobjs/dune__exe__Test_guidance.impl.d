@@ -1,0 +1,1 @@
+test/test_guidance.ml: Alcotest Array Duodb Duoguide Duonl Fixtures List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mas.ml: Alcotest Duobench Duodb Duoengine Duosql List Printf

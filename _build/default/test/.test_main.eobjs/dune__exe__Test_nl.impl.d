@@ -1,0 +1,1 @@
+test/test_nl.ml: Alcotest Duodb Duonl Fixtures Gen List QCheck QCheck_alcotest String

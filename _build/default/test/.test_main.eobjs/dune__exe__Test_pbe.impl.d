@@ -1,0 +1,1 @@
+test/test_pbe.ml: Alcotest Duocore Duodb Duopbe Fixtures List Option

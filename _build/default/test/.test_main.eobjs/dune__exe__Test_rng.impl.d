@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Duobench Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Duocore Duosql Fixtures List Printf

@@ -1,0 +1,1 @@
+test/test_simulation.ml: Alcotest Duobench Duocore Duosql Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_spider.ml: Alcotest Duobench Duocore Duodb Duoengine Duosql List Option Printf String

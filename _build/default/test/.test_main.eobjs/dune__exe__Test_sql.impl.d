@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Duodb Duosql Equal Fixtures Lexer List Option Parser Pretty Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Duobench Duocore Duodb Duosql Fixtures Gen List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Duocore Duodb Duosql Fixtures List Printf

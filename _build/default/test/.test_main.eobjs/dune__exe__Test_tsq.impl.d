@@ -1,0 +1,1 @@
+test/test_tsq.ml: Alcotest Array Duocore Duodb Duoengine Fixtures Printf QCheck QCheck_alcotest

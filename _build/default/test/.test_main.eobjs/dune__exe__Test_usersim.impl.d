@@ -1,0 +1,1 @@
+test/test_usersim.ml: Alcotest Duobench List

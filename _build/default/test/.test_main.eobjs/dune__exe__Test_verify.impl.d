@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Duobench Duocore Duodb Duoguide Duosql Fixtures Hashtbl Option QCheck QCheck_alcotest

@@ -1,0 +1,84 @@
+(* Shared test fixtures: the movie database from the paper's running
+   example (Section 2.1) — actor / movies / starring — with enough rows to
+   make the candidate queries CQ1-CQ3 distinguishable. *)
+
+module Schema = Duodb.Schema
+module Value = Duodb.Value
+module Database = Duodb.Database
+
+let movie_schema =
+  Schema.make ~name:"movies_db"
+    [
+      Schema.table "actor"
+        [ ("aid", Duodb.Datatype.Number); ("name", Duodb.Datatype.Text);
+          ("gender", Duodb.Datatype.Text); ("birth_yr", Duodb.Datatype.Number);
+          ("birthplace", Duodb.Datatype.Text); ("debut_yr", Duodb.Datatype.Number) ]
+        ~pk:[ "aid" ];
+      Schema.table "movies"
+        [ ("mid", Duodb.Datatype.Number); ("name", Duodb.Datatype.Text);
+          ("year", Duodb.Datatype.Number); ("revenue", Duodb.Datatype.Number) ]
+        ~pk:[ "mid" ];
+      Schema.table "starring"
+        [ ("sid", Duodb.Datatype.Number); ("aid", Duodb.Datatype.Number);
+          ("mid", Duodb.Datatype.Number) ]
+        ~pk:[ "sid" ];
+    ]
+    [
+      Schema.fk ("starring", "aid") ("actor", "aid");
+      Schema.fk ("starring", "mid") ("movies", "mid");
+    ]
+
+let i n = Value.Int n
+let t s = Value.Text s
+
+let movie_db () =
+  let db = Database.create movie_schema in
+  Database.insert_all db ~table:"actor"
+    [
+      [| i 1; t "Tom Hanks"; t "male"; i 1956; t "Concord"; i 1980 |];
+      [| i 2; t "Sandra Bullock"; t "female"; i 1964; t "Arlington"; i 1987 |];
+      [| i 3; t "Brad Pitt"; t "male"; i 1963; t "Shawnee"; i 1987 |];
+      [| i 4; t "Meryl Streep"; t "female"; i 1949; t "Summit"; i 1971 |];
+      [| i 5; t "Leonardo DiCaprio"; t "male"; i 1974; t "Los Angeles"; i 1991 |];
+    ];
+  Database.insert_all db ~table:"movies"
+    [
+      [| i 10; t "Forrest Gump"; i 1994; i 678 |];
+      [| i 11; t "Gravity"; i 2013; i 723 |];
+      [| i 12; t "Seven"; i 1995; i 327 |];
+      [| i 13; t "The Post"; i 2017; i 193 |];
+      [| i 14; t "Titanic"; i 1997; i 2187 |];
+      [| i 15; t "Inception"; i 2010; i 836 |];
+    ];
+  Database.insert_all db ~table:"starring"
+    [
+      [| i 100; i 1; i 10 |];
+      (* Tom Hanks in Forrest Gump *)
+      [| i 101; i 2; i 11 |];
+      (* Sandra Bullock in Gravity *)
+      [| i 102; i 3; i 12 |];
+      [| i 103; i 4; i 13 |];
+      [| i 104; i 5; i 14 |];
+      [| i 105; i 5; i 15 |];
+      [| i 106; i 1; i 13 |];
+      (* Tom Hanks in The Post *)
+    ];
+  db
+
+(* Parse against the movie schema; fails the test on parse errors. *)
+let parse sql = Duosql.Parser.query_exn ~schema:movie_schema sql
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+let rows_testable =
+  Alcotest.(list (array value_testable))
+
+(* Substring containment, for checking error messages. *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let run_rows db sql =
+  let q = parse sql in
+  (Duoengine.Executor.run_exn db q).Duoengine.Executor.res_rows

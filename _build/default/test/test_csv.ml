@@ -1,0 +1,78 @@
+module Csv = Duodb.Csv
+module Table = Duodb.Table
+module Value = Duodb.Value
+
+let actor_schema = Duodb.Schema.find_table_exn Fixtures.movie_schema "actor"
+
+let test_roundtrip_table () =
+  let db = Fixtures.movie_db () in
+  let tbl = Duodb.Database.table_exn db "actor" in
+  let csv = Csv.table_to_string tbl in
+  match Csv.table_of_string actor_schema csv with
+  | Ok tbl' ->
+      Alcotest.(check int) "row count" (Table.row_count tbl) (Table.row_count tbl');
+      Alcotest.check Fixtures.rows_testable "rows preserved"
+        (Array.to_list (Table.rows tbl))
+        (Array.to_list (Table.rows tbl'))
+  | Error e -> Alcotest.fail e
+
+let test_quoting () =
+  let schema_t =
+    Duodb.Schema.table "t" [ ("s", Duodb.Datatype.Text); ("n", Duodb.Datatype.Number) ]
+      ~pk:[]
+  in
+  let tbl = Table.create schema_t in
+  Table.insert tbl [| Value.Text "has,comma"; Value.Int 1 |];
+  Table.insert tbl [| Value.Text "has\"quote"; Value.Int 2 |];
+  Table.insert tbl [| Value.Text "has\nnewline"; Value.Null |];
+  let csv = Csv.table_to_string tbl in
+  match Csv.table_of_string schema_t csv with
+  | Ok tbl' ->
+      Alcotest.check Fixtures.rows_testable "tricky values survive"
+        (Array.to_list (Table.rows tbl))
+        (Array.to_list (Table.rows tbl'))
+  | Error e -> Alcotest.fail e
+
+let test_header_mismatch () =
+  match Csv.table_of_string actor_schema "wrong,header\n1,2\n" with
+  | Error e -> Alcotest.(check bool) "mentions header" true (Fixtures.contains e "header")
+  | Ok _ -> Alcotest.fail "expected header error"
+
+let test_bad_number () =
+  let schema_t = Duodb.Schema.table "t" [ ("n", Duodb.Datatype.Number) ] ~pk:[] in
+  match Csv.table_of_string schema_t "n\nnot_a_number\n" with
+  | Error e -> Alcotest.(check bool) "mentions number" true (Fixtures.contains e "number")
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_null_roundtrip () =
+  let schema_t = Duodb.Schema.table "t" [ ("n", Duodb.Datatype.Number) ] ~pk:[] in
+  match Csv.table_of_string schema_t "n\n\n7\n" with
+  | Ok tbl ->
+      Alcotest.check Fixtures.rows_testable "null then 7"
+        [ [| Value.Null |]; [| Value.Int 7 |] ]
+        (Array.to_list (Table.rows tbl))
+  | Error e -> Alcotest.fail e
+
+let test_database_roundtrip () =
+  let db = Fixtures.movie_db () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "duoquest_csv_test" in
+  (match Csv.export_database db ~dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Csv.import_database Fixtures.movie_schema ~dir with
+  | Ok db' ->
+      Alcotest.(check int) "same total rows" (Duodb.Database.total_rows db)
+        (Duodb.Database.total_rows db');
+      Alcotest.(check (list string)) "still consistent" []
+        (Duodb.Database.check_integrity db')
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "table roundtrip" `Quick test_roundtrip_table;
+    Alcotest.test_case "quoting" `Quick test_quoting;
+    Alcotest.test_case "header mismatch" `Quick test_header_mismatch;
+    Alcotest.test_case "bad number" `Quick test_bad_number;
+    Alcotest.test_case "null roundtrip" `Quick test_null_roundtrip;
+    Alcotest.test_case "database roundtrip" `Quick test_database_roundtrip;
+  ]

@@ -1,0 +1,40 @@
+module Describe = Duosql.Describe
+
+let parse = Fixtures.parse
+
+let check name sql expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (Describe.query (parse sql)))
+
+let suite =
+  [
+    check "plain projection" "SELECT movies.name FROM movies"
+      "show the name of movies from the movies table";
+    check "two projections + where"
+      "SELECT movies.name, movies.year FROM movies WHERE movies.year < 1995"
+      "show the name of movies, and the year of movies from the movies table; \
+       keep rows where the year of movies is below 1995";
+    check "join + text predicate"
+      "SELECT a.name FROM actor a JOIN starring s ON a.aid = s.aid WHERE \
+       a.gender = 'male'"
+      "show the name of actor by combining actor, starring; keep rows where \
+       the gender of actor is \"male\"";
+    check "grouped count with having"
+      "SELECT a.name, COUNT(*) FROM actor a JOIN starring s ON a.aid = s.aid \
+       GROUP BY a.name HAVING COUNT(*) > 1"
+      "show the name of actor, and the number of rows by combining actor, \
+       starring, for each name of actor; keep groups where the number of rows \
+       is above 1";
+    check "order and limit"
+      "SELECT movies.name FROM movies ORDER BY movies.year DESC LIMIT 1"
+      "show the name of movies from the movies table; ordered by the year of \
+       movies from highest to lowest; first 1 row only";
+    check "between"
+      "SELECT movies.name FROM movies WHERE movies.year BETWEEN 2010 AND 2017"
+      "show the name of movies from the movies table; keep rows where the \
+       year of movies is between 2010 and 2017";
+    check "aggregates"
+      "SELECT AVG(movies.revenue), MAX(movies.year) FROM movies"
+      "show the average revenue of movies, and the largest year of movies \
+       from the movies table";
+  ]

@@ -1,0 +1,159 @@
+module Enumerate = Duocore.Enumerate
+module Partial = Duocore.Partial
+module Model = Duoguide.Model
+
+let schema = Fixtures.movie_schema
+let db = Fixtures.movie_db ()
+
+let ctx nlq = Model.make schema (Duonl.Nlq.analyze nlq)
+
+let test_root_expansion () =
+  let children =
+    Enumerate.expand ~guided:true Enumerate.no_hints
+      (ctx "movie names") Partial.root
+  in
+  Alcotest.(check int) "8 keyword subsets" 8 (List.length children);
+  List.iter
+    (fun (c : Partial.t) ->
+      Alcotest.(check bool) "moved past keywords" true
+        (c.Partial.phase = Partial.P_num_proj))
+    children
+
+let test_confidence_partition () =
+  (* Property 1 at the root: children's confidences sum to the parent's. *)
+  let children =
+    Enumerate.expand ~guided:true Enumerate.no_hints (ctx "movie names") Partial.root
+  in
+  let total = List.fold_left (fun acc c -> acc +. c.Partial.confidence) 0.0 children in
+  Alcotest.(check (float 1e-6)) "children partition parent mass" 1.0 total
+
+let test_uniform_mode () =
+  let children =
+    Enumerate.expand ~guided:false Enumerate.no_hints (ctx "movie names") Partial.root
+  in
+  List.iter
+    (fun (c : Partial.t) ->
+      Alcotest.(check (float 1e-9)) "uniform 1/8" 0.125 c.Partial.confidence)
+    children
+
+let test_done_is_terminal () =
+  let s = { Partial.root with Partial.phase = Partial.P_done } in
+  Alcotest.(check int) "no children" 0
+    (List.length (Enumerate.expand ~guided:true Enumerate.no_hints (ctx "x") s))
+
+let test_hints_of_tsq () =
+  let tsq =
+    Duocore.Tsq.make ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ]
+      ~sorted:true ~limit:5 ()
+  in
+  let h = Enumerate.hints_of_tsq tsq in
+  Alcotest.(check (option int)) "width hint" (Some 2) h.Enumerate.h_nproj;
+  Alcotest.(check (option int)) "limit hint" (Some 5) h.Enumerate.h_limit
+
+let test_run_respects_budget () =
+  let config =
+    { Enumerate.default_config with Enumerate.max_pops = 50; max_candidates = 1000 }
+  in
+  let outcome =
+    Enumerate.run config (ctx "movie names") db ~tsq:None ~literals:[] ()
+  in
+  Alcotest.(check bool) "pops bounded" true (outcome.Enumerate.out_pops <= 50)
+
+let test_run_exhausts_tiny_space () =
+  (* An impossible TSQ: a text type annotation whose value exists nowhere.
+     Everything prunes and the frontier drains. *)
+  let tsq =
+    Duocore.Tsq.make ~types:[ Duodb.Datatype.Text ]
+      ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "No Such Value Anywhere") ] ]
+      ()
+  in
+  let config =
+    { Enumerate.default_config with
+      Enumerate.max_pops = 200_000;
+      time_budget_s = 20.0 }
+  in
+  let outcome =
+    Enumerate.run config (ctx "names") db ~tsq:(Some tsq) ~literals:[] ()
+  in
+  Alcotest.(check int) "no candidates" 0 (List.length outcome.Enumerate.out_candidates)
+
+let test_candidates_unique () =
+  let config =
+    { Enumerate.default_config with Enumerate.max_pops = 20_000; max_candidates = 50 }
+  in
+  let outcome =
+    Enumerate.run config (ctx "movie names and years") db ~tsq:None ~literals:[] ()
+  in
+  let rec pairwise_distinct = function
+    | [] -> true
+    | c :: rest ->
+        List.for_all
+          (fun c' ->
+            not
+              (Duosql.Equal.queries c.Enumerate.cand_query c'.Enumerate.cand_query))
+          rest
+        && pairwise_distinct rest
+  in
+  Alcotest.(check bool) "no duplicate candidates" true
+    (pairwise_distinct outcome.Enumerate.out_candidates)
+
+let test_partial_to_query_roundtrip () =
+  (* A fully decided state must render to a runnable query. *)
+  let name_col = Duodb.Schema.find_column_exn schema ~table:"movies" "name" in
+  let st =
+    { Partial.root with
+      Partial.phase = Partial.P_done;
+      kw = { Model.kw_where = false; kw_group = false; kw_order = false };
+      nproj = 1;
+      projs =
+        [ { Partial.pj_target = Model.Target_column name_col; pj_agg = Some None } ];
+      from = Some (Duosql.Ast.from_table "movies") }
+  in
+  match Partial.to_query st with
+  | Some q ->
+      let res = Duoengine.Executor.run_exn db q in
+      Alcotest.(check int) "6 movies" 6 (Duoengine.Executor.cardinality res)
+  | None -> Alcotest.fail "expected a complete query"
+
+let test_partial_key_distinguishes () =
+  let a = Partial.root in
+  let b = { Partial.root with Partial.phase = Partial.P_num_proj } in
+  Alcotest.(check bool) "different phases, different keys" true
+    (Partial.key a <> Partial.key b);
+  Alcotest.(check string) "key deterministic" (Partial.key a) (Partial.key a)
+
+let test_stats_attribution () =
+  let tsq =
+    Duocore.Tsq.make ~types:[ Duodb.Datatype.Text ]
+      ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "Forrest Gump") ] ]
+      ()
+  in
+  let config =
+    { Enumerate.default_config with Enumerate.max_pops = 5_000; max_candidates = 20 }
+  in
+  let outcome =
+    Enumerate.run config (ctx "movie names") db ~tsq:(Some tsq) ~literals:[] ()
+  in
+  let s = outcome.Enumerate.out_stats in
+  let attributed =
+    s.Duocore.Verify.pruned_by_clauses + s.Duocore.Verify.pruned_by_semantics
+    + s.Duocore.Verify.pruned_by_types + s.Duocore.Verify.pruned_by_column
+    + s.Duocore.Verify.pruned_by_row + s.Duocore.Verify.pruned_by_complete
+  in
+  Alcotest.(check int) "every prune attributed to a stage" s.Duocore.Verify.pruned
+    attributed
+
+let suite =
+  [
+    Alcotest.test_case "root expansion" `Quick test_root_expansion;
+    Alcotest.test_case "confidence partition" `Quick test_confidence_partition;
+    Alcotest.test_case "uniform mode" `Quick test_uniform_mode;
+    Alcotest.test_case "done is terminal" `Quick test_done_is_terminal;
+    Alcotest.test_case "hints from TSQ" `Quick test_hints_of_tsq;
+    Alcotest.test_case "pop budget respected" `Quick test_run_respects_budget;
+    Alcotest.test_case "impossible TSQ yields nothing" `Quick test_run_exhausts_tiny_space;
+    Alcotest.test_case "candidates unique" `Quick test_candidates_unique;
+    Alcotest.test_case "partial to_query" `Quick test_partial_to_query_roundtrip;
+    Alcotest.test_case "partial keys" `Quick test_partial_key_distinguishes;
+    Alcotest.test_case "prune attribution" `Quick test_stats_attribution;
+  ]

@@ -1,0 +1,208 @@
+(* Differential testing: the executor against a naive reference
+   implementation on single-table queries with random predicates. *)
+
+module Value = Duodb.Value
+open Duosql.Ast
+
+let db = Fixtures.movie_db ()
+let movies = Duodb.Database.table_exn db "movies"
+
+let year_idx = Duodb.Table.column_index movies "year"
+let revenue_idx = Duodb.Table.column_index movies "revenue"
+let name_idx = Duodb.Table.column_index movies "name"
+
+(* Reference evaluation of a single predicate on a raw row. *)
+let ref_pred_eval op threshold row =
+  match row.(year_idx) with
+  | Value.Int y -> (
+      match op with
+      | Lt -> y < threshold
+      | Le -> y <= threshold
+      | Gt -> y > threshold
+      | Ge -> y >= threshold
+      | Eq -> y = threshold
+      | Neq -> y <> threshold
+      | Like | Not_like -> false)
+  | _ -> false
+
+let op_gen = QCheck.Gen.oneofl [ Lt; Le; Gt; Ge; Eq; Neq ]
+
+let prop_where_matches_reference =
+  QCheck.Test.make ~name:"WHERE agrees with reference" ~count:300
+    (QCheck.make QCheck.Gen.(pair op_gen (int_range 1980 2030)))
+    (fun (op, threshold) ->
+      let q =
+        { (simple [ proj_col (col "movies" "name") ] (from_table "movies")) with
+          q_where =
+            Some
+              { c_preds = [ pred (col "movies" "year") op (Value.Int threshold) ];
+                c_conn = And } }
+      in
+      let got =
+        (Duoengine.Executor.run_exn db q).Duoengine.Executor.res_rows
+        |> List.map (fun row -> row.(0))
+      in
+      let expected =
+        Duodb.Table.fold
+          (fun acc row ->
+            if ref_pred_eval op threshold row then row.(name_idx) :: acc else acc)
+          [] movies
+        |> List.rev
+      in
+      List.length got = List.length expected
+      && List.for_all2 Value.equal got expected)
+
+let prop_or_is_union =
+  QCheck.Test.make ~name:"OR = union of single-predicate results" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_range 1980 2030) (int_range 0 2500)))
+    (fun (year, rev) ->
+      let base = simple [ proj_col (col "movies" "name") ] (from_table "movies") in
+      let q1 =
+        { base with
+          q_where =
+            Some { c_preds = [ pred (col "movies" "year") Lt (Value.Int year) ]; c_conn = And } }
+      in
+      let q2 =
+        { base with
+          q_where =
+            Some { c_preds = [ pred (col "movies" "revenue") Gt (Value.Int rev) ]; c_conn = And } }
+      in
+      let q_or =
+        { base with
+          q_where =
+            Some
+              { c_preds =
+                  [ pred (col "movies" "year") Lt (Value.Int year);
+                    pred (col "movies" "revenue") Gt (Value.Int rev) ];
+                c_conn = Or } }
+      in
+      let names q =
+        (Duoengine.Executor.run_exn db q).Duoengine.Executor.res_rows
+        |> List.map (fun r -> Value.to_display r.(0))
+        |> List.sort_uniq compare
+      in
+      names q_or = List.sort_uniq compare (names q1 @ names q2))
+
+let prop_and_is_intersection =
+  QCheck.Test.make ~name:"AND = intersection" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_range 1980 2030) (int_range 0 2500)))
+    (fun (year, rev) ->
+      let base = simple [ proj_col (col "movies" "name") ] (from_table "movies") in
+      let q_and =
+        { base with
+          q_where =
+            Some
+              { c_preds =
+                  [ pred (col "movies" "year") Lt (Value.Int year);
+                    pred (col "movies" "revenue") Gt (Value.Int rev) ];
+                c_conn = And } }
+      in
+      (Duoengine.Executor.run_exn db q_and).Duoengine.Executor.res_rows
+      |> List.for_all (fun _ -> true)
+      &&
+      let names q =
+        (Duoengine.Executor.run_exn db q).Duoengine.Executor.res_rows
+        |> List.map (fun r -> Value.to_display r.(0))
+      in
+      let inter =
+        List.filter
+          (fun n ->
+            List.mem n
+              (names
+                 { base with
+                   q_where =
+                     Some
+                       { c_preds = [ pred (col "movies" "revenue") Gt (Value.Int rev) ];
+                         c_conn = And } }))
+          (names
+             { base with
+               q_where =
+                 Some
+                   { c_preds = [ pred (col "movies" "year") Lt (Value.Int year) ];
+                     c_conn = And } })
+      in
+      names q_and = inter)
+
+let prop_sum_avg_consistent =
+  QCheck.Test.make ~name:"SUM / COUNT = AVG" ~count:100
+    (QCheck.make QCheck.Gen.(int_range 1980 2030))
+    (fun year ->
+      let base sel =
+        { (simple sel (from_table "movies")) with
+          q_where =
+            Some
+              { c_preds = [ pred (col "movies" "year") Ge (Value.Int year) ];
+                c_conn = And } }
+      in
+      let run sel = (Duoengine.Executor.run_exn db (base sel)).Duoengine.Executor.res_rows in
+      match
+        ( run [ proj_agg Sum (col "movies" "revenue") ],
+          run [ count_star ],
+          run [ proj_agg Avg (col "movies" "revenue") ] )
+      with
+      | [ [| sum |] ], [ [| Value.Int n |] ], [ [| avg |] ] ->
+          if n = 0 then Value.is_null sum && Value.is_null avg
+          else
+            Float.abs ((Value.to_float sum /. float_of_int n) -. Value.to_float avg)
+            < 1e-6
+      | _ -> false)
+
+let prop_min_le_max =
+  QCheck.Test.make ~name:"MIN <= MAX when non-null" ~count:100
+    (QCheck.make QCheck.Gen.(int_range 1980 2030))
+    (fun year ->
+      let base sel =
+        { (simple sel (from_table "movies")) with
+          q_where =
+            Some
+              { c_preds = [ pred (col "movies" "year") Ge (Value.Int year) ];
+                c_conn = And } }
+      in
+      let run sel = (Duoengine.Executor.run_exn db (base sel)).Duoengine.Executor.res_rows in
+      match
+        (run [ proj_agg Min (col "movies" "year") ], run [ proj_agg Max (col "movies" "year") ])
+      with
+      | [ [| mn |] ], [ [| mx |] ] ->
+          (Value.is_null mn && Value.is_null mx)
+          || Value.compare mn mx <= 0
+      | _ -> false)
+
+let prop_order_by_sorted =
+  QCheck.Test.make ~name:"ORDER BY output is sorted" ~count:100
+    (QCheck.make QCheck.Gen.(pair bool (int_range 1980 2030)))
+    (fun (asc, year) ->
+      let q =
+        { (simple [ proj_col (col "movies" "year") ] (from_table "movies")) with
+          q_where =
+            Some
+              { c_preds = [ pred (col "movies" "year") Le (Value.Int year) ];
+                c_conn = And };
+          q_order_by =
+            [ { o_agg = None; o_col = Some (col "movies" "year");
+                o_dir = (if asc then Asc else Desc) } ] }
+      in
+      let ys =
+        (Duoengine.Executor.run_exn db q).Duoengine.Executor.res_rows
+        |> List.map (fun r -> r.(0))
+      in
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+            (if asc then Value.compare a b <= 0 else Value.compare a b >= 0)
+            && sorted rest
+        | _ -> true
+      in
+      sorted ys)
+
+let prop_revenue_idx_unused = revenue_idx >= 0
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_where_matches_reference;
+    QCheck_alcotest.to_alcotest prop_or_is_union;
+    QCheck_alcotest.to_alcotest prop_and_is_intersection;
+    QCheck_alcotest.to_alcotest prop_sum_avg_consistent;
+    QCheck_alcotest.to_alcotest prop_min_le_max;
+    QCheck_alcotest.to_alcotest prop_order_by_sorted;
+    Alcotest.test_case "fixture indices" `Quick (fun () ->
+        Alcotest.(check bool) "revenue column present" true prop_revenue_idx_unused);
+  ]

@@ -1,0 +1,124 @@
+(* The Section 7 extensions: negative examples, noisy-example tolerance,
+   and the sketch-refinement helpers. *)
+
+module Tsq = Duocore.Tsq
+module Feedback = Duocore.Feedback
+module Value = Duodb.Value
+
+let db = Fixtures.movie_db ()
+let parse = Fixtures.parse
+let t s = Value.Text s
+
+let test_negative_example_rejects () =
+  let tsq =
+    Tsq.make ~tuples:[ [ Tsq.Exact (t "Forrest Gump") ] ]
+      ~negatives:[ [ Tsq.Exact (t "Gravity") ] ]
+      ()
+  in
+  Alcotest.(check bool) "movie names include Gravity: rejected" false
+    (Tsq.satisfies tsq db (parse "SELECT movies.name FROM movies"));
+  Alcotest.(check bool) "filtered query excludes Gravity: accepted" true
+    (Tsq.satisfies tsq db
+       (parse "SELECT movies.name FROM movies WHERE movies.year < 2010"))
+
+let test_reject_row_builder () =
+  let tsq = Tsq.make ~tuples:[ [ Tsq.Exact (t "Forrest Gump") ] ] () in
+  let refined = Feedback.reject_row tsq [| t "Gravity" |] in
+  Alcotest.(check int) "one negative" 1 (List.length refined.Tsq.negatives);
+  Alcotest.(check bool) "now rejects" false
+    (Tsq.satisfies refined db (parse "SELECT movies.name FROM movies"))
+
+let test_accept_row_builder () =
+  let tsq = Tsq.make ~tuples:[] () in
+  let refined = Feedback.accept_row tsq [| t "Seven" |] in
+  Alcotest.(check int) "one positive" 1 (Tsq.num_tuples refined);
+  Alcotest.(check bool) "movie names satisfy" true
+    (Tsq.satisfies refined db (parse "SELECT movies.name FROM movies"))
+
+let test_noise_tolerance () =
+  (* One correct example and one wrong one: strict matching fails, but
+     min_support = 1 tolerates the noise (Section 7's noisy examples). *)
+  let tuples =
+    [ [ Tsq.Exact (t "Forrest Gump") ]; [ Tsq.Exact (t "Not A Real Movie") ] ]
+  in
+  let strict = Tsq.make ~tuples () in
+  let q = parse "SELECT movies.name FROM movies" in
+  Alcotest.(check bool) "strict fails" false (Tsq.satisfies strict db q);
+  let tolerant = Feedback.tolerate_noise strict ~slack:1 in
+  Alcotest.(check bool) "tolerant succeeds" true (Tsq.satisfies tolerant db q);
+  let restored = Feedback.tolerate_noise tolerant ~slack:0 in
+  Alcotest.(check bool) "slack 0 restores strictness" false (Tsq.satisfies restored db q)
+
+let test_required_support () =
+  let tuples = [ [ Tsq.Any ]; [ Tsq.Any ]; [ Tsq.Any ] ] in
+  Alcotest.(check int) "default all" 3 (Tsq.required_support (Tsq.make ~tuples ()));
+  Alcotest.(check int) "clamped" 3
+    (Tsq.required_support (Tsq.make ~tuples ~min_support:9 ()));
+  Alcotest.(check int) "explicit" 2
+    (Tsq.required_support (Tsq.make ~tuples ~min_support:2 ()))
+
+let test_noisy_synthesis_end_to_end () =
+  (* The synthesizer still finds the gold query when one of the user's
+     examples is wrong, once noise is tolerated. *)
+  let session = Duocore.Duoquest.create_session db in
+  let tuples =
+    [ [ Tsq.Exact (t "Forrest Gump") ]; [ Tsq.Exact (t "Totally Wrong") ] ]
+  in
+  let tsq =
+    Feedback.tolerate_noise
+      (Tsq.make ~types:[ Duodb.Datatype.Text ] ~tuples ())
+      ~slack:1
+  in
+  let config =
+    { Duocore.Enumerate.default_config with
+      Duocore.Enumerate.max_pops = 30_000;
+      max_candidates = 30;
+      time_budget_s = 15.0 }
+  in
+  let outcome =
+    Duocore.Duoquest.synthesize ~config ~tsq ~literals:[ Value.Int 1995 ] session
+      ~nlq:"Find all movies from before 1995" ()
+  in
+  let gold = parse "SELECT movies.name FROM movies WHERE movies.year < 1995" in
+  match Duocore.Duoquest.rank_of outcome ~gold with
+  | Some _ -> ()
+  | None -> Alcotest.fail "gold not found despite noise tolerance"
+
+let test_rerank () =
+  let session = Duocore.Duoquest.create_session db in
+  let tsq = Tsq.make ~types:[ Duodb.Datatype.Text ] () in
+  let config =
+    { Duocore.Enumerate.default_config with
+      Duocore.Enumerate.max_pops = 10_000;
+      max_candidates = 20 }
+  in
+  let outcome =
+    Duocore.Duoquest.synthesize ~config ~tsq ~literals:[] session
+      ~nlq:"names of movies" ()
+  in
+  let refined = Feedback.reject_row tsq [| t "Gravity" |] in
+  let survivors =
+    Feedback.rerank db refined outcome.Duocore.Enumerate.out_candidates
+  in
+  Alcotest.(check bool) "reranking filters" true
+    (List.length survivors <= List.length outcome.Duocore.Enumerate.out_candidates);
+  List.iter
+    (fun c ->
+      let res = Duoengine.Executor.run_exn db c.Duocore.Enumerate.cand_query in
+      Alcotest.(check bool) "no survivor returns Gravity" true
+        (not
+           (List.exists
+              (fun row -> Array.exists (Value.equal (t "Gravity")) row)
+              res.Duoengine.Executor.res_rows)))
+    survivors
+
+let suite =
+  [
+    Alcotest.test_case "negative example" `Quick test_negative_example_rejects;
+    Alcotest.test_case "reject_row" `Quick test_reject_row_builder;
+    Alcotest.test_case "accept_row" `Quick test_accept_row_builder;
+    Alcotest.test_case "noise tolerance" `Quick test_noise_tolerance;
+    Alcotest.test_case "required support" `Quick test_required_support;
+    Alcotest.test_case "noisy synthesis end-to-end" `Quick test_noisy_synthesis_end_to_end;
+    Alcotest.test_case "rerank with feedback" `Quick test_rerank;
+  ]

@@ -1,0 +1,88 @@
+module Frontier = Duocore.Frontier
+module Partial = Duocore.Partial
+
+let state conf = { Partial.root with Partial.confidence = conf }
+
+let test_pop_order () =
+  let f = Frontier.create () in
+  List.iter (fun c -> Frontier.push f (state c)) [ 0.3; 0.9; 0.1; 0.5 ];
+  let popped = List.init 4 (fun _ -> (Option.get (Frontier.pop f)).Partial.confidence) in
+  Alcotest.(check (list (float 1e-9))) "descending confidence" [ 0.9; 0.5; 0.3; 0.1 ] popped
+
+let test_fifo_on_ties () =
+  let f = Frontier.create () in
+  let a = { (state 0.5) with Partial.nproj = 1 } in
+  let b = { (state 0.5) with Partial.nproj = 2 } in
+  Frontier.push f a;
+  Frontier.push f b;
+  Alcotest.(check int) "first pushed pops first" 1
+    (Option.get (Frontier.pop f)).Partial.nproj
+
+let test_join_length_tiebreak () =
+  let f = Frontier.create () in
+  let with_from tables joins =
+    { (state 0.5) with
+      Partial.from = Some { Duosql.Ast.f_tables = tables; f_joins = joins } }
+  in
+  let long =
+    with_from [ "actor"; "starring" ]
+      [ { Duosql.Ast.j_from = Duosql.Ast.col "starring" "aid";
+          j_to = Duosql.Ast.col "actor" "aid" } ]
+  in
+  let short = with_from [ "actor" ] [] in
+  Frontier.push f long;
+  Frontier.push f short;
+  Alcotest.(check int) "shorter join path first" 0
+    (match (Option.get (Frontier.pop f)).Partial.from with
+    | Some fr -> List.length fr.Duosql.Ast.f_joins
+    | None -> -1)
+
+let test_empty_pop () =
+  let f = Frontier.create () in
+  Alcotest.(check bool) "empty" true (Option.is_none (Frontier.pop f))
+
+let test_cap_compaction () =
+  let f = Frontier.create ~cap:10 () in
+  for i = 1 to 50 do
+    Frontier.push f (state (float_of_int i /. 100.0))
+  done;
+  Alcotest.(check bool) "size bounded" true (Frontier.size f <= 11);
+  Alcotest.(check bool) "some dropped" true (Frontier.dropped f > 0);
+  (* survivors are the best ones *)
+  Alcotest.(check (float 1e-9)) "best kept" 0.5
+    (Option.get (Frontier.pop f)).Partial.confidence
+
+let prop_heap_order =
+  QCheck.Test.make ~name:"pops are sorted by priority" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 40) (float_bound_inclusive 1.0))
+    (fun confs ->
+      let f = Frontier.create () in
+      List.iter (fun c -> Frontier.push f (state c)) confs;
+      let rec drain acc =
+        match Frontier.pop f with
+        | Some s -> drain (s.Partial.confidence :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort (fun a b -> compare b a) confs)
+
+let prop_pushed_count =
+  QCheck.Test.make ~name:"pushed counter" ~count:50
+    QCheck.(int_range 0 60)
+    (fun n ->
+      let f = Frontier.create () in
+      for i = 1 to n do
+        Frontier.push f (state (float_of_int i))
+      done;
+      Frontier.pushed f = n)
+
+let suite =
+  [
+    Alcotest.test_case "pop order" `Quick test_pop_order;
+    Alcotest.test_case "FIFO on ties" `Quick test_fifo_on_ties;
+    Alcotest.test_case "join-length tiebreak" `Quick test_join_length_tiebreak;
+    Alcotest.test_case "empty pop" `Quick test_empty_pop;
+    Alcotest.test_case "cap compaction" `Quick test_cap_compaction;
+    QCheck_alcotest.to_alcotest prop_heap_order;
+    QCheck_alcotest.to_alcotest prop_pushed_count;
+  ]

@@ -1,0 +1,171 @@
+module Model = Duoguide.Model
+module Score = Duoguide.Score
+module Hints = Duoguide.Hints
+
+let schema = Fixtures.movie_schema
+
+let ctx nlq_text =
+  Model.make schema (Duonl.Nlq.analyze nlq_text)
+
+let sums_to_one name cands =
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 cands in
+  Alcotest.(check (float 1e-6)) name 1.0 total
+
+let all_positive cands = List.for_all (fun (_, p) -> p > 0.0) cands
+
+let test_softmax_normalizes () =
+  let p = Score.softmax [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 p);
+  Alcotest.(check bool) "monotone" true (p.(0) < p.(1) && p.(1) < p.(2))
+
+let test_softmax_empty () =
+  Alcotest.(check int) "empty ok" 0 (Array.length (Score.softmax [||]))
+
+let test_softmax_temperature () =
+  let sharp = Score.softmax ~temperature:0.5 [| 0.0; 1.0 |] in
+  let flat = Score.softmax ~temperature:2.0 [| 0.0; 1.0 |] in
+  Alcotest.(check bool) "low temperature sharpens" true (sharp.(1) > flat.(1))
+
+let test_name_similarity () =
+  Alcotest.(check bool) "exact token" true
+    (Score.name_similarity ~nlq_words:[ "birth"; "year" ] "birth_yr" > 0.4);
+  Alcotest.(check bool) "unrelated" true
+    (Score.name_similarity ~nlq_words:[ "movy" ] "gender" = 0.0)
+
+(* Property 1 of the paper: each decision's candidate masses sum to 1, so
+   children partition their parent's confidence. *)
+let test_property1_keywords () =
+  sums_to_one "keywords" (Model.keywords (ctx "movies before 1995 sorted by year"))
+
+let test_property1_other_modules () =
+  let c = ctx "number of movies per actor name ordered from most to least" in
+  sums_to_one "num_projections" (Model.num_projections c ~hint:None);
+  sums_to_one "projection_targets" (Model.projection_targets c ~used:[]);
+  sums_to_one "where_columns" (Model.where_columns c ~used:[]);
+  sums_to_one "group_columns" (Model.group_columns c ~projected:[]);
+  sums_to_one "aggregates text" (Model.aggregates c Duodb.Datatype.Text);
+  sums_to_one "aggregates number" (Model.aggregates c Duodb.Datatype.Number);
+  sums_to_one "operators" (Model.operators c Duodb.Datatype.Number);
+  sums_to_one "connective" (Model.connective c);
+  sums_to_one "having" (Model.having_presence c);
+  sums_to_one "direction" (Model.direction c);
+  sums_to_one "limit" (Model.limit c ~hint:None)
+
+let test_keyword_evidence () =
+  let p_of ctx pred =
+    List.fold_left
+      (fun acc (kw, p) -> if pred kw then acc +. p else acc)
+      0.0 (Model.keywords ctx)
+  in
+  let order_ctx = ctx "movies sorted by year" in
+  let plain_ctx = ctx "movie names" in
+  Alcotest.(check bool) "sorting words raise P(order)" true
+    (p_of order_ctx (fun kw -> kw.Model.kw_order)
+    > p_of plain_ctx (fun kw -> kw.Model.kw_order))
+
+let test_column_evidence () =
+  let c = ctx "show the revenue of movies" in
+  let targets = Model.projection_targets c ~used:[] in
+  let p_of name =
+    List.fold_left
+      (fun acc (t, p) ->
+        match t with
+        | Model.Target_column col when col.Duodb.Schema.col_name = name -> acc +. p
+        | _ -> acc)
+      0.0 targets
+  in
+  Alcotest.(check bool) "revenue outranks gender" true (p_of "revenue" > p_of "gender")
+
+let test_grounded_literal_guides_where () =
+  let db = Fixtures.movie_db () in
+  let index = Duodb.Index.build db in
+  let nlq = Duonl.Nlq.analyze ~index "movies starring \"Tom Hanks\"" in
+  let c = Model.make ~index schema nlq in
+  let cands = Model.where_columns c ~used:[] in
+  let p_of table name =
+    List.fold_left
+      (fun acc (col, p) ->
+        if col.Duodb.Schema.col_table = table && col.Duodb.Schema.col_name = name
+        then acc +. p
+        else acc)
+      0.0 cands
+  in
+  Alcotest.(check bool) "actor.name leads after grounding" true
+    (p_of "actor" "name" > p_of "movies" "revenue")
+
+let test_values_respect_types () =
+  let db = Fixtures.movie_db () in
+  let index = Duodb.Index.build db in
+  let nlq =
+    Duonl.Nlq.with_literals ~index "movies named \"Gravity\" after 2000"
+      [ Duodb.Value.Text "Gravity"; Duodb.Value.Int 2000 ]
+  in
+  let c = Model.make ~index schema nlq in
+  let year_col = Duodb.Schema.find_column_exn schema ~table:"movies" "year" in
+  let name_col = Duodb.Schema.find_column_exn schema ~table:"movies" "name" in
+  Alcotest.(check bool) "numeric col gets numeric values" true
+    (List.for_all (fun (v, _) -> Duodb.Value.is_numeric v) (Model.values c year_col));
+  Alcotest.(check bool) "text col gets text values" true
+    (List.for_all
+       (fun (v, _) -> match v with Duodb.Value.Text _ -> true | _ -> false)
+       (Model.values c name_col))
+
+let test_used_columns_excluded () =
+  let c = ctx "movie names and years" in
+  let all = Model.projection_targets c ~used:[] in
+  match all with
+  | (first, _) :: _ ->
+      let rest = Model.projection_targets c ~used:[ first ] in
+      Alcotest.(check int) "one fewer candidate" (List.length all - 1) (List.length rest);
+      Alcotest.(check bool) "still a distribution" true (all_positive rest);
+      sums_to_one "renormalized" rest
+  | [] -> Alcotest.fail "expected candidates"
+
+let test_limit_hint () =
+  let c = ctx "top movies" in
+  let with_hint = Model.limit c ~hint:(Some 7) in
+  Alcotest.(check bool) "hinted limit offered" true
+    (List.exists (fun (l, _) -> l = Some 7) with_hint)
+
+let test_hint_lexicon () =
+  let w = [ "average"; "revenue" ] in
+  let _, _, _, avg, _, _ = Hints.agg_signals w in
+  Alcotest.(check bool) "average detected" true (avg > 0.0);
+  Alcotest.(check bool) "descending from most" true
+    (Hints.descending_signal [ "most"; "recent" ] > 0.0);
+  let ops = Hints.op_signals [ "more"; "than" ] in
+  Alcotest.(check bool) "more-than favors Gt" true (ops.(4) > ops.(2))
+
+let prop_distributions_sum_to_one =
+  QCheck.Test.make ~name:"module outputs are distributions" ~count:50
+    QCheck.(oneofl
+      [ "movies before 1995"; "actor names and movie count";
+        "total revenue per actor ordered from most to least";
+        "names of actors from \"Concord\""; "how many movies are there" ])
+    (fun text ->
+      let c = ctx text in
+      let close l =
+        abs_float (List.fold_left (fun acc (_, p) -> acc +. p) 0.0 l -. 1.0) < 1e-6
+      in
+      close (Model.keywords c)
+      && close (Model.projection_targets c ~used:[])
+      && close (Model.where_columns c ~used:[])
+      && close (Model.num_projections c ~hint:None))
+
+let suite =
+  [
+    Alcotest.test_case "softmax normalizes" `Quick test_softmax_normalizes;
+    Alcotest.test_case "softmax empty" `Quick test_softmax_empty;
+    Alcotest.test_case "softmax temperature" `Quick test_softmax_temperature;
+    Alcotest.test_case "name similarity" `Quick test_name_similarity;
+    Alcotest.test_case "Property 1: keywords" `Quick test_property1_keywords;
+    Alcotest.test_case "Property 1: all modules" `Quick test_property1_other_modules;
+    Alcotest.test_case "keyword evidence" `Quick test_keyword_evidence;
+    Alcotest.test_case "column evidence" `Quick test_column_evidence;
+    Alcotest.test_case "grounding guides WHERE" `Quick test_grounded_literal_guides_where;
+    Alcotest.test_case "values respect types" `Quick test_values_respect_types;
+    Alcotest.test_case "used columns excluded" `Quick test_used_columns_excluded;
+    Alcotest.test_case "limit hint" `Quick test_limit_hint;
+    Alcotest.test_case "hint lexicon" `Quick test_hint_lexicon;
+    QCheck_alcotest.to_alcotest prop_distributions_sum_to_one;
+  ]

@@ -1,0 +1,63 @@
+module Mas = Duobench.Mas
+module Executor = Duoengine.Executor
+
+let db = Mas.database ()
+
+let test_schema_stats () =
+  Alcotest.(check int) "15 tables" 15 (Duodb.Schema.num_tables Mas.schema);
+  Alcotest.(check int) "19 fks" 19 (Duodb.Schema.num_foreign_keys Mas.schema);
+  Alcotest.(check bool) "roughly 44 columns" true
+    (abs (Duodb.Schema.num_columns Mas.schema - 44) <= 4)
+
+let test_integrity () =
+  Alcotest.(check (list string)) "consistent instance" [] (Duodb.Database.check_integrity db)
+
+let test_deterministic () =
+  let db2 = Mas.database () in
+  Alcotest.(check int) "same row count" (Duodb.Database.total_rows db)
+    (Duodb.Database.total_rows db2)
+
+let check_task (task : Mas.task) () =
+  let gold = Mas.gold task in
+  let res = Executor.run_exn db gold in
+  let n = Executor.cardinality res in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s non-empty (%d rows)" task.Mas.task_id n)
+    true (n > 0);
+  (* Discriminative: the task should not return the whole base table. *)
+  Alcotest.(check bool) (task.Mas.task_id ^ " selective") true (n < 260)
+
+let task_cases =
+  List.map
+    (fun (task : Mas.task) ->
+      Alcotest.test_case
+        (Printf.sprintf "task %s executes" task.Mas.task_id)
+        `Quick (check_task task))
+    (Mas.nli_study_tasks @ Mas.pbe_study_tasks)
+
+let test_prolific_author_exists () =
+  (* Tasks B1/D1 reference these authors; they must have publications. *)
+  List.iter
+    (fun name ->
+      let rows =
+        Executor.run_exn db
+          (Duosql.Parser.query_exn ~schema:Mas.schema
+             (Printf.sprintf
+                "SELECT COUNT(*) FROM author JOIN writes ON author.aid = \
+                 writes.aid WHERE author.name = '%s'"
+                name))
+      in
+      match rows.Executor.res_rows with
+      | [ [| Duodb.Value.Int n |] ] ->
+          Alcotest.(check bool) (name ^ " has publications") true (n > 0)
+      | _ -> Alcotest.fail "unexpected result shape")
+    [ "Wei Zhang"; "Maria Garcia" ]
+
+let suite =
+  [
+    Alcotest.test_case "schema statistics" `Quick test_schema_stats;
+    Alcotest.test_case "referential integrity" `Quick test_integrity;
+    Alcotest.test_case "deterministic generation" `Quick test_deterministic;
+    Alcotest.test_case "prolific authors exist" `Quick test_prolific_author_exists;
+  ]
+  @ task_cases

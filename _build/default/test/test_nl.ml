@@ -1,0 +1,81 @@
+module Token = Duonl.Token
+module Nlq = Duonl.Nlq
+module Value = Duodb.Value
+
+let test_tokenize_words () =
+  let toks = Token.tokenize "Show the names of movies from before 1995" in
+  Alcotest.(check bool) "has number" true (List.mem (Token.Number 1995.0) toks);
+  Alcotest.(check bool) "stems names->name" true (List.mem (Token.Word "name") toks)
+
+let test_tokenize_quoted () =
+  let toks = Token.tokenize "publications in \"SIGMOD\" since 2010" in
+  Alcotest.(check bool) "quoted literal kept verbatim" true
+    (List.mem (Token.Quoted "SIGMOD") toks)
+
+let test_tokenize_unterminated_quote () =
+  let toks = Token.tokenize "find \"Forrest Gump" in
+  Alcotest.(check bool) "unterminated quote still a literal" true
+    (List.mem (Token.Quoted "Forrest Gump") toks)
+
+let test_stem () =
+  Alcotest.(check string) "plural" "movy" (Token.stem "movies");
+  Alcotest.(check string) "simple plural" "author" (Token.stem "authors");
+  Alcotest.(check string) "ing" "sort" (Token.stem "sorting");
+  Alcotest.(check string) "ed" "order" (Token.stem "ordered");
+  Alcotest.(check string) "short words untouched" "the" (Token.stem "the");
+  Alcotest.(check string) "idempotent-ish" "name" (Token.stem "names")
+
+let test_stopwords () =
+  Alcotest.(check bool) "the" true (Token.is_stopword "the");
+  Alcotest.(check bool) "organization" false (Token.is_stopword "organization")
+
+let test_literal_extraction () =
+  let nlq = Nlq.analyze "movies from before 1995 named \"Forrest Gump\"" in
+  Alcotest.(check int) "two literals" 2 (List.length nlq.Nlq.literals);
+  Alcotest.(check (list string)) "text literal" [ "Forrest Gump" ] (Nlq.text_literals nlq);
+  Alcotest.(check bool) "numeric literal" true
+    (List.mem (Value.Int 1995) (Nlq.numeric_literals nlq))
+
+let test_grounding () =
+  let db = Fixtures.movie_db () in
+  let index = Duodb.Index.build db in
+  let nlq = Nlq.analyze ~index "who starred in \"Gravity\"" in
+  match nlq.Nlq.literals with
+  | [ l ] ->
+      Alcotest.(check (list (pair string string))) "grounded to movies.name"
+        [ ("movies", "name") ] l.Nlq.lit_columns
+  | _ -> Alcotest.fail "expected one literal"
+
+let test_with_literals () =
+  let nlq = Nlq.with_literals "some question" [ Value.Int 7; Value.Text "x" ] in
+  Alcotest.(check int) "two provided" 2 (List.length nlq.Nlq.literals)
+
+let test_content_words () =
+  let nlq = Nlq.analyze "Show the names of all the movies" in
+  let words = Nlq.content_words nlq in
+  Alcotest.(check bool) "no stopwords" true
+    (not (List.exists Token.is_stopword words));
+  Alcotest.(check bool) "keeps name" true (List.mem "name" words)
+
+(* Property: tokenize never produces empty word tokens and is total. *)
+let prop_tokenize_total =
+  QCheck.Test.make ~name:"tokenize total, no empty words" ~count:300
+    QCheck.(string_of_size (Gen.int_range 0 60))
+    (fun s ->
+      List.for_all
+        (function Token.Word w -> String.length w > 0 | _ -> true)
+        (Token.tokenize s))
+
+let suite =
+  [
+    Alcotest.test_case "tokenize words" `Quick test_tokenize_words;
+    Alcotest.test_case "tokenize quoted" `Quick test_tokenize_quoted;
+    Alcotest.test_case "unterminated quote" `Quick test_tokenize_unterminated_quote;
+    Alcotest.test_case "stemming" `Quick test_stem;
+    Alcotest.test_case "stopwords" `Quick test_stopwords;
+    Alcotest.test_case "literal extraction" `Quick test_literal_extraction;
+    Alcotest.test_case "index grounding" `Quick test_grounding;
+    Alcotest.test_case "explicit literals" `Quick test_with_literals;
+    Alcotest.test_case "content words" `Quick test_content_words;
+    QCheck_alcotest.to_alcotest prop_tokenize_total;
+  ]

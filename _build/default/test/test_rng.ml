@@ -1,0 +1,72 @@
+module Rng = Duobench.Rng
+
+let test_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_split_independence () =
+  let a = Rng.create 7 in
+  let c1 = Rng.split a in
+  let v = Rng.int a 100 in
+  let a2 = Rng.create 7 in
+  let _ = Rng.split a2 in
+  Alcotest.(check int) "parent stream unaffected by child use" v
+    (let _ = Rng.int c1 5 in
+     Rng.int a2 100)
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"int within bounds" ~count:500
+    QCheck.(pair (int_range 1 10000) small_int)
+    (fun (bound, seed) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_range_bounds =
+  QCheck.Test.make ~name:"range inclusive" ~count:500
+    QCheck.(triple (int_range (-100) 100) (int_range 0 200) small_int)
+    (fun (lo, span, seed) ->
+      let r = Rng.create seed in
+      let v = Rng.range r lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let prop_float_unit =
+  QCheck.Test.make ~name:"float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let r = Rng.create seed in
+      let f = Rng.float r in
+      f >= 0.0 && f < 1.0)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair (list small_int) small_int)
+    (fun (xs, seed) ->
+      let r = Rng.create seed in
+      List.sort compare (Rng.shuffle r xs) = List.sort compare xs)
+
+let prop_sample_size =
+  QCheck.Test.make ~name:"sample size" ~count:200
+    QCheck.(triple (list_of_size (Gen.int_range 0 20) small_int) (int_range 0 25) small_int)
+    (fun (xs, k, seed) ->
+      let r = Rng.create seed in
+      List.length (Rng.sample r k xs) = min k (List.length xs))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    QCheck_alcotest.to_alcotest prop_int_bounds;
+    QCheck_alcotest.to_alcotest prop_range_bounds;
+    QCheck_alcotest.to_alcotest prop_float_unit;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+    QCheck_alcotest.to_alcotest prop_sample_size;
+  ]

@@ -1,0 +1,68 @@
+module Schema = Duodb.Schema
+module Datatype = Duodb.Datatype
+
+let sch = Fixtures.movie_schema
+
+let test_lookup () =
+  Alcotest.(check bool) "finds actor" true (Option.is_some (Schema.find_table sch "actor"));
+  Alcotest.(check bool) "no ghosts" true (Option.is_none (Schema.find_table sch "ghost"));
+  let c = Schema.find_column_exn sch ~table:"movies" "year" in
+  Alcotest.(check string) "column type" "number" (Datatype.to_string c.Schema.col_type)
+
+let test_counts () =
+  Alcotest.(check int) "tables" 3 (Schema.num_tables sch);
+  Alcotest.(check int) "columns" 13 (Schema.num_columns sch);
+  Alcotest.(check int) "fks" 2 (Schema.num_foreign_keys sch)
+
+let test_pk () =
+  Alcotest.(check bool) "aid is pk" true (Schema.is_pk_column sch ~table:"actor" "aid");
+  Alcotest.(check bool) "name not pk" false (Schema.is_pk_column sch ~table:"actor" "name")
+
+let test_join_graph () =
+  Alcotest.(check int) "starring has 2 edges" 2
+    (List.length (Schema.join_edges sch ~table:"starring"));
+  Alcotest.(check int) "actor-starring joinable" 1
+    (List.length (Schema.joinable sch "actor" "starring"));
+  Alcotest.(check int) "actor-movies not directly joinable" 0
+    (List.length (Schema.joinable sch "actor" "movies"))
+
+let test_validation_rejects_bad_fk () =
+  let bad () =
+    ignore
+      (Schema.make ~name:"bad"
+         [ Schema.table "a" [ ("x", Datatype.Number) ] ~pk:[ "x" ] ]
+         [ Schema.fk ("a", "x") ("b", "y") ])
+  in
+  Alcotest.check_raises "missing fk target"
+    (Invalid_argument "Schema.make: foreign key references missing column b.y") bad
+
+let test_validation_rejects_dup_table () =
+  let bad () =
+    ignore
+      (Schema.make ~name:"bad"
+         [ Schema.table "a" [ ("x", Datatype.Number) ] ~pk:[];
+           Schema.table "a" [ ("y", Datatype.Number) ] ~pk:[] ]
+         [])
+  in
+  Alcotest.check_raises "dup table" (Invalid_argument "Schema.make: duplicate table \"a\"") bad
+
+let test_validation_rejects_bad_pk () =
+  let bad () =
+    ignore
+      (Schema.make ~name:"bad"
+         [ Schema.table "a" [ ("x", Datatype.Number) ] ~pk:[ "nope" ] ]
+         [])
+  in
+  Alcotest.check_raises "bad pk"
+    (Invalid_argument "Schema.make: primary key column a.nope does not exist") bad
+
+let suite =
+  [
+    Alcotest.test_case "lookup" `Quick test_lookup;
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "primary keys" `Quick test_pk;
+    Alcotest.test_case "join graph" `Quick test_join_graph;
+    Alcotest.test_case "validation: bad fk" `Quick test_validation_rejects_bad_fk;
+    Alcotest.test_case "validation: duplicate table" `Quick test_validation_rejects_dup_table;
+    Alcotest.test_case "validation: bad pk" `Quick test_validation_rejects_bad_pk;
+  ]

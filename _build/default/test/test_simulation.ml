@@ -1,0 +1,92 @@
+(* Integration: the simulation pipeline end to end on a small split —
+   the same code path fig10/fig11/fig12/table6 run at paper scale. *)
+
+module Simulation = Duobench.Simulation
+module Spider = Duobench.Spider_gen
+
+let split = Spider.mini ~seed:17 ~n_dbs:3 ~per_db:6 ()
+
+let fast_config =
+  { Simulation.sim_config with
+    Duocore.Enumerate.max_pops = 15_000;
+    time_budget_s = 0.8 }
+
+let dq =
+  lazy
+    (Simulation.run_split ~config:fast_config ~mode:`Duoquest
+       ~detail:(Some Duobench.Tsq_synth.Full) split)
+
+let nli =
+  lazy (Simulation.run_split ~config:fast_config ~mode:`Nli ~detail:None split)
+
+let test_all_tasks_ran () =
+  Alcotest.(check int) "one record per task" (List.length split.Spider.tasks)
+    (List.length (Lazy.force dq))
+
+let test_duoquest_beats_nli () =
+  let d = Simulation.top_k_count (Lazy.force dq) 10 in
+  let n = Simulation.top_k_count (Lazy.force nli) 10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "dq %d >= nli %d (top-10)" d n)
+    true (d >= n);
+  Alcotest.(check bool) "duoquest finds a majority" true
+    (2 * d >= List.length split.Spider.tasks)
+
+let test_ranks_within_candidates () =
+  List.iter
+    (fun r ->
+      match r.Simulation.pt_rank with
+      | Some rank ->
+          Alcotest.(check bool) "rank within candidate count" true
+            (rank >= 1 && rank <= r.Simulation.pt_candidates)
+      | None -> ())
+    (Lazy.force dq)
+
+let test_times_monotone_with_rank () =
+  List.iter
+    (fun r ->
+      match r.Simulation.pt_rank, r.Simulation.pt_time with
+      | Some _, Some t -> Alcotest.(check bool) "time nonnegative" true (t >= 0.0)
+      | Some _, None -> Alcotest.fail "found rank without time"
+      | None, _ -> ())
+    (Lazy.force dq)
+
+let test_by_difficulty_partitions () =
+  let results = Lazy.force dq in
+  let total =
+    List.length (Simulation.by_difficulty results `Easy)
+    + List.length (Simulation.by_difficulty results `Medium)
+    + List.length (Simulation.by_difficulty results `Hard)
+  in
+  Alcotest.(check int) "difficulties partition" (List.length results) total
+
+let test_completed_within_monotone () =
+  let results = Lazy.force dq in
+  let a = Simulation.completed_within results 0.01 in
+  let b = Simulation.completed_within results 0.5 in
+  Alcotest.(check bool) "CDF monotone" true (b >= a)
+
+let test_pbe_statuses () =
+  let statuses = Simulation.run_pbe split in
+  Alcotest.(check int) "one status per task" (List.length split.Spider.tasks)
+    (List.length statuses);
+  (* every hard task projects an aggregate, so PBE cannot support it *)
+  List.iter
+    (fun (task, status) ->
+      if task.Spider.sp_difficulty = `Hard
+         && Duosql.Ast.has_aggregate task.Spider.sp_gold
+      then
+        Alcotest.(check bool) "hard task unsupported" true
+          (status = Simulation.Pbe_unsupported))
+    statuses
+
+let suite =
+  [
+    Alcotest.test_case "all tasks ran" `Slow test_all_tasks_ran;
+    Alcotest.test_case "duoquest >= NLI" `Slow test_duoquest_beats_nli;
+    Alcotest.test_case "ranks within bounds" `Slow test_ranks_within_candidates;
+    Alcotest.test_case "times present with ranks" `Slow test_times_monotone_with_rank;
+    Alcotest.test_case "difficulty partition" `Slow test_by_difficulty_partitions;
+    Alcotest.test_case "CDF monotone" `Slow test_completed_within_monotone;
+    Alcotest.test_case "PBE statuses" `Slow test_pbe_statuses;
+  ]

@@ -1,0 +1,130 @@
+(* Generator invariants for the Spider-like benchmark: counts, scope,
+   non-emptiness, semantic validity, reachability prerequisites. *)
+
+module Spider = Duobench.Spider_gen
+module Semantics = Duocore.Semantics
+
+let mini = Spider.mini ~seed:3 ~n_dbs:4 ~per_db:9 ()
+
+let db_of task = List.assoc task.Spider.sp_db mini.Spider.databases
+
+let test_counts () =
+  Alcotest.(check int) "databases" 4 (List.length mini.Spider.databases);
+  Alcotest.(check int) "tasks" 36 (List.length mini.Spider.tasks)
+
+let test_difficulty_definition () =
+  List.iter
+    (fun task ->
+      let q = task.Spider.sp_gold in
+      match task.Spider.sp_difficulty with
+      | `Easy ->
+          Alcotest.(check bool) "easy: no where/group" true
+            (q.Duosql.Ast.q_where = None && q.Duosql.Ast.q_group_by = [])
+      | `Medium ->
+          Alcotest.(check bool) "medium: where, no group" true
+            (Option.is_some q.Duosql.Ast.q_where && q.Duosql.Ast.q_group_by = [])
+      | `Hard ->
+          Alcotest.(check bool) "hard: grouped" true (q.Duosql.Ast.q_group_by <> []))
+    mini.Spider.tasks
+
+let test_non_empty_results () =
+  List.iter
+    (fun task ->
+      let res = Duoengine.Executor.run_exn (db_of task) task.Spider.sp_gold in
+      Alcotest.(check bool)
+        (Duosql.Pretty.query task.Spider.sp_gold ^ " non-empty")
+        true
+        (res.Duoengine.Executor.res_rows <> []))
+    mini.Spider.tasks
+
+let test_semantically_valid () =
+  List.iter
+    (fun task ->
+      let schema = Duodb.Database.schema (db_of task) in
+      match Semantics.check_query schema task.Spider.sp_gold with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.fail
+            (Printf.sprintf "%s violates %s"
+               (Duosql.Pretty.query task.Spider.sp_gold)
+               (Semantics.violation_to_string v)))
+    mini.Spider.tasks
+
+let test_literals_cover_gold () =
+  (* Every literal of the gold query must be in the task's tagged set;
+     otherwise the synthesizer could never verify literal usage. *)
+  List.iter
+    (fun task ->
+      let gold_lits = Duosql.Ast.literals task.Spider.sp_gold in
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s tagged in %s" (Duodb.Value.to_sql v)
+               (Duosql.Pretty.query task.Spider.sp_gold))
+            true
+            (List.exists (Duodb.Value.equal v) task.Spider.sp_literals
+            || Duodb.Value.equal v (Duodb.Value.Int 1) (* bare LIMIT 1 *)))
+        gold_lits)
+    mini.Spider.tasks
+
+let test_nlq_nonempty () =
+  List.iter
+    (fun task ->
+      Alcotest.(check bool) "NLQ has words" true
+        (String.length task.Spider.sp_nlq > 10))
+    mini.Spider.tasks
+
+let test_deterministic () =
+  let again = Spider.mini ~seed:3 ~n_dbs:4 ~per_db:9 () in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same gold"
+        (Duosql.Pretty.query a.Spider.sp_gold)
+        (Duosql.Pretty.query b.Spider.sp_gold))
+    mini.Spider.tasks again.Spider.tasks
+
+let test_integrity_of_generated_dbs () =
+  List.iter
+    (fun (name, db) ->
+      Alcotest.(check (list string)) (name ^ " consistent") []
+        (Duodb.Database.check_integrity db))
+    mini.Spider.databases
+
+let test_tsq_synthesis_on_tasks () =
+  let rng = Duobench.Rng.create 5 in
+  List.iter
+    (fun task ->
+      let db = db_of task in
+      match Duobench.Tsq_synth.synthesize rng db task.Spider.sp_gold ~detail:Duobench.Tsq_synth.Full with
+      | Some tsq ->
+          Alcotest.(check bool) "gold satisfies its own TSQ" true
+            (Duocore.Tsq.satisfies tsq db task.Spider.sp_gold)
+      | None -> Alcotest.fail "TSQ synthesis failed on non-empty task")
+    mini.Spider.tasks
+
+let test_detail_levels () =
+  let rng = Duobench.Rng.create 6 in
+  let task = List.hd mini.Spider.tasks in
+  let db = db_of task in
+  let syn d = Duobench.Tsq_synth.synthesize rng db task.Spider.sp_gold ~detail:d in
+  (match syn Duobench.Tsq_synth.Minimal with
+  | Some tsq -> Alcotest.(check int) "minimal has no tuples" 0 (Duocore.Tsq.num_tuples tsq)
+  | None -> Alcotest.fail "minimal failed");
+  match syn Duobench.Tsq_synth.Full with
+  | Some tsq ->
+      Alcotest.(check bool) "full has tuples" true (Duocore.Tsq.num_tuples tsq >= 1)
+  | None -> Alcotest.fail "full failed"
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "difficulty definitions" `Quick test_difficulty_definition;
+    Alcotest.test_case "non-empty results" `Quick test_non_empty_results;
+    Alcotest.test_case "semantic validity" `Quick test_semantically_valid;
+    Alcotest.test_case "literal coverage" `Quick test_literals_cover_gold;
+    Alcotest.test_case "NLQs non-empty" `Quick test_nlq_nonempty;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "generated db integrity" `Quick test_integrity_of_generated_dbs;
+    Alcotest.test_case "TSQ synthesis" `Quick test_tsq_synthesis_on_tasks;
+    Alcotest.test_case "TSQ detail levels" `Quick test_detail_levels;
+  ]

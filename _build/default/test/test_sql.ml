@@ -1,0 +1,234 @@
+open Duosql
+module Value = Duodb.Value
+
+let parse = Fixtures.parse
+
+let roundtrip sql =
+  let q = parse sql in
+  let printed = Pretty.query q in
+  let q' = parse printed in
+  Alcotest.(check bool)
+    (Printf.sprintf "roundtrip %s" sql)
+    true (Equal.queries q q')
+
+let test_lexer_basic () =
+  match Lexer.tokenize "SELECT a.b, 'it''s' FROM t WHERE x >= 3.5" with
+  | Error e -> Alcotest.fail e
+  | Ok toks ->
+      Alcotest.(check int) "token count" 12 (List.length toks);
+      Alcotest.(check bool) "escaped quote" true
+        (List.mem (Lexer.String "it's") toks);
+      Alcotest.(check bool) "float" true
+        (List.mem (Lexer.Number (Value.Float 3.5)) toks)
+
+let test_lexer_neq_variants () =
+  let ops toks = List.filter_map (function Lexer.Op o -> Some o | _ -> None) toks in
+  match Lexer.tokenize "a != b c <> d" with
+  | Error e -> Alcotest.fail e
+  | Ok toks -> Alcotest.(check (list string)) "both neq" [ "!="; "!=" ] (ops toks)
+
+let test_lexer_error () =
+  (match Lexer.tokenize "SELECT ;" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected lex error on ;");
+  match Lexer.tokenize "SELECT 'oops" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected lex error on unterminated string"
+
+let test_parse_simple () =
+  let q = parse "SELECT actor.name FROM actor" in
+  Alcotest.(check int) "one projection" 1 (List.length q.Ast.q_select);
+  Alcotest.(check (list string)) "one table" [ "actor" ] q.Ast.q_from.Ast.f_tables
+
+let test_parse_aliases () =
+  let q =
+    parse
+      "SELECT t1.name FROM actor AS t1 JOIN starring AS t2 ON t1.aid = t2.aid"
+  in
+  Alcotest.(check (list string)) "aliases resolved" [ "actor"; "starring" ]
+    q.Ast.q_from.Ast.f_tables;
+  match q.Ast.q_select with
+  | [ { Ast.p_col = Some c; _ } ] -> Alcotest.(check string) "table name" "actor" c.Ast.cr_table
+  | _ -> Alcotest.fail "unexpected select shape"
+
+let test_parse_implicit_alias () =
+  let q = parse "SELECT a.name FROM actor a JOIN starring s ON a.aid = s.aid" in
+  Alcotest.(check (list string)) "implicit aliases" [ "actor"; "starring" ]
+    q.Ast.q_from.Ast.f_tables
+
+let test_parse_unqualified () =
+  let q = parse "SELECT name FROM movies WHERE year < 1995" in
+  (match q.Ast.q_select with
+  | [ { Ast.p_col = Some c; _ } ] ->
+      Alcotest.(check string) "resolved to movies" "movies" c.Ast.cr_table
+  | _ -> Alcotest.fail "unexpected select shape");
+  match q.Ast.q_where with
+  | Some { Ast.c_preds = [ p ]; _ } -> (
+      match p.Ast.pr_rhs with
+      | Ast.Cmp (Ast.Lt, Value.Int 1995) -> ()
+      | _ -> Alcotest.fail "bad predicate")
+  | _ -> Alcotest.fail "missing where"
+
+let test_parse_ambiguous_unqualified () =
+  (* `aid` exists in both actor and starring. *)
+  match
+    Parser.query ~schema:Fixtures.movie_schema
+      "SELECT aid FROM actor JOIN starring ON actor.aid = starring.aid"
+  with
+  | Error e ->
+      Alcotest.(check bool) "mentions ambiguity" true
+        (Fixtures.contains e "ambiguous")
+  | Ok _ -> Alcotest.fail "expected ambiguity error"
+
+let test_parse_aggregates () =
+  let q = parse "SELECT COUNT(*), AVG(movies.revenue) FROM movies" in
+  match q.Ast.q_select with
+  | [ p1; p2 ] ->
+      Alcotest.(check bool) "count star" true (p1.Ast.p_agg = Some Ast.Count && p1.Ast.p_col = None);
+      Alcotest.(check bool) "avg revenue" true (p2.Ast.p_agg = Some Ast.Avg)
+  | _ -> Alcotest.fail "unexpected select shape"
+
+let test_parse_count_distinct () =
+  let q = parse "SELECT COUNT(DISTINCT actor.name) FROM actor" in
+  match q.Ast.q_select with
+  | [ p ] -> Alcotest.(check bool) "distinct" true p.Ast.p_distinct
+  | _ -> Alcotest.fail "unexpected select shape"
+
+let test_parse_full_query () =
+  let q =
+    parse
+      "SELECT a.name, COUNT(*) FROM actor a JOIN starring s ON a.aid = s.aid \
+       JOIN movies m ON s.mid = m.mid WHERE m.year > 2000 GROUP BY a.name \
+       HAVING COUNT(*) >= 1 ORDER BY COUNT(*) DESC LIMIT 3"
+  in
+  Alcotest.(check int) "three tables" 3 (List.length q.Ast.q_from.Ast.f_tables);
+  Alcotest.(check bool) "has where" true (Option.is_some q.Ast.q_where);
+  Alcotest.(check int) "group by 1" 1 (List.length q.Ast.q_group_by);
+  Alcotest.(check bool) "has having" true (Option.is_some q.Ast.q_having);
+  Alcotest.(check int) "order by 1" 1 (List.length q.Ast.q_order_by);
+  Alcotest.(check (option int)) "limit" (Some 3) q.Ast.q_limit
+
+let test_parse_between_and_like () =
+  let q =
+    parse
+      "SELECT movies.name FROM movies WHERE movies.year BETWEEN 1990 AND 2000 \
+       OR movies.name LIKE '%it%'"
+  in
+  match q.Ast.q_where with
+  | Some { Ast.c_preds = [ p1; p2 ]; c_conn = Ast.Or } ->
+      (match p1.Ast.pr_rhs with
+      | Ast.Between (Value.Int 1990, Value.Int 2000) -> ()
+      | _ -> Alcotest.fail "bad between");
+      (match p2.Ast.pr_rhs with
+      | Ast.Cmp (Ast.Like, Value.Text "%it%") -> ()
+      | _ -> Alcotest.fail "bad like")
+  | _ -> Alcotest.fail "bad where"
+
+let test_parse_not_like () =
+  let q = parse "SELECT movies.name FROM movies WHERE movies.name NOT LIKE 'G%'" in
+  match q.Ast.q_where with
+  | Some { Ast.c_preds = [ { Ast.pr_rhs = Ast.Cmp (Ast.Not_like, _); _ } ]; _ } -> ()
+  | _ -> Alcotest.fail "bad not like"
+
+let test_rejects_mixed_connectives () =
+  match
+    Parser.query ~schema:Fixtures.movie_schema
+      "SELECT movies.name FROM movies WHERE movies.year > 1 AND movies.year < 5 OR movies.year = 7"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection of mixed AND/OR"
+
+let test_rejects_trailing_garbage () =
+  match Parser.query ~schema:Fixtures.movie_schema "SELECT movies.name FROM movies extra stuff" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected trailing input error"
+
+let test_roundtrips () =
+  List.iter roundtrip
+    [
+      "SELECT actor.name FROM actor";
+      "SELECT DISTINCT actor.name FROM actor";
+      "SELECT movies.name, movies.year FROM movies WHERE movies.year < 1995 ORDER BY movies.year ASC";
+      "SELECT a.name, COUNT(*) FROM actor a JOIN starring s ON a.aid = s.aid GROUP BY a.name";
+      "SELECT m.name FROM movies m WHERE m.year BETWEEN 1990 AND 2000";
+      "SELECT a.name, MAX(m.revenue) FROM actor a JOIN starring s ON a.aid = s.aid \
+       JOIN movies m ON s.mid = m.mid GROUP BY a.name HAVING COUNT(*) >= 2 \
+       ORDER BY MAX(m.revenue) DESC LIMIT 5";
+      "SELECT COUNT(DISTINCT actor.gender) FROM actor";
+      "SELECT movies.name FROM movies WHERE movies.name NOT LIKE '%x%' OR movies.year != 2000";
+    ]
+
+let test_equal_modulo_join_direction () =
+  let q1 = parse "SELECT a.name FROM actor a JOIN starring s ON a.aid = s.aid" in
+  let q2 = parse "SELECT a.name FROM actor a JOIN starring s ON s.aid = a.aid" in
+  Alcotest.(check bool) "join direction ignored" true (Equal.queries q1 q2)
+
+let test_equal_modulo_pred_order () =
+  let q1 = parse "SELECT m.name FROM movies m WHERE m.year > 1 AND m.revenue > 2" in
+  let q2 = parse "SELECT m.name FROM movies m WHERE m.revenue > 2 AND m.year > 1" in
+  Alcotest.(check bool) "predicate order ignored" true (Equal.queries q1 q2);
+  let q3 = parse "SELECT m.name FROM movies m WHERE m.revenue > 2 OR m.year > 1" in
+  Alcotest.(check bool) "connective matters" false (Equal.queries q1 q3)
+
+let test_equal_single_pred_connective_vacuous () =
+  let q1 = parse "SELECT m.name FROM movies m WHERE m.year > 1" in
+  let q2 = { q1 with Ast.q_where = Option.map (fun c -> { c with Ast.c_conn = Ast.Or }) q1.Ast.q_where } in
+  Alcotest.(check bool) "single-pred connective vacuous" true (Equal.queries q1 q2)
+
+let test_equal_projection_order_matters () =
+  let q1 = parse "SELECT movies.name, movies.year FROM movies" in
+  let q2 = parse "SELECT movies.year, movies.name FROM movies" in
+  Alcotest.(check bool) "projection order" false (Equal.queries q1 q2)
+
+(* Property: pretty-print then parse is the identity modulo Equal.queries
+   on randomly assembled in-scope queries. *)
+let random_query_gen =
+  let open QCheck.Gen in
+  let cols_movies = [ "name"; "year"; "revenue" ] in
+  let* ncols = int_range 1 3 in
+  let* cols = flatten_l (List.init ncols (fun _ -> oneofl cols_movies)) in
+  let* use_where = bool in
+  let* year = int_range 1950 2020 in
+  let select = List.map (fun c -> Ast.proj_col (Ast.col "movies" c)) cols in
+  let q = Ast.simple select (Ast.from_table "movies") in
+  let q =
+    if use_where then
+      { q with
+        Ast.q_where =
+          Some { Ast.c_preds = [ Ast.pred (Ast.col "movies" "year") Ast.Lt (Value.Int year) ];
+                 c_conn = Ast.And } }
+    else q
+  in
+  return q
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"pretty/parse roundtrip" ~count:200
+    (QCheck.make ~print:Pretty.query random_query_gen) (fun q ->
+      match Parser.query ~schema:Fixtures.movie_schema (Pretty.query q) with
+      | Ok q' -> Equal.queries q q'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer neq variants" `Quick test_lexer_neq_variants;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_error;
+    Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "parse AS aliases" `Quick test_parse_aliases;
+    Alcotest.test_case "parse implicit aliases" `Quick test_parse_implicit_alias;
+    Alcotest.test_case "parse unqualified columns" `Quick test_parse_unqualified;
+    Alcotest.test_case "parse ambiguous unqualified" `Quick test_parse_ambiguous_unqualified;
+    Alcotest.test_case "parse aggregates" `Quick test_parse_aggregates;
+    Alcotest.test_case "parse count distinct" `Quick test_parse_count_distinct;
+    Alcotest.test_case "parse full query" `Quick test_parse_full_query;
+    Alcotest.test_case "parse between/like" `Quick test_parse_between_and_like;
+    Alcotest.test_case "parse not like" `Quick test_parse_not_like;
+    Alcotest.test_case "reject mixed connectives" `Quick test_rejects_mixed_connectives;
+    Alcotest.test_case "reject trailing garbage" `Quick test_rejects_trailing_garbage;
+    Alcotest.test_case "roundtrips" `Quick test_roundtrips;
+    Alcotest.test_case "equal: join direction" `Quick test_equal_modulo_join_direction;
+    Alcotest.test_case "equal: predicate order" `Quick test_equal_modulo_pred_order;
+    Alcotest.test_case "equal: vacuous connective" `Quick test_equal_single_pred_connective_vacuous;
+    Alcotest.test_case "equal: projection order" `Quick test_equal_projection_order_matters;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,159 @@
+(* End-to-end synthesis tests on the movie database: the simplified GPQE
+   example of Figure 2 and the motivating example of Section 2. *)
+
+module Tsq = Duocore.Tsq
+module Duoquest = Duocore.Duoquest
+module Enumerate = Duocore.Enumerate
+module Value = Duodb.Value
+
+let session = Duoquest.create_session (Fixtures.movie_db ())
+
+let small_config =
+  { Enumerate.default_config with
+    Enumerate.max_pops = 30_000;
+    max_candidates = 40;
+    time_budget_s = 20.0 }
+
+let gold sql = Fixtures.parse sql
+
+(* Figure 2: "Find all movies before 1995." with TSQ (text; Forrest Gump) *)
+let fig2_tsq =
+  Tsq.make ~types:[ Duodb.Datatype.Text ]
+    ~tuples:[ [ Tsq.Exact (Value.Text "Forrest Gump") ] ]
+    ()
+
+let test_fig2_duoquest () =
+  let outcome =
+    Duoquest.synthesize ~config:small_config ~tsq:fig2_tsq
+      ~literals:[ Value.Int 1995 ] session
+      ~nlq:"Find all movies from before 1995" ()
+  in
+  let gold = gold "SELECT movies.name FROM movies WHERE movies.year < 1995" in
+  match Duoquest.rank_of outcome ~gold with
+  | Some r -> Alcotest.(check bool) "gold in top 5" true (r <= 5)
+  | None -> Alcotest.fail "gold query not found"
+
+let test_fig2_pruning_blocks_actor_names () =
+  (* Every emitted candidate must satisfy the TSQ: project one text column
+     containing 'Forrest Gump'. *)
+  let outcome =
+    Duoquest.synthesize ~config:small_config ~tsq:fig2_tsq
+      ~literals:[ Value.Int 1995 ] session
+      ~nlq:"Find all movies from before 1995" ()
+  in
+  Alcotest.(check bool) "has candidates" true (outcome.Enumerate.out_candidates <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "satisfies TSQ: %s" (Duosql.Pretty.query c.Enumerate.cand_query))
+        true
+        (Tsq.satisfies fig2_tsq (Duoquest.session_db session) c.Enumerate.cand_query))
+    outcome.Enumerate.out_candidates
+
+let test_nli_mode_ignores_tsq () =
+  let outcome =
+    Duoquest.synthesize ~config:small_config ~mode:`Nli ~tsq:fig2_tsq
+      ~literals:[ Value.Int 1995 ] session
+      ~nlq:"Find all movies from before 1995" ()
+  in
+  (* Without the TSQ, some candidate may project actor columns. *)
+  Alcotest.(check bool) "has candidates" true (outcome.Enumerate.out_candidates <> []);
+  let gold = gold "SELECT movies.name FROM movies WHERE movies.year < 1995" in
+  match Duoquest.rank_of outcome ~gold with
+  | Some _ -> ()
+  | None -> Alcotest.fail "NLI should still be able to reach the gold query"
+
+let test_sorted_tsq_requires_order_by () =
+  let tsq =
+    Tsq.make ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ]
+      ~tuples:
+        [ [ Tsq.Exact (Value.Text "Forrest Gump"); Tsq.Any ];
+          [ Tsq.Exact (Value.Text "Gravity"); Tsq.Any ] ]
+      ~sorted:true ()
+  in
+  let outcome =
+    Duoquest.synthesize ~config:small_config ~tsq ~literals:[] session
+      ~nlq:"movie names and years from earliest to most recent" ()
+  in
+  Alcotest.(check bool) "has candidates" true (outcome.Enumerate.out_candidates <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "all candidates sorted" true
+        (c.Enumerate.cand_query.Duosql.Ast.q_order_by <> []))
+    outcome.Enumerate.out_candidates
+
+let test_group_by_synthesis () =
+  let tsq =
+    Tsq.make ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ]
+      ~tuples:[ [ Tsq.Exact (Value.Text "Tom Hanks"); Tsq.Exact (Value.Int 2) ] ]
+      ()
+  in
+  let outcome =
+    Duoquest.synthesize ~config:small_config ~tsq ~literals:[] session
+      ~nlq:"actor names and the number of movies each actor starred in" ()
+  in
+  let gold =
+    gold
+      "SELECT a.name, COUNT(*) FROM actor a JOIN starring s ON a.aid = s.aid \
+       GROUP BY a.name"
+  in
+  match Duoquest.rank_of outcome ~gold with
+  | Some r -> Alcotest.(check bool) "gold in top 10" true (r <= 10)
+  | None -> Alcotest.fail "gold grouped query not found"
+
+let test_noguide_still_finds_with_pruning () =
+  let outcome =
+    Duoquest.synthesize
+      ~config:{ small_config with Enumerate.max_pops = 100_000 }
+      ~mode:`No_guide ~tsq:fig2_tsq ~literals:[ Value.Int 1995 ] session
+      ~nlq:"Find all movies from before 1995" ()
+  in
+  let gold = gold "SELECT movies.name FROM movies WHERE movies.year < 1995" in
+  match Duoquest.rank_of outcome ~gold with
+  | Some _ -> ()
+  | None -> Alcotest.fail "NoGuide should eventually reach the gold query"
+
+let test_nopq_same_candidates_slower () =
+  let run mode =
+    Duoquest.synthesize
+      ~config:{ small_config with Enumerate.max_pops = 100_000 }
+      ~mode ~tsq:fig2_tsq ~literals:[ Value.Int 1995 ] session
+      ~nlq:"Find all movies from before 1995" ()
+  in
+  let dq = run `Duoquest and nopq = run `No_pq in
+  let gold = gold "SELECT movies.name FROM movies WHERE movies.year < 1995" in
+  (match Duoquest.rank_of nopq ~gold with
+  | Some _ -> ()
+  | None -> Alcotest.fail "NoPQ should find the gold query");
+  (* NoPQ explores at least as many states to reach the same candidate. *)
+  Alcotest.(check bool) "NoPQ pops >= Duoquest pops" true
+    (nopq.Enumerate.out_pops >= dq.Enumerate.out_pops)
+
+let test_candidates_ranked_by_confidence () =
+  let outcome =
+    Duoquest.synthesize ~config:small_config ~tsq:fig2_tsq
+      ~literals:[ Value.Int 1995 ] session
+      ~nlq:"Find all movies from before 1995" ()
+  in
+  let rec weakly_decreasing = function
+    | a :: (b :: _ as rest) ->
+        (* best-first emission: later candidates never have strictly higher
+           confidence, up to join-length tie-breaking noise *)
+        a.Enumerate.cand_confidence +. 1e-9 >= b.Enumerate.cand_confidence
+        && weakly_decreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "emission order follows confidence" true
+    (weakly_decreasing outcome.Enumerate.out_candidates)
+
+let suite =
+  [
+    Alcotest.test_case "figure 2 example" `Quick test_fig2_duoquest;
+    Alcotest.test_case "pruning soundness on emissions" `Quick test_fig2_pruning_blocks_actor_names;
+    Alcotest.test_case "NLI mode" `Quick test_nli_mode_ignores_tsq;
+    Alcotest.test_case "sorted TSQ forces ORDER BY" `Quick test_sorted_tsq_requires_order_by;
+    Alcotest.test_case "grouped aggregate synthesis" `Quick test_group_by_synthesis;
+    Alcotest.test_case "NoGuide ablation" `Quick test_noguide_still_finds_with_pruning;
+    Alcotest.test_case "NoPQ ablation" `Quick test_nopq_same_candidates_slower;
+    Alcotest.test_case "ranking by confidence" `Quick test_candidates_ranked_by_confidence;
+  ]

@@ -1,0 +1,110 @@
+module Table = Duodb.Table
+module Database = Duodb.Database
+module Value = Duodb.Value
+module Index = Duodb.Index
+
+let db () = Fixtures.movie_db ()
+
+let test_row_counts () =
+  let db = db () in
+  Alcotest.(check int) "actors" 5 (Table.row_count (Database.table_exn db "actor"));
+  Alcotest.(check int) "movies" 6 (Table.row_count (Database.table_exn db "movies"));
+  Alcotest.(check int) "total" 18 (Database.total_rows db)
+
+let test_arity_check () =
+  let db = db () in
+  Alcotest.(check bool) "bad arity raises" true
+    (try
+       Database.insert db ~table:"actor" [| Value.Int 9 |];
+       false
+     with Invalid_argument _ -> true)
+
+let test_type_check () =
+  let db = db () in
+  Alcotest.(check bool) "text into number column raises" true
+    (try
+       Database.insert db ~table:"movies"
+         [| Value.Text "not a number"; Value.Text "m"; Value.Int 2000; Value.Int 1 |];
+       false
+     with Invalid_argument _ -> true)
+
+let test_null_is_typable () =
+  let db = db () in
+  Database.insert db ~table:"movies" [| Value.Int 99; Value.Null; Value.Null; Value.Null |];
+  Alcotest.(check int) "insert with nulls ok" 7
+    (Table.row_count (Database.table_exn db "movies"))
+
+let test_column_values () =
+  let db = db () in
+  let years = Table.column_values (Database.table_exn db "movies") "year" in
+  Alcotest.(check int) "6 years" 6 (List.length years);
+  Alcotest.(check bool) "1994 present" true (List.mem (Value.Int 1994) years)
+
+let test_column_range () =
+  let db = db () in
+  match Table.column_range (Database.table_exn db "movies") "year" with
+  | Some (lo, hi) ->
+      Alcotest.check Fixtures.value_testable "lo" (Value.Int 1994) lo;
+      Alcotest.check Fixtures.value_testable "hi" (Value.Int 2017) hi
+  | None -> Alcotest.fail "expected range"
+
+let test_integrity_ok () =
+  Alcotest.(check (list string)) "no violations" [] (Database.check_integrity (db ()))
+
+let test_integrity_dangling_fk () =
+  let db = db () in
+  Database.insert db ~table:"starring" [| Value.Int 999; Value.Int 42; Value.Int 10 |];
+  Alcotest.(check bool) "dangling fk reported" true
+    (List.exists
+       (fun s -> String.length s > 0 && String.sub s 0 8 = "dangling")
+       (Database.check_integrity db))
+
+let test_integrity_dup_pk () =
+  let db = db () in
+  Database.insert db ~table:"actor"
+    [| Value.Int 1; Value.Text "Clone"; Value.Text "male"; Value.Int 1990;
+       Value.Text "Lab"; Value.Int 2010 |];
+  Alcotest.(check bool) "dup pk reported" true
+    (List.exists
+       (fun s -> String.length s > 8 && String.sub s 0 9 = "duplicate")
+       (Database.check_integrity db))
+
+let test_index_lookup () =
+  let idx = Index.build (db ()) in
+  let hits = Index.lookup idx "tom hanks" in
+  Alcotest.(check int) "one hit" 1 (List.length hits);
+  let h = List.hd hits in
+  Alcotest.(check string) "table" "actor" h.Index.hit_table;
+  Alcotest.(check string) "column" "name" h.Index.hit_column
+
+let test_index_complete () =
+  let idx = Index.build (db ()) in
+  let hits = Index.complete idx ~prefix:"t" () in
+  Alcotest.(check bool) "titanic or tom" true
+    (List.exists (fun h -> h.Index.hit_value = "Titanic") hits
+    && List.exists (fun h -> h.Index.hit_value = "Tom Hanks") hits);
+  let limited = Index.complete idx ~limit:1 ~prefix:"t" () in
+  Alcotest.(check int) "limit respected" 1 (List.length limited)
+
+let test_index_contains () =
+  let idx = Index.build (db ()) in
+  Alcotest.(check bool) "contains" true
+    (Index.contains idx ~table:"movies" ~column:"name" "Gravity");
+  Alcotest.(check bool) "absent value" false
+    (Index.contains idx ~table:"movies" ~column:"name" "Tom Hanks")
+
+let suite =
+  [
+    Alcotest.test_case "row counts" `Quick test_row_counts;
+    Alcotest.test_case "arity check" `Quick test_arity_check;
+    Alcotest.test_case "type check" `Quick test_type_check;
+    Alcotest.test_case "null insert" `Quick test_null_is_typable;
+    Alcotest.test_case "column values" `Quick test_column_values;
+    Alcotest.test_case "column range" `Quick test_column_range;
+    Alcotest.test_case "integrity: clean db" `Quick test_integrity_ok;
+    Alcotest.test_case "integrity: dangling fk" `Quick test_integrity_dangling_fk;
+    Alcotest.test_case "integrity: duplicate pk" `Quick test_integrity_dup_pk;
+    Alcotest.test_case "index lookup" `Quick test_index_lookup;
+    Alcotest.test_case "index autocomplete" `Quick test_index_complete;
+    Alcotest.test_case "index contains" `Quick test_index_contains;
+  ]

@@ -1,0 +1,136 @@
+module Tsq = Duocore.Tsq
+module Value = Duodb.Value
+
+let db = Fixtures.movie_db ()
+let parse = Fixtures.parse
+let t s = Value.Text s
+let i n = Value.Int n
+
+let test_cell_matching () =
+  Alcotest.(check bool) "any" true (Tsq.cell_matches Tsq.Any (t "x"));
+  Alcotest.(check bool) "exact hit" true (Tsq.cell_matches (Tsq.Exact (i 5)) (i 5));
+  Alcotest.(check bool) "exact cross-repr" true
+    (Tsq.cell_matches (Tsq.Exact (i 5)) (Value.Float 5.0));
+  Alcotest.(check bool) "exact miss" false (Tsq.cell_matches (Tsq.Exact (i 5)) (i 6));
+  Alcotest.(check bool) "range hit" true
+    (Tsq.cell_matches (Tsq.Range (i 2010, i 2017)) (i 2013));
+  Alcotest.(check bool) "range boundary" true
+    (Tsq.cell_matches (Tsq.Range (i 2010, i 2017)) (i 2017));
+  Alcotest.(check bool) "range miss" false
+    (Tsq.cell_matches (Tsq.Range (i 2010, i 2017)) (i 2009));
+  Alcotest.(check bool) "range rejects null" false
+    (Tsq.cell_matches (Tsq.Range (i 0, i 9)) Value.Null)
+
+let test_empty_tsq_accepts_plain_query () =
+  Alcotest.(check bool) "plain query ok" true
+    (Tsq.satisfies Tsq.empty db (parse "SELECT movies.name FROM movies"))
+
+let test_empty_tsq_rejects_order_by () =
+  (* tau = false mirrors the absence of ORDER BY (Example 3.3, CQ5). *)
+  Alcotest.(check bool) "sorted query fails unsorted TSQ" false
+    (Tsq.satisfies Tsq.empty db
+       (parse "SELECT movies.name FROM movies ORDER BY movies.year ASC"))
+
+let test_type_annotations () =
+  let tsq = Tsq.make ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ] () in
+  Alcotest.(check bool) "matching types" true
+    (Tsq.satisfies tsq db (parse "SELECT movies.name, movies.year FROM movies"));
+  Alcotest.(check bool) "wrong arity" false
+    (Tsq.satisfies tsq db (parse "SELECT movies.name FROM movies"));
+  Alcotest.(check bool) "wrong types" false
+    (Tsq.satisfies tsq db (parse "SELECT movies.name, actor.name FROM movies JOIN \
+                                  starring ON movies.mid = starring.mid JOIN actor \
+                                  ON starring.aid = actor.aid"))
+
+let test_example_tuples () =
+  let tsq =
+    Tsq.make ~tuples:[ [ Tsq.Exact (t "Forrest Gump") ] ] ()
+  in
+  Alcotest.(check bool) "movie names contain it" true
+    (Tsq.satisfies tsq db (parse "SELECT movies.name FROM movies"));
+  Alcotest.(check bool) "actor names do not" false
+    (Tsq.satisfies tsq db (parse "SELECT actor.name FROM actor"))
+
+let test_distinct_tuples_required () =
+  (* Two identical example tuples need two distinct result rows. *)
+  let tsq =
+    Tsq.make
+      ~tuples:[ [ Tsq.Exact (t "Tom Hanks") ]; [ Tsq.Exact (t "Tom Hanks") ] ]
+      ()
+  in
+  Alcotest.(check bool) "one Tom Hanks row is not enough" false
+    (Tsq.satisfies tsq db (parse "SELECT actor.name FROM actor"));
+  (* the starring join yields multiple Tom Hanks rows *)
+  Alcotest.(check bool) "join provides distinct rows" true
+    (Tsq.satisfies tsq db
+       (parse "SELECT a.name FROM actor a JOIN starring s ON a.aid = s.aid"))
+
+let test_ordered_matching () =
+  let tsq =
+    Tsq.make
+      ~tuples:
+        [ [ Tsq.Exact (t "Forrest Gump"); Tsq.Any ];
+          [ Tsq.Exact (t "Gravity"); Tsq.Any ] ]
+      ~sorted:true ()
+  in
+  Alcotest.(check bool) "ascending year: Gump (1994) before Gravity (2013)" true
+    (Tsq.satisfies tsq db
+       (parse "SELECT movies.name, movies.year FROM movies ORDER BY movies.year ASC"));
+  Alcotest.(check bool) "descending year breaks the order" false
+    (Tsq.satisfies tsq db
+       (parse "SELECT movies.name, movies.year FROM movies ORDER BY movies.year DESC"))
+
+let test_limit_flag () =
+  let tsq = Tsq.make ~sorted:true ~limit:3 () in
+  Alcotest.(check bool) "limit 3 ok" true
+    (Tsq.satisfies tsq db
+       (parse "SELECT movies.name FROM movies ORDER BY movies.year DESC LIMIT 3"));
+  Alcotest.(check bool) "limit 5 exceeds k" false
+    (Tsq.satisfies tsq db
+       (parse "SELECT movies.name FROM movies ORDER BY movies.year DESC LIMIT 5"));
+  Alcotest.(check bool) "missing limit fails" false
+    (Tsq.satisfies tsq db
+       (parse "SELECT movies.name FROM movies ORDER BY movies.year DESC"))
+
+let test_width () =
+  Alcotest.(check (option int)) "from types" (Some 2)
+    (Tsq.width (Tsq.make ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ] ()));
+  Alcotest.(check (option int)) "from tuples" (Some 1)
+    (Tsq.width (Tsq.make ~tuples:[ [ Tsq.Any ] ] ()));
+  Alcotest.(check (option int)) "unknown" None (Tsq.width Tsq.empty)
+
+(* Soundness property: every query accepted by [satisfies] really contains
+   a distinct matching row per example tuple, checked independently. *)
+let prop_satisfies_soundness =
+  QCheck.Test.make ~name:"satisfies implies per-tuple witnesses" ~count:60
+    QCheck.(pair (int_range 1990 2020) bool)
+    (fun (year, asc) ->
+      let q =
+        Fixtures.parse
+          (Printf.sprintf
+             "SELECT movies.name, movies.year FROM movies WHERE movies.year \
+              >= %d ORDER BY movies.year %s"
+             year
+             (if asc then "ASC" else "DESC"))
+      in
+      let res = Duoengine.Executor.run_exn db q in
+      match res.Duoengine.Executor.res_rows with
+      | first :: _ ->
+          let tuple = Array.to_list (Array.map (fun v -> Tsq.Exact v) first) in
+          let tsq = Tsq.make ~tuples:[ tuple ] ~sorted:true () in
+          Tsq.satisfies tsq db q
+      | [] -> QCheck.assume_fail ())
+
+let suite =
+  [
+    Alcotest.test_case "cell matching" `Quick test_cell_matching;
+    Alcotest.test_case "empty TSQ accepts" `Quick test_empty_tsq_accepts_plain_query;
+    Alcotest.test_case "tau=false rejects ORDER BY" `Quick test_empty_tsq_rejects_order_by;
+    Alcotest.test_case "type annotations" `Quick test_type_annotations;
+    Alcotest.test_case "example tuples" `Quick test_example_tuples;
+    Alcotest.test_case "distinct witnesses" `Quick test_distinct_tuples_required;
+    Alcotest.test_case "ordered matching" `Quick test_ordered_matching;
+    Alcotest.test_case "limit flag" `Quick test_limit_flag;
+    Alcotest.test_case "width" `Quick test_width;
+    QCheck_alcotest.to_alcotest prop_satisfies_soundness;
+  ]

@@ -1,0 +1,89 @@
+module User_sim = Duobench.User_sim
+module Rng = Duobench.Rng
+
+let profile = { User_sim.sql_reader = true; speed = 1.0 }
+
+let test_participants () =
+  let users = User_sim.participants ~seed:1 in
+  Alcotest.(check int) "16 participants" 16 (List.length users);
+  Alcotest.(check int) "10 SQL readers" 10
+    (List.length (List.filter (fun u -> u.User_sim.sql_reader) users));
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) "speed in [0.75, 1.25]" true
+        (u.User_sim.speed >= 0.75 && u.User_sim.speed <= 1.25))
+    users
+
+let test_typing_time_scales () =
+  let rng = Rng.create 2 in
+  let short = User_sim.typing_time rng profile "two words" in
+  let rng = Rng.create 2 in
+  let long =
+    User_sim.typing_time rng profile
+      "this natural language query has quite a few more words than the other"
+  in
+  Alcotest.(check bool) "longer NLQ types slower" true (long > short)
+
+let test_found_at_rank_one () =
+  let rng = Rng.create 3 in
+  let trial =
+    User_sim.inspect_candidates rng profile ~elapsed:10.0 ~rank:(Some 1) ~available:10
+  in
+  Alcotest.(check bool) "succeeds" true trial.User_sim.success;
+  Alcotest.(check bool) "fast" true (trial.User_sim.time_s < 30.0)
+
+let test_not_in_list () =
+  let rng = Rng.create 4 in
+  let trial =
+    User_sim.inspect_candidates rng profile ~elapsed:10.0 ~rank:None ~available:10
+  in
+  Alcotest.(check bool) "fails" false trial.User_sim.success
+
+let test_deep_rank_times_out () =
+  let rng = Rng.create 5 in
+  let trial =
+    User_sim.inspect_candidates rng profile ~elapsed:0.0 ~rank:(Some 100)
+      ~available:100
+  in
+  (* 100 candidates at >=4 s each cannot fit in the 300 s budget *)
+  Alcotest.(check bool) "deep rank fails" false trial.User_sim.success;
+  Alcotest.(check (float 0.001)) "time capped at budget" User_sim.budget_s
+    trial.User_sim.time_s
+
+let test_preview_users_slower () =
+  let novice = { User_sim.sql_reader = false; speed = 1.0 } in
+  let trials profile =
+    List.init 30 (fun i ->
+        let rng = Rng.create (100 + i) in
+        (User_sim.inspect_candidates rng profile ~elapsed:0.0 ~rank:(Some 5)
+           ~available:10)
+          .User_sim.time_s)
+  in
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  Alcotest.(check bool) "preview users slower on average" true
+    (mean (trials novice) > mean (trials profile))
+
+let test_budget_never_exceeded () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let trial =
+        User_sim.inspect_candidates rng profile
+          ~elapsed:(Rng.float rng *. 400.0)
+          ~rank:(Some (1 + Rng.int rng 50))
+          ~available:60
+      in
+      Alcotest.(check bool) "time <= budget" true
+        (trial.User_sim.time_s <= User_sim.budget_s +. 1e-9))
+    (List.init 50 (fun i -> i))
+
+let suite =
+  [
+    Alcotest.test_case "participants" `Quick test_participants;
+    Alcotest.test_case "typing time scales" `Quick test_typing_time_scales;
+    Alcotest.test_case "rank 1 succeeds" `Quick test_found_at_rank_one;
+    Alcotest.test_case "absent rank fails" `Quick test_not_in_list;
+    Alcotest.test_case "deep rank times out" `Quick test_deep_rank_times_out;
+    Alcotest.test_case "preview users slower" `Quick test_preview_users_slower;
+    Alcotest.test_case "budget respected" `Quick test_budget_never_exceeded;
+  ]

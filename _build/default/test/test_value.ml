@@ -1,0 +1,88 @@
+module Value = Duodb.Value
+
+let check_cmp name expected a b () =
+  Alcotest.(check int) name expected (compare (Value.compare a b) 0)
+
+let test_numeric_cross_repr () =
+  Alcotest.(check bool) "Int 3 = Float 3.0" true (Value.equal (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "Int 3 <> Float 3.5" false (Value.equal (Value.Int 3) (Value.Float 3.5))
+
+let test_null_sorts_first () =
+  Alcotest.(check bool) "null < int" true (Value.compare Value.Null (Value.Int (-100)) < 0);
+  Alcotest.(check bool) "null < text" true (Value.compare Value.Null (Value.Text "") < 0)
+
+let test_numbers_before_text () =
+  Alcotest.(check bool) "number < text" true
+    (Value.compare (Value.Int 99) (Value.Text "0") < 0)
+
+let test_to_sql_quoting () =
+  Alcotest.(check string) "escapes quotes" "'O''Brien'" (Value.to_sql (Value.Text "O'Brien"));
+  Alcotest.(check string) "int" "42" (Value.to_sql (Value.Int 42));
+  Alcotest.(check string) "round float" "3" (Value.to_sql (Value.Float 3.0));
+  Alcotest.(check string) "frac float" "3.5" (Value.to_sql (Value.Float 3.5))
+
+let test_like () =
+  Alcotest.(check bool) "substring" true (Value.like "Forrest Gump" ~pattern:"%Gump%");
+  Alcotest.(check bool) "case-insensitive" true (Value.like "FORREST" ~pattern:"forrest");
+  Alcotest.(check bool) "underscore" true (Value.like "cat" ~pattern:"c_t");
+  Alcotest.(check bool) "no match" false (Value.like "cat" ~pattern:"c_");
+  Alcotest.(check bool) "anchored prefix" true (Value.like "Gravity" ~pattern:"Grav%");
+  Alcotest.(check bool) "anchored miss" false (Value.like "Gravity" ~pattern:"rav%");
+  Alcotest.(check bool) "empty pattern on empty" true (Value.like "" ~pattern:"");
+  Alcotest.(check bool) "percent matches empty" true (Value.like "" ~pattern:"%")
+
+let test_hash_consistent_with_equal () =
+  Alcotest.(check int) "Int/Float hash agree"
+    (Value.hash (Value.Int 7)) (Value.hash (Value.Float 7.0))
+
+(* Property: Value.compare is a total order (antisymmetric, transitive on
+   sampled triples) and consistent with equal. *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) small_signed_int;
+        map (fun f -> Value.Float f) (float_bound_inclusive 1000.0);
+        map (fun s -> Value.Text s) (string_size (int_range 0 8));
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_sql value_gen
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      Value.compare a b = -Value.compare b a)
+
+let prop_compare_trans =
+  QCheck.Test.make ~name:"compare transitive" ~count:500
+    (QCheck.triple value_arb value_arb value_arb) (fun (a, b, c) ->
+      let sorted = List.sort Value.compare [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> Value.compare x y <= 0 && Value.compare y z <= 0 && Value.compare x z <= 0
+      | _ -> false)
+
+let prop_equal_consistent =
+  QCheck.Test.make ~name:"equal iff compare=0" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      Value.equal a b = (Value.compare a b = 0))
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"equal values hash equal" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "numeric cross-representation equality" `Quick test_numeric_cross_repr;
+    Alcotest.test_case "null sorts first" `Quick test_null_sorts_first;
+    Alcotest.test_case "numbers before text" `Quick test_numbers_before_text;
+    Alcotest.test_case "sql quoting" `Quick test_to_sql_quoting;
+    Alcotest.test_case "like matching" `Quick test_like;
+    Alcotest.test_case "hash consistent with equal" `Quick test_hash_consistent_with_equal;
+    Alcotest.test_case "compare Int 1 < Int 2" `Quick (check_cmp "lt" (-1) (Value.Int 1) (Value.Int 2));
+    QCheck_alcotest.to_alcotest prop_compare_antisym;
+    QCheck_alcotest.to_alcotest prop_compare_trans;
+    QCheck_alcotest.to_alcotest prop_equal_consistent;
+    QCheck_alcotest.to_alcotest prop_hash_consistent;
+  ]

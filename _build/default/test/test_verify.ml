@@ -1,0 +1,161 @@
+(* The verification cascade: stage behaviour on hand-built partial states,
+   plus the anti-pruning property — no prefix of a satisfying query is ever
+   pruned (the soundness of partial-query pruning, Section 3.4). *)
+
+module Verify = Duocore.Verify
+module Partial = Duocore.Partial
+module Tsq = Duocore.Tsq
+module Model = Duoguide.Model
+module Enumerate = Duocore.Enumerate
+module Value = Duodb.Value
+
+let db = Fixtures.movie_db ()
+let schema = Fixtures.movie_schema
+let column t c = Duodb.Schema.find_column_exn schema ~table:t c
+
+let env ?tsq ?(literals = []) () = Verify.make_env ~db ~tsq ~literals ()
+
+let with_kw ?(where = false) ?(group = false) ?(order = false) phase =
+  { Partial.root with
+    Partial.phase;
+    kw = { Model.kw_where = where; kw_group = group; kw_order = order } }
+
+let test_clauses_sorted_mismatch () =
+  let tsq = Tsq.make ~sorted:true () in
+  let e = env ~tsq () in
+  Alcotest.(check bool) "no-order kw fails sorted TSQ" false
+    (Verify.verify_clauses e (with_kw Partial.P_num_proj));
+  Alcotest.(check bool) "order kw passes" true
+    (Verify.verify_clauses e (with_kw ~order:true Partial.P_num_proj));
+  Alcotest.(check bool) "undecided kw passes" true
+    (Verify.verify_clauses e Partial.root)
+
+let test_clauses_limit () =
+  let tsq = Tsq.make ~sorted:true ~limit:3 () in
+  let e = env ~tsq () in
+  let state = { (with_kw ~order:true Partial.P_done) with Partial.limit = Some 5 } in
+  Alcotest.(check bool) "limit above k fails" false (Verify.verify_clauses e state);
+  let state = { state with Partial.limit = Some 2 } in
+  Alcotest.(check bool) "limit below k ok" true (Verify.verify_clauses e state)
+
+let slot table col_name agg =
+  { Partial.pj_target = Model.Target_column (column table col_name);
+    pj_agg = agg }
+
+let test_column_types_prefix () =
+  let tsq = Tsq.make ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ] () in
+  let e = env ~tsq () in
+  let good =
+    { (with_kw (Partial.P_proj_agg 0)) with
+      Partial.nproj = 2;
+      projs = [ slot "movies" "name" (Some None) ] }
+  in
+  Alcotest.(check bool) "text prefix ok" true (Verify.verify_column_types e good);
+  let bad = { good with Partial.projs = [ slot "movies" "year" (Some None) ] } in
+  Alcotest.(check bool) "number in text slot fails" false (Verify.verify_column_types e bad);
+  let wrong_width = { good with Partial.nproj = 3 } in
+  Alcotest.(check bool) "width mismatch fails" false
+    (Verify.verify_column_types e wrong_width)
+
+let test_column_probe () =
+  let tsq = Tsq.make ~tuples:[ [ Tsq.Exact (Value.Text "Forrest Gump") ] ] () in
+  let e = env ~tsq () in
+  let movie_state =
+    { (with_kw (Partial.P_proj_agg 0)) with
+      Partial.nproj = 1;
+      projs = [ slot "movies" "name" (Some None) ] }
+  in
+  Alcotest.(check bool) "movies.name contains the value" true
+    (Verify.verify_by_column e movie_state);
+  let actor_state =
+    { movie_state with Partial.projs = [ slot "actor" "name" (Some None) ] }
+  in
+  Alcotest.(check bool) "actor.name does not" false
+    (Verify.verify_by_column e actor_state);
+  Alcotest.(check bool) "undecided aggregate is never pruned" true
+    (Verify.verify_by_column e
+       { movie_state with Partial.projs = [ slot "actor" "name" None ] })
+
+let test_avg_range_check () =
+  let tsq = Tsq.make ~tuples:[ [ Tsq.Exact (Value.Int 100000) ] ] () in
+  let e = env ~tsq () in
+  let avg_year =
+    { (with_kw (Partial.P_where_num)) with
+      Partial.nproj = 1;
+      projs = [ slot "movies" "year" (Some (Some Duosql.Ast.Avg)) ] }
+  in
+  (* years range 1993-2017: an average of 100000 is impossible *)
+  Alcotest.(check bool) "impossible AVG pruned" false (Verify.verify_by_column e avg_year);
+  let tsq2 = Tsq.make ~tuples:[ [ Tsq.Exact (Value.Int 2000) ] ] () in
+  let e2 = env ~tsq:tsq2 () in
+  Alcotest.(check bool) "plausible AVG kept" true (Verify.verify_by_column e2 avg_year)
+
+let test_count_sum_never_pruned_column_wise () =
+  let tsq = Tsq.make ~tuples:[ [ Tsq.Exact (Value.Int 99999) ] ] () in
+  let e = env ~tsq () in
+  let st agg =
+    { (with_kw Partial.P_where_num) with
+      Partial.nproj = 1;
+      projs = [ slot "movies" "year" (Some (Some agg)) ] }
+  in
+  Alcotest.(check bool) "COUNT unconstrained" true
+    (Verify.verify_by_column e (st Duosql.Ast.Count));
+  Alcotest.(check bool) "SUM unconstrained" true
+    (Verify.verify_by_column e (st Duosql.Ast.Sum))
+
+let test_literals_must_be_used () =
+  let e = env ~literals:[ Value.Int 1995 ] () in
+  let q_with = Fixtures.parse "SELECT movies.name FROM movies WHERE movies.year < 1995" in
+  let q_without = Fixtures.parse "SELECT movies.name FROM movies" in
+  Alcotest.(check bool) "literal used" true (Verify.verify_complete e q_with);
+  Alcotest.(check bool) "literal unused" false (Verify.verify_complete e q_without)
+
+let test_limit_counts_as_literal_use () =
+  let e = env ~literals:[ Value.Int 3 ] () in
+  let q = Fixtures.parse "SELECT movies.name FROM movies ORDER BY movies.year DESC LIMIT 3" in
+  Alcotest.(check bool) "LIMIT 3 uses literal 3" true (Verify.verify_complete e q)
+
+(* Anti-pruning property: run full GPQE on a task where the gold query is
+   known to satisfy the sketch; the gold must be emitted, which can only
+   happen if none of its prefixes was pruned. *)
+let prop_no_prefix_of_gold_pruned =
+  QCheck.Test.make ~name:"gold query survives pruning" ~count:8
+    (QCheck.make
+       (QCheck.Gen.oneofl
+          [ ("SELECT movies.name FROM movies WHERE movies.year < 1995",
+             "movies from before 1995", [ Value.Int 1995 ]);
+            ("SELECT movies.name, movies.year FROM movies ORDER BY movies.year ASC",
+             "movie names and years from earliest to latest", []);
+            ("SELECT a.name, COUNT(*) FROM actor a JOIN starring s ON a.aid = s.aid \
+              GROUP BY a.name",
+             "actors and the number of movies each actor starred in", []) ]))
+    (fun (sql, nlq, literals) ->
+      let gold = Fixtures.parse sql in
+      let rng = Duobench.Rng.create (Hashtbl.hash sql) in
+      match Duobench.Tsq_synth.synthesize rng db gold ~detail:Duobench.Tsq_synth.Full with
+      | None -> false
+      | Some tsq ->
+          let session = Duocore.Duoquest.create_session db in
+          let config =
+            { Enumerate.default_config with
+              Enumerate.max_pops = 60_000;
+              max_candidates = 80;
+              time_budget_s = 20.0 }
+          in
+          let outcome =
+            Duocore.Duoquest.synthesize ~config ~tsq ~literals session ~nlq ()
+          in
+          Option.is_some (Duocore.Duoquest.rank_of outcome ~gold))
+
+let suite =
+  [
+    Alcotest.test_case "clauses: sorted flag" `Quick test_clauses_sorted_mismatch;
+    Alcotest.test_case "clauses: limit" `Quick test_clauses_limit;
+    Alcotest.test_case "column types on prefixes" `Quick test_column_types_prefix;
+    Alcotest.test_case "column probes" `Quick test_column_probe;
+    Alcotest.test_case "AVG range check" `Quick test_avg_range_check;
+    Alcotest.test_case "COUNT/SUM skipped column-wise" `Quick test_count_sum_never_pruned_column_wise;
+    Alcotest.test_case "literal usage" `Quick test_literals_must_be_used;
+    Alcotest.test_case "limit as literal use" `Quick test_limit_counts_as_literal_use;
+    QCheck_alcotest.to_alcotest prop_no_prefix_of_gold_pruned;
+  ]
