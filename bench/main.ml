@@ -3,7 +3,10 @@
    experiment with Bechamel microbenchmarks (part 2).
 
    Scale control: DUOQUEST_BENCH_SCALE=quick runs small generated splits for
-   smoke testing; the default regenerates the full paper-sized splits. *)
+   smoke testing; the default regenerates the full paper-sized splits.
+
+   Flags: --micro-only skips part 1; --json PATH additionally writes the
+   microbenchmark estimates (and planner-on/off speedups) as JSON. *)
 
 open Bechamel
 
@@ -47,6 +50,25 @@ let synth_movie mode tsq () =
        ~nlq:"Find all movies from before 1995" ())
 
 let mas_task_a1 = List.hd Duobench.Mas.nli_study_tasks
+
+(* Planner-on vs planner-off executor pairs on MAS gold queries: A1 is a
+   two-table join, B1 a three-table join and B4 a four-table join with
+   grouping — each with a selective equality WHERE predicate, the shape of
+   the GPQE verification hot path. *)
+let executor_bench_tests () =
+  let db = Lazy.force mas_db in
+  let all_tasks = Duobench.Mas.nli_study_tasks @ Duobench.Mas.pbe_study_tasks in
+  let pair id =
+    let task = List.find (fun t -> t.Duobench.Mas.task_id = id) all_tasks in
+    let q = Duobench.Mas.gold task in
+    List.map
+      (fun (tag, planner) ->
+        Test.make ~name:(Printf.sprintf "executor/%s/planner-%s" id tag)
+          (Staged.stage (fun () ->
+               ignore (Duoengine.Executor.run_exn ~planner db q))))
+      [ ("on", true); ("off", false) ]
+  in
+  List.concat_map pair [ "A1"; "B1"; "B4" ]
 
 let bench_tests () =
   [
@@ -109,6 +131,7 @@ let bench_tests () =
                ignore (Duoengine.Executor.run db (Duobench.Mas.gold task)))
              (Duobench.Mas.nli_study_tasks @ Duobench.Mas.pbe_study_tasks)));
   ]
+  @ executor_bench_tests ()
 
 let run_microbench () =
   print_newline ();
@@ -118,6 +141,7 @@ let run_microbench () =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let tests = bench_tests () in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -130,11 +154,83 @@ let run_microbench () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-36s %12.1f ns/run\n%!" name est
+          | Some [ est ] ->
+              estimates := (name, est) :: !estimates;
+              Printf.printf "%-36s %12.1f ns/run\n%!" name est
           | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
         ols)
-    tests
+    tests;
+  List.rev !estimates
+
+(* Pair every "X/planner-on" estimate with its "X/planner-off" twin. *)
+let speedups estimates =
+  List.filter_map
+    (fun (name, on_ns) ->
+      match Filename.chop_suffix_opt ~suffix:"/planner-on" name with
+      | None -> None
+      | Some base -> (
+          match List.assoc_opt (base ^ "/planner-off") estimates with
+          | Some off_ns when on_ns > 0. -> Some (base, on_ns, off_ns)
+          | _ -> None))
+    estimates
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path estimates =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"unit\": \"ns/run (Bechamel OLS estimate)\",\n";
+  out "  \"scale\": \"%s\",\n"
+    (match scale () with `Quick -> "quick" | `Full -> "full");
+  out "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n" (json_escape name)
+        ns
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  out "  ],\n";
+  out "  \"speedups\": [\n";
+  let sp = speedups estimates in
+  List.iteri
+    (fun i (base, on_ns, off_ns) ->
+      out
+        "    {\"benchmark\": \"%s\", \"planner_on_ns\": %.1f, \
+         \"planner_off_ns\": %.1f, \"speedup\": %.2f}%s\n"
+        (json_escape base) on_ns off_ns (off_ns /. on_ns)
+        (if i = List.length sp - 1 then "" else ","))
+    sp;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path;
+  List.iter
+    (fun (base, on_ns, off_ns) ->
+      Printf.printf "%-36s speedup %.2fx (%.0f -> %.0f ns)\n%!" base
+        (off_ns /. on_ns) off_ns on_ns)
+    sp
 
 let () =
-  run_experiments ();
-  run_microbench ()
+  let micro_only = ref false and json_path = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--micro-only" :: rest -> micro_only := true; parse_args rest
+    | "--json" :: path :: rest -> json_path := Some path; parse_args rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s (expected --micro-only, --json PATH)\n" arg;
+        exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if not !micro_only then run_experiments ();
+  let estimates = run_microbench () in
+  Option.iter (fun path -> write_json path estimates) !json_path

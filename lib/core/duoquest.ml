@@ -43,8 +43,8 @@ let synthesize ?(config = Enumerate.default_config) ?(mode = `Duoquest) ?tsq
   let literal_values =
     List.map (fun l -> l.Duonl.Nlq.lit_value) analyzed.Duonl.Nlq.literals
   in
-  Enumerate.run config ctx session.s_db ~tsq ~literals:literal_values
-    ?on_candidate ()
+  Enumerate.run config ctx session.s_db ~index:session.s_index ~tsq
+    ~literals:literal_values ?on_candidate ()
 
 let rank_of outcome ~gold =
   let rec find i = function

@@ -331,11 +331,12 @@ let expand ~guided hints ctx (t : Partial.t) =
 
 exception Budget_exhausted
 
-let run config ctx db ~tsq ~literals ?(on_candidate = fun _ -> ()) () =
+let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> ()) () =
   let start = Sys.time () in
   let stats = Verify.new_stats () in
   let env =
-    Verify.make_env ~stats ~semantics:config.semantic_rules ~db ~tsq ~literals ()
+    Verify.make_env ~stats ~semantics:config.semantic_rules ?index ?relcache
+      ~db ~tsq ~literals ()
   in
   let hints = match tsq with Some s -> hints_of_tsq s | None -> no_hints in
   let frontier = Frontier.create ~cap:config.max_frontier () in

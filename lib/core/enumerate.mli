@@ -64,11 +64,16 @@ val expand :
   guided:bool -> hints -> Duoguide.Model.ctx -> Partial.t -> Partial.t list
 
 (** Run the enumeration.  [tsq = None] is the pure-NLI setting.
-    [on_candidate] fires at each emission (the paper's streaming UI). *)
+    [on_candidate] fires at each emission (the paper's streaming UI).
+    [index] and [relcache] thread a session's inverted index and shared
+    relation cache into the verification environment (see
+    {!Verify.make_env}). *)
 val run :
   config ->
   Duoguide.Model.ctx ->
   Duodb.Database.t ->
+  ?index:Duodb.Index.t ->
+  ?relcache:Duoengine.Executor.relation_cache ->
   tsq:Tsq.t option ->
   literals:Duodb.Value.t list ->
   ?on_candidate:(candidate -> unit) ->

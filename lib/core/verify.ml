@@ -4,8 +4,11 @@ module Datatype = Duodb.Datatype
 
 type stats = {
   mutable column_probes : int;
+  mutable index_probes : int;
   mutable row_probes : int;
   mutable full_executions : int;
+  mutable relcache_hits : int;
+  mutable pushdown_builds : int;
   mutable pruned : int;
   mutable pruned_by_clauses : int;
   mutable pruned_by_semantics : int;
@@ -17,7 +20,8 @@ type stats = {
 }
 
 let new_stats () =
-  { column_probes = 0; row_probes = 0; full_executions = 0; pruned = 0;
+  { column_probes = 0; index_probes = 0; row_probes = 0; full_executions = 0;
+    relcache_hits = 0; pushdown_builds = 0; pruned = 0;
     pruned_by_clauses = 0; pruned_by_semantics = 0; pruned_by_types = 0;
     pruned_by_column = 0; pruned_by_row = 0; pruned_by_complete = 0;
     stage_seconds = Array.make 6 0.0 }
@@ -33,6 +37,10 @@ type env = {
   e_literals : Value.t list;
   e_semantics : bool;
   e_stats : stats;
+  (* Master inverted index for text-literal column probes; forced on first
+     use when no session index is supplied.  The database is append-only
+     during synthesis, so the snapshot stays valid. *)
+  e_index : Duodb.Index.t Lazy.t;
   (* (table, column, cell) -> probe result *)
   e_cache : (string * string * string, bool) Hashtbl.t;
   (* rendered row-probe query + positions -> probe result *)
@@ -42,20 +50,34 @@ type env = {
   e_range_cache : (string * string, (Value.t * Value.t) option) Hashtbl.t;
 }
 
-let make_env ?stats ?(semantics = true) ~db ~tsq ~literals () =
+let make_env ?stats ?(semantics = true) ?index ?relcache ~db ~tsq ~literals () =
   {
     e_db = db;
     e_tsq = tsq;
     e_literals = literals;
     e_semantics = semantics;
     e_stats = (match stats with Some s -> s | None -> new_stats ());
+    e_index =
+      (match index with
+      | Some i -> Lazy.from_val i
+      | None -> lazy (Duodb.Index.build db));
     e_cache = Hashtbl.create 256;
     e_row_cache = Hashtbl.create 256;
-    e_relcache = Duoengine.Executor.create_cache ();
+    e_relcache =
+      (match relcache with
+      | Some c -> c
+      | None -> Duoengine.Executor.create_cache ());
     e_range_cache = Hashtbl.create 64;
   }
 
 let stats env = env.e_stats
+
+(* Mirror the shared relation cache's counters into the stats record after
+   each executor call, so outcomes report pushdown and reuse activity. *)
+let sync_relcache env =
+  let hits, _, pushdowns = Duoengine.Executor.cache_stats env.e_relcache in
+  env.e_stats.relcache_hits <- hits;
+  env.e_stats.pushdown_builds <- pushdowns
 
 (* --- phase predicates --- *)
 
@@ -206,17 +228,33 @@ let cell_key = function
   | Tsq.Exact v -> "=" ^ Value.to_sql v
   | Tsq.Range (lo, hi) -> "[" ^ Value.to_sql lo ^ "," ^ Value.to_sql hi ^ "]"
 
-(* Existence probe: SELECT 1 FROM table WHERE col <cell> LIMIT 1, executed
-   as a direct column scan. *)
+(* Existence probe: SELECT 1 FROM table WHERE col <cell> LIMIT 1.  Exact
+   text cells on text columns are answered from the inverted index when it
+   is definitive; everything else falls back to a direct column scan. *)
 let column_probe env (c : Duodb.Schema.column) cell =
   let key = (c.Duodb.Schema.col_table, c.Duodb.Schema.col_name, cell_key cell) in
   match Hashtbl.find_opt env.e_cache key with
   | Some r -> r
   | None ->
       env.e_stats.column_probes <- env.e_stats.column_probes + 1;
-      let tbl = Duodb.Database.table_exn env.e_db c.Duodb.Schema.col_table in
-      let idx = Duodb.Table.column_index tbl c.Duodb.Schema.col_name in
-      let r = Duodb.Table.exists (fun row -> Tsq.cell_matches cell row.(idx)) tbl in
+      let indexed =
+        match cell with
+        | Tsq.Exact (Value.Text s)
+          when Datatype.equal c.Duodb.Schema.col_type Datatype.Text ->
+            Duodb.Index.contains_exact (Lazy.force env.e_index)
+              ~table:c.Duodb.Schema.col_table ~column:c.Duodb.Schema.col_name s
+        | _ -> None
+      in
+      let r =
+        match indexed with
+        | Some r ->
+            env.e_stats.index_probes <- env.e_stats.index_probes + 1;
+            r
+        | None ->
+            let tbl = Duodb.Database.table_exn env.e_db c.Duodb.Schema.col_table in
+            let idx = Duodb.Table.column_index tbl c.Duodb.Schema.col_name in
+            Duodb.Table.exists (fun row -> Tsq.cell_matches cell row.(idx)) tbl
+      in
       Hashtbl.replace env.e_cache key r;
       r
 
@@ -411,6 +449,7 @@ let verify_by_row env (t : Partial.t) =
                       distinct_match_on ~support positions tuples
                         res.Duoengine.Executor.res_rows
                 in
+                sync_relcache env;
                 Hashtbl.replace env.e_row_cache key r;
                 r
           end
@@ -431,8 +470,12 @@ let verify_complete env q =
   | None -> true
   | Some tsq ->
       env.e_stats.full_executions <- env.e_stats.full_executions + 1;
-      Tsq.satisfies ~cache:env.e_relcache ~max_rows:verification_max_rows tsq
-        env.e_db q
+      let r =
+        Tsq.satisfies ~cache:env.e_relcache ~max_rows:verification_max_rows tsq
+          env.e_db q
+      in
+      sync_relcache env;
+      r
 
 let verify env (t : Partial.t) =
   let s = env.e_stats in

@@ -24,8 +24,13 @@
 
 type stats = {
   mutable column_probes : int;  (** column-wise verification queries run *)
+  mutable index_probes : int;
+      (** column probes answered by the inverted index, no scan *)
   mutable row_probes : int;  (** row-wise verification queries run *)
   mutable full_executions : int;  (** complete-query executions *)
+  mutable relcache_hits : int;  (** joined relations served from cache *)
+  mutable pushdown_builds : int;
+      (** relations built with predicates pushed into base scans *)
   mutable pruned : int;  (** states rejected by any stage *)
   mutable pruned_by_clauses : int;
   mutable pruned_by_semantics : int;
@@ -45,10 +50,16 @@ val new_stats : unit -> stats
 type env
 
 (** [semantics = false] disables the Table 4 rules (for the
-    ablation bench); default [true]. *)
+    ablation bench); default [true].  [index] supplies a prebuilt inverted
+    index for column probes (sessions already hold one); without it the
+    index is built lazily on first text probe.  [relcache] shares a
+    relation cache across environments — sound only while the database is
+    not mutated. *)
 val make_env :
   ?stats:stats ->
   ?semantics:bool ->
+  ?index:Duodb.Index.t ->
+  ?relcache:Duoengine.Executor.relation_cache ->
   db:Duodb.Database.t ->
   tsq:Tsq.t option ->
   literals:Duodb.Value.t list ->

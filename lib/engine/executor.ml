@@ -13,6 +13,15 @@ end
 
 module Vtbl = Hashtbl.Make (Vkey)
 
+(* Join buckets key on a single value; skipping the list wrapper saves an
+   allocation per probe. *)
+module V1tbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
 type resultset = {
   res_cols : (string * Datatype.t) list;
   res_rows : Value.t array list;
@@ -23,11 +32,34 @@ exception Exec_error of string
 let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 
 (* A joined relation: wide rows concatenating the base tables' columns,
-   with a lookup from (table, column) to position. *)
+   with a lookup from (table, column) to position.  Rows are array-backed;
+   grouping and DISTINCT passes work on row indices into [rel_rows]. *)
 type relation = {
   rel_index : (string * string, int) Hashtbl.t;
-  rel_rows : Value.t array list;
+  rel_rows : Value.t array array;
 }
+
+(* Minimal growable array; OCaml < 5.2 has no Dynarray. *)
+module Dyn = struct
+  type 'a t = {
+    mutable arr : 'a array;
+    mutable len : int;
+  }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let push d x =
+    if d.len = Array.length d.arr then begin
+      let cap = if d.len = 0 then 16 else d.len * 2 in
+      let arr = Array.make cap x in
+      Array.blit d.arr 0 arr 0 d.len;
+      d.arr <- arr
+    end;
+    d.arr.(d.len) <- x;
+    d.len <- d.len + 1
+
+  let to_array d = Array.sub d.arr 0 d.len
+end
 
 let column_type db c =
   match Duodb.Schema.find_column (Duodb.Database.schema db) ~table:c.cr_table c.cr_col with
@@ -38,92 +70,6 @@ let table_columns db t =
   match Duodb.Schema.find_table (Duodb.Database.schema db) t with
   | Some ts -> ts.Duodb.Schema.tbl_columns
   | None -> fail "unknown table %s" t
-
-(* Cartesian base of a single table. *)
-let base_relation db t =
-  let cols = table_columns db t in
-  let rel_index = Hashtbl.create 16 in
-  List.iteri (fun i c -> Hashtbl.replace rel_index (t, c.Duodb.Schema.col_name) i) cols;
-  let tbl = Duodb.Database.table_exn db t in
-  { rel_index; rel_rows = Array.to_list (Duodb.Table.rows tbl) }
-
-(* Hash join [rel] with table [t] on [left] (a column of rel) = [right]
-   (a column of t). *)
-let join_step ?(max_rows = max_int) db rel t ~left ~right =
-  let cols = table_columns db t in
-  let tbl = Duodb.Database.table_exn db t in
-  let right_idx = Duodb.Table.column_index tbl right in
-  let buckets = Vtbl.create 256 in
-  Duodb.Table.iter
-    (fun row ->
-      let v = row.(right_idx) in
-      if not (Value.is_null v) then Vtbl.add buckets [ v ] row)
-    tbl;
-  let left_idx =
-    match Hashtbl.find_opt rel.rel_index left with
-    | Some i -> i
-    | None -> fail "join column %s.%s not in relation" (fst left) (snd left)
-  in
-  let width = Hashtbl.length rel.rel_index in
-  let rel_index = Hashtbl.copy rel.rel_index in
-  List.iteri
-    (fun i c -> Hashtbl.replace rel_index (t, c.Duodb.Schema.col_name) (width + i))
-    cols;
-  let count = ref 0 in
-  let rel_rows =
-    List.concat_map
-      (fun wide ->
-        let v = wide.(left_idx) in
-        if Value.is_null v then []
-        else begin
-          let matches = Vtbl.find_all buckets [ v ] in
-          count := !count + List.length matches;
-          if !count > max_rows then fail "joined relation exceeds %d rows" max_rows;
-          List.rev_map (fun row -> Array.append wide row) matches
-        end)
-      rel.rel_rows
-  in
-  { rel_index; rel_rows }
-
-(* [Error msg] entries memoize relations that exceeded the row bound, so
-   repeated probes over an exploding join fail fast. *)
-type relation_cache = (string, (relation, string) result) Hashtbl.t
-
-let create_cache () : relation_cache = Hashtbl.create 64
-
-let from_key (f : from_clause) =
-  String.concat ";" f.f_tables ^ "|"
-  ^ String.concat ";"
-      (List.map
-         (fun j ->
-           j.j_from.cr_table ^ "." ^ j.j_from.cr_col ^ "=" ^ j.j_to.cr_table
-           ^ "." ^ j.j_to.cr_col)
-         f.f_joins)
-
-(* Build the joined relation following the FROM clause's join tree. *)
-let build_relation ?max_rows db (f : from_clause) =
-  match f.f_tables with
-  | [] -> fail "empty FROM clause"
-  | first :: rest ->
-      let rec attach rel pending edges =
-        if pending = [] then rel
-        else
-          let joined t = Hashtbl.fold (fun (tb, _) _ acc -> acc || String.equal tb t) rel.rel_index false in
-          let usable e =
-            let a = e.j_from.cr_table and b = e.j_to.cr_table in
-            if joined a && (not (joined b)) && List.mem b pending then
-              Some (b, (e.j_from.cr_table, e.j_from.cr_col), e.j_to.cr_col)
-            else if joined b && (not (joined a)) && List.mem a pending then
-              Some (a, (e.j_to.cr_table, e.j_to.cr_col), e.j_from.cr_col)
-            else None
-          in
-          match List.find_map usable edges with
-          | None -> fail "FROM clause is not a connected join tree"
-          | Some (t, left, right) ->
-              let rel = join_step ?max_rows db rel t ~left ~right in
-              attach rel (List.filter (fun x -> not (String.equal x t)) pending) edges
-      in
-      attach (base_relation db first) rest f.f_joins
 
 let lookup rel c =
   match Hashtbl.find_opt rel.rel_index (c.cr_table, c.cr_col) with
@@ -169,22 +115,206 @@ let eval_where rel cond wide =
   | And -> List.for_all eval_pred cond.c_preds
   | Or -> List.exists eval_pred cond.c_preds
 
-(* Aggregate over a group of wide rows. *)
-let eval_agg rel agg col distinct group =
+(* --- relation building (plan execution) --- *)
+
+(* Pushed scan filter on a raw base-table row: positions are column
+   indices within the table, so no relation lookup is needed. *)
+let scan_filter tbl (cond : condition) =
+  let compiled =
+    List.map
+      (fun p ->
+        match p.pr_col with
+        | Some c -> (Duodb.Table.column_index tbl c.cr_col, p.pr_rhs)
+        | None -> fail "missing column in pushed predicate")
+      cond.c_preds
+  in
+  fun row ->
+    match cond.c_conn with
+    | And -> List.for_all (fun (i, rhs) -> eval_rhs rhs row.(i)) compiled
+    | Or -> List.exists (fun (i, rhs) -> eval_rhs rhs row.(i)) compiled
+
+(* Filtered base scan: surviving rows plus their original row indices
+   (join provenance). *)
+let scan db name pushed =
+  ignore (table_columns db name);
+  let tbl = Duodb.Database.table_exn db name in
+  let keep =
+    match List.assoc_opt name pushed with
+    | None -> fun _ -> true
+    | Some cond -> scan_filter tbl cond
+  in
+  let out = Dyn.create () in
+  let n = Duodb.Table.row_count tbl in
+  for i = 0 to n - 1 do
+    let row = Duodb.Table.get tbl i in
+    if keep row then Dyn.push out (row, i)
+  done;
+  Dyn.to_array out
+
+(* Build the joined relation following the plan's attach sequence.  Each
+   wide row carries a provenance vector (per-table source row index, in
+   canonical attach order) so reordered executions can be sorted back to
+   the historical nested-loop row order. *)
+let build_relation ?(max_rows = max_int) db (plan : Planner.t) =
+  let ntables = List.length plan.Planner.plan_canonical in
+  let cpos t = List.assoc t plan.Planner.plan_canonical in
+  let pushed = plan.Planner.plan_pushed in
+  (* base *)
+  let base_cols = table_columns db plan.Planner.plan_base in
+  let rel_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i c ->
+      Hashtbl.replace rel_index (plan.Planner.plan_base, c.Duodb.Schema.col_name) i)
+    base_cols;
+  let base_pos = cpos plan.Planner.plan_base in
+  let rows =
+    ref
+      (Array.map
+         (fun (row, i) ->
+           let prov = Array.make ntables 0 in
+           prov.(base_pos) <- i;
+           (row, prov))
+         (scan db plan.Planner.plan_base pushed))
+  in
+  (* joins *)
+  List.iter
+    (fun (op : Planner.join_op) ->
+      let t = op.Planner.jo_table in
+      let cols = table_columns db t in
+      let tbl = Duodb.Database.table_exn db t in
+      let right_idx = Duodb.Table.column_index tbl op.Planner.jo_right in
+      let keep =
+        match List.assoc_opt t pushed with
+        | None -> fun _ -> true
+        | Some cond -> scan_filter tbl cond
+      in
+      (* Bucket the attached table's surviving rows by join key, keeping
+         table order within each bucket so in-order executions need no
+         sort afterwards. *)
+      let buckets = V1tbl.create 256 in
+      let n = Duodb.Table.row_count tbl in
+      for i = 0 to n - 1 do
+        let row = Duodb.Table.get tbl i in
+        let v = row.(right_idx) in
+        if (not (Value.is_null v)) && keep row then begin
+          match V1tbl.find_opt buckets v with
+          | Some d -> Dyn.push d (row, i)
+          | None ->
+              let d = Dyn.create () in
+              Dyn.push d (row, i);
+              V1tbl.replace buckets v d
+        end
+      done;
+      let left_idx =
+        match Hashtbl.find_opt rel_index op.Planner.jo_left with
+        | Some i -> i
+        | None ->
+            fail "join column %s.%s not in relation" (fst op.Planner.jo_left)
+              (snd op.Planner.jo_left)
+      in
+      let width = Hashtbl.length rel_index in
+      List.iteri
+        (fun i c -> Hashtbl.replace rel_index (t, c.Duodb.Schema.col_name) (width + i))
+        cols;
+      let pos = cpos t in
+      let out = Dyn.create () in
+      let count = ref 0 in
+      Array.iter
+        (fun (wide, prov) ->
+          let v = wide.(left_idx) in
+          if not (Value.is_null v) then
+            match V1tbl.find_opt buckets v with
+            | None -> ()
+            | Some d ->
+                count := !count + d.Dyn.len;
+                if !count > max_rows then
+                  fail "joined relation exceeds %d rows" max_rows;
+                for k = 0 to d.Dyn.len - 1 do
+                  let row, i = d.Dyn.arr.(k) in
+                  let prov' = Array.copy prov in
+                  prov'.(pos) <- i;
+                  Dyn.push out (Array.append wide row, prov')
+                done)
+        !rows;
+      rows := Dyn.to_array out)
+    plan.Planner.plan_joins;
+  let rows = !rows in
+  (* Provenance sort: restore canonical nested-loop order after a
+     reordered execution.  Provenance vectors are unique per row, so the
+     order is total. *)
+  if not plan.Planner.plan_in_order then
+    Array.sort
+      (fun (_, pa) (_, pb) ->
+        let rec go i =
+          if i >= Array.length pa then 0
+          else
+            let c = Int.compare pa.(i) pb.(i) in
+            if c <> 0 then c else go (i + 1)
+        in
+        go 0)
+      rows;
+  { rel_index; rel_rows = Array.map fst rows }
+
+(* [Error msg] entries memoize relations that exceeded the row bound, so
+   repeated probes over an exploding join fail fast.  Keys come from the
+   planner and cover FROM plus pushed predicates, so probes sharing a join
+   tree and WHERE clause reuse one relation. *)
+type relation_cache = {
+  rc_tbl : (string, (relation, string) result) Hashtbl.t;
+  mutable rc_hits : int;
+  mutable rc_misses : int;
+  mutable rc_pushdown_builds : int;
+}
+
+let create_cache () =
+  { rc_tbl = Hashtbl.create 64; rc_hits = 0; rc_misses = 0; rc_pushdown_builds = 0 }
+
+let cache_stats c = (c.rc_hits, c.rc_misses, c.rc_pushdown_builds)
+
+let build_relation_cached ?cache ?max_rows db (plan : Planner.t) =
+  match cache with
+  | None -> build_relation ?max_rows db plan
+  | Some c -> (
+      let key = plan.Planner.plan_key in
+      match Hashtbl.find_opt c.rc_tbl key with
+      | Some (Ok rel) ->
+          c.rc_hits <- c.rc_hits + 1;
+          rel
+      | Some (Error e) ->
+          c.rc_hits <- c.rc_hits + 1;
+          raise (Exec_error e)
+      | None -> (
+          c.rc_misses <- c.rc_misses + 1;
+          if plan.Planner.plan_pushdown then
+            c.rc_pushdown_builds <- c.rc_pushdown_builds + 1;
+          match build_relation ?max_rows db plan with
+          | rel ->
+              Hashtbl.replace c.rc_tbl key (Ok rel);
+              rel
+          | exception Exec_error e ->
+              Hashtbl.replace c.rc_tbl key (Error e);
+              raise (Exec_error e)))
+
+(* --- aggregation --- *)
+
+(* Aggregate over a group of wide rows, given as row indices into the
+   relation. *)
+let eval_agg rel agg col distinct (group : int array) =
+  let rows = rel.rel_rows in
   let values () =
     let c = match col with Some c -> c | None -> fail "aggregate needs a column" in
     let i = lookup rel c in
-    List.filter_map
-      (fun row -> if Value.is_null row.(i) then None else Some row.(i))
-      group
+    Array.fold_right
+      (fun r acc -> if Value.is_null rows.(r).(i) then acc else rows.(r).(i) :: acc)
+      group []
   in
   let distinct_values vs =
-    let seen = Vtbl.create 16 in
+    let seen = V1tbl.create 16 in
     List.filter
       (fun v ->
-        if Vtbl.mem seen [ v ] then false
+        if V1tbl.mem seen v then false
         else begin
-          Vtbl.add seen [ v ] ();
+          V1tbl.add seen v ();
           true
         end)
       vs
@@ -197,7 +327,7 @@ let eval_agg rel agg col distinct group =
   match agg with
   | Count -> (
       match col with
-      | None -> Value.Int (List.length group)
+      | None -> Value.Int (Array.length group)
       | Some _ ->
           let vs = values () in
           let vs = if distinct then distinct_values vs else vs in
@@ -206,8 +336,18 @@ let eval_agg rel agg col distinct group =
       match values () with
       | [] -> Value.Null
       | vs ->
-          let total = List.fold_left ( +. ) 0. (numeric vs) in
-          if Float.is_integer total then Value.Int (int_of_float total) else Value.Float total)
+          (* Integer columns sum in integer arithmetic: float accumulation
+             silently loses precision past 2^53.  Floats keep the float
+             path (with the historical integral-total collapse to Int). *)
+          if List.for_all (function Value.Int _ -> true | _ -> false) vs then
+            Value.Int
+              (List.fold_left
+                 (fun acc v -> match v with Value.Int i -> acc + i | _ -> acc)
+                 0 vs)
+          else
+            let total = List.fold_left ( +. ) 0. (numeric vs) in
+            if Float.is_integer total then Value.Int (int_of_float total)
+            else Value.Float total)
   | Avg -> (
       match values () with
       | [] -> Value.Null
@@ -227,18 +367,19 @@ let eval_agg rel agg col distinct group =
    group.  For unaggregated items the group's first row supplies the value
    (SQL-legal only when the item is in GROUP BY; Semantics rules enforce
    this upstream, and tests rely on executor-level enforcement too). *)
-let eval_item rel ~grouped (agg, col, distinct) group =
+let eval_item rel (agg, col, distinct) (group : int array) =
   match agg with
   | Some a -> eval_agg rel a col distinct group
   | None -> (
-      match col, group with
-      | Some c, row :: _ -> row.(lookup rel c)
-      | Some _, [] -> Value.Null
-      | None, _ -> if grouped then fail "bare star projection" else fail "bare star projection")
+      match col with
+      | Some c ->
+          if Array.length group = 0 then Value.Null
+          else rel.rel_rows.(group.(0)).(lookup rel c)
+      | None -> fail "bare star projection")
 
 let eval_having rel cond group =
   let eval_pred p =
-    let v = eval_item rel ~grouped:true (p.pr_agg, p.pr_col, false) group in
+    let v = eval_item rel (p.pr_agg, p.pr_col, false) group in
     eval_rhs p.pr_rhs v
   in
   match cond.c_conn with
@@ -259,61 +400,57 @@ let output_types db q =
   | Exec_error e -> Error e
 
 (* Group the filtered rows when the query aggregates; otherwise each row is
-   its own singleton group. *)
-let make_groups q rel rows =
+   its own singleton group.  Groups are index vectors into [rel_rows]:
+   first-seen key order, insertion order within each group. *)
+let make_groups q rel (sel : int array) : int array list =
   let needs_groups =
     q.q_group_by <> []
     || List.exists (fun p -> Option.is_some p.p_agg) q.q_select
     || Option.is_some q.q_having
     || List.exists (fun o -> Option.is_some o.o_agg) q.q_order_by
   in
-  if not needs_groups then List.map (fun r -> [ r ]) rows
-  else if q.q_group_by = [] then [ rows ]  (* single group, even when empty *)
+  if not needs_groups then Array.to_list (Array.map (fun r -> [| r |]) sel)
+  else if q.q_group_by = [] then [ sel ]  (* single group, even when empty *)
   else begin
     let idxs = List.map (lookup rel) q.q_group_by in
-    let order = ref [] in
+    let order = Dyn.create () in
     let buckets = Vtbl.create 64 in
-    List.iter
-      (fun row ->
+    Array.iter
+      (fun r ->
+        let row = rel.rel_rows.(r) in
         let key = List.map (fun i -> row.(i)) idxs in
         match Vtbl.find_opt buckets key with
-        | Some cell -> cell := row :: !cell
+        | Some d -> Dyn.push d r
         | None ->
-            let cell = ref [ row ] in
-            Vtbl.add buckets key cell;
-            order := key :: !order)
-      rows;
-    List.rev_map (fun key -> List.rev !(Vtbl.find buckets key)) !order
+            let d = Dyn.create () in
+            Dyn.push d r;
+            Vtbl.add buckets key d;
+            Dyn.push order d)
+      sel;
+    Array.to_list (Array.map Dyn.to_array (Dyn.to_array order))
   end
 
-let build_relation_cached ?cache ?max_rows db f =
-  match cache with
-  | None -> build_relation ?max_rows db f
-  | Some tbl -> (
-      let key = from_key f in
-      match Hashtbl.find_opt tbl key with
-      | Some (Ok rel) -> rel
-      | Some (Error e) -> raise (Exec_error e)
-      | None -> (
-          match build_relation ?max_rows db f with
-          | rel ->
-              Hashtbl.replace tbl key (Ok rel);
-              rel
-          | exception Exec_error e ->
-              Hashtbl.replace tbl key (Error e);
-              raise (Exec_error e)))
-
-let run ?cache ?max_rows db q =
+let run ?cache ?max_rows ?(planner = true) db q =
   try
-    let rel = build_relation_cached ?cache ?max_rows db q.q_from in
+    let plan =
+      match Planner.plan ~enabled:planner db q with
+      | Ok p -> p
+      | Error e -> fail "%s" e
+    in
+    let rel = build_relation_cached ?cache ?max_rows db plan in
     (* Validate every referenced column against the FROM clause up front. *)
     List.iter (fun c -> ignore (lookup rel c)) (referenced_columns q);
-    let rows =
-      match q.q_where with
-      | None -> rel.rel_rows
-      | Some cond -> List.filter (eval_where rel cond) rel.rel_rows
+    let sel =
+      match plan.Planner.plan_residual with
+      | None -> Array.init (Array.length rel.rel_rows) Fun.id
+      | Some cond ->
+          let out = Dyn.create () in
+          Array.iteri
+            (fun i row -> if eval_where rel cond row then Dyn.push out i)
+            rel.rel_rows;
+          Dyn.to_array out
     in
-    let groups = make_groups q rel rows in
+    let groups = make_groups q rel sel in
     let groups =
       match q.q_having with
       | None -> groups
@@ -324,10 +461,10 @@ let run ?cache ?max_rows db q =
     let project group =
       let out =
         Array.of_list
-          (List.map (fun p -> eval_item rel ~grouped:true (p.p_agg, p.p_col, p.p_distinct) group) q.q_select)
+          (List.map (fun p -> eval_item rel (p.p_agg, p.p_col, p.p_distinct) group) q.q_select)
       in
       let keys =
-        List.map (fun o -> eval_item rel ~grouped:true (o.o_agg, o.o_col, false) group) q.q_order_by
+        List.map (fun o -> eval_item rel (o.o_agg, o.o_col, false) group) q.q_order_by
       in
       (out, keys)
     in
@@ -378,8 +515,8 @@ let run ?cache ?max_rows db q =
   with
   | Exec_error e -> Error e
 
-let run_exn ?cache ?max_rows db q =
-  match run ?cache ?max_rows db q with
+let run_exn ?cache ?max_rows ?planner db q =
+  match run ?cache ?max_rows ?planner db q with
   | Ok r -> r
   | Error e -> failwith (Printf.sprintf "Executor.run_exn: %s on %s" e (Duosql.Pretty.query q))
 

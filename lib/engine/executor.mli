@@ -4,6 +4,14 @@
     WHERE filtering, grouping with aggregates, HAVING, SELECT DISTINCT,
     ORDER BY (on projected or non-projected expressions), and LIMIT.
 
+    Execution follows a {!Planner} plan: WHERE predicates confined to a
+    single table are applied during that table's base scan (before any
+    join), and the join order is chosen by estimated post-pushdown
+    cardinality.  Results are identical to naive FROM-order evaluation —
+    including row order under ORDER BY and first-seen group order —
+    because every joined row carries provenance and reordered executions
+    are sorted back to the canonical nested-loop order.
+
     SQL semantics notes:
     - comparisons involving [NULL] are false; aggregates skip nulls except
       [COUNT] of all rows;
@@ -18,29 +26,42 @@ type resultset = {
   res_rows : Duodb.Value.t array list;
 }
 
-(** Memoizes joined relations keyed by the FROM clause, for callers (the
-    verification cascade) that execute many probe queries over the same
-    join tree.  Safe because databases are append-only during synthesis. *)
+(** Memoizes joined relations keyed by (FROM clause, pushed predicates),
+    for callers (the verification cascade) that execute many probe queries
+    over the same join tree.  Safe because databases are append-only
+    during synthesis. *)
 type relation_cache
 
 val create_cache : unit -> relation_cache
 
-(** [run ?cache ?max_rows db q] executes [q]. [Error msg] reports unknown
-    tables/columns, disconnected FROM clauses, aggregates over incompatible
-    types, or non-grouped projections mixed with aggregates.  [max_rows]
-    bounds the intermediate joined relation — the execution-time guard the
-    verifier uses in place of a wall-clock query timeout; exceeding it is
-    an error. *)
+(** [(hits, misses, pushdown_builds)]: cache hits, relations built, and
+    how many of those builds had predicates pushed into base scans. *)
+val cache_stats : relation_cache -> int * int * int
+
+(** [run ?cache ?max_rows ?planner db q] executes [q]. [Error msg] reports
+    unknown tables/columns, disconnected FROM clauses, aggregates over
+    incompatible types, or non-grouped projections mixed with aggregates.
+    [max_rows] bounds the intermediate joined relation — the
+    execution-time guard the verifier uses in place of a wall-clock query
+    timeout; exceeding it is an error.  [planner = false] disables
+    predicate pushdown and join reordering (canonical FROM-order
+    evaluation, for differential tests and ablations); default [true]. *)
 val run :
   ?cache:relation_cache ->
   ?max_rows:int ->
+  ?planner:bool ->
   Duodb.Database.t ->
   Duosql.Ast.query ->
   (resultset, string) result
 
 (** Like {!run} but raises [Failure]. *)
 val run_exn :
-  ?cache:relation_cache -> ?max_rows:int -> Duodb.Database.t -> Duosql.Ast.query -> resultset
+  ?cache:relation_cache ->
+  ?max_rows:int ->
+  ?planner:bool ->
+  Duodb.Database.t ->
+  Duosql.Ast.query ->
+  resultset
 
 (** [output_types db q] computes the projection types without executing:
     [Count] is numeric, [Sum]/[Avg] numeric, [Min]/[Max] and plain

@@ -78,4 +78,24 @@ let contains t ~table ~column value =
     (fun h -> String.equal h.hit_table table && String.equal h.hit_column column)
     (lookup t value)
 
+(* Case-sensitive membership.  Postings key on the lowercased value and
+   keep one hit per (value, column) pair, so only two answers are
+   definitive: no hit for the column under this key means no casing
+   variant exists at all (hence no exact match), and a stored hit with
+   identical casing proves membership.  A column hit with different
+   casing is inconclusive — the probed casing may or may not also occur —
+   and empty strings are never indexed. *)
+let contains_exact t ~table ~column value =
+  if String.length value = 0 then None
+  else
+    let col_hits =
+      List.filter
+        (fun h -> String.equal h.hit_table table && String.equal h.hit_column column)
+        (lookup t value)
+    in
+    if col_hits = [] then Some false
+    else if List.exists (fun h -> String.equal h.hit_value value) col_hits then
+      Some true
+    else None
+
 let size t = t.size

@@ -26,5 +26,14 @@ val complete : t -> ?limit:int -> prefix:string -> unit -> hit list
     specific column without a database scan. *)
 val contains : t -> table:string -> column:string -> string -> bool
 
+(** [contains_exact t ~table ~column value] is case-{e sensitive}
+    membership: [Some true] / [Some false] when the index can answer
+    definitively, [None] when it cannot (a different-cased variant is
+    stored for the column, or [value] is empty — empty strings are not
+    indexed) and the caller must fall back to a scan.  Backs the
+    verification cascade's index-accelerated column probes. *)
+val contains_exact :
+  t -> table:string -> column:string -> string -> bool option
+
 (** Number of distinct (value, column) postings. *)
 val size : t -> int

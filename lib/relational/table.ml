@@ -49,6 +49,11 @@ let insert t row =
 let insert_all t rows = List.iter (insert t) rows
 let rows t = Array.sub t.data 0 t.len
 
+let get t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Table.get: row %d out of %d in %s" i t.len (name t));
+  t.data.(i)
+
 let fold f init t =
   let acc = ref init in
   for i = 0 to t.len - 1 do

@@ -30,6 +30,11 @@ val column_index : t -> string -> int
     callers must not mutate it. *)
 val rows : t -> Value.t array array
 
+(** [get t i] is row [i] (insertion order) without copying the row array.
+    Raises [Invalid_argument] when [i] is out of bounds.  The executor's
+    scans use this for index-based access to the array-backed storage. *)
+val get : t -> int -> Value.t array
+
 (** [column_values t col] is the column vector for [col]. *)
 val column_values : t -> string -> Value.t list
 

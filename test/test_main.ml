@@ -7,6 +7,7 @@ let () =
       ("sql front", Test_sql.suite);
       ("executor", Test_executor.suite);
       ("executor vs reference", Test_executor_ref.suite);
+      ("planner", Test_planner.suite);
       ("nl", Test_nl.suite);
       ("guidance", Test_guidance.suite);
       ("tsq", Test_tsq.suite);
