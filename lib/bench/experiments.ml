@@ -261,9 +261,9 @@ let fig12_curve ppf label results =
   Format.fprintf ppf "@."
 
 let fig12 t ppf =
-  header ppf "Figure 12: % of tasks whose gold query was synthesized within t CPU-seconds";
+  header ppf "Figure 12: % of tasks whose gold query was synthesized within t seconds";
   Format.fprintf ppf
-    "(the paper's 60 s wall-clock axis maps to CPU-seconds of the in-memory engine)@.";
+    "(wall-clock, as on the paper's 60 s axis; the in-memory engine compresses the scale)@.";
   List.iter
     (fun (name, runs) ->
       Format.fprintf ppf "@.%s@." name;

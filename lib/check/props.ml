@@ -1,0 +1,121 @@
+module Tsq = Duocore.Tsq
+module Value = Duodb.Value
+module Executor = Duoengine.Executor
+
+(* The four fuzz properties, parameterized by an iteration-count
+   multiplier: [tests ()] is the small seeded set wired into the default
+   test runner, [tests ~mult:50 ()] is a long fuzz run (the [@fuzz]
+   alias). *)
+
+let resultsets_agree (a : Executor.resultset) (b : Executor.resultset) =
+  a.Executor.res_cols = b.Executor.res_cols
+  && List.length a.Executor.res_rows = List.length b.Executor.res_rows
+  && List.for_all2
+       (fun ra rb ->
+         Array.length ra = Array.length rb
+         && List.for_all2 Value.equal (Array.to_list ra) (Array.to_list rb))
+       a.Executor.res_rows b.Executor.res_rows
+
+(* planner-on = planner-off = naive reference interpreter *)
+let differential_prop (sc : Gen.scenario) =
+  let on = Executor.run ~planner:true sc.Gen.sc_db sc.Gen.sc_query in
+  let off = Executor.run ~planner:false sc.Gen.sc_db sc.Gen.sc_query in
+  let oracle = Reference.run sc.Gen.sc_db sc.Gen.sc_query in
+  match (on, off, oracle) with
+  | Ok a, Ok b, Ok c -> resultsets_agree a b && resultsets_agree a c
+  | Error _, Error _, Error _ -> true
+  | _ -> false
+
+(* parse (pretty q) = q *)
+let roundtrip_prop (sc : Gen.scenario) =
+  let sql = Duosql.Pretty.query sc.Gen.sc_query in
+  match
+    Duosql.Parser.query ~schema:(Duodb.Database.schema sc.Gen.sc_db) sql
+  with
+  | Ok q' -> Duosql.Equal.queries sc.Gen.sc_query q'
+  | Error _ -> false
+
+(* Guidance context for a scenario: the query's own literals plus a few
+   database values, so the model's WHERE/HAVING branches are populated. *)
+let ctx_of (sc : Gen.scenario) =
+  let lits =
+    Duosql.Ast.literals sc.Gen.sc_query @ Gen.seed_literals sc.Gen.sc_db
+  in
+  let nlq = Duonl.Nlq.with_literals "find the matching rows" lits in
+  Duoguide.Model.make (Duodb.Database.schema sc.Gen.sc_db) nlq
+
+(* no Verify stage prunes a state with a satisfying completion *)
+let soundness_prop (sc : Gen.scenario) =
+  let ctx = ctx_of sc in
+  let env =
+    Duocore.Verify.make_env ~db:sc.Gen.sc_db ~tsq:(Some sc.Gen.sc_tsq)
+      ~literals:[] ()
+  in
+  let hints = Duocore.Enumerate.hints_of_tsq sc.Gen.sc_tsq in
+  match Soundness.check env ctx ~hints () with
+  | [] -> true
+  | v :: _ ->
+      QCheck.Test.fail_reportf "%a" Soundness.pp_violation v
+
+(* Property 1 (Section 3.3.3): each expansion partitions the parent's
+   confidence mass — the children's confidences sum to the parent's.
+   Join-path forks are exempt by design (siblings carry the parent's
+   confidence; they fork the same decision point, not a distribution). *)
+let property1_prop ((sc : Gen.scenario), seed) =
+  let st = Random.State.make [| seed |] in
+  let ctx = ctx_of sc in
+  let guided = seed land 1 = 0 in
+  let hints = Duocore.Enumerate.hints_of_tsq sc.Gen.sc_tsq in
+  let eps = 1e-6 in
+  let rec walk state steps =
+    steps <= 0
+    ||
+    let children = Duocore.Enumerate.expand ~guided hints ctx state in
+    match children with
+    | [] -> true
+    | _ ->
+        let exempt =
+          match state.Duocore.Partial.phase with
+          | Duocore.Partial.P_joinpath _ | Duocore.Partial.P_done -> true
+          | _ -> false
+        in
+        let sum =
+          List.fold_left
+            (fun acc c -> acc +. c.Duocore.Partial.confidence)
+            0.0 children
+        in
+        let parent = state.Duocore.Partial.confidence in
+        if (not exempt) && Float.abs (sum -. parent) > eps *. Float.max 1.0 parent
+        then
+          QCheck.Test.fail_reportf
+            "children sum to %.9f but parent confidence is %.9f at %s" sum
+            parent
+            (Duocore.Partial.to_string state)
+        else
+          let next = List.nth children (Random.State.int st (List.length children)) in
+          walk next (steps - 1)
+  in
+  walk Duocore.Partial.root 40
+
+let arb_seeded =
+  QCheck.make
+    ~print:(fun (sc, seed) ->
+      Printf.sprintf "seed %d\n%s" seed (Gen.print_scenario sc))
+    ~shrink:(fun (sc, seed) yield ->
+      Gen.shrink_scenario sc (fun sc' -> yield (sc', seed)))
+    (fun st -> (Gen.gen_scenario st, Random.State.int st 1_000_000))
+
+let tests ?(mult = 1) () =
+  [
+    QCheck.Test.make ~count:(60 * mult)
+      ~name:"differential: planner-on = planner-off = reference"
+      Gen.arb_scenario differential_prop;
+    QCheck.Test.make ~count:(120 * mult)
+      ~name:"round-trip: parse (pretty q) = q" Gen.arb_scenario roundtrip_prop;
+    QCheck.Test.make ~count:(8 * mult)
+      ~name:"cascade soundness: pruned states have no satisfying completion"
+      Gen.arb_scenario soundness_prop;
+    QCheck.Test.make ~count:(30 * mult)
+      ~name:"Property 1: expansions partition confidence mass" arb_seeded
+      property1_prop;
+  ]

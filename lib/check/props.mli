@@ -1,0 +1,22 @@
+(** The Duocheck fuzz properties, as QCheck tests.
+
+    - {b differential}: planner-on and planner-off execution agree with
+      the naive {!Reference} interpreter on every generated query (all
+      three error out on out-of-scope inputs);
+    - {b round-trip}: [parse (pretty q) = q] under {!Duosql.Equal.queries};
+    - {b cascade soundness}: no Verify stage prunes a partial query that
+      has a completion satisfying the TSQ ({!Soundness.check});
+    - {b Property 1}: every expansion's children partition the parent's
+      confidence mass (join-path forks exempt by design). *)
+
+(** Individual properties, exposed for ad-hoc harnesses. *)
+
+val differential_prop : Gen.scenario -> bool
+val roundtrip_prop : Gen.scenario -> bool
+val soundness_prop : Gen.scenario -> bool
+val property1_prop : Gen.scenario * int -> bool
+
+(** [tests ~mult ()] builds the property list with iteration counts scaled
+    by [mult] (default 1: the small seeded configuration wired into
+    [dune runtest]; the [@fuzz] alias passes a large multiplier). *)
+val tests : ?mult:int -> unit -> QCheck.Test.t list

@@ -1,0 +1,342 @@
+open Duosql.Ast
+module Value = Duodb.Value
+module Datatype = Duodb.Datatype
+
+(* The oracle side of the differential property.  Everything here is the
+   simplest possible implementation of the dialect: association lists,
+   nested loops, list append.  Resist the urge to optimize — speed lives
+   in [Duoengine]; this module's only job is to be obviously correct. *)
+
+exception Ref_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ref_error s)) fmt
+
+(* Wide rows are value lists; [pos] maps (table, column) to an offset. *)
+type rel = {
+  pos : ((string * string) * int) list;
+  rows : Value.t list list;
+}
+
+let lookup rel c =
+  match List.assoc_opt (c.cr_table, c.cr_col) rel.pos with
+  | Some i -> i
+  | None -> fail "column %s.%s not in FROM clause" c.cr_table c.cr_col
+
+let cell rel row c = List.nth row (lookup rel c)
+
+let table_schema db t =
+  match Duodb.Schema.find_table (Duodb.Database.schema db) t with
+  | Some ts -> ts
+  | None -> fail "unknown table %s" t
+
+let table_rows db t =
+  ignore (table_schema db t);
+  Array.to_list (Duodb.Table.rows (Duodb.Database.table_exn db t))
+  |> List.map Array.to_list
+
+(* --- FROM: nested loops in clause attach order --- *)
+
+(* Attach tables starting from the first FROM table, always taking the
+   first join edge (in clause order) with exactly one already-joined
+   endpoint — the dialect's canonical nested-loop order. *)
+let build_from db (f : from_clause) =
+  match f.f_tables with
+  | [] -> fail "empty FROM clause"
+  | first :: rest ->
+      let cols_of t =
+        List.map
+          (fun c -> (t, c.Duodb.Schema.col_name))
+          (table_schema db t).Duodb.Schema.tbl_columns
+      in
+      let start =
+        {
+          pos = List.mapi (fun i k -> (k, i)) (cols_of first);
+          rows = table_rows db first;
+        }
+      in
+      let attach rel (t, (left : col_ref), right_col) =
+        let width = List.length rel.pos in
+        let pos =
+          rel.pos @ List.mapi (fun i k -> (k, width + i)) (cols_of t)
+        in
+        let li = lookup rel left in
+        let ri =
+          let rec idx i = function
+            | [] -> fail "join column %s.%s not in relation" t right_col
+            | c :: rest ->
+                if String.equal c.Duodb.Schema.col_name right_col then i
+                else idx (i + 1) rest
+          in
+          idx 0 (table_schema db t).Duodb.Schema.tbl_columns
+        in
+        let right_rows = table_rows db t in
+        let rows =
+          List.concat_map
+            (fun wide ->
+              let v = List.nth wide li in
+              if Value.is_null v then []
+              else
+                List.filter_map
+                  (fun r ->
+                    let w = List.nth r ri in
+                    if (not (Value.is_null w)) && Value.equal v w then
+                      Some (wide @ r)
+                    else None)
+                  right_rows)
+            rel.rows
+        in
+        { pos; rows }
+      in
+      let rec go rel joined pending =
+        if pending = [] then rel
+        else
+          let usable e =
+            let a = e.j_from.cr_table and b = e.j_to.cr_table in
+            if List.mem a joined && List.mem b pending then
+              Some (b, e.j_from, e.j_to.cr_col)
+            else if List.mem b joined && List.mem a pending then
+              Some (a, e.j_to, e.j_from.cr_col)
+            else None
+          in
+          match List.find_map usable f.f_joins with
+          | None -> fail "FROM clause is not a connected join tree"
+          | Some ((t, _, _) as step) ->
+              go (attach rel step) (t :: joined)
+                (List.filter (fun x -> not (String.equal x t)) pending)
+      in
+      go start [ first ] rest
+
+(* --- scalar evaluation --- *)
+
+let eval_cmp op lhs rhs =
+  if Value.is_null lhs || Value.is_null rhs then false
+  else
+    match op with
+    | Eq -> Value.equal lhs rhs
+    | Neq -> not (Value.equal lhs rhs)
+    | Lt -> Value.compare lhs rhs < 0
+    | Le -> Value.compare lhs rhs <= 0
+    | Gt -> Value.compare lhs rhs > 0
+    | Ge -> Value.compare lhs rhs >= 0
+    | Like -> (
+        match lhs, rhs with
+        | Value.Text s, Value.Text p -> Value.like s ~pattern:p
+        | _ -> fail "LIKE requires text operands")
+    | Not_like -> (
+        match lhs, rhs with
+        | Value.Text s, Value.Text p -> not (Value.like s ~pattern:p)
+        | _ -> fail "NOT LIKE requires text operands")
+
+let eval_rhs rhs v =
+  match rhs with
+  | Cmp (op, lit) -> eval_cmp op v lit
+  | Between (lo, hi) ->
+      (not (Value.is_null v))
+      && Value.compare v lo >= 0
+      && Value.compare v hi <= 0
+
+let eval_where rel cond row =
+  let eval_pred p =
+    match p.pr_agg, p.pr_col with
+    | Some _, _ -> fail "aggregate predicate in WHERE"
+    | None, None -> fail "missing column in WHERE predicate"
+    | None, Some c -> eval_rhs p.pr_rhs (cell rel row c)
+  in
+  match cond.c_conn with
+  | And -> List.for_all eval_pred cond.c_preds
+  | Or -> List.exists eval_pred cond.c_preds
+
+(* --- grouping and aggregation --- *)
+
+let eval_agg rel agg col distinct (group : Value.t list list) =
+  let values () =
+    let c = match col with Some c -> c | None -> fail "aggregate needs a column" in
+    List.filter_map
+      (fun row ->
+        let v = cell rel row c in
+        if Value.is_null v then None else Some v)
+      group
+  in
+  let distinct_values vs =
+    List.fold_left
+      (fun acc v -> if List.exists (Value.equal v) acc then acc else acc @ [ v ])
+      [] vs
+  in
+  let numeric vs =
+    List.map
+      (fun v ->
+        if Value.is_numeric v then Value.to_float v
+        else fail "numeric aggregate over text")
+      vs
+  in
+  match agg with
+  | Count -> (
+      match col with
+      | None -> Value.Int (List.length group)
+      | Some _ ->
+          let vs = values () in
+          let vs = if distinct then distinct_values vs else vs in
+          Value.Int (List.length vs))
+  | Sum -> (
+      match values () with
+      | [] -> Value.Null
+      | vs ->
+          if List.for_all (function Value.Int _ -> true | _ -> false) vs then
+            Value.Int
+              (List.fold_left
+                 (fun acc v -> match v with Value.Int i -> acc + i | _ -> acc)
+                 0 vs)
+          else
+            let total = List.fold_left ( +. ) 0. (numeric vs) in
+            if Float.is_integer total then Value.Int (int_of_float total)
+            else Value.Float total)
+  | Avg -> (
+      match values () with
+      | [] -> Value.Null
+      | vs ->
+          let fs = numeric vs in
+          Value.Float (List.fold_left ( +. ) 0. fs /. float_of_int (List.length fs)))
+  | Min -> (
+      match values () with
+      | [] -> Value.Null
+      | v :: vs ->
+          List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v vs)
+  | Max -> (
+      match values () with
+      | [] -> Value.Null
+      | v :: vs ->
+          List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v vs)
+
+let eval_item rel (agg, col, distinct) group =
+  match agg with
+  | Some a -> eval_agg rel a col distinct group
+  | None -> (
+      match col with
+      | Some c -> (
+          match group with
+          | [] -> Value.Null
+          | row :: _ -> cell rel row c)
+      | None -> fail "bare star projection")
+
+let eval_having rel cond group =
+  let eval_pred p =
+    eval_rhs p.pr_rhs (eval_item rel (p.pr_agg, p.pr_col, false) group)
+  in
+  match cond.c_conn with
+  | And -> List.for_all eval_pred cond.c_preds
+  | Or -> List.exists eval_pred cond.c_preds
+
+let make_groups q rel (sel : Value.t list list) =
+  let needs_groups =
+    q.q_group_by <> []
+    || List.exists (fun p -> Option.is_some p.p_agg) q.q_select
+    || Option.is_some q.q_having
+    || List.exists (fun o -> Option.is_some o.o_agg) q.q_order_by
+  in
+  if not needs_groups then List.map (fun row -> [ row ]) sel
+  else if q.q_group_by = [] then [ sel ] (* single group, even when empty *)
+  else
+    (* first-seen key order, insertion order within each group *)
+    let key row = List.map (cell rel row) q.q_group_by in
+    List.fold_left
+      (fun groups row ->
+        let k = key row in
+        let hit = ref false in
+        let groups =
+          List.map
+            (fun (k', rows) ->
+              if (not !hit) && List.for_all2 Value.equal k k' then begin
+                hit := true;
+                (k', rows @ [ row ])
+              end
+              else (k', rows))
+            groups
+        in
+        if !hit then groups else groups @ [ (k, [ row ]) ])
+      [] sel
+    |> List.map snd
+
+let proj_type db (p : proj) =
+  match p.p_agg with
+  | Some (Count | Sum | Avg) -> Datatype.Number
+  | Some (Min | Max) | None -> (
+      match p.p_col with
+      | Some c -> (
+          match
+            Duodb.Schema.find_column (Duodb.Database.schema db) ~table:c.cr_table
+              c.cr_col
+          with
+          | Some col -> col.Duodb.Schema.col_type
+          | None -> fail "unknown column %s.%s" c.cr_table c.cr_col)
+      | None -> Datatype.Number)
+
+let run db q =
+  try
+    let rel = build_from db q.q_from in
+    List.iter (fun c -> ignore (lookup rel c)) (referenced_columns q);
+    let sel =
+      match q.q_where with
+      | None -> rel.rows
+      | Some cond -> List.filter (eval_where rel cond) rel.rows
+    in
+    let groups = make_groups q rel sel in
+    let groups =
+      match q.q_having with
+      | None -> groups
+      | Some cond -> List.filter (eval_having rel cond) groups
+    in
+    let project group =
+      let out =
+        Array.of_list
+          (List.map
+             (fun p -> eval_item rel (p.p_agg, p.p_col, p.p_distinct) group)
+             q.q_select)
+      in
+      let keys =
+        List.map (fun o -> eval_item rel (o.o_agg, o.o_col, false) group) q.q_order_by
+      in
+      (out, keys)
+    in
+    let projected = List.map project groups in
+    let projected =
+      if not q.q_distinct then projected
+      else
+        List.fold_left
+          (fun acc (out, keys) ->
+            let same (out', _) =
+              Array.length out = Array.length out'
+              && List.for_all2 Value.equal (Array.to_list out) (Array.to_list out')
+            in
+            if List.exists same acc then acc else acc @ [ (out, keys) ])
+          [] projected
+    in
+    let projected =
+      if q.q_order_by = [] then projected
+      else
+        let dirs = List.map (fun o -> o.o_dir) q.q_order_by in
+        let cmp (_, ka) (_, kb) =
+          let rec go ks1 ks2 ds =
+            match ks1, ks2, ds with
+            | k1 :: r1, k2 :: r2, d :: rd ->
+                let c = Value.compare k1 k2 in
+                let c = match d with Asc -> c | Desc -> -c in
+                if c <> 0 then c else go r1 r2 rd
+            | _ -> 0
+          in
+          go ka kb dirs
+        in
+        List.stable_sort cmp projected
+    in
+    let out_rows = List.map fst projected in
+    let out_rows =
+      match q.q_limit with
+      | None -> out_rows
+      | Some n -> List.filteri (fun i _ -> i < n) out_rows
+    in
+    Ok
+      {
+        Duoengine.Executor.res_cols =
+          List.map (fun p -> (Duosql.Pretty.proj p, proj_type db p)) q.q_select;
+        res_rows = out_rows;
+      }
+  with Ref_error e -> Error e

@@ -1,0 +1,16 @@
+(** Clocks for the enumeration loop.
+
+    Budgets and candidate timestamps must reflect {e real} time: the
+    paper's 60 s budget (Section 5) is wall clock, and a synthesis run
+    that blocks on anything other than CPU would otherwise overrun its
+    budget unnoticed.  Stage profiling, by contrast, wants processor
+    time, which is insensitive to scheduling noise. *)
+
+(** Wall-clock seconds since an arbitrary epoch.  Backed by
+    [Unix.gettimeofday]: the closest thing to a monotonic clock available
+    without external dependencies; callers only ever take differences. *)
+val now : unit -> float
+
+(** Processor time ([Sys.time]) — for profiling accumulators only, never
+    for budgets. *)
+val cpu : unit -> float

@@ -41,6 +41,7 @@ type outcome = {
   out_expand_s : float;
   out_verify_s : float;
   out_exhausted : bool;
+  out_dropped : int;
 }
 
 type hints = {
@@ -120,6 +121,15 @@ let uniform cands =
   | _ ->
       let p = 1.0 /. float_of_int (List.length cands) in
       List.map (fun (x, _) -> (x, p)) cands
+
+(* Rescale a weighted choice list to total mass 1.  Expansions that drop
+   some branches (no literal for a comparison shape, no range pair for
+   BETWEEN) would otherwise leak the dropped branches' probability mass
+   and break Property 1: children confidences must sum to the parent's. *)
+let renormalize pairs =
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 pairs in
+  if total <= 0.0 then pairs
+  else List.map (fun (x, p) -> (x, p /. total)) pairs
 
 let replace_last lst x =
   match List.rev lst with
@@ -202,9 +212,9 @@ let expand ~guided hints ctx (t : Partial.t) =
       | None -> []
       | Some c ->
           let shapes = maybe_uniform (Model.operators ctx c.Duodb.Schema.col_type) in
-          List.concat_map
-            (fun (shape, p_shape) ->
-              let rhss =
+          let rhss =
+            List.concat_map
+              (fun (shape, p_shape) ->
                 match shape with
                 | Model.Shape_cmp op ->
                     List.map
@@ -218,19 +228,19 @@ let expand ~guided hints ctx (t : Partial.t) =
                       List.map
                         (fun (lo, hi) ->
                           (Between (lo, hi), p_shape /. float_of_int n))
-                        ranges
+                        ranges)
+              shapes
+          in
+          List.map
+            (fun (rhs, p) ->
+              let pred = { pr_agg = None; pr_col = Some (col_ref_of c); pr_rhs = rhs } in
+              let t' =
+                { t with
+                  Partial.where_preds = t.Partial.where_preds @ [ pred ];
+                  where_pending = None }
               in
-              List.map
-                (fun (rhs, p) ->
-                  let pred = { pr_agg = None; pr_col = Some (col_ref_of c); pr_rhs = rhs } in
-                  let t' =
-                    { t with
-                      Partial.where_preds = t.Partial.where_preds @ [ pred ];
-                      where_pending = None }
-                  in
-                  step t' (next_after_pred t' i) p)
-                rhss)
-            shapes)
+              step t' (next_after_pred t' i) p)
+            (renormalize rhss))
   | Partial.P_where_conn ->
       List.map
         (fun (conn, p) -> step { t with Partial.conn } (after_where t) p)
@@ -284,28 +294,32 @@ let expand ~guided hints ctx (t : Partial.t) =
           (List.map (fun l -> l.Duonl.Nlq.lit_value) (Model.nlq ctx).Duonl.Nlq.literals)
       in
       let ops = maybe_uniform (Model.operators ctx Duodb.Datatype.Number) in
-      List.concat_map
-        (fun (agg, colref) ->
-          List.concat_map
-            (fun (shape, p_op) ->
-              match shape with
-              | Model.Shape_between -> []
-              | Model.Shape_cmp op ->
-                  let n_vals = List.length numeric_values in
-                  if n_vals = 0 then []
-                  else
-                    List.map
-                      (fun v ->
-                        let pred =
-                          { pr_agg = agg; pr_col = colref; pr_rhs = Cmp (op, v) }
-                        in
-                        step
-                          { t with Partial.having_pred = Some pred }
-                          (after_group t)
-                          (p_target *. p_op /. float_of_int n_vals))
-                      numeric_values)
-            ops)
-        targets
+      (* BETWEEN has no HAVING form here and the literal pool may be
+         empty, so collect the surviving predicates first and renormalize
+         their weights (Property 1). *)
+      let preds =
+        List.concat_map
+          (fun (agg, colref) ->
+            List.concat_map
+              (fun (shape, p_op) ->
+                match shape with
+                | Model.Shape_between -> []
+                | Model.Shape_cmp op ->
+                    let n_vals = List.length numeric_values in
+                    if n_vals = 0 then []
+                    else
+                      List.map
+                        (fun v ->
+                          ( { pr_agg = agg; pr_col = colref; pr_rhs = Cmp (op, v) },
+                            p_target *. p_op /. float_of_int n_vals ))
+                        numeric_values)
+              ops)
+          targets
+      in
+      List.map
+        (fun (pred, p) ->
+          step { t with Partial.having_pred = Some pred } (after_group t) p)
+        (renormalize preds)
   | Partial.P_order_target ->
       let projected =
         List.filter_map
@@ -332,7 +346,10 @@ let expand ~guided hints ctx (t : Partial.t) =
 exception Budget_exhausted
 
 let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> ()) () =
-  let start = Sys.time () in
+  (* Budgets and candidate timestamps are wall clock (Clock.now): the
+     paper's time budget is real time, and CPU time stalls whenever the
+     process blocks.  Profiling accumulators below stay on CPU time. *)
+  let start = Clock.now () in
   let stats = Verify.new_stats () in
   let env =
     Verify.make_env ~stats ~semantics:config.semantic_rules ?index ?relcache
@@ -356,9 +373,9 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
   let expand_s = ref 0.0 in
   let verify_s = ref 0.0 in
   let timed acc f =
-    let t0 = Sys.time () in
+    let t0 = Clock.cpu () in
     let r = f () in
-    acc := !acc +. (Sys.time () -. t0);
+    acc := !acc +. (Clock.cpu () -. t0);
     r
   in
   let emit pq q =
@@ -372,7 +389,7 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
           cand_confidence = pq.Partial.confidence;
           cand_index = !n_candidates;
           cand_pops = !pops;
-          cand_time_s = Sys.time () -. start;
+          cand_time_s = Clock.now () -. start;
         }
       in
       candidates := c :: !candidates;
@@ -384,11 +401,14 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
   (try
      while true do
        if Frontier.is_empty frontier then begin
-         exhausted := true;
+         (* An empty frontier only proves exhaustion when compaction never
+            discarded a state: dropped states stay in [visited] and can
+            never re-enter, so their subtrees were not enumerated. *)
+         exhausted := Frontier.dropped frontier = 0;
          raise Budget_exhausted
        end;
        if !pops >= config.max_pops then raise Budget_exhausted;
-       if Sys.time () -. start > config.time_budget_s then raise Budget_exhausted;
+       if Clock.now () -. start > config.time_budget_s then raise Budget_exhausted;
        (match Frontier.pop frontier with
        | None -> raise Budget_exhausted
        | Some p when Partial.is_complete p ->
@@ -406,7 +426,7 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
            List.iter
              (fun (child : Partial.t) ->
                (* verification can dominate a pop; respect the budget *)
-               if Sys.time () -. start > config.time_budget_s then
+               if Clock.now () -. start > config.time_budget_s then
                  raise Budget_exhausted;
                if Partial.is_complete child then begin
                  (* Complete queries are always verified (NoPQ included). *)
@@ -425,8 +445,9 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
     out_pops = !pops;
     out_pushed = Frontier.pushed frontier;
     out_stats = stats;
-    out_elapsed_s = Sys.time () -. start;
+    out_elapsed_s = Clock.now () -. start;
     out_expand_s = !expand_s;
     out_verify_s = !verify_s;
     out_exhausted = !exhausted;
+    out_dropped = Frontier.dropped frontier;
   }

@@ -18,7 +18,7 @@ type config = {
   prune_partial : bool;
   max_pops : int;  (** enumeration budget: states popped from the frontier *)
   max_candidates : int;  (** stop after emitting this many candidates *)
-  time_budget_s : float;  (** processor-time budget *)
+  time_budget_s : float;  (** wall-clock budget (see {!Clock}) *)
   temperature : float;  (** guidance temperature (Section: Duoguide) *)
   semantic_rules : bool;  (** apply the Table 4 rules (ablation switch) *)
   max_frontier : int;
@@ -34,7 +34,7 @@ type candidate = {
   cand_confidence : float;
   cand_index : int;  (** 0-based emission rank *)
   cand_pops : int;  (** frontier pops before this emission *)
-  cand_time_s : float;  (** processor time at emission *)
+  cand_time_s : float;  (** wall-clock seconds from run start to emission *)
 }
 
 type outcome = {
@@ -42,10 +42,15 @@ type outcome = {
   out_pops : int;
   out_pushed : int;
   out_stats : Verify.stats;
-  out_elapsed_s : float;
-  out_expand_s : float;  (** time spent in EnumNextStep *)
-  out_verify_s : float;  (** time spent in the verification cascade *)
-  out_exhausted : bool;  (** the frontier emptied within budget *)
+  out_elapsed_s : float;  (** wall-clock seconds for the whole run *)
+  out_expand_s : float;  (** processor time spent in EnumNextStep *)
+  out_verify_s : float;  (** processor time spent in the verification cascade *)
+  out_exhausted : bool;
+      (** the frontier emptied within budget {e and} compaction never
+          dropped a state — i.e. the reachable space was fully enumerated *)
+  out_dropped : int;
+      (** states discarded by frontier compaction; when positive, an empty
+          frontier does not mean exhaustion *)
 }
 
 (** TSQ-derived enumeration hints (projection width, limit); these only

@@ -38,8 +38,25 @@ let extensions schema (from : from_clause) =
     from.f_tables
 
 (* Construction is called once per enumerated child state; memoize per
-   (schema, tables, depth).  Schemas are immutable during synthesis. *)
+   (schema, tables, depth).  Schemas are immutable during synthesis, but
+   the key must capture the join-relevant structure, not just the schema
+   name: two same-named schemas with different FK graphs must not share
+   entries (found by Duocheck — its fuzz schemas, all named "fuzzdb",
+   were served each other's join paths). *)
 let memo : (string * string * int, from_clause list) Hashtbl.t = Hashtbl.create 256
+
+let schema_signature (schema : Duodb.Schema.t) =
+  String.concat "|"
+    (List.map
+       (fun (e : Duodb.Schema.foreign_key) ->
+         e.Duodb.Schema.fk_table ^ "." ^ e.Duodb.Schema.fk_column ^ ">"
+         ^ e.Duodb.Schema.pk_table ^ "." ^ e.Duodb.Schema.pk_column)
+       schema.Duodb.Schema.foreign_keys)
+  ^ "#"
+  ^ String.concat ","
+      (List.map
+         (fun (t : Duodb.Schema.table) -> t.Duodb.Schema.tbl_name)
+         schema.Duodb.Schema.tables)
 
 let construct_uncached ?(depth = 1) schema ~tables =
   match tables with
@@ -71,7 +88,9 @@ let construct_uncached ?(depth = 1) schema ~tables =
 
 let construct ?(depth = 1) schema ~tables =
   let key =
-    (schema.Duodb.Schema.name, String.concat ";" (List.sort String.compare tables), depth)
+    ( schema.Duodb.Schema.name ^ ":" ^ schema_signature schema,
+      String.concat ";" (List.sort String.compare tables),
+      depth )
   in
   match Hashtbl.find_opt memo key with
   | Some r -> r

@@ -47,8 +47,12 @@ let tuple_matches tuple row =
 (* Each example tuple needs a distinct result row (Definition 2.4, item 2):
    backtracking bipartite matching, generalized to "at least [support] of
    the tuples must be assigned" for the noisy-example extension.  Example
-   counts are tiny (typically 2), so exhaustive search is fine. *)
-let distinct_match_atleast support tuples rows =
+   counts are tiny (typically 2), so exhaustive search is fine.
+
+   [tuple_ok] abstracts how a tuple is tested against a row so the
+   full-width check and the position-restricted check used on partial
+   queries share one matcher and cannot drift. *)
+let distinct_match_core ~tuple_ok support tuples rows =
   let rows = Array.of_list rows in
   let n = Array.length rows in
   let total = List.length tuples in
@@ -59,7 +63,7 @@ let distinct_match_atleast support tuples rows =
         matched + (total - matched - skipped) >= support
         && (let rec try_row i =
               if i >= n then false
-              else if (not (List.mem i used)) && tuple_matches tup rows.(i) then
+              else if (not (List.mem i used)) && tuple_ok tup rows.(i) then
                 assign (matched + 1) skipped (i :: used) rest || try_row (i + 1)
               else try_row (i + 1)
             in
@@ -67,6 +71,22 @@ let distinct_match_atleast support tuples rows =
            || assign matched (skipped + 1) used rest)
   in
   support <= 0 || assign 0 0 [] tuples
+
+let distinct_match_atleast support tuples rows =
+  distinct_match_core ~tuple_ok:tuple_matches support tuples rows
+
+(* Matching restricted to decided projection positions: [(out_idx,
+   cell_idx)] says result column [out_idx] must satisfy example cell
+   [cell_idx]; cells beyond a tuple's width are unconstrained. *)
+let cells_match_at positions tuple row =
+  let cells = Array.of_list tuple in
+  List.for_all
+    (fun (out_idx, cell_idx) ->
+      cell_idx >= Array.length cells || cell_matches cells.(cell_idx) row.(out_idx))
+    positions
+
+let distinct_match_on ~support positions tuples rows =
+  distinct_match_core ~tuple_ok:(cells_match_at positions) support tuples rows
 
 
 
@@ -97,9 +117,11 @@ let ordered_match_atleast support tuples rows =
 let satisfies ?cache ?max_rows t db q =
   let open Duosql.Ast in
   let clause_ok =
-    (* tau mirrors the ORDER BY clause and k the LIMIT clause, as in
-       Example 3.3. *)
-    Bool.equal t.sorted (q.q_order_by <> [])
+    (* tau obliges an ORDER BY clause and k a LIMIT clause (Example 3.3).
+       The implications only run one way: an unchecked sorted box means
+       "no order constraint", not "must be unordered" — Definition 2.4
+       constrains the result order only when tau holds. *)
+    ((not t.sorted) || q.q_order_by <> [])
     && (if t.limit = 0 then q.q_limit = None
         else match q.q_limit with Some n -> n <= t.limit | None -> false)
   in

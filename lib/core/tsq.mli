@@ -59,6 +59,26 @@ val cell_matches : cell -> Duodb.Value.t -> bool
     exactly the row's width. *)
 val tuple_matches : tuple -> Duodb.Value.t array -> bool
 
+(** [distinct_match_atleast support tuples rows]: backtracking bipartite
+    matching — at least [support] of the example tuples must each match a
+    {e distinct} result row (Definition 2.4, item 2, with the
+    noisy-example support threshold). *)
+val distinct_match_atleast : int -> tuple list -> Duodb.Value.t array list -> bool
+
+(** [distinct_match_on ~support positions tuples rows]: the same matcher
+    restricted to decided projection positions, as used by the row-wise
+    cascade stage on partial queries.  Each [(out_idx, cell_idx)] pair
+    constrains result column [out_idx] by example cell [cell_idx]; cell
+    indices beyond a tuple's width are unconstrained.  Sharing the matcher
+    with {!distinct_match_atleast} keeps the support-threshold semantics of
+    the partial-query and complete-query checks identical. *)
+val distinct_match_on :
+  support:int -> (int * int) list -> tuple list -> Duodb.Value.t array list -> bool
+
+(** Order-preserving variant (Definition 2.4, item 3): matched rows must
+    appear at strictly increasing result indices, in example order. *)
+val ordered_match_atleast : int -> tuple list -> Duodb.Value.t array list -> bool
+
 (** [satisfies t db q] is the function [T(q, D)] of Definition 2.4: executes
     [q] and checks (1) type annotations, (2) a distinct result tuple per
     example tuple (maximum bipartite matching, so overlapping examples are

@@ -134,7 +134,13 @@ let verify_clauses env (t : Partial.t) =
       (not (kw_decided t))
       || begin
            let kw = t.Partial.kw in
-           Bool.equal tsq.Tsq.sorted kw.Duoguide.Model.kw_order
+           (* tau => ORDER BY; the reverse is not required — an unchecked
+              sorted box leaves the order unconstrained (Definition 2.4),
+              so pruning ORDER BY queries here would over-prune.  A limit
+              k > 0 still requires ORDER BY: LIMIT is only enumerated
+              after an ORDER BY decision, so no completion without one can
+              carry the LIMIT clause the sketch demands. *)
+           ((not tsq.Tsq.sorted) || kw.Duoguide.Model.kw_order)
            && ((tsq.Tsq.limit = 0) || kw.Duoguide.Model.kw_order)
            &&
            match t.Partial.limit with
@@ -326,33 +332,9 @@ let can_check_rows (t : Partial.t) =
   (not has_agg) || (where_done t && group_decided t)
 
 (* Distinct matching restricted to the decided projection positions, with
-   the noisy-example support threshold. *)
-let distinct_match_on ~support positions tuples rows =
-  let rows = Array.of_list rows in
-  let n = Array.length rows in
-  let total = List.length tuples in
-  let tuple_ok tup row =
-    let cells = Array.of_list tup in
-    List.for_all
-      (fun (out_idx, cell_idx) ->
-        cell_idx >= Array.length cells
-        || Tsq.cell_matches cells.(cell_idx) row.(out_idx))
-      positions
-  in
-  let rec assign matched skipped used = function
-    | [] -> matched >= support
-    | tup :: rest ->
-        matched + (total - matched - skipped) >= support
-        && (let rec try_row i =
-              if i >= n then false
-              else if (not (List.mem i used)) && tuple_ok tup rows.(i) then
-                assign (matched + 1) skipped (i :: used) rest || try_row (i + 1)
-              else try_row (i + 1)
-            in
-            try_row 0
-           || assign matched (skipped + 1) used rest)
-  in
-  support <= 0 || assign 0 0 [] tuples
+   the noisy-example support threshold — the shared matcher from [Tsq], so
+   partial-query and complete-query semantics cannot drift. *)
+let distinct_match_on = Tsq.distinct_match_on
 
 let verify_by_row env (t : Partial.t) =
   let tuples =
@@ -483,9 +465,11 @@ let verify env (t : Partial.t) =
   let stage check bump =
     let i = !stage_idx in
     incr stage_idx;
-    let t0 = Sys.time () in
+    (* stage_seconds stays on processor time: it is a profiling
+       accumulator, not a budget (see {!Clock}). *)
+    let t0 = Clock.cpu () in
     let ok = check env t in
-    s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Sys.time () -. t0);
+    s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Clock.cpu () -. t0);
     ok || (bump (); false)
   in
   let ok =
@@ -497,9 +481,9 @@ let verify env (t : Partial.t) =
     &&
     match Partial.to_query t with
     | Some q when Partial.is_complete t ->
-        let t0 = Sys.time () in
+        let t0 = Clock.cpu () in
         let ok = verify_complete env q in
-        s.stage_seconds.(5) <- s.stage_seconds.(5) +. (Sys.time () -. t0);
+        s.stage_seconds.(5) <- s.stage_seconds.(5) +. (Clock.cpu () -. t0);
         ok
         || begin
              s.pruned_by_complete <- s.pruned_by_complete + 1;

@@ -1,0 +1,20 @@
+(* Long-running Duocheck fuzz entry point: `dune build @fuzz`.
+
+   The run is reproducible: the seed and the iteration-count multiplier
+   are printed at startup and can be pinned via the FUZZ_SEED and
+   FUZZ_MULT environment variables (QCheck shrinking then prints a
+   minimal query/TSQ pair for any failure). *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try int_of_string s with _ -> default)
+  | None -> default
+
+let () =
+  let seed = env_int "FUZZ_SEED" 421733 in
+  let mult = env_int "FUZZ_MULT" 25 in
+  Printf.printf "duocheck fuzz: FUZZ_SEED=%d FUZZ_MULT=%d\n%!" seed mult;
+  let rand = Random.State.make [| seed |] in
+  exit
+    (QCheck_base_runner.run_tests ~colors:false ~verbose:true ~rand
+       (Duocheck.Props.tests ~mult ()))

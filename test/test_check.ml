@@ -1,0 +1,108 @@
+(* Duocheck: the differential + metamorphic fuzz subsystem, run here with
+   small seeded iteration counts (`dune build @fuzz` scales them up), plus
+   deterministic gold-survival checks: the Figure 2 worked example and the
+   MAS A1-B4 study golds must survive every cascade stage of their own
+   derivations when the TSQ is synthesized from their own results. *)
+
+module Tsq = Duocore.Tsq
+module Verify = Duocore.Verify
+module Value = Duodb.Value
+module Soundness = Duocheck.Soundness
+
+let seeded_props =
+  List.map
+    (fun t ->
+      QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xD0C4EC |]) t)
+    (Duocheck.Props.tests ())
+
+let movie_db = Fixtures.movie_db ()
+
+let test_reference_on_fig2 () =
+  let q =
+    Fixtures.parse "SELECT movies.name FROM movies WHERE movies.year < 1995"
+  in
+  match Duocheck.Reference.run movie_db q with
+  | Error e -> Alcotest.fail e
+  | Ok res ->
+      let names =
+        List.filter_map
+          (fun r -> match r.(0) with Value.Text s -> Some s | _ -> None)
+          res.Duoengine.Executor.res_rows
+      in
+      Alcotest.(check bool) "Forrest Gump (1994) included" true
+        (List.mem "Forrest Gump" names);
+      (* and the engine agrees, both with and without the planner *)
+      Alcotest.(check bool) "differential agreement" true
+        (Duocheck.Props.differential_prop
+           { Duocheck.Gen.sc_db = movie_db; sc_query = q; sc_tsq = Tsq.empty })
+
+let test_fig2_gold_survives_cascade () =
+  let gold =
+    Fixtures.parse "SELECT movies.name FROM movies WHERE movies.year < 1995"
+  in
+  let tsq =
+    Tsq.make ~types:[ Duodb.Datatype.Text ]
+      ~tuples:[ [ Tsq.Exact (Value.Text "Forrest Gump") ] ]
+      ()
+  in
+  let env =
+    Verify.make_env ~db:movie_db ~tsq:(Some tsq)
+      ~literals:[ Value.Int 1995 ] ()
+  in
+  (match Soundness.derivation_states Fixtures.movie_schema gold with
+  | None -> Alcotest.fail "Figure 2 gold should be representable"
+  | Some states ->
+      Alcotest.(check bool) "derivation has intermediate states" true
+        (List.length states > 3));
+  match Soundness.gold_survival env Fixtures.movie_schema gold with
+  | None -> ()
+  | Some (stage, st) ->
+      Alcotest.failf "stage %s pruned gold prefix %s" stage
+        (Duocore.Partial.to_string st)
+
+let test_mas_golds_survive_cascade () =
+  let db = Duobench.Mas.database () in
+  let representable = ref 0 in
+  List.iter
+    (fun (task : Duobench.Mas.task) ->
+      let gold = Duobench.Mas.gold task in
+      if Option.is_some (Soundness.derivation_states Duobench.Mas.schema gold)
+      then incr representable;
+      List.iter
+        (fun detail ->
+          let rng =
+            Duobench.Rng.create
+              (Hashtbl.hash
+                 (task.Duobench.Mas.task_id,
+                  Duobench.Tsq_synth.detail_to_string detail))
+          in
+          match Duobench.Tsq_synth.synthesize rng db gold ~detail with
+          | None -> () (* gold returned no rows: nothing to sketch *)
+          | Some tsq ->
+              let env =
+                Verify.make_env ~db ~tsq:(Some tsq)
+                  ~literals:task.Duobench.Mas.task_literals ()
+              in
+              (match Soundness.gold_survival env Duobench.Mas.schema gold with
+              | None -> ()
+              | Some (stage, st) ->
+                  Alcotest.failf "%s at detail %s: stage %s pruned %s"
+                    task.Duobench.Mas.task_id
+                    (Duobench.Tsq_synth.detail_to_string detail)
+                    stage
+                    (Duocore.Partial.to_string st)))
+        [ Duobench.Tsq_synth.Full; Duobench.Tsq_synth.Partial;
+          Duobench.Tsq_synth.Minimal ])
+    Duobench.Mas.nli_study_tasks;
+  Alcotest.(check bool) "some MAS golds are representable" true
+    (!representable > 0)
+
+let suite =
+  [
+    Alcotest.test_case "reference: Figure 2 query" `Quick test_reference_on_fig2;
+    Alcotest.test_case "Figure 2 gold survives its derivation" `Quick
+      test_fig2_gold_survives_cascade;
+    Alcotest.test_case "MAS A1-B4 golds survive at all detail levels" `Quick
+      test_mas_golds_survive_cascade;
+  ]
+  @ seeded_props

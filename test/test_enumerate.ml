@@ -75,7 +75,52 @@ let test_run_exhausts_tiny_space () =
   let outcome =
     Enumerate.run config (ctx "names") db ~tsq:(Some tsq) ~literals:[] ()
   in
-  Alcotest.(check int) "no candidates" 0 (List.length outcome.Enumerate.out_candidates)
+  Alcotest.(check int) "no candidates" 0 (List.length outcome.Enumerate.out_candidates);
+  (* the frontier drained without compaction ever discarding a state, so
+     this really was an exhaustive enumeration *)
+  Alcotest.(check int) "nothing dropped" 0 outcome.Enumerate.out_dropped;
+  Alcotest.(check bool) "exhaustion reported" true outcome.Enumerate.out_exhausted
+
+let test_dropped_states_veto_exhaustion () =
+  (* regression: with a tiny frontier cap, compaction throws states away;
+     an empty frontier then no longer proves the space was enumerated, so
+     out_exhausted must stay false (and out_dropped says why) *)
+  let tsq =
+    Duocore.Tsq.make ~types:[ Duodb.Datatype.Text ]
+      ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "No Such Value Anywhere") ] ]
+      ()
+  in
+  let config =
+    { Enumerate.default_config with
+      Enumerate.max_pops = 200_000;
+      time_budget_s = 20.0;
+      max_frontier = 4 }
+  in
+  let outcome =
+    Enumerate.run config (ctx "names") db ~tsq:(Some tsq) ~literals:[] ()
+  in
+  Alcotest.(check bool) "compaction dropped states" true
+    (outcome.Enumerate.out_dropped > 0);
+  Alcotest.(check bool) "no exhaustion claim after drops" false
+    outcome.Enumerate.out_exhausted
+
+let test_time_budget_is_wall_clock () =
+  (* regression: the budget must follow real time, not processor time — a
+     stalled consumer (sleeping callback burns no CPU) still exhausts it *)
+  let config =
+    { Enumerate.default_config with
+      Enumerate.max_pops = 1_000_000;
+      max_candidates = 1_000;
+      time_budget_s = 0.05 }
+  in
+  let outcome =
+    Enumerate.run config (ctx "movie names") db ~tsq:None ~literals:[]
+      ~on_candidate:(fun _ -> Unix.sleepf 0.06) ()
+  in
+  Alcotest.(check bool) "stopped after the first stall" true
+    (List.length outcome.Enumerate.out_candidates <= 2);
+  Alcotest.(check bool) "elapsed measured in wall time" true
+    (outcome.Enumerate.out_elapsed_s >= 0.05)
 
 let test_candidates_unique () =
   let config =
@@ -152,6 +197,10 @@ let suite =
     Alcotest.test_case "hints from TSQ" `Quick test_hints_of_tsq;
     Alcotest.test_case "pop budget respected" `Quick test_run_respects_budget;
     Alcotest.test_case "impossible TSQ yields nothing" `Quick test_run_exhausts_tiny_space;
+    Alcotest.test_case "dropped states veto exhaustion" `Quick
+      test_dropped_states_veto_exhaustion;
+    Alcotest.test_case "time budget is wall-clock" `Quick
+      test_time_budget_is_wall_clock;
     Alcotest.test_case "candidates unique" `Quick test_candidates_unique;
     Alcotest.test_case "partial to_query" `Quick test_partial_to_query_roundtrip;
     Alcotest.test_case "partial keys" `Quick test_partial_key_distinguishes;

@@ -25,5 +25,6 @@ let () =
       ("simulation pipeline", Test_simulation.suite);
       ("synthesis", Test_synth.suite);
       ("mas workload", Test_mas.suite);
+      ("duocheck", Test_check.suite);
       ("user simulation", Test_usersim.suite);
     ]

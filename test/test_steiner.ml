@@ -77,6 +77,45 @@ let test_joinpath_empty_tables () =
   let clauses = Joinpath.construct movie_schema ~tables:[] in
   Alcotest.(check int) "one clause per table" 3 (List.length clauses)
 
+let test_joinpath_cache_keyed_by_structure () =
+  (* regression (found by Duocheck): two same-named schemas with different
+     FK graphs must not be served each other's memoized join paths *)
+  let mk child_parent_fk =
+    let t name cols = Duodb.Schema.table name cols ~pk:[ name ^ "_id" ] in
+    Duodb.Schema.make ~name:"fuzzdb"
+      [ t "users" [ ("users_id", Duodb.Datatype.Number) ];
+        t "orders"
+          [ ("orders_id", Duodb.Datatype.Number);
+            ("users_ref", Duodb.Datatype.Number) ];
+        t "items"
+          [ ("items_id", Duodb.Datatype.Number);
+            (fst child_parent_fk, Duodb.Datatype.Number) ] ]
+      [ Duodb.Schema.fk ("orders", "users_ref") ("users", "users_id");
+        Duodb.Schema.fk ("items", fst child_parent_fk) (snd child_parent_fk) ]
+  in
+  let s1 = mk ("users_ref", ("users", "users_id")) in
+  let s2 = mk ("orders_ref", ("orders", "orders_id")) in
+  let joins_of s =
+    List.concat_map
+      (fun f -> f.Duosql.Ast.f_joins)
+      (Joinpath.construct s ~tables:[ "items"; "users" ])
+  in
+  ignore (joins_of s1);
+  (* under the name-only cache key this returned s1's items.users_ref edge *)
+  List.iter
+    (fun (j : Duosql.Ast.join_edge) ->
+      List.iter
+        (fun (c : Duosql.Ast.col_ref) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "column %s.%s exists in s2" c.Duosql.Ast.cr_table
+               c.Duosql.Ast.cr_col)
+            true
+            (Option.is_some
+               (Duodb.Schema.find_column s2 ~table:c.Duosql.Ast.cr_table
+                  c.Duosql.Ast.cr_col)))
+        [ j.Duosql.Ast.j_from; j.Duosql.Ast.j_to ])
+    (joins_of s2)
+
 let test_covers () =
   let f = List.hd (Joinpath.construct movie_schema ~tables:[ "actor"; "movies" ]) in
   Alcotest.(check bool) "covers terminals" true (Joinpath.covers f [ "actor"; "movies" ]);
@@ -106,6 +145,8 @@ let suite =
     Alcotest.test_case "joinpath: base first + extension" `Quick test_joinpath_construct_base_first;
     Alcotest.test_case "joinpath: depth 2" `Quick test_joinpath_depth2;
     Alcotest.test_case "joinpath: no tables" `Quick test_joinpath_empty_tables;
+    Alcotest.test_case "joinpath: cache keyed by structure" `Quick
+      test_joinpath_cache_keyed_by_structure;
     Alcotest.test_case "joinpath: covers" `Quick test_covers;
     QCheck_alcotest.to_alcotest prop_tree_valid;
   ]

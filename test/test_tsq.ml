@@ -25,11 +25,17 @@ let test_empty_tsq_accepts_plain_query () =
   Alcotest.(check bool) "plain query ok" true
     (Tsq.satisfies Tsq.empty db (parse "SELECT movies.name FROM movies"))
 
-let test_empty_tsq_rejects_order_by () =
-  (* tau = false mirrors the absence of ORDER BY (Example 3.3, CQ5). *)
-  Alcotest.(check bool) "sorted query fails unsorted TSQ" false
+let test_sorted_flag_is_an_implication () =
+  (* tau = false leaves the order unconstrained: Definition 2.4 only
+     requires ORDER BY *when* the sorted box is checked, so an unchecked
+     box must not reject queries that happen to sort their output. *)
+  Alcotest.(check bool) "unsorted TSQ accepts ORDER BY query" true
     (Tsq.satisfies Tsq.empty db
-       (parse "SELECT movies.name FROM movies ORDER BY movies.year ASC"))
+       (parse "SELECT movies.name FROM movies ORDER BY movies.year ASC"));
+  (* the forward implication still holds: tau = true needs ORDER BY *)
+  Alcotest.(check bool) "sorted TSQ rejects unsorted query" false
+    (Tsq.satisfies (Tsq.make ~sorted:true ()) db
+       (parse "SELECT movies.name FROM movies"))
 
 let test_type_annotations () =
   let tsq = Tsq.make ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ] () in
@@ -92,6 +98,33 @@ let test_limit_flag () =
     (Tsq.satisfies tsq db
        (parse "SELECT movies.name FROM movies ORDER BY movies.year DESC"))
 
+let test_shared_position_matcher () =
+  let rows = [ [| t "a"; i 1 |]; [| t "b"; i 2 |] ] in
+  let tuples =
+    [ [ Tsq.Exact (t "a"); Tsq.Exact (i 1) ]; [ Tsq.Exact (t "b"); Tsq.Any ] ]
+  in
+  (* On full-width position lists the restricted matcher and the plain
+     distinct matcher are the same function (they share the backtracking
+     core), so their verdicts must coincide. *)
+  Alcotest.(check bool) "full positions agree with distinct matcher"
+    (Tsq.distinct_match_atleast 2 tuples rows)
+    (Tsq.distinct_match_on ~support:2 [ (0, 0); (1, 1) ] tuples rows);
+  (* Restricting to the decided column ignores the undecided cell... *)
+  let tuples' = [ [ Tsq.Exact (t "a"); Tsq.Exact (i 99) ] ] in
+  Alcotest.(check bool) "restricted positions skip undecided cells" true
+    (Tsq.distinct_match_on ~support:1 [ (0, 0) ] tuples' rows);
+  (* ... while the full-width check still sees the mismatch. *)
+  Alcotest.(check bool) "full-width check fails on the bad cell" false
+    (Tsq.distinct_match_atleast 1 tuples' rows);
+  (* Cell indices beyond a tuple's width are unconstrained. *)
+  Alcotest.(check bool) "out-of-width cell index matches anything" true
+    (Tsq.distinct_match_on ~support:1 [ (1, 5) ] [ [ Tsq.Exact (t "a") ] ] rows);
+  (* Distinctness: two identical tuples need two distinct rows. *)
+  Alcotest.(check bool) "distinctness enforced through positions" false
+    (Tsq.distinct_match_on ~support:2 [ (0, 0) ]
+       [ [ Tsq.Exact (t "a") ]; [ Tsq.Exact (t "a") ] ]
+       rows)
+
 let test_width () =
   Alcotest.(check (option int)) "from types" (Some 2)
     (Tsq.width (Tsq.make ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ] ()));
@@ -125,12 +158,14 @@ let suite =
   [
     Alcotest.test_case "cell matching" `Quick test_cell_matching;
     Alcotest.test_case "empty TSQ accepts" `Quick test_empty_tsq_accepts_plain_query;
-    Alcotest.test_case "tau=false rejects ORDER BY" `Quick test_empty_tsq_rejects_order_by;
+    Alcotest.test_case "tau=false leaves order unconstrained" `Quick
+      test_sorted_flag_is_an_implication;
     Alcotest.test_case "type annotations" `Quick test_type_annotations;
     Alcotest.test_case "example tuples" `Quick test_example_tuples;
     Alcotest.test_case "distinct witnesses" `Quick test_distinct_tuples_required;
     Alcotest.test_case "ordered matching" `Quick test_ordered_matching;
     Alcotest.test_case "limit flag" `Quick test_limit_flag;
+    Alcotest.test_case "shared position matcher" `Quick test_shared_position_matcher;
     Alcotest.test_case "width" `Quick test_width;
     QCheck_alcotest.to_alcotest prop_satisfies_soundness;
   ]

@@ -30,6 +30,44 @@ let test_clauses_sorted_mismatch () =
   Alcotest.(check bool) "undecided kw passes" true
     (Verify.verify_clauses e Partial.root)
 
+let test_clauses_sorted_is_implication () =
+  (* regression: an unchecked sorted box must not prune ORDER BY states —
+     Definition 2.4 reads tau as an implication, not an equivalence *)
+  let tsq = Tsq.make ~sorted:false () in
+  let e = env ~tsq () in
+  Alcotest.(check bool) "order kw survives unsorted TSQ" true
+    (Verify.verify_clauses e (with_kw ~order:true Partial.P_num_proj));
+  (* end to end: an ORDER BY gold stays reachable under a sorted=false
+     sketch built from its own (ordered) result *)
+  let gold =
+    Fixtures.parse
+      "SELECT movies.name, movies.year FROM movies ORDER BY movies.year ASC"
+  in
+  let res = Duoengine.Executor.run_exn db gold in
+  let tuple =
+    match res.Duoengine.Executor.res_rows with
+    | r :: _ -> Array.to_list (Array.map (fun v -> Tsq.Exact v) r)
+    | [] -> Alcotest.fail "gold returned no rows"
+  in
+  let tsq =
+    Tsq.make
+      ~types:[ Duodb.Datatype.Text; Duodb.Datatype.Number ]
+      ~tuples:[ tuple ] ~sorted:false ()
+  in
+  let session = Duocore.Duoquest.create_session db in
+  let config =
+    { Enumerate.default_config with
+      Enumerate.max_pops = 60_000;
+      max_candidates = 80;
+      time_budget_s = 20.0 }
+  in
+  let outcome =
+    Duocore.Duoquest.synthesize ~config ~tsq ~literals:[] session
+      ~nlq:"movie names and years from earliest to latest" ()
+  in
+  Alcotest.(check bool) "ORDER BY gold emitted" true
+    (Option.is_some (Duocore.Duoquest.rank_of outcome ~gold))
+
 let test_clauses_limit () =
   let tsq = Tsq.make ~sorted:true ~limit:3 () in
   let e = env ~tsq () in
@@ -150,6 +188,8 @@ let prop_no_prefix_of_gold_pruned =
 let suite =
   [
     Alcotest.test_case "clauses: sorted flag" `Quick test_clauses_sorted_mismatch;
+    Alcotest.test_case "clauses: tau is an implication" `Quick
+      test_clauses_sorted_is_implication;
     Alcotest.test_case "clauses: limit" `Quick test_clauses_limit;
     Alcotest.test_case "column types on prefixes" `Quick test_column_types_prefix;
     Alcotest.test_case "column probes" `Quick test_column_probe;
