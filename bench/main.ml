@@ -174,6 +174,40 @@ let speedups estimates =
           | _ -> None))
     estimates
 
+(* Cascade stage profile: guided MAS synthesis over the NLI study tasks
+   (each with a synthesized full-detail TSQ), accumulated into per-stage
+   totals so the JSON records where cascade time goes and what each stage
+   prunes — including Duolint's stage 0. *)
+let stage_profile () =
+  let db = Lazy.force mas_db in
+  let session = Lazy.force mas_session in
+  let n_stages = List.length Duocore.Verify.all_stages in
+  let seconds = Array.make n_stages 0.0 in
+  let pruned = Array.make n_stages 0 in
+  let static_warnings = ref 0 in
+  List.iter
+    (fun task ->
+      let rng = Duobench.Rng.create 29 in
+      let tsq =
+        Duobench.Tsq_synth.synthesize rng db (Duobench.Mas.gold task)
+          ~detail:Duobench.Tsq_synth.Full
+      in
+      let outcome =
+        Duocore.Duoquest.synthesize ~config:micro_config ?tsq
+          ~literals:task.Duobench.Mas.task_literals session
+          ~nlq:task.Duobench.Mas.task_nlq ()
+      in
+      let st = outcome.Duocore.Enumerate.out_stats in
+      static_warnings := !static_warnings + st.Duocore.Verify.static_warnings;
+      List.iter
+        (fun stage ->
+          let i = Duocore.Verify.stage_index stage in
+          seconds.(i) <- seconds.(i) +. st.Duocore.Verify.stage_seconds.(i);
+          pruned.(i) <- pruned.(i) + Duocore.Verify.pruned_by st stage)
+        Duocore.Verify.all_stages)
+    Duobench.Mas.nli_study_tasks;
+  (seconds, pruned, !static_warnings)
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -210,7 +244,26 @@ let write_json path estimates =
         (json_escape base) on_ns off_ns (off_ns /. on_ns)
         (if i = List.length sp - 1 then "" else ","))
     sp;
-  out "  ]\n";
+  out "  ],\n";
+  let seconds, pruned, static_warnings = stage_profile () in
+  out "  \"verify_stages\": [\n";
+  let n_stages = List.length Duocore.Verify.all_stages in
+  List.iteri
+    (fun i stage ->
+      let idx = Duocore.Verify.stage_index stage in
+      let s = seconds.(idx) and p = pruned.(idx) in
+      out
+        "    {\"stage\": \"%s\", \"seconds\": %.6f, \"pruned\": %d, \
+         \"seconds_per_prune\": %s}%s\n"
+        (Duocore.Verify.stage_name stage)
+        s p
+        (if p = 0 then "null" else Printf.sprintf "%.9f" (s /. float_of_int p))
+        (if i = n_stages - 1 then "" else ","))
+    Duocore.Verify.all_stages;
+  out "  ],\n";
+  out "  \"pruned_by_static\": %d,\n"
+    (pruned.(Duocore.Verify.stage_index Duocore.Verify.S_static));
+  out "  \"static_warnings\": %d\n" static_warnings;
   out "}\n";
   close_out oc;
   Printf.printf "wrote %s\n%!" path;

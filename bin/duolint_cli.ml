@@ -1,0 +1,129 @@
+(* Duolint command-line front-end: lint SQL files against a bundled
+   schema, or sweep the built-in gold corpora (MAS study tasks, the
+   generated Spider-like split, the movies examples).  Exit status: 0 when
+   no rule of severity [Error] fired (warnings are advice), 1 when at
+   least one error fired, 2 on usage, I/O or parse problems.
+
+   File format: one query per line; blank lines and [--] comments are
+   skipped, a trailing [;] is allowed. *)
+
+open Cmdliner
+module Diag = Duolint.Diagnostic
+module Analyze = Duolint.Analyze
+
+let schema_of = function
+  | "movies" -> Ok Duobench.Movies.schema
+  | "mas" -> Ok Duobench.Mas.schema
+  | other -> Error (Printf.sprintf "unknown schema %S (try: movies, mas)" other)
+
+type totals = { mutable queries : int; mutable errors : int; mutable warnings : int }
+
+let report ?(quiet = false) totals ~where sql diags =
+  totals.queries <- totals.queries + 1;
+  let errs = Analyze.errors diags and warns = Analyze.warnings diags in
+  totals.errors <- totals.errors + List.length errs;
+  totals.warnings <- totals.warnings + List.length warns;
+  if errs <> [] || ((not quiet) && warns <> []) then begin
+    Printf.printf "%s: %s\n" where sql;
+    List.iter (fun d -> Format.printf "  %a@." Diag.pp d) (if quiet then errs else diags)
+  end
+
+let strip_statement line =
+  let line = String.trim line in
+  let line =
+    match String.index_opt line ';' with
+    | Some i -> String.trim (String.sub line 0 i)
+    | None -> line
+  in
+  if line = "" || (String.length line >= 2 && line.[0] = '-' && line.[1] = '-')
+  then None
+  else Some line
+
+let lint_file ~quiet totals schema path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error e ->
+      Printf.eprintf "duolint: %s\n" e;
+      false
+  | lines ->
+      List.iteri
+        (fun lineno line ->
+          match strip_statement line with
+          | None -> ()
+          | Some sql -> (
+              let where = Printf.sprintf "%s:%d" path (lineno + 1) in
+              match Duosql.Parser.query ~schema sql with
+              | Error e ->
+                  Printf.printf "%s: parse error: %s\n" where e;
+                  (* a parse failure counts as an error finding *)
+                  totals.errors <- totals.errors + 1
+              | Ok q -> report ~quiet totals ~where sql (Analyze.check_query schema q)))
+        lines;
+      true
+
+(* The gold corpora must come through stage 0 untouched: a lint error on a
+   gold query would mean the cascade prunes a correct answer. *)
+let lint_golds ~quiet totals =
+  List.iter
+    (fun (t : Duobench.Mas.task) ->
+      let q = Duobench.Mas.gold t in
+      report ~quiet totals
+        ~where:(Printf.sprintf "mas:%s" t.Duobench.Mas.task_id)
+        (Duosql.Pretty.query q)
+        (Analyze.check_query Duobench.Mas.schema q))
+    (Duobench.Mas.nli_study_tasks @ Duobench.Mas.pbe_study_tasks);
+  let split = Duobench.Spider_gen.mini ~n_dbs:4 ~per_db:6 () in
+  List.iter
+    (fun (t : Duobench.Spider_gen.task) ->
+      match List.assoc_opt t.Duobench.Spider_gen.sp_db split.Duobench.Spider_gen.databases with
+      | None -> ()
+      | Some db ->
+          let q = t.Duobench.Spider_gen.sp_gold in
+          report ~quiet totals
+            ~where:(Printf.sprintf "spider:%s" t.Duobench.Spider_gen.sp_db)
+            (Duosql.Pretty.query q)
+            (Analyze.check_query (Duodb.Database.schema db) q))
+    split.Duobench.Spider_gen.tasks
+
+let main schema_name golds quiet files =
+  if (not golds) && files = [] then
+    `Error (true, "nothing to lint: give SQL files or --golds")
+  else
+    match schema_of schema_name with
+    | Error e -> `Error (false, e)
+    | Ok schema ->
+        let totals = { queries = 0; errors = 0; warnings = 0 } in
+        let io_ok =
+          List.for_all (fun f -> lint_file ~quiet totals schema f) files
+        in
+        if golds then lint_golds ~quiet totals;
+        Printf.printf "%d queries, %d errors, %d warnings\n" totals.queries
+          totals.errors totals.warnings;
+        if not io_ok then `Error (false, "could not read every input file")
+        else if totals.errors > 0 then `Ok 1
+        else `Ok 0
+
+let cmd =
+  let schema_arg =
+    let doc = "Schema the SQL files are written against: $(b,movies) or $(b,mas)." in
+    Arg.(value & opt string "movies" & info [ "s"; "schema" ] ~docv:"SCHEMA" ~doc)
+  in
+  let golds_arg =
+    let doc =
+      "Also lint the built-in gold corpora (MAS study tasks and the \
+       generated Spider-like fixtures) against their own schemas."
+    in
+    Arg.(value & flag & info [ "golds" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Report errors only; suppress warnings." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let files_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"SQL files, one query per line.")
+  in
+  let doc = "Static analysis for Duoquest SQL (schema/type checks, satisfiability, structure, redundancy)" in
+  Cmd.v
+    (Cmd.info "duolint" ~version:"1.0.0" ~doc)
+    Term.(ret (const main $ schema_arg $ golds_arg $ quiet_arg $ files_arg))
+
+let () = exit (Cmd.eval' cmd)

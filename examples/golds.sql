@@ -1,0 +1,27 @@
+-- Gold queries over the movies schema (Section 2.1 running example),
+-- linted by `duolint` via the @lint alias: none may carry an error
+-- (warnings are advice and do not fail the build).
+
+-- Figure 2: movies released before 1995
+SELECT movies.name FROM movies WHERE movies.year < 1995
+
+-- CQ1-style: who starred in Titanic
+SELECT actor.name FROM starring JOIN actor ON starring.aid = actor.aid JOIN movies ON starring.mid = movies.mid WHERE movies.name = 'Titanic'
+
+-- top-grossing recent movies, best first
+SELECT movies.name, movies.revenue FROM movies WHERE movies.year >= 1995 ORDER BY movies.revenue DESC LIMIT 3
+
+-- movies per year
+SELECT movies.year, COUNT(*) FROM movies GROUP BY movies.year
+
+-- birth years of actors born outside Los Angeles
+SELECT actor.name, actor.birth_yr FROM actor WHERE actor.birthplace <> 'Los Angeles'
+
+-- average revenue of the movies each actor starred in
+SELECT actor.name, AVG(movies.revenue) FROM starring JOIN actor ON starring.aid = actor.aid JOIN movies ON starring.mid = movies.mid GROUP BY actor.name
+
+-- years with more than one release, counted
+SELECT movies.year, COUNT(*) FROM movies GROUP BY movies.year HAVING COUNT(*) > 1
+
+-- range predicate and LIKE together
+SELECT movies.name FROM movies WHERE movies.revenue BETWEEN 300 AND 900 AND movies.name LIKE '%e%'

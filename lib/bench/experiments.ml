@@ -343,6 +343,10 @@ let ablation_cascade t ppf =
           ~literals:task.Spider_gen.sp_literals session ~nlq:task.Spider_gen.sp_nlq ()
       in
       let s = outcome.Enumerate.out_stats in
+      totals.Duocore.Verify.pruned_by_static <-
+        totals.Duocore.Verify.pruned_by_static + s.Duocore.Verify.pruned_by_static;
+      totals.Duocore.Verify.static_warnings <-
+        totals.Duocore.Verify.static_warnings + s.Duocore.Verify.static_warnings;
       totals.Duocore.Verify.pruned_by_clauses <-
         totals.Duocore.Verify.pruned_by_clauses + s.Duocore.Verify.pruned_by_clauses;
       totals.Duocore.Verify.pruned_by_semantics <-
@@ -363,6 +367,7 @@ let ablation_cascade t ppf =
         totals.Duocore.Verify.full_executions + s.Duocore.Verify.full_executions)
     sample;
   Format.fprintf ppf "tasks sampled: %d@." (List.length sample);
+  Format.fprintf ppf "pruned by static      (lint): %8d@." totals.Duocore.Verify.pruned_by_static;
   Format.fprintf ppf "pruned by clauses     (free): %8d@." totals.Duocore.Verify.pruned_by_clauses;
   Format.fprintf ppf "pruned by semantics   (free): %8d@." totals.Duocore.Verify.pruned_by_semantics;
   Format.fprintf ppf "pruned by types     (schema): %8d@." totals.Duocore.Verify.pruned_by_types;
@@ -371,7 +376,9 @@ let ablation_cascade t ppf =
   Format.fprintf ppf "pruned at completion  (full): %8d@." totals.Duocore.Verify.pruned_by_complete;
   Format.fprintf ppf "column probes: %d, row probes: %d, full executions: %d@."
     totals.Duocore.Verify.column_probes totals.Duocore.Verify.row_probes
-    totals.Duocore.Verify.full_executions
+    totals.Duocore.Verify.full_executions;
+  Format.fprintf ppf "static warnings (deprioritized, never pruned): %d@."
+    totals.Duocore.Verify.static_warnings
 
 let ablation_joins t ppf =
   header ppf "Ablation: Steiner-only vs progressive join paths";

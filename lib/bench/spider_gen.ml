@@ -579,7 +579,9 @@ let having_threshold db from group_col =
       let counts =
         List.filter_map
           (fun row ->
-            match row.(1) with Value.Int n -> Some n | _ -> None)
+            match row.(1) with
+            | Value.Int n -> Some n
+            | Value.Null | Value.Float _ | Value.Text _ -> None)
           res.Duoengine.Executor.res_rows
       in
       let sorted = List.sort compare counts in
@@ -646,7 +648,8 @@ let attempt rng db difficulty =
                             pred (col_ref_of c) Like (tv pat),
                             Printf.sprintf "whose %s starts with \"%s\"" (phrase c.Schema.col_name) prefix,
                             [ tv pat ] )
-                    | _ ->
+                    | Value.Null | Value.Int _ | Value.Float _ | Value.Text _
+                      ->
                         let op, phrase_op =
                           if Rng.bool rng 0.08 then (Neq, "is not") else (Eq, "is")
                         in

@@ -73,7 +73,8 @@ let user_tuples ?(exact_p = 0.7) ?(range_p = 0.2) rng db gold ~n =
                 Tsq.Range (Value.Int lo, Value.Int hi)
             | Value.Float x when Rng.bool rng (range_p /. (1.0 -. exact_p)) ->
                 Tsq.Range (Value.Float (x -. 2.0), Value.Float (x +. 2.0))
-            | _ -> Tsq.Any
+            | Value.Null | Value.Int _ | Value.Float _ | Value.Text _ ->
+                Tsq.Any
         in
         let tuples =
           List.map (fun row -> Array.to_list (Array.map fuzz row)) rows

@@ -188,7 +188,8 @@ let gen_query st db =
         let v =
           match sample_value st db c with
           | Some (Value.Text s) -> s
-          | _ -> pick st word_pool
+          | Some (Value.Null | Value.Int _ | Value.Float _) | None ->
+              pick st word_pool
         in
         let op = pick_list st [ Eq; Neq; Like; Not_like ] in
         let rhs =
@@ -196,14 +197,15 @@ let gen_query st db =
           | Like | Not_like ->
               if chance st 0.5 then Value.Text ("%" ^ String.sub v 0 (min 3 (String.length v)) ^ "%")
               else Value.Text v
-          | _ -> Value.Text v
+          | Eq | Neq | Lt | Le | Gt | Ge -> Value.Text v
         in
         { pr_agg = None; pr_col = Some cr; pr_rhs = Cmp (op, rhs) }
     | Datatype.Number ->
         let v =
           match sample_value st db c with
           | Some (Value.Int x) -> x
-          | _ -> rint st 0 40
+          | Some (Value.Null | Value.Float _ | Value.Text _) | None ->
+              rint st 0 40
         in
         if chance st 0.2 then
           let lo = v - rint st 0 5 in
@@ -282,7 +284,7 @@ let gen_query st db =
 let mutate_cell = function
   | Tsq.Exact (Value.Int v) -> Tsq.Exact (Value.Int (v + 13))
   | Tsq.Exact (Value.Text s) -> Tsq.Exact (Value.Text (s ^ "x"))
-  | c -> c
+  | (Tsq.Exact (Value.Null | Value.Float _) | Tsq.Any | Tsq.Range _) as c -> c
 
 let gen_tsq st db q =
   match Reference.run db q with
@@ -366,7 +368,7 @@ let seed_literals db =
                   texts := !texts @ [ v ]
               | Value.Int _ when List.length !nums < 3 && not (List.mem v !nums) ->
                   nums := !nums @ [ v ]
-              | _ -> ())
+              | Value.Null | Value.Int _ | Value.Float _ | Value.Text _ -> ())
             (Duodb.Table.column_values t c.Schema.col_name))
         tbl.Schema.tbl_columns)
     schema.Schema.tables;

@@ -1,4 +1,3 @@
-module Tsq = Duocore.Tsq
 module Value = Duodb.Value
 module Executor = Duoengine.Executor
 
@@ -24,7 +23,7 @@ let differential_prop (sc : Gen.scenario) =
   match (on, off, oracle) with
   | Ok a, Ok b, Ok c -> resultsets_agree a b && resultsets_agree a c
   | Error _, Error _, Error _ -> true
-  | _ -> false
+  | (Ok _ | Error _), (Ok _ | Error _), (Ok _ | Error _) -> false
 
 (* parse (pretty q) = q *)
 let roundtrip_prop (sc : Gen.scenario) =
@@ -77,7 +76,14 @@ let property1_prop ((sc : Gen.scenario), seed) =
         let exempt =
           match state.Duocore.Partial.phase with
           | Duocore.Partial.P_joinpath _ | Duocore.Partial.P_done -> true
-          | _ -> false
+          | Duocore.Partial.P_keywords | Duocore.Partial.P_num_proj
+          | Duocore.Partial.P_proj_target _ | Duocore.Partial.P_proj_agg _
+          | Duocore.Partial.P_where_num | Duocore.Partial.P_where_col _
+          | Duocore.Partial.P_where_op _ | Duocore.Partial.P_where_conn
+          | Duocore.Partial.P_group_col | Duocore.Partial.P_having_presence
+          | Duocore.Partial.P_having_pred | Duocore.Partial.P_order_target
+          | Duocore.Partial.P_order_dir | Duocore.Partial.P_limit ->
+              false
         in
         let sum =
           List.fold_left
@@ -96,6 +102,174 @@ let property1_prop ((sc : Gen.scenario), seed) =
           walk next (steps - 1)
   in
   walk Duocore.Partial.root 40
+
+(* --- Duolint error soundness ---------------------------------------- *)
+
+(* A query Duolint rejects as an {e error} can never be a correct intent.
+   What "never correct" means is observable per rule class:
+
+   - reference rules (unknown table/column, broken FROM): the reference
+     interpreter refuses to execute the query;
+   - intent rules (type errors, grouping violations): the Table 4 semantic
+     catalogue rejects the query — these can {e execute} (e.g. [Neq] with a
+     mismatched literal is true on every row), the error is about meaning;
+   - emptiness rules (unsatisfiable predicates, nonpositive limit): the
+     query admits no rows, so no TSQ derived from a true answer matches.
+     Contradictory WHERE is checked on a stripped row query because
+     aggregates over the empty set still emit one row (a zero COUNT).
+
+   Each fuzz case seeds one fault from a catalog into a generated valid
+   query, asserts Duolint catches it, and then checks {e every} emitted
+   error diagnostic against its rule class's consequence. *)
+
+module Lint = Duolint.Analyze
+module Diag = Duolint.Diagnostic
+
+let from_columns schema (q : Duosql.Ast.query) =
+  List.concat_map
+    (fun t ->
+      match Duodb.Schema.find_table schema t with
+      | Some tbl ->
+          List.map
+            (fun c ->
+              ( Duosql.Ast.col t c.Duodb.Schema.col_name,
+                c.Duodb.Schema.col_type ))
+            tbl.Duodb.Schema.tbl_columns
+      | None -> [])
+    q.Duosql.Ast.q_from.Duosql.Ast.f_tables
+
+let values_for = function
+  | Duodb.Datatype.Number -> (Value.Int 1, Value.Int 2)
+  | Duodb.Datatype.Text -> (Value.Text "a", Value.Text "b")
+
+let plain_pred c rhs = { Duosql.Ast.pr_agg = None; pr_col = Some c; pr_rhs = rhs }
+
+let with_where (q : Duosql.Ast.query) preds =
+  { q with
+    Duosql.Ast.q_where =
+      Some { Duosql.Ast.c_preds = preds; c_conn = Duosql.Ast.And } }
+
+(* The seeded-fault catalog, keyed by [seed mod 7].  Returns the mutated
+   query and the rule the fault must trip (identity seeds expect
+   nothing — they exercise the consequence check on whatever fires). *)
+let seed_fault (sc : Gen.scenario) seed =
+  let open Duosql.Ast in
+  let schema = Duodb.Database.schema sc.Gen.sc_db in
+  let q = sc.Gen.sc_query in
+  let cols = from_columns schema q in
+  let has ty (_, ty') = Duodb.Datatype.equal ty ty' in
+  match seed mod 7 with
+  | 1 -> (
+      match cols with
+      | (c, ty) :: _ ->
+          let v1, v2 = values_for ty in
+          ( with_where q [ plain_pred c (Cmp (Eq, v1)); plain_pred c (Cmp (Eq, v2)) ],
+            Some Diag.Unsatisfiable_where )
+      | [] -> (q, None))
+  | 2 -> (
+      match cols with
+      | (c, ty) :: _ ->
+          let v1, _ = values_for ty in
+          ( with_where q [ plain_pred c (Cmp (Eq, v1)); plain_pred c (Cmp (Neq, v1)) ],
+            Some Diag.Unsatisfiable_where )
+      | [] -> (q, None))
+  | 3 -> (
+      (* an ordering comparison on a text column, or LIKE on a number *)
+      match List.find_opt (has Duodb.Datatype.Text) cols with
+      | Some (c, _) ->
+          ( with_where q [ plain_pred c (Cmp (Lt, Value.Int 3)) ],
+            Some Diag.Comparison_type )
+      | None -> (
+          match cols with
+          | (c, _) :: _ ->
+              ( with_where q [ plain_pred c (Cmp (Like, Value.Text "x%")) ],
+                Some Diag.Comparison_type )
+          | [] -> (q, None)))
+  | 4 -> (
+      match q.q_from.f_tables with
+      | t :: _ ->
+          ( with_where q
+              [ plain_pred (col t "duolint_no_such_column") (Cmp (Eq, Value.Int 1)) ],
+            Some Diag.Unknown_column )
+      | [] -> (q, None))
+  | 5 -> ({ q with q_limit = Some 0 }, Some Diag.Nonpositive_limit)
+  | 6 -> (
+      match List.find_opt (has Duodb.Datatype.Number) cols with
+      | Some (c, _) ->
+          ( with_where q [ plain_pred c (Between (Value.Int 5, Value.Int 1)) ],
+            Some Diag.Unsatisfiable_where )
+      | None -> (q, None))
+  | _ -> (q, None)
+
+(* SELECT <one plain column> FROM ... WHERE <the suspect condition> —
+   the row-level observation for a contradictory WHERE. *)
+let unsat_where_probe (q : Duosql.Ast.query) =
+  let open Duosql.Ast in
+  let col =
+    match List.filter_map (fun p -> p.pr_col) (match q.q_where with
+      | Some c -> c.c_preds
+      | None -> [])
+    with
+    | c :: _ -> Some c
+    | [] -> None
+  in
+  Option.map
+    (fun c ->
+      { q with
+        q_distinct = false;
+        q_select = [ { p_agg = None; p_col = Some c; p_distinct = false } ];
+        q_group_by = [];
+        q_having = None;
+        q_order_by = [];
+        q_limit = None })
+    col
+
+let error_consequence db schema (q : Duosql.Ast.query) (d : Diag.t) =
+  let sem_rejects () =
+    Result.is_error (Duocore.Semantics.check_query schema q)
+  in
+  let fails_or_empty q' =
+    match Reference.run db q' with
+    | Error _ -> true
+    | Ok r -> r.Executor.res_rows = []
+  in
+  match d.Diag.d_rule with
+  | Diag.Unknown_table | Diag.Unknown_column | Diag.Table_not_joined
+  | Diag.Disconnected_from ->
+      Result.is_error (Reference.run db q)
+  | Diag.Comparison_type | Diag.Ungrouped_aggregation
+  | Diag.Projection_not_grouped | Diag.Unnecessary_group_by
+  | Diag.Group_by_primary_key ->
+      sem_rejects ()
+  | Diag.Aggregate_type -> sem_rejects () || Result.is_error (Reference.run db q)
+  | Diag.Nonpositive_limit -> fails_or_empty q
+  | Diag.Unsatisfiable_where -> (
+      match unsat_where_probe q with
+      | Some probe -> fails_or_empty probe
+      | None -> false (* the rule fired without a WHERE column: unsound *))
+  | Diag.Unsatisfiable_having ->
+      fails_or_empty { q with Duosql.Ast.q_order_by = []; q_limit = None }
+  | Diag.Duplicate_predicate | Diag.Subsumed_predicate
+  | Diag.Duplicate_projection | Diag.Self_join | Diag.Duplicate_join
+  | Diag.Constant_output | Diag.Order_by_unprojected ->
+      true (* warnings never prune; nothing to prove *)
+
+let lint_soundness_prop ((sc : Gen.scenario), seed) =
+  let schema = Duodb.Database.schema sc.Gen.sc_db in
+  let q, expected = seed_fault sc seed in
+  let errs = Lint.errors (Lint.check_query schema q) in
+  (match expected with
+  | Some rule when not (List.exists (fun d -> d.Diag.d_rule = rule) errs) ->
+      QCheck.Test.fail_reportf "seeded fault %s escaped Duolint on %s"
+        (Diag.rule_name rule)
+        (Duosql.Pretty.query q)
+  | Some _ | None -> ());
+  List.for_all
+    (fun d ->
+      error_consequence sc.Gen.sc_db schema q d
+      || QCheck.Test.fail_reportf "unsound diagnostic %a on %s" Diag.pp d
+           (Duosql.Pretty.query q))
+    errs
 
 let arb_seeded =
   QCheck.make
@@ -118,4 +292,7 @@ let tests ?(mult = 1) () =
     QCheck.Test.make ~count:(30 * mult)
       ~name:"Property 1: expansions partition confidence mass" arb_seeded
       property1_prop;
+    QCheck.Test.make ~count:(500 * mult)
+      ~name:"Duolint soundness: rejected queries match no true answer"
+      arb_seeded lint_soundness_prop;
   ]

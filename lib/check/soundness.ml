@@ -17,11 +17,13 @@ type violation = {
   vi_witness : query;
 }
 
-let stage_names =
-  [ "clauses"; "semantics"; "types"; "column"; "row"; "complete" ]
+(* Derived from the cascade's own stage enum, so a stage added to Verify
+   cannot silently escape the soundness check. *)
+let stage_names = List.map Verify.stage_name Verify.all_stages
 
 let first_failing_stage env (t : Partial.t) =
-  if not (Verify.verify_clauses env t) then Some "clauses"
+  if not (Verify.verify_static env t) then Some "static"
+  else if not (Verify.verify_clauses env t) then Some "clauses"
   else if not (Verify.verify_semantics env t) then Some "semantics"
   else if not (Verify.verify_column_types env t) then Some "types"
   else if not (Verify.verify_by_column env t) then Some "column"

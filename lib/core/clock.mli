@@ -3,14 +3,22 @@
     Budgets and candidate timestamps must reflect {e real} time: the
     paper's 60 s budget (Section 5) is wall clock, and a synthesis run
     that blocks on anything other than CPU would otherwise overrun its
-    budget unnoticed.  Stage profiling, by contrast, wants processor
-    time, which is insensitive to scheduling noise. *)
+    budget unnoticed.  Profiling accumulators sample far more often than
+    budgets do — once per cascade stage per pushed child — so they use
+    the cheapest clock available instead. *)
 
 (** Wall-clock seconds since an arbitrary epoch.  Backed by
     [Unix.gettimeofday]: the closest thing to a monotonic clock available
     without external dependencies; callers only ever take differences. *)
 val now : unit -> float
 
-(** Processor time ([Sys.time]) — for profiling accumulators only, never
-    for budgets. *)
+(** Processor time ([Sys.time]) — insensitive to scheduling noise, but a
+    sample costs a syscall (~250 ns), which swamps sub-microsecond
+    intervals.  Kept for coarse accumulators. *)
 val cpu : unit -> float
+
+(** Monotonic wall clock via [clock_gettime(CLOCK_MONOTONIC)] — served
+    from the vDSO, so a sample costs ~20 ns with nanosecond resolution.
+    The right clock for per-stage profiling accumulators, where the
+    measured interval is often shorter than one [cpu] sample. *)
+val mono : unit -> float

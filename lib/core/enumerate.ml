@@ -9,6 +9,8 @@ type config = {
   time_budget_s : float;
   temperature : float;
   semantic_rules : bool;
+  static_rules : bool;
+  static_penalty : float;
   max_frontier : int;
 }
 
@@ -21,6 +23,8 @@ let default_config =
     time_budget_s = 60.0;
     temperature = 1.0;
     semantic_rules = true;
+    static_rules = true;
+    static_penalty = 0.85;
     max_frontier = 400_000;
   }
 
@@ -47,14 +51,18 @@ type outcome = {
 type hints = {
   h_nproj : int option;
   h_limit : int option;
+  h_types : Duodb.Datatype.t list;
+      (** per-slot output type annotations from the TSQ; [] when the
+          sketch carries none *)
 }
 
-let no_hints = { h_nproj = None; h_limit = None }
+let no_hints = { h_nproj = None; h_limit = None; h_types = [] }
 
 let hints_of_tsq tsq =
   {
     h_nproj = Tsq.width tsq;
     h_limit = (if tsq.Tsq.limit > 0 then Some tsq.Tsq.limit else None);
+    h_types = (match tsq.Tsq.types with Some tys -> tys | None -> []);
   }
 
 (* --- phase sequencing --- *)
@@ -179,7 +187,9 @@ let expand ~guided hints ctx (t : Partial.t) =
             | Model.Target_column _ -> Partial.P_proj_agg i
           in
           [ advance t' phase p ])
-        (maybe_uniform (Model.projection_targets ctx ~used))
+        (maybe_uniform
+           (Model.projection_targets ?out:(List.nth_opt hints.h_types i) ctx
+              ~used))
   | Partial.P_proj_agg i -> (
       match List.rev t.Partial.projs with
       | { Partial.pj_target = Model.Target_column c; _ } :: _ ->
@@ -188,8 +198,10 @@ let expand ~guided hints ctx (t : Partial.t) =
               let slot = { Partial.pj_target = Model.Target_column c; pj_agg = Some agg } in
               let t' = { t with Partial.projs = replace_last t.Partial.projs slot } in
               step t' (next_after_slot t' i) p)
-            (maybe_uniform (Model.aggregates ctx c.Duodb.Schema.col_type))
-      | _ -> [])
+            (maybe_uniform
+               (Model.aggregates ?out:(List.nth_opt hints.h_types i) ctx
+                  c.Duodb.Schema.col_type))
+      | { Partial.pj_target = Model.Target_count_star; _ } :: _ | [] -> [])
   | Partial.P_where_num ->
       List.map
         (fun (n, p) ->
@@ -348,21 +360,38 @@ exception Budget_exhausted
 let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> ()) () =
   (* Budgets and candidate timestamps are wall clock (Clock.now): the
      paper's time budget is real time, and CPU time stalls whenever the
-     process blocks.  Profiling accumulators below stay on CPU time. *)
+     process blocks.  Profiling accumulators below use the cheap
+     monotonic clock (see {!Clock}). *)
   let start = Clock.now () in
   let stats = Verify.new_stats () in
   let env =
-    Verify.make_env ~stats ~semantics:config.semantic_rules ?index ?relcache
-      ~db ~tsq ~literals ()
+    Verify.make_env ~stats ~semantics:config.semantic_rules
+      ~static:config.static_rules ?index ?relcache ~db ~tsq ~literals ()
   in
   let hints = match tsq with Some s -> hints_of_tsq s | None -> no_hints in
   let frontier = Frontier.create ~cap:config.max_frontier () in
   let visited = Hashtbl.create 4096 in
+  (* Duolint warnings deprioritize at push time, never inside [expand]:
+     expansion keeps children confidences summing to the parent's
+     (Property 1); the frontier order is where suspicion belongs. *)
+  let deprioritize (child : Partial.t) =
+    if not config.static_rules then child
+    else
+      match Verify.static_warnings env child with
+      | 0 -> child
+      | n ->
+          {
+            child with
+            Partial.confidence =
+              child.Partial.confidence
+              *. (config.static_penalty ** float_of_int n);
+          }
+  in
   let push_fresh (child : Partial.t) =
     let key = Partial.key child in
     if not (Hashtbl.mem visited key) then begin
       Hashtbl.replace visited key ();
-      Frontier.push frontier child
+      Frontier.push frontier (deprioritize child)
     end
   in
   Frontier.push frontier Partial.root;
@@ -373,9 +402,9 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
   let expand_s = ref 0.0 in
   let verify_s = ref 0.0 in
   let timed acc f =
-    let t0 = Clock.cpu () in
+    let t0 = Clock.mono () in
     let r = f () in
-    acc := !acc +. (Clock.cpu () -. t0);
+    acc := !acc +. (Clock.mono () -. t0);
     r
   in
   let emit pq q =
@@ -434,8 +463,14 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
                    push_fresh child
                end
                else if
-                 (not config.prune_partial)
-                 || timed verify_s (fun () -> Verify.verify env child)
+                 (* Even without partial-query pruning (NoPQ), statically
+                    dead children never enter the frontier: stage 0 needs
+                    no TSQ and costs no database access. *)
+                 (if config.prune_partial then
+                    timed verify_s (fun () -> Verify.verify env child)
+                  else
+                    (not config.static_rules)
+                    || timed verify_s (fun () -> Verify.check_static env child))
                then push_fresh child)
              children)
      done

@@ -21,6 +21,12 @@ type config = {
   time_budget_s : float;  (** wall-clock budget (see {!Clock}) *)
   temperature : float;  (** guidance temperature (Section: Duoguide) *)
   semantic_rules : bool;  (** apply the Table 4 rules (ablation switch) *)
+  static_rules : bool;
+      (** Duolint stage 0: prune statically dead children before they are
+          pushed and deprioritize warned ones (ablation switch) *)
+  static_penalty : float;
+      (** confidence multiplier per Duolint warning at push time (never
+          applied inside [expand]: Property 1 is about expansion) *)
   max_frontier : int;
       (** frontier memory guard: compact to the best half beyond this many
           queued states *)
@@ -53,11 +59,17 @@ type outcome = {
           frontier does not mean exhaustion *)
 }
 
-(** TSQ-derived enumeration hints (projection width, limit); these only
-    re-rank module outputs — the TSQ's authoritative effect is pruning. *)
+(** TSQ-derived enumeration hints.  The limit hint only re-ranks module
+    outputs, but the sketch's {e header} — projection width and per-slot
+    output types — is definitional: no candidate disagreeing with it can
+    ever satisfy the TSQ, so the enumerator declines to propose such
+    children rather than paying the cascade to kill them. *)
 type hints = {
   h_nproj : int option;
   h_limit : int option;
+  h_types : Duodb.Datatype.t list;
+      (** per-slot output type annotations; [] when the sketch carries
+          none *)
 }
 
 val no_hints : hints

@@ -56,7 +56,10 @@ let predicate_types_ok schema p =
           Datatype.equal ty Datatype.Number && Value.is_numeric lo && Value.is_numeric hi
       | Cmp ((Like | Not_like), v) -> (
           Datatype.equal ty Datatype.Text
-          && match v with Value.Text _ -> true | _ -> false)
+          &&
+          match v with
+          | Value.Text _ -> true
+          | Value.Null | Value.Int _ | Value.Float _ -> false)
       | Cmp ((Eq | Neq), v) -> Datatype.value_matches ty v)
 
 (* Interval view of a predicate on a totally ordered domain, for
@@ -158,7 +161,13 @@ let no_constant_projection projs where =
                       (fun pr ->
                         match pr.pr_agg, pr.pr_col, pr.pr_rhs with
                         | None, Some pc, Cmp (Eq, _) -> equal_col_ref c pc
-                        | _ -> false)
+                        | ( None,
+                            Some _,
+                            ( Cmp ((Neq | Lt | Le | Gt | Ge | Like | Not_like), _)
+                            | Between _ ) )
+                        | None, None, _
+                        | Some _, _, _ ->
+                            false)
                       cond.c_preds)
              | _ -> true)
            projs

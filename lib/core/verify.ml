@@ -2,6 +2,40 @@ open Duosql.Ast
 module Value = Duodb.Value
 module Datatype = Duodb.Datatype
 
+(* The cascade's stages, cheapest first.  [stage_seconds] is indexed by
+   [stage_index], so reordering or extending the cascade cannot silently
+   misattribute time: both the cascade and the stats report go through the
+   same enum. *)
+type stage =
+  | S_static
+  | S_clauses
+  | S_semantics
+  | S_types
+  | S_column
+  | S_row
+  | S_complete
+
+let all_stages =
+  [ S_static; S_clauses; S_semantics; S_types; S_column; S_row; S_complete ]
+
+let stage_index = function
+  | S_static -> 0
+  | S_clauses -> 1
+  | S_semantics -> 2
+  | S_types -> 3
+  | S_column -> 4
+  | S_row -> 5
+  | S_complete -> 6
+
+let stage_name = function
+  | S_static -> "static"
+  | S_clauses -> "clauses"
+  | S_semantics -> "semantics"
+  | S_types -> "types"
+  | S_column -> "column"
+  | S_row -> "row"
+  | S_complete -> "complete"
+
 type stats = {
   mutable column_probes : int;
   mutable index_probes : int;
@@ -10,21 +44,33 @@ type stats = {
   mutable relcache_hits : int;
   mutable pushdown_builds : int;
   mutable pruned : int;
+  mutable pruned_by_static : int;
   mutable pruned_by_clauses : int;
   mutable pruned_by_semantics : int;
   mutable pruned_by_types : int;
   mutable pruned_by_column : int;
   mutable pruned_by_row : int;
   mutable pruned_by_complete : int;
+  mutable static_warnings : int;
   mutable stage_seconds : float array;
 }
 
 let new_stats () =
   { column_probes = 0; index_probes = 0; row_probes = 0; full_executions = 0;
     relcache_hits = 0; pushdown_builds = 0; pruned = 0;
-    pruned_by_clauses = 0; pruned_by_semantics = 0; pruned_by_types = 0;
-    pruned_by_column = 0; pruned_by_row = 0; pruned_by_complete = 0;
-    stage_seconds = Array.make 6 0.0 }
+    pruned_by_static = 0; pruned_by_clauses = 0; pruned_by_semantics = 0;
+    pruned_by_types = 0; pruned_by_column = 0; pruned_by_row = 0;
+    pruned_by_complete = 0; static_warnings = 0;
+    stage_seconds = Array.make (List.length all_stages) 0.0 }
+
+let pruned_by s = function
+  | S_static -> s.pruned_by_static
+  | S_clauses -> s.pruned_by_clauses
+  | S_semantics -> s.pruned_by_semantics
+  | S_types -> s.pruned_by_types
+  | S_column -> s.pruned_by_column
+  | S_row -> s.pruned_by_row
+  | S_complete -> s.pruned_by_complete
 
 (* Verification queries abort past this relation size — the stand-in for
    the real system's per-query timeout (Section 3.4's "costly depending on
@@ -36,6 +82,9 @@ type env = {
   e_tsq : Tsq.t option;
   e_literals : Value.t list;
   e_semantics : bool;
+  e_static : bool;
+  (* schema compiled to hash lookups for the stage-0 rules *)
+  e_lint : Duolint.Analyze.prepared;
   e_stats : stats;
   (* Master inverted index for text-literal column probes; forced on first
      use when no session index is supplied.  The database is append-only
@@ -50,12 +99,15 @@ type env = {
   e_range_cache : (string * string, (Value.t * Value.t) option) Hashtbl.t;
 }
 
-let make_env ?stats ?(semantics = true) ?index ?relcache ~db ~tsq ~literals () =
+let make_env ?stats ?(semantics = true) ?(static = true) ?index ?relcache ~db
+    ~tsq ~literals () =
   {
     e_db = db;
     e_tsq = tsq;
     e_literals = literals;
     e_semantics = semantics;
+    e_static = static;
+    e_lint = Duolint.Analyze.prepare (Duodb.Database.schema db);
     e_stats = (match stats with Some s -> s | None -> new_stats ());
     e_index =
       (match index with
@@ -85,7 +137,13 @@ let sync_relcache env =
    phase. *)
 let rec effective_phase = function
   | Partial.P_joinpath inner -> effective_phase inner
-  | p -> p
+  | ( Partial.P_keywords | Partial.P_num_proj | Partial.P_proj_target _
+    | Partial.P_proj_agg _ | Partial.P_where_num | Partial.P_where_col _
+    | Partial.P_where_op _ | Partial.P_where_conn | Partial.P_group_col
+    | Partial.P_having_presence | Partial.P_having_pred
+    | Partial.P_order_target | Partial.P_order_dir | Partial.P_limit
+    | Partial.P_done ) as p ->
+      p
 
 let kw_decided (t : Partial.t) =
   effective_phase t.Partial.phase <> Partial.P_keywords
@@ -125,6 +183,29 @@ let group_decided (t : Partial.t) =
   | Partial.P_where_op _ | Partial.P_where_conn | Partial.P_group_col ->
       false
 
+let having_done (t : Partial.t) =
+  match effective_phase t.Partial.phase with
+  | Partial.P_order_target | Partial.P_order_dir | Partial.P_limit
+  | Partial.P_done ->
+      true
+  | Partial.P_joinpath _ -> assert false
+  | Partial.P_keywords | Partial.P_num_proj | Partial.P_proj_target _
+  | Partial.P_proj_agg _ | Partial.P_where_num | Partial.P_where_col _
+  | Partial.P_where_op _ | Partial.P_where_conn | Partial.P_group_col
+  | Partial.P_having_presence | Partial.P_having_pred ->
+      false
+
+let order_done (t : Partial.t) =
+  match effective_phase t.Partial.phase with
+  | Partial.P_limit | Partial.P_done -> true
+  | Partial.P_joinpath _ -> assert false
+  | Partial.P_keywords | Partial.P_num_proj | Partial.P_proj_target _
+  | Partial.P_proj_agg _ | Partial.P_where_num | Partial.P_where_col _
+  | Partial.P_where_op _ | Partial.P_where_conn | Partial.P_group_col
+  | Partial.P_having_presence | Partial.P_having_pred
+  | Partial.P_order_target | Partial.P_order_dir ->
+      false
+
 (* --- stage 1: clause presence (Example 3.3) --- *)
 
 let verify_clauses env (t : Partial.t) =
@@ -159,6 +240,77 @@ let decided_slot_proj (s : Partial.proj_slot) =
           p_col = Some (col c.Duodb.Schema.col_table c.Duodb.Schema.col_name);
           p_distinct = false }
   | Duoguide.Model.Target_column _, None -> None
+
+(* --- stage 0: Duolint static analysis (no database access) --- *)
+
+(* Project the enumerator's state into Duolint's open-world clause view.
+   Finality flags are conservative: a flag is set only when no later
+   decision can change that clause.  FROM is the delicate one — join-path
+   construction replaces the clause wholesale, so it is final only on
+   complete states. *)
+let outline_of_partial (t : Partial.t) : Duolint.Outline.t =
+  let kw = t.Partial.kw in
+  let kwd = kw_decided t in
+  let complete = Partial.is_complete t in
+  let no_group = kwd && not kw.Duoguide.Model.kw_group in
+  let no_order = kwd && not kw.Duoguide.Model.kw_order in
+  {
+    Duolint.Outline.o_select =
+      List.filter_map decided_slot_proj t.Partial.projs;
+    o_select_final = select_done t;
+    o_from = t.Partial.from;
+    o_from_final = complete;
+    o_where = t.Partial.where_preds;
+    o_where_conn = (if where_done t then Some t.Partial.conn else None);
+    o_where_final = where_done t;
+    o_group_by = Option.to_list t.Partial.group_col;
+    o_group_final = no_group || group_decided t;
+    o_having = Option.to_list t.Partial.having_pred;
+    o_having_conn =
+      (if no_group || having_done t then Some And else None);
+    o_having_final = no_group || having_done t;
+    o_order_by =
+      (match t.Partial.order_item with
+      | None -> []
+      | Some (agg, col) ->
+          [ { o_agg = agg; o_col = col; o_dir = t.Partial.order_dir } ]);
+    o_order_final = no_order || order_done t;
+    o_limit = t.Partial.limit;
+    o_limit_final = complete || no_order;
+  }
+
+let verify_static env (t : Partial.t) =
+  (not env.e_static)
+  || not (Duolint.Analyze.has_errors_p env.e_lint (outline_of_partial t))
+
+(* Frontier-side entry point: lets the enumerator reject statically dead
+   children before they are ever pushed, with time and prunes attributed
+   to stage 0. *)
+let check_static env (t : Partial.t) =
+  let s = env.e_stats in
+  let t0 = Clock.mono () in
+  let ok = verify_static env t in
+  let i = stage_index S_static in
+  s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Clock.mono () -. t0);
+  if not ok then begin
+    s.pruned_by_static <- s.pruned_by_static + 1;
+    s.pruned <- s.pruned + 1
+  end;
+  ok
+
+(* Warning count for the enumerator's deprioritization: warnings never
+   prune, they only push suspicious states down the frontier. *)
+let static_warnings env (t : Partial.t) =
+  if not env.e_static then 0
+  else begin
+    let n = Duolint.Analyze.count_warnings_p env.e_lint (outline_of_partial t) in
+    if n > 0 then env.e_stats.static_warnings <- env.e_stats.static_warnings + n;
+    n
+  end
+
+let verify_static_query env q =
+  (not env.e_static)
+  || not (Duolint.Analyze.has_errors_p env.e_lint (Duolint.Outline.of_query q))
 
 let verify_semantics env (t : Partial.t) =
   env.e_semantics = false
@@ -249,7 +401,9 @@ let column_probe env (c : Duodb.Schema.column) cell =
           when Datatype.equal c.Duodb.Schema.col_type Datatype.Text ->
             Duodb.Index.contains_exact (Lazy.force env.e_index)
               ~table:c.Duodb.Schema.col_table ~column:c.Duodb.Schema.col_name s
-        | _ -> None
+        | Tsq.Exact (Value.Null | Value.Int _ | Value.Float _ | Value.Text _)
+        | Tsq.Any | Tsq.Range _ ->
+            None
       in
       let r =
         match indexed with
@@ -292,11 +446,19 @@ let verify_by_column env (t : Partial.t) =
                let cell = cells.(i) in
                match cell, slot.Partial.pj_target, slot.Partial.pj_agg with
                | Tsq.Any, _, _ -> true
-               | _, Duoguide.Model.Target_count_star, _ -> true
-               | _, Duoguide.Model.Target_column _, None -> true
-               | _, Duoguide.Model.Target_column _, Some (Some (Count | Sum)) ->
+               | (Tsq.Exact _ | Tsq.Range _), Duoguide.Model.Target_count_star, _
+                 ->
+                   true
+               | (Tsq.Exact _ | Tsq.Range _), Duoguide.Model.Target_column _, None
+                 ->
+                   true
+               | ( (Tsq.Exact _ | Tsq.Range _),
+                   Duoguide.Model.Target_column _,
+                   Some (Some (Count | Sum)) ) ->
                    true (* no conclusion for partial queries *)
-               | _, Duoguide.Model.Target_column c, Some (Some Avg) -> (
+               | ( (Tsq.Exact _ | Tsq.Range _),
+                   Duoguide.Model.Target_column c,
+                   Some (Some Avg) ) -> (
                    (* AVG lies within the column's min-max range. *)
                    let rkey = (c.Duodb.Schema.col_table, c.Duodb.Schema.col_name) in
                    let range =
@@ -314,7 +476,9 @@ let verify_by_column env (t : Partial.t) =
                    match range, cell_interval cell with
                    | Some r1, Some r2 -> ranges_intersect r1 r2
                    | None, _ | _, None -> false)
-               | _, Duoguide.Model.Target_column c, Some (Some (Min | Max) | None) ->
+               | ( (Tsq.Exact _ | Tsq.Range _),
+                   Duoguide.Model.Target_column c,
+                   Some (Some (Min | Max) | None) ) ->
                    column_probe env c cell)
            (List.mapi (fun i s -> (i, s)) t.Partial.projs))
              tuples)
@@ -447,6 +611,9 @@ let verify_complete env q =
   verify_literals env q
   && ((not env.e_semantics)
      || Result.is_ok (Semantics.check_query (Duodb.Database.schema env.e_db) q))
+  && (* Stage-0 errors are enforced here too, so pruning a partial query
+        on a static error stays monotone w.r.t. complete verification. *)
+  verify_static_query env q
   &&
   match env.e_tsq with
   | None -> true
@@ -459,34 +626,48 @@ let verify_complete env q =
       sync_relcache env;
       r
 
+let bump_pruned s = function
+  | S_static -> s.pruned_by_static <- s.pruned_by_static + 1
+  | S_clauses -> s.pruned_by_clauses <- s.pruned_by_clauses + 1
+  | S_semantics -> s.pruned_by_semantics <- s.pruned_by_semantics + 1
+  | S_types -> s.pruned_by_types <- s.pruned_by_types + 1
+  | S_column -> s.pruned_by_column <- s.pruned_by_column + 1
+  | S_row -> s.pruned_by_row <- s.pruned_by_row + 1
+  | S_complete -> s.pruned_by_complete <- s.pruned_by_complete + 1
+
 let verify env (t : Partial.t) =
   let s = env.e_stats in
-  let stage_idx = ref 0 in
-  let stage check bump =
-    let i = !stage_idx in
-    incr stage_idx;
-    (* stage_seconds stays on processor time: it is a profiling
-       accumulator, not a budget (see {!Clock}). *)
-    let t0 = Clock.cpu () in
+  let stage st check =
+    let i = stage_index st in
+    (* stage_seconds is a profiling accumulator, not a budget: it uses
+       the cheap monotonic clock so sub-microsecond stages measure the
+       stage and not the clock (see {!Clock}). *)
+    let t0 = Clock.mono () in
     let ok = check env t in
-    s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Clock.cpu () -. t0);
-    ok || (bump (); false)
+    s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Clock.mono () -. t0);
+    ok
+    || begin
+         bump_pruned s st;
+         false
+       end
   in
   let ok =
-    stage verify_clauses (fun () -> s.pruned_by_clauses <- s.pruned_by_clauses + 1)
-    && stage verify_semantics (fun () -> s.pruned_by_semantics <- s.pruned_by_semantics + 1)
-    && stage verify_column_types (fun () -> s.pruned_by_types <- s.pruned_by_types + 1)
-    && stage verify_by_column (fun () -> s.pruned_by_column <- s.pruned_by_column + 1)
-    && stage verify_by_row (fun () -> s.pruned_by_row <- s.pruned_by_row + 1)
+    stage S_static verify_static
+    && stage S_clauses verify_clauses
+    && stage S_semantics verify_semantics
+    && stage S_types verify_column_types
+    && stage S_column verify_by_column
+    && stage S_row verify_by_row
     &&
     match Partial.to_query t with
     | Some q when Partial.is_complete t ->
-        let t0 = Clock.cpu () in
+        let i = stage_index S_complete in
+        let t0 = Clock.mono () in
         let ok = verify_complete env q in
-        s.stage_seconds.(5) <- s.stage_seconds.(5) +. (Clock.cpu () -. t0);
+        s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Clock.mono () -. t0);
         ok
         || begin
-             s.pruned_by_complete <- s.pruned_by_complete + 1;
+             bump_pruned s S_complete;
              false
            end
     | Some _ | None -> true

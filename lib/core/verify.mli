@@ -3,6 +3,9 @@
     Stages run cheapest-first and prune a partial query as early as its
     decided parts contradict the TSQ:
 
+    + [VerifyStatic] — Duolint stage 0: schema/type errors, unsatisfiable
+      predicates and broken structure on decided clauses (no database
+      access, no TSQ needed);
     + [VerifyClauses] — clause presence vs the sketch's sorted flag and
       limit (no database access);
     + [VerifySemantics] — the Table 4 rules on decided parts (no database
@@ -22,6 +25,21 @@
     fails on every completion of it, so pruning never discards a prefix of
     a satisfying query (property-tested in the suite). *)
 
+(** The cascade's stages, cheapest first.  [stats.stage_seconds] is
+    indexed by {!stage_index}; {!all_stages} fixes the report order. *)
+type stage =
+  | S_static
+  | S_clauses
+  | S_semantics
+  | S_types
+  | S_column
+  | S_row
+  | S_complete
+
+val all_stages : stage list
+val stage_index : stage -> int
+val stage_name : stage -> string
+
 type stats = {
   mutable column_probes : int;  (** column-wise verification queries run *)
   mutable index_probes : int;
@@ -32,32 +50,39 @@ type stats = {
   mutable pushdown_builds : int;
       (** relations built with predicates pushed into base scans *)
   mutable pruned : int;  (** states rejected by any stage *)
+  mutable pruned_by_static : int;
   mutable pruned_by_clauses : int;
   mutable pruned_by_semantics : int;
   mutable pruned_by_types : int;
   mutable pruned_by_column : int;
   mutable pruned_by_row : int;
   mutable pruned_by_complete : int;
+  mutable static_warnings : int;
+      (** Duolint warnings used to deprioritize frontier pushes *)
   mutable stage_seconds : float array;
-      (** processor time per cascade stage: clauses, semantics, types,
-          column, row, complete *)
+      (** processor time per cascade stage, indexed by {!stage_index} *)
 }
 
 val new_stats : unit -> stats
+
+(** Per-stage prune counter, by the same enum that indexes
+    [stage_seconds]. *)
+val pruned_by : stats -> stage -> int
 
 (** A verification environment: database, sketch, tagged literals, probe
     cache and counters. *)
 type env
 
-(** [semantics = false] disables the Table 4 rules (for the
-    ablation bench); default [true].  [index] supplies a prebuilt inverted
-    index for column probes (sessions already hold one); without it the
-    index is built lazily on first text probe.  [relcache] shares a
-    relation cache across environments — sound only while the database is
-    not mutated. *)
+(** [semantics = false] disables the Table 4 rules and [static = false]
+    disables Duolint stage 0 (both for the ablation bench); default
+    [true].  [index] supplies a prebuilt inverted index for column probes
+    (sessions already hold one); without it the index is built lazily on
+    first text probe.  [relcache] shares a relation cache across
+    environments — sound only while the database is not mutated. *)
 val make_env :
   ?stats:stats ->
   ?semantics:bool ->
+  ?static:bool ->
   ?index:Duodb.Index.t ->
   ?relcache:Duoengine.Executor.relation_cache ->
   db:Duodb.Database.t ->
@@ -72,7 +97,29 @@ val stats : env -> stats
     survives every applicable stage. *)
 val verify : env -> Partial.t -> bool
 
+(** Project an enumerator state into Duolint's open-world clause view.
+    Finality flags are conservative: set only when no later decision can
+    change the clause (FROM only on complete states — join-path
+    construction replaces it wholesale). *)
+val outline_of_partial : Partial.t -> Duolint.Outline.t
+
 (** Individual stages, exposed for tests and the cascade-order ablation. *)
+val verify_static : env -> Partial.t -> bool
+
+(** [verify_static] with time and prunes attributed to stage 0 — the
+    frontier-side entry point for the enumerator, so statically dead
+    children are rejected before they are pushed. *)
+val check_static : env -> Partial.t -> bool
+
+(** Duolint warning count on the state's decided clauses, accumulated
+    into [stats.static_warnings]; the enumerator uses it to deprioritize
+    (never prune) suspicious states. *)
+val static_warnings : env -> Partial.t -> int
+
+(** Stage-0 errors on a complete query (also enforced inside
+    {!verify_complete} so partial-query pruning stays monotone). *)
+val verify_static_query : env -> Duosql.Ast.query -> bool
+
 val verify_clauses : env -> Partial.t -> bool
 
 val verify_semantics : env -> Partial.t -> bool

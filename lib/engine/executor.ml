@@ -90,11 +90,13 @@ let eval_cmp op lhs rhs =
     | Like -> (
         match lhs, rhs with
         | Value.Text s, Value.Text p -> Value.like s ~pattern:p
-        | _ -> fail "LIKE requires text operands")
+        | (Value.Null | Value.Int _ | Value.Float _ | Value.Text _), _ ->
+            fail "LIKE requires text operands")
     | Not_like -> (
         match lhs, rhs with
         | Value.Text s, Value.Text p -> not (Value.like s ~pattern:p)
-        | _ -> fail "NOT LIKE requires text operands")
+        | (Value.Null | Value.Int _ | Value.Float _ | Value.Text _), _ ->
+            fail "NOT LIKE requires text operands")
 
 let eval_rhs rhs v =
   match rhs with
@@ -339,10 +341,19 @@ let eval_agg rel agg col distinct (group : int array) =
           (* Integer columns sum in integer arithmetic: float accumulation
              silently loses precision past 2^53.  Floats keep the float
              path (with the historical integral-total collapse to Int). *)
-          if List.for_all (function Value.Int _ -> true | _ -> false) vs then
+          if
+            List.for_all
+              (function
+                | Value.Int _ -> true
+                | Value.Null | Value.Float _ | Value.Text _ -> false)
+              vs
+          then
             Value.Int
               (List.fold_left
-                 (fun acc v -> match v with Value.Int i -> acc + i | _ -> acc)
+                 (fun acc v ->
+                   match v with
+                   | Value.Int i -> acc + i
+                   | Value.Null | Value.Float _ | Value.Text _ -> acc)
                  0 vs)
           else
             let total = List.fold_left ( +. ) 0. (numeric vs) in

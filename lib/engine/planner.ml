@@ -69,7 +69,9 @@ let pushable_table schema (p : pred) =
           | Cmp ((Like | Not_like), rhs) -> (
               match col.Duodb.Schema.col_type, rhs with
               | Datatype.Text, Value.Text _ -> Some c.cr_table
-              | _ -> None)
+              | (Datatype.Text | Datatype.Number),
+                (Value.Null | Value.Int _ | Value.Float _ | Value.Text _) ->
+                  None)
           | Cmp ((Eq | Neq | Lt | Le | Gt | Ge), _) | Between _ ->
               Some c.cr_table))
 

@@ -25,7 +25,9 @@ let make ?(temperature = 1.0) ?index schema nlq =
                   List.map
                     (fun h -> (h.Duodb.Index.hit_table, h.Duodb.Index.hit_column))
                     (Duodb.Index.lookup idx s) }
-          | _ -> l
+          | Duodb.Value.Null | Duodb.Value.Int _ | Duodb.Value.Float _
+          | Duodb.Value.Text _ ->
+              l
         in
         { nlq with Duonl.Nlq.literals = List.map ground nlq.Duonl.Nlq.literals }
   in
@@ -145,7 +147,7 @@ let equal_target a b =
   | Target_column x, Target_column y -> equal_column x y
   | Target_count_star, Target_column _ | Target_column _, Target_count_star -> false
 
-let projection_targets t ~used =
+let projection_targets ?out t ~used =
   let _, count_ev, _, _, _, _ = Hints.agg_signals t.c_words in
   let cands =
     (Target_count_star, count_ev -. 0.5)
@@ -154,25 +156,50 @@ let projection_targets t ~used =
   let cands =
     List.filter (fun (c, _) -> not (List.exists (equal_target c) used)) cands
   in
+  (* When the TSQ annotates this slot's output type, drop targets no
+     aggregate choice can reconcile with it: a star-count is always
+     numeric, and a numeric column stays numeric under every aggregate.
+     A text column still admits a numeric annotation via COUNT, so it
+     survives here and is settled by [aggregates]. *)
+  let cands =
+    match out with
+    | None -> cands
+    | Some want ->
+        List.filter
+          (fun (tgt, _) ->
+            match tgt, want with
+            | Target_count_star, Duodb.Datatype.Number -> true
+            | Target_count_star, Duodb.Datatype.Text -> false
+            | Target_column c, Duodb.Datatype.Text ->
+                Duodb.Datatype.equal c.Duodb.Schema.col_type Duodb.Datatype.Text
+            | Target_column _, Duodb.Datatype.Number -> true)
+          cands
+  in
   norm t cands
 
 let num_projections t ~hint =
-  let base = [| 0.0; 1.2; 0.8; 0.2; -0.4 |] in
-  (* Name-similar columns raise the expected projection width. *)
-  let similar =
-    List.filter
-      (fun c -> Score.column_similarity ~nlq_words:t.c_words c > 0.45)
-      (Duodb.Schema.all_columns t.c_schema)
-  in
-  let expected = min 4 (max 1 (List.length similar)) in
-  let cands =
-    List.init 4 (fun i ->
-        let n = i + 1 in
-        let s = base.(n) +. (if n = expected then 0.8 else 0.0) in
-        let s = match hint with Some h when h = n -> s +. 2.5 | _ -> s in
-        (n, s))
-  in
-  norm t cands
+  match hint with
+  | Some h when 1 <= h && h <= 4 ->
+      (* The TSQ's width is definitional, not a preference: a candidate
+         with any other projection count can never satisfy the table
+         sketch, so the enumerator proposes exactly the hinted width
+         instead of spending pushes on arities the cascade must kill. *)
+      norm t [ (h, 0.0) ]
+  | Some _ | None ->
+      let base = [| 0.0; 1.2; 0.8; 0.2; -0.4 |] in
+      (* Name-similar columns raise the expected projection width. *)
+      let similar =
+        List.filter
+          (fun c -> Score.column_similarity ~nlq_words:t.c_words c > 0.45)
+          (Duodb.Schema.all_columns t.c_schema)
+      in
+      let expected = min 4 (max 1 (List.length similar)) in
+      let cands =
+        List.init 4 (fun i ->
+            let n = i + 1 in
+            (n, base.(n) +. if n = expected then 0.8 else 0.0))
+      in
+      norm t cands
 
 let where_columns t ~used =
   let cands =
@@ -192,7 +219,7 @@ let group_columns t ~projected =
 
 (* --- AGG module --- *)
 
-let aggregates t ty =
+let aggregates ?out t ty =
   let none, count, sum, avg, mx, mn = Hints.agg_signals t.c_words in
   let cands =
     match ty with
@@ -206,6 +233,24 @@ let aggregates t ty =
           (Some Duosql.Ast.Min, mn);
           (Some Duosql.Ast.Max, mx);
         ]
+  in
+  (* TSQ-annotated output type for the slot: keep only aggregates whose
+     result type matches (COUNT/SUM/AVG produce numbers; MIN/MAX and the
+     identity keep the column's type). *)
+  let cands =
+    match out with
+    | None -> cands
+    | Some want ->
+        List.filter
+          (fun (agg, _) ->
+            let produced =
+              match agg with
+              | Some (Duosql.Ast.Count | Duosql.Ast.Sum | Duosql.Ast.Avg) ->
+                  Duodb.Datatype.Number
+              | Some (Duosql.Ast.Min | Duosql.Ast.Max) | None -> ty
+            in
+            Duodb.Datatype.equal produced want)
+          cands
   in
   norm t cands
 
@@ -315,7 +360,11 @@ let limit t ~hint =
   let limit_ev = Hints.limit_signal t.c_words in
   let nums =
     List.filter_map
-      (function Duodb.Value.Int n when n > 0 && n <= 1000 -> Some n | _ -> None)
+      (function
+        | Duodb.Value.Int n when n > 0 && n <= 1000 -> Some n
+        | Duodb.Value.Null | Duodb.Value.Int _ | Duodb.Value.Float _
+        | Duodb.Value.Text _ ->
+            None)
       (Duonl.Nlq.numeric_literals t.c_nlq)
   in
   let cands =

@@ -46,9 +46,15 @@ type col_target =
   | Target_column of Duodb.Schema.column
   | Target_count_star
 
-(** Candidate projection targets, excluding [used] ones. *)
+(** Candidate projection targets, excluding [used] ones.  [out] is the
+    TSQ's type annotation for the slot being filled: targets that no
+    aggregate choice could reconcile with it are dropped before
+    normalization, so the enumerator never spends a push on them. *)
 val projection_targets :
-  ctx -> used:col_target list -> (col_target * float) list
+  ?out:Duodb.Datatype.t ->
+  ctx ->
+  used:col_target list ->
+  (col_target * float) list
 
 (** Number of projected columns (1..4).  [hint] biases toward the TSQ's
     column count when the sketch provides one. *)
@@ -66,8 +72,13 @@ val group_columns :
 (** {1 AGG module} *)
 
 (** Aggregate options for a projection target of the given type: text
-    columns admit [None]/[Count]; numeric columns admit all six. *)
-val aggregates : ctx -> Duodb.Datatype.t -> (Duosql.Ast.agg option * float) list
+    columns admit [None]/[Count]; numeric columns admit all six.  [out]
+    restricts to aggregates producing the TSQ-annotated output type. *)
+val aggregates :
+  ?out:Duodb.Datatype.t ->
+  ctx ->
+  Duodb.Datatype.t ->
+  (Duosql.Ast.agg option * float) list
 
 (** {1 OP module} *)
 

@@ -1,0 +1,33 @@
+(** The Duolint rule engine: composable checks over a schema and an
+    {!Outline.t} clause view.  Database-free — every rule reads only the
+    schema and the abstract syntax, so a run costs microseconds and is
+    safe as stage 0 of the verification cascade. *)
+
+type prepared
+(** A schema compiled to hash-table lookups.  The cascade runs the rules
+    once per enumerator push, so callers on that path {!prepare} once per
+    session; the plain [Duodb.Schema.t] entry points below prepare on
+    every call and suit one-shot linting. *)
+
+val prepare : Duodb.Schema.t -> prepared
+
+val check_p : prepared -> Outline.t -> Diagnostic.t list
+(** All diagnostics, in rule order. *)
+
+val has_errors_p : prepared -> Outline.t -> bool
+(** Fast path for the cascade: runs only the error rules and
+    short-circuits on the first hit without building messages. *)
+
+val count_warnings_p : prepared -> Outline.t -> int
+(** Number of warnings (deprioritization weight for the enumerator);
+    runs only the warning rules. *)
+
+val check : Duodb.Schema.t -> Outline.t -> Diagnostic.t list
+val has_errors : Duodb.Schema.t -> Outline.t -> bool
+val count_warnings : Duodb.Schema.t -> Outline.t -> int
+
+val errors : Diagnostic.t list -> Diagnostic.t list
+val warnings : Diagnostic.t list -> Diagnostic.t list
+
+val check_query : Duodb.Schema.t -> Duosql.Ast.query -> Diagnostic.t list
+(** Lint a complete query (every clause final). *)

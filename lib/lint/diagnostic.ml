@@ -1,0 +1,97 @@
+type severity =
+  | Error  (** the query can never be a correct intent: prune/reject *)
+  | Warning  (** the query is suspicious but executable: deprioritize *)
+
+type clause =
+  | Select
+  | From
+  | Where
+  | Group_by
+  | Having
+  | Order_by
+  | Limit
+
+type rule =
+  (* schema/type errors *)
+  | Unknown_table
+  | Unknown_column
+  | Aggregate_type
+  | Comparison_type
+  (* predicate satisfiability *)
+  | Unsatisfiable_where
+  | Unsatisfiable_having
+  (* structural well-formedness *)
+  | Table_not_joined
+  | Disconnected_from
+  | Ungrouped_aggregation
+  | Projection_not_grouped
+  | Unnecessary_group_by
+  | Group_by_primary_key
+  | Nonpositive_limit
+  (* redundancy: warnings *)
+  | Duplicate_predicate
+  | Subsumed_predicate
+  | Duplicate_projection
+  | Self_join
+  | Duplicate_join
+  | Constant_output
+  | Order_by_unprojected
+
+type t = {
+  d_rule : rule;
+  d_clause : clause;
+  d_message : string;
+}
+
+let severity = function
+  | Unknown_table | Unknown_column | Aggregate_type | Comparison_type
+  | Unsatisfiable_where | Unsatisfiable_having | Table_not_joined
+  | Disconnected_from | Ungrouped_aggregation | Projection_not_grouped
+  | Unnecessary_group_by | Group_by_primary_key | Nonpositive_limit ->
+      Error
+  | Duplicate_predicate | Subsumed_predicate | Duplicate_projection | Self_join
+  | Duplicate_join | Constant_output | Order_by_unprojected ->
+      Warning
+
+let is_error d = severity d.d_rule = Error
+
+let rule_name = function
+  | Unknown_table -> "unknown-table"
+  | Unknown_column -> "unknown-column"
+  | Aggregate_type -> "aggregate-type"
+  | Comparison_type -> "comparison-type"
+  | Unsatisfiable_where -> "unsatisfiable-where"
+  | Unsatisfiable_having -> "unsatisfiable-having"
+  | Table_not_joined -> "table-not-joined"
+  | Disconnected_from -> "disconnected-from"
+  | Ungrouped_aggregation -> "ungrouped-aggregation"
+  | Projection_not_grouped -> "projection-not-grouped"
+  | Unnecessary_group_by -> "unnecessary-group-by"
+  | Group_by_primary_key -> "group-by-primary-key"
+  | Nonpositive_limit -> "nonpositive-limit"
+  | Duplicate_predicate -> "duplicate-predicate"
+  | Subsumed_predicate -> "subsumed-predicate"
+  | Duplicate_projection -> "duplicate-projection"
+  | Self_join -> "self-join"
+  | Duplicate_join -> "duplicate-join"
+  | Constant_output -> "constant-output"
+  | Order_by_unprojected -> "order-by-unprojected"
+
+let clause_name = function
+  | Select -> "SELECT"
+  | From -> "FROM"
+  | Where -> "WHERE"
+  | Group_by -> "GROUP BY"
+  | Having -> "HAVING"
+  | Order_by -> "ORDER BY"
+  | Limit -> "LIMIT"
+
+let make rule clause fmt =
+  Printf.ksprintf
+    (fun msg -> { d_rule = rule; d_clause = clause; d_message = msg })
+    fmt
+
+let pp fmt d =
+  Format.fprintf fmt "%s [%s] %s: %s"
+    (match severity d.d_rule with Error -> "error" | Warning -> "warning")
+    (rule_name d.d_rule) (clause_name d.d_clause) d.d_message

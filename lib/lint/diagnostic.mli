@@ -1,0 +1,51 @@
+(** Duolint diagnostics: a rule identifier, the clause it fired on, and a
+    rendered message.
+
+    Severity is a function of the rule, fixed by design: {e errors} mark
+    queries that can never be a correct intent (type violations, empty
+    predicates, broken structure) and are safe to prune; {e warnings} mark
+    suspicious but executable queries (redundancy) and only deprioritize
+    partial queries during enumeration. *)
+
+type severity = Error | Warning
+
+type clause = Select | From | Where | Group_by | Having | Order_by | Limit
+
+type rule =
+  | Unknown_table
+  | Unknown_column
+  | Aggregate_type
+  | Comparison_type
+  | Unsatisfiable_where
+  | Unsatisfiable_having
+  | Table_not_joined
+  | Disconnected_from
+  | Ungrouped_aggregation
+  | Projection_not_grouped
+  | Unnecessary_group_by
+  | Group_by_primary_key
+  | Nonpositive_limit
+  | Duplicate_predicate
+  | Subsumed_predicate
+  | Duplicate_projection
+  | Self_join
+  | Duplicate_join
+  | Constant_output
+  | Order_by_unprojected
+
+type t = {
+  d_rule : rule;
+  d_clause : clause;
+  d_message : string;
+}
+
+val severity : rule -> severity
+val is_error : t -> bool
+val rule_name : rule -> string
+val clause_name : clause -> string
+
+val make : rule -> clause -> ('a, unit, string, t) format4 -> 'a
+(** [make rule clause fmt ...] builds a diagnostic with a printf-rendered
+    message. *)
+
+val pp : Format.formatter -> t -> unit

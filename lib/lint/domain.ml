@@ -1,0 +1,201 @@
+module Value = Duodb.Value
+
+(* A bound is a value plus a strictness flag: [(v, true)] excludes [v]
+   itself.  The domain is ordered by [Value.compare], which totally orders
+   the mixed value universe (numbers before text), so text constants are
+   just point intervals and cross-type predicates still abstract soundly:
+   [meet = Bot] always means no single value satisfies every predicate. *)
+type bound = Value.t * bool
+
+type t =
+  | Bot
+  | Itv of {
+      lo : bound option;  (** [None] is unbounded below *)
+      hi : bound option;  (** [None] is unbounded above *)
+      excl : Value.t list;  (** excluded points, sorted and inside the bounds *)
+    }
+
+let top = Itv { lo = None; hi = None; excl = [] }
+let bot = Bot
+let is_bot = function Bot -> true | Itv _ -> false
+
+let is_top = function
+  | Itv { lo = None; hi = None; excl = [] } -> true
+  | Bot | Itv _ -> false
+
+(* Membership of a non-null value.  NULL satisfies no SQL comparison, so
+   every abstract element describes sets of non-null values and [mem Null]
+   is uniformly false — including for [top]. *)
+let mem v = function
+  | Bot -> false
+  | Itv { lo; hi; excl } ->
+      (not (Value.is_null v))
+      && (match lo with
+         | None -> true
+         | Some (l, strict) ->
+             let c = Value.compare v l in
+             if strict then c > 0 else c >= 0)
+      && (match hi with
+         | None -> true
+         | Some (h, strict) ->
+             let c = Value.compare v h in
+             if strict then c < 0 else c <= 0)
+      && not (List.exists (Value.equal v) excl)
+
+(* Smart constructor: collapse empty intervals to [Bot] and prune excluded
+   points to the ones actually inside the bounds, keeping them sorted so
+   structural equality is canonical. *)
+let norm lo hi excl =
+  let empty =
+    match lo, hi with
+    | Some (l, ls), Some (h, hs) ->
+        let c = Value.compare l h in
+        c > 0 || (c = 0 && (ls || hs || List.exists (Value.equal l) excl))
+    | Some _, None | None, Some _ | None, None -> false
+  in
+  if empty then Bot
+  else
+    let bounds_only = Itv { lo; hi; excl = [] } in
+    let excl =
+      List.sort_uniq Value.compare (List.filter (fun v -> mem v bounds_only) excl)
+    in
+    Itv { lo; hi; excl }
+
+let point v = if Value.is_null v then Bot else norm (Some (v, false)) (Some (v, false)) []
+let abstract = point
+
+let concretize = function
+  | Itv { lo = Some (l, false); hi = Some (h, false); excl = [] }
+    when Value.equal l h ->
+      Some l
+  | Bot | Itv _ -> None
+
+let equal_bound a b =
+  match a, b with
+  | None, None -> true
+  | Some (va, sa), Some (vb, sb) -> Value.equal va vb && sa = sb
+  | None, Some _ | Some _, None -> false
+
+let equal a b =
+  match a, b with
+  | Bot, Bot -> true
+  | Bot, Itv _ | Itv _, Bot -> false
+  | Itv a, Itv b ->
+      equal_bound a.lo b.lo && equal_bound a.hi b.hi
+      && List.equal Value.equal a.excl b.excl
+
+(* Lower bounds ordered by tightness: a strict bound at [v] is tighter
+   (larger) than a non-strict one.  Dually for upper bounds. *)
+let max_lo a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some (va, sa), Some (vb, sb) ->
+      let c = Value.compare va vb in
+      if c > 0 then a else if c < 0 then b else Some (va, sa || sb)
+
+let min_hi a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some (va, sa), Some (vb, sb) ->
+      let c = Value.compare va vb in
+      if c < 0 then a else if c > 0 then b else Some (va, sa || sb)
+
+let meet a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv ia, Itv ib ->
+      norm (max_lo ia.lo ib.lo) (min_hi ia.hi ib.hi) (ia.excl @ ib.excl)
+
+let join a b =
+  match a, b with
+  | Bot, d | d, Bot -> d
+  | Itv ia, Itv ib ->
+      let lo =
+        match ia.lo, ib.lo with
+        | None, _ | _, None -> None
+        | Some (va, sa), Some (vb, sb) ->
+            let c = Value.compare va vb in
+            if c < 0 then Some (va, sa)
+            else if c > 0 then Some (vb, sb)
+            else Some (va, sa && sb)
+      in
+      let hi =
+        match ia.hi, ib.hi with
+        | None, _ | _, None -> None
+        | Some (va, sa), Some (vb, sb) ->
+            let c = Value.compare va vb in
+            if c > 0 then Some (va, sa)
+            else if c < 0 then Some (vb, sb)
+            else Some (va, sa && sb)
+      in
+      (* A point may be excluded from the hull only when neither operand
+         contains it — the join must over-approximate the union. *)
+      let excl =
+        List.filter (fun v -> (not (mem v a)) && not (mem v b)) (ia.excl @ ib.excl)
+      in
+      norm lo hi excl
+
+(* Standard interval widening, [widen old next]: a bound that moved since
+   the previous iterate is dropped to infinity; exclusions only ever
+   shrink (subset of the old ones), so chains stabilize. *)
+let widen a b =
+  match a, b with
+  | Bot, d | d, Bot -> d
+  | Itv ia, Itv ib ->
+      let lo =
+        match ia.lo, ib.lo with
+        | Some (va, sa), Some (vb, sb)
+          when Value.compare vb va > 0 || (Value.equal va vb && (sb || not sa)) ->
+            ia.lo
+        | (None | Some _), _ -> None
+      in
+      let hi =
+        match ia.hi, ib.hi with
+        | Some (va, sa), Some (vb, sb)
+          when Value.compare vb va < 0 || (Value.equal va vb && (sb || not sa)) ->
+            ia.hi
+        | (None | Some _), _ -> None
+      in
+      let excl = List.filter (fun v -> not (mem v b)) ia.excl in
+      norm lo hi excl
+
+(* [leq a b]: every value of [a] lies in [b].  Exact on this domain:
+   the meet computes canonical bounds, so inclusion is an equality test. *)
+let leq a b = equal (meet a b) a
+
+let of_rhs (rhs : Duosql.Ast.pred_rhs) =
+  match rhs with
+  | Duosql.Ast.Cmp (op, v) ->
+      if Value.is_null v then Bot (* no comparison against NULL holds *)
+      else (
+        match op with
+        | Duosql.Ast.Eq -> point v
+        | Duosql.Ast.Neq -> norm None None [ v ]
+        | Duosql.Ast.Lt -> norm None (Some (v, true)) []
+        | Duosql.Ast.Le -> norm None (Some (v, false)) []
+        | Duosql.Ast.Gt -> norm (Some (v, true)) None []
+        | Duosql.Ast.Ge -> norm (Some (v, false)) None []
+        (* LIKE matches case-insensitively, so its satisfying set is not
+           an interval of the case-sensitive order: approximate by top. *)
+        | Duosql.Ast.Like | Duosql.Ast.Not_like -> top)
+  | Duosql.Ast.Between (lo, hi) ->
+      if Value.is_null lo || Value.is_null hi then Bot
+      else norm (Some (lo, false)) (Some (hi, false)) []
+
+let pp fmt = function
+  | Bot -> Format.pp_print_string fmt "bot"
+  | Itv { lo; hi; excl } ->
+      let bound side fmt = function
+        | None -> Format.pp_print_string fmt (if side = `Lo then "(-inf" else "+inf)")
+        | Some (v, strict) ->
+            if side = `Lo then
+              Format.fprintf fmt "%s%a" (if strict then "(" else "[") Value.pp v
+            else Format.fprintf fmt "%a%s" Value.pp v (if strict then ")" else "]")
+      in
+      Format.fprintf fmt "%a, %a" (bound `Lo) lo (bound `Hi) hi;
+      if excl <> [] then
+        Format.fprintf fmt " \\ {%a}"
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+             Value.pp)
+          excl

@@ -1,0 +1,62 @@
+(** Interval/constant abstract domain over {!Duodb.Value.t}.
+
+    One abstract element describes the set of non-null values a column may
+    take under a conjunction of predicates: an interval with optionally
+    strict bounds plus a finite set of excluded points (from [!=]).  Text
+    constants are point intervals — [Value.compare] totally orders the
+    mixed value universe — so ['a' = x AND x = 'b'] bottoms out exactly
+    like [x > 5 AND x < 3].
+
+    NULL satisfies no SQL comparison, so every element (including {!top})
+    denotes non-null values only and [mem Null d] is always [false]. *)
+
+type bound = Duodb.Value.t * bool
+(** A bound value and its strictness: [(v, true)] excludes [v] itself. *)
+
+type t =
+  | Bot  (** the empty set: an unsatisfiable conjunction *)
+  | Itv of {
+      lo : bound option;
+      hi : bound option;
+      excl : Duodb.Value.t list;
+    }
+
+val top : t
+val bot : t
+val is_bot : t -> bool
+val is_top : t -> bool
+
+val point : Duodb.Value.t -> t
+(** Singleton set; [Bot] for [Null]. *)
+
+val abstract : Duodb.Value.t -> t
+(** Alias of {!point}: the abstraction of one concrete value. *)
+
+val concretize : t -> Duodb.Value.t option
+(** The single concrete value of a singleton element, if it is one.
+    [concretize (abstract v) = Some v] for every non-null [v]. *)
+
+val mem : Duodb.Value.t -> t -> bool
+
+val of_rhs : Duosql.Ast.pred_rhs -> t
+(** Abstraction of one predicate right-hand side.  [LIKE]/[NOT LIKE]
+    abstract to {!top} (case-insensitive matching is not an interval of
+    the case-sensitive order). *)
+
+val meet : t -> t -> t
+(** Set intersection, exact on this domain. *)
+
+val join : t -> t -> t
+(** Over-approximation of set union (interval hull; a point stays
+    excluded only when neither operand contains it). *)
+
+val widen : t -> t -> t
+(** [widen old next]: drop any bound that moved since [old] to infinity
+    and keep only the exclusions [next] still rules out, so ascending
+    chains stabilize in finitely many steps. *)
+
+val leq : t -> t -> bool
+(** Set inclusion, exact on this domain. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+open Duosql.Ast
+
+(* The open-world view of a query under construction.  Each clause comes
+   with the parts already decided plus a finality flag; a rule that prunes
+   may only read decided parts and may only conclude from absence when the
+   clause is final.  [of_query] closes the world: every flag is true. *)
+
+type t = {
+  o_select : proj list;
+  o_select_final : bool;
+  o_from : from_clause option;
+  o_from_final : bool;
+  o_where : pred list;
+  o_where_conn : connective option;
+  o_where_final : bool;
+  o_group_by : col_ref list;
+  o_group_final : bool;
+  o_having : pred list;
+  o_having_conn : connective option;
+  o_having_final : bool;
+  o_order_by : order_item list;
+  o_order_final : bool;
+  o_limit : int option;
+  o_limit_final : bool;
+}
+
+let empty =
+  {
+    o_select = [];
+    o_select_final = false;
+    o_from = None;
+    o_from_final = false;
+    o_where = [];
+    o_where_conn = None;
+    o_where_final = false;
+    o_group_by = [];
+    o_group_final = false;
+    o_having = [];
+    o_having_conn = None;
+    o_having_final = false;
+    o_order_by = [];
+    o_order_final = false;
+    o_limit = None;
+    o_limit_final = false;
+  }
+
+let of_query (q : query) =
+  {
+    o_select = q.q_select;
+    o_select_final = true;
+    o_from = Some q.q_from;
+    o_from_final = true;
+    o_where = Option.fold ~none:[] ~some:(fun c -> c.c_preds) q.q_where;
+    o_where_conn = Some (Option.fold ~none:And ~some:(fun c -> c.c_conn) q.q_where);
+    o_where_final = true;
+    o_group_by = q.q_group_by;
+    o_group_final = true;
+    o_having = Option.fold ~none:[] ~some:(fun c -> c.c_preds) q.q_having;
+    o_having_conn = Some (Option.fold ~none:And ~some:(fun c -> c.c_conn) q.q_having);
+    o_having_final = true;
+    o_order_by = q.q_order_by;
+    o_order_final = true;
+    o_limit = q.q_limit;
+    o_limit_final = true;
+  }

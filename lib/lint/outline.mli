@@ -1,0 +1,37 @@
+(** Open-world clause view of a query under construction.
+
+    Duolint never sees {!Duocore.Partial} directly (the dependency points
+    the other way); callers project their states into this record.  Each
+    clause carries the decided parts plus a finality flag.  The pruning
+    discipline: a rule may read decided parts at any time, but may only
+    conclude from {e absence} — "no GROUP BY", "no more predicates" —
+    when the clause's flag says the clause is final.  A partial query that
+    could still repair itself must never be rejected. *)
+
+type t = {
+  o_select : Duosql.Ast.proj list;  (** decided projections, in order *)
+  o_select_final : bool;
+  o_from : Duosql.Ast.from_clause option;
+  o_from_final : bool;
+      (** joinpath construction replaces the FROM clause wholesale, so
+          structural FROM errors fire only when this is set *)
+  o_where : Duosql.Ast.pred list;  (** decided WHERE predicates *)
+  o_where_conn : Duosql.Ast.connective option;  (** [Some] once decided *)
+  o_where_final : bool;
+  o_group_by : Duosql.Ast.col_ref list;
+  o_group_final : bool;
+      (** true also when the keyword set rules GROUP BY out entirely *)
+  o_having : Duosql.Ast.pred list;
+  o_having_conn : Duosql.Ast.connective option;
+  o_having_final : bool;
+  o_order_by : Duosql.Ast.order_item list;
+  o_order_final : bool;
+  o_limit : int option;
+  o_limit_final : bool;
+}
+
+val empty : t
+(** Nothing decided, nothing final: no rule can fire. *)
+
+val of_query : Duosql.Ast.query -> t
+(** The closed world of a complete query: every clause final. *)

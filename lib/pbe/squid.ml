@@ -62,14 +62,18 @@ let candidate_columns db examples i =
   in
   let exact_texts =
     List.filter_map
-      (function Tsq.Exact (Value.Text s) -> Some s | _ -> None)
+      (function
+        | Tsq.Exact (Value.Text s) -> Some s
+        | Tsq.Exact (Value.Null | Value.Int _ | Value.Float _)
+        | Tsq.Any | Tsq.Range _ ->
+            None)
       cells
   in
   let has_non_text =
     List.exists
       (function
         | Tsq.Exact (Value.Int _ | Value.Float _) | Tsq.Range _ -> true
-        | Tsq.Exact _ | Tsq.Any -> false)
+        | Tsq.Exact (Value.Null | Value.Text _) | Tsq.Any -> false)
       cells
   in
   if has_non_text then []  (* numeric projections unsupported *)

@@ -16,7 +16,7 @@ let quote s =
 
 let field_of_value = function
   | Value.Null -> ""
-  | v -> quote (Value.to_display v)
+  | (Value.Int _ | Value.Float _ | Value.Text _) as v -> quote (Value.to_display v)
 
 let rows_to_string ~header rows =
   let buf = Buffer.create 1024 in

@@ -14,7 +14,7 @@ let compare a b =
   | Float x, Int y -> Float.compare x (float_of_int y)
   | Float x, Float y -> Float.compare x y
   | Text x, Text y -> String.compare x y
-  | _ -> Int.compare (rank a) (rank b)
+  | (Null | Int _ | Float _ | Text _), _ -> Int.compare (rank a) (rank b)
 
 let equal a b = compare a b = 0
 let is_null = function Null -> true | Int _ | Float _ | Text _ -> false

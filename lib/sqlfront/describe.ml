@@ -30,7 +30,8 @@ let projection p =
 let value_phrase v =
   match v with
   | Duodb.Value.Text s -> "\"" ^ s ^ "\""
-  | _ -> Duodb.Value.to_display v
+  | Duodb.Value.Null | Duodb.Value.Int _ | Duodb.Value.Float _ ->
+      Duodb.Value.to_display v
 
 let cmp_phrase = function
   | Eq -> "is"

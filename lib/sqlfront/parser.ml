@@ -43,10 +43,32 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 let peek st = if st.pos < Array.length st.toks then Some st.toks.(st.pos) else None
 let advance st = st.pos <- st.pos + 1
 
+(* Total classifiers over the token type: the parser below tests tokens
+   through these (or through structural equality for punctuation), so a new
+   token constructor is flagged here rather than silently falling into a
+   catch-all branch. *)
+let tok_ident = function
+  | Lexer.Ident s -> Some s
+  | Lexer.Number _ | Lexer.String _ | Lexer.Lparen | Lexer.Rparen
+  | Lexer.Comma | Lexer.Dot | Lexer.Star | Lexer.Op _ -> None
+
+let tok_literal = function
+  | Lexer.Number v -> Some v
+  | Lexer.String s -> Some (Duodb.Value.Text s)
+  | Lexer.Ident _ | Lexer.Lparen | Lexer.Rparen | Lexer.Comma | Lexer.Dot
+  | Lexer.Star | Lexer.Op _ -> None
+
+let tok_op = function
+  | Lexer.Op o -> Some o
+  | Lexer.Ident _ | Lexer.Number _ | Lexer.String _ | Lexer.Lparen
+  | Lexer.Rparen | Lexer.Comma | Lexer.Dot | Lexer.Star -> None
+
+let peek_ident st = Option.bind (peek st) tok_ident
+
 let is_kw st kw =
-  match peek st with
-  | Some (Lexer.Ident s) -> String.equal (String.uppercase_ascii s) kw
-  | _ -> false
+  match peek_ident st with
+  | Some s -> String.equal (String.uppercase_ascii s) kw
+  | None -> false
 
 let eat_kw st kw =
   if is_kw st kw then advance st
@@ -62,13 +84,13 @@ let accept_kw st kw =
   else false
 
 let expect_ident st what =
-  match peek st with
-  | Some (Lexer.Ident s) ->
+  match peek_ident st with
+  | Some s ->
       advance st;
       s
-  | t ->
+  | None ->
       fail "expected %s, got %s" what
-        (match t with Some t -> Lexer.token_to_string t | None -> "<eof>")
+        (match peek st with Some t -> Lexer.token_to_string t | None -> "<eof>")
 
 let agg_of_ident s =
   match String.uppercase_ascii s with
@@ -89,58 +111,56 @@ let is_keyword s = List.mem (String.uppercase_ascii s) keywords
 (* colref ::= ident ["." ident] *)
 let parse_rcol st =
   let first = expect_ident st "column reference" in
-  match peek st with
-  | Some Lexer.Dot ->
-      advance st;
-      let second = expect_ident st "column name" in
-      { rq = Some first; rn = second }
-  | _ -> { rq = None; rn = first }
+  if peek st = Some Lexer.Dot then begin
+    advance st;
+    let second = expect_ident st "column name" in
+    { rq = Some first; rn = second }
+  end
+  else { rq = None; rn = first }
 
 (* lhs ::= [DISTINCT] colref | agg "(" [DISTINCT] (colref | "*") ")" *)
 let parse_rlhs st =
   let distinct_prefix = accept_kw st "DISTINCT" in
-  match peek st with
-  | Some (Lexer.Ident s) when Option.is_some (agg_of_ident s) && st.pos + 1 < Array.length st.toks
-                              && st.toks.(st.pos + 1) = Lexer.Lparen ->
+  match peek_ident st with
+  | Some s when Option.is_some (agg_of_ident s) && st.pos + 1 < Array.length st.toks
+                && st.toks.(st.pos + 1) = Lexer.Lparen ->
       let agg = agg_of_ident s in
       advance st;
       advance st;
       let inner_distinct = accept_kw st "DISTINCT" in
       let col =
-        match peek st with
-        | Some Lexer.Star ->
-            advance st;
-            None
-        | _ -> Some (parse_rcol st)
+        if peek st = Some Lexer.Star then begin
+          advance st;
+          None
+        end
+        else Some (parse_rcol st)
       in
-      (match peek st with
-      | Some Lexer.Rparen -> advance st
-      | _ -> fail "expected ) after aggregate argument");
+      if peek st = Some Lexer.Rparen then advance st
+      else fail "expected ) after aggregate argument";
       { rl_agg = agg; rl_col = col; rl_distinct = distinct_prefix || inner_distinct }
-  | Some Lexer.Star ->
-      advance st;
-      { rl_agg = None; rl_col = None; rl_distinct = distinct_prefix }
-  | _ ->
-      let c = parse_rcol st in
-      { rl_agg = None; rl_col = Some c; rl_distinct = distinct_prefix }
+  | Some _ | None ->
+      if peek st = Some Lexer.Star then begin
+        advance st;
+        { rl_agg = None; rl_col = None; rl_distinct = distinct_prefix }
+      end
+      else
+        let c = parse_rcol st in
+        { rl_agg = None; rl_col = Some c; rl_distinct = distinct_prefix }
 
 let parse_literal st =
-  match peek st with
-  | Some (Lexer.Number v) ->
+  match Option.bind (peek st) tok_literal with
+  | Some v ->
       advance st;
       v
-  | Some (Lexer.String s) ->
-      advance st;
-      Duodb.Value.Text s
-  | t ->
+  | None ->
       fail "expected literal, got %s"
-        (match t with Some t -> Lexer.token_to_string t | None -> "<eof>")
+        (match peek st with Some t -> Lexer.token_to_string t | None -> "<eof>")
 
 (* pred ::= lhs (op literal | BETWEEN lit AND lit | [NOT] LIKE lit) *)
 let parse_rpred st =
   let lhs = parse_rlhs st in
-  match peek st with
-  | Some (Lexer.Op o) ->
+  match Option.bind (peek st) tok_op with
+  | Some o ->
       advance st;
       let v = parse_literal st in
       let cmp =
@@ -154,24 +174,28 @@ let parse_rpred st =
         | _ -> fail "unknown operator %s" o
       in
       Rcmp (lhs, cmp, v)
-  | _ when is_kw st "BETWEEN" ->
-      advance st;
-      let lo = parse_literal st in
-      eat_kw st "AND";
-      let hi = parse_literal st in
-      Rbetween (lhs, lo, hi)
-  | _ when is_kw st "LIKE" ->
-      advance st;
-      let v = parse_literal st in
-      Rcmp (lhs, Ast.Like, v)
-  | _ when is_kw st "NOT" ->
-      advance st;
-      eat_kw st "LIKE";
-      let v = parse_literal st in
-      Rcmp (lhs, Ast.Not_like, v)
-  | t ->
-      fail "expected predicate operator, got %s"
-        (match t with Some t -> Lexer.token_to_string t | None -> "<eof>")
+  | None ->
+      if is_kw st "BETWEEN" then begin
+        advance st;
+        let lo = parse_literal st in
+        eat_kw st "AND";
+        let hi = parse_literal st in
+        Rbetween (lhs, lo, hi)
+      end
+      else if is_kw st "LIKE" then begin
+        advance st;
+        let v = parse_literal st in
+        Rcmp (lhs, Ast.Like, v)
+      end
+      else if is_kw st "NOT" then begin
+        advance st;
+        eat_kw st "LIKE";
+        let v = parse_literal st in
+        Rcmp (lhs, Ast.Not_like, v)
+      end
+      else
+        fail "expected predicate operator, got %s"
+          (match peek st with Some t -> Lexer.token_to_string t | None -> "<eof>")
 
 (* cond ::= pred ((AND | OR) pred)*, one connective only (Section 2.5). *)
 let parse_rcond st =
@@ -180,11 +204,11 @@ let parse_rcond st =
     if accept_kw st "AND" then
       match conn with
       | Some Ast.Or -> fail "mixed AND/OR conditions are outside the task scope"
-      | _ -> more (parse_rpred st :: acc) (Some Ast.And)
+      | Some Ast.And | None -> more (parse_rpred st :: acc) (Some Ast.And)
     else if accept_kw st "OR" then
       match conn with
       | Some Ast.And -> fail "mixed AND/OR conditions are outside the task scope"
-      | _ -> more (parse_rpred st :: acc) (Some Ast.Or)
+      | Some Ast.Or | None -> more (parse_rpred st :: acc) (Some Ast.Or)
     else (List.rev acc, Option.value ~default:Ast.And conn)
   in
   more [ first ] None
@@ -197,11 +221,11 @@ let parse_tref st =
     let alias = expect_ident st "alias" in
     (alias, table)
   else
-    match peek st with
-    | Some (Lexer.Ident s) when not (is_keyword s) ->
+    match peek_ident st with
+    | Some s when not (is_keyword s) ->
         advance st;
         (s, table)
-    | _ -> (table, table)
+    | Some _ | None -> (table, table)
 
 let parse_from st =
   let first = parse_tref st in
@@ -210,9 +234,8 @@ let parse_from st =
       let tref = parse_tref st in
       eat_kw st "ON";
       let a = parse_rcol st in
-      (match peek st with
-      | Some (Lexer.Op "=") -> advance st
-      | _ -> fail "expected = in join condition");
+      (if peek st = Some (Lexer.Op "=") then advance st
+       else fail "expected = in join condition");
       let b = parse_rcol st in
       joins (tref :: trefs) ((a, b) :: edges)
     end
@@ -275,11 +298,13 @@ let parse_rquery st =
   in
   let r_limit =
     if accept_kw st "LIMIT" then
-      match peek st with
-      | Some (Lexer.Number (Duodb.Value.Int n)) ->
+      match Option.bind (peek st) tok_literal with
+      | Some (Duodb.Value.Int n) ->
           advance st;
           Some n
-      | _ -> fail "expected integer after LIMIT"
+      | Some (Duodb.Value.Null | Duodb.Value.Float _ | Duodb.Value.Text _)
+      | None ->
+          fail "expected integer after LIMIT"
     else None
   in
   (match peek st with
@@ -335,9 +360,8 @@ let resolve rq ~schema =
     List.map
       (fun l ->
         let agg, col, distinct = resolve_lhs ~aliases ~schema ~tables l in
-        (match agg, col with
-        | None, None -> fail "bare * projection is outside the task scope"
-        | _ -> ());
+        if agg = None && col = None then
+          fail "bare * projection is outside the task scope";
         { Ast.p_agg = agg; p_col = col; p_distinct = distinct })
       rq.r_select
   in

@@ -181,9 +181,9 @@ let test_stats_attribution () =
   in
   let s = outcome.Enumerate.out_stats in
   let attributed =
-    s.Duocore.Verify.pruned_by_clauses + s.Duocore.Verify.pruned_by_semantics
-    + s.Duocore.Verify.pruned_by_types + s.Duocore.Verify.pruned_by_column
-    + s.Duocore.Verify.pruned_by_row + s.Duocore.Verify.pruned_by_complete
+    List.fold_left
+      (fun acc st -> acc + Duocore.Verify.pruned_by s st)
+      0 Duocore.Verify.all_stages
   in
   Alcotest.(check int) "every prune attributed to a stage" s.Duocore.Verify.pruned
     attributed

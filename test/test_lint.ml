@@ -1,0 +1,372 @@
+(* Duolint: the interval/constant abstract domain (meet/join/widen,
+   QCheck abstraction soundness) and the rule engine's open-world
+   discipline — errors may only fire on decided clauses, and a partial
+   query that could still repair itself must never be rejected. *)
+
+open Duosql.Ast
+module Value = Duodb.Value
+module Domain = Duolint.Domain
+module Diag = Duolint.Diagnostic
+module Outline = Duolint.Outline
+module Analyze = Duolint.Analyze
+
+let i n = Value.Int n
+let f x = Value.Float x
+let t s = Value.Text s
+
+let dom =
+  Alcotest.testable Domain.pp Domain.equal
+
+let itv ?lo ?hi ?(excl = []) () = Domain.Itv { lo; hi; excl }
+
+(* --- meet --- *)
+
+let test_meet_contradiction () =
+  (* x > 5 AND x < 3 *)
+  Alcotest.check dom "x>5 /\\ x<3 = bot" Domain.bot
+    (Domain.meet (Domain.of_rhs (Cmp (Gt, i 5))) (Domain.of_rhs (Cmp (Lt, i 3))));
+  (* x = 'a' AND x = 'b' *)
+  Alcotest.check dom "'a' /\\ 'b' = bot" Domain.bot
+    (Domain.meet (Domain.point (t "a")) (Domain.point (t "b")));
+  (* x = 5 AND x <> 5 *)
+  Alcotest.check dom "=5 /\\ <>5 = bot" Domain.bot
+    (Domain.meet (Domain.of_rhs (Cmp (Eq, i 5))) (Domain.of_rhs (Cmp (Neq, i 5))));
+  (* strict empty pinch: x > 5 AND x < 5 and even x >= 5 AND x < 5 *)
+  Alcotest.check dom ">5 /\\ <5 = bot" Domain.bot
+    (Domain.meet (Domain.of_rhs (Cmp (Gt, i 5))) (Domain.of_rhs (Cmp (Lt, i 5))));
+  Alcotest.check dom ">=5 /\\ <5 = bot" Domain.bot
+    (Domain.meet (Domain.of_rhs (Cmp (Ge, i 5))) (Domain.of_rhs (Cmp (Lt, i 5))))
+
+let test_meet_narrows () =
+  Alcotest.check dom "[1,10] /\\ [5,20] = [5,10]"
+    (itv ~lo:(i 5, false) ~hi:(i 10, false) ())
+    (Domain.meet
+       (Domain.of_rhs (Between (i 1, i 10)))
+       (Domain.of_rhs (Between (i 5, i 20))));
+  (* the Helly-breaking trio: pairwise nonempty, jointly empty *)
+  let neq5 = Domain.of_rhs (Cmp (Neq, i 5)) in
+  let ge5 = Domain.of_rhs (Cmp (Ge, i 5)) in
+  let le5 = Domain.of_rhs (Cmp (Le, i 5)) in
+  Alcotest.(check bool) "pairwise nonempty" false
+    (Domain.is_bot (Domain.meet neq5 ge5)
+    || Domain.is_bot (Domain.meet neq5 le5)
+    || Domain.is_bot (Domain.meet ge5 le5));
+  Alcotest.check dom "jointly bot" Domain.bot
+    (Domain.meet neq5 (Domain.meet ge5 le5))
+
+let test_meet_floats_cross_type () =
+  (* ints and floats share one numeric order *)
+  Alcotest.(check bool) "2.5 in [2,3]" true
+    (Domain.mem (f 2.5) (Domain.of_rhs (Between (i 2, i 3))));
+  Alcotest.check dom "[1.5,2.5] /\\ [2,3] = [2,2.5]"
+    (itv ~lo:(i 2, false) ~hi:(f 2.5, false) ())
+    (Domain.meet
+       (Domain.of_rhs (Between (f 1.5, f 2.5)))
+       (Domain.of_rhs (Between (i 2, i 3))))
+
+(* --- join --- *)
+
+let test_join_hull () =
+  Alcotest.check dom "[1,2] \\/ [5,6] = [1,6]"
+    (itv ~lo:(i 1, false) ~hi:(i 6, false) ())
+    (Domain.join
+       (Domain.of_rhs (Between (i 1, i 2)))
+       (Domain.of_rhs (Between (i 5, i 6))));
+  Alcotest.check dom "top absorbs" Domain.top
+    (Domain.join Domain.top (Domain.point (i 3)));
+  Alcotest.check dom "bot is neutral" (Domain.point (i 3))
+    (Domain.join Domain.bot (Domain.point (i 3)))
+
+let test_join_keeps_common_exclusion () =
+  (* 5 is outside both operands, so it stays excluded *)
+  let j = Domain.join (Domain.of_rhs (Cmp (Neq, i 5))) (Domain.point (i 3)) in
+  Alcotest.(check bool) "5 still out" false (Domain.mem (i 5) j);
+  (* but an exclusion one side covers is dropped *)
+  let j' =
+    Domain.join (Domain.of_rhs (Cmp (Neq, i 5))) (Domain.of_rhs (Between (i 4, i 6)))
+  in
+  Alcotest.(check bool) "5 back in" true (Domain.mem (i 5) j')
+
+(* --- widening --- *)
+
+let test_widen () =
+  let b lo hi = itv ~lo:(i lo, false) ~hi:(i hi, false) () in
+  (* moved hi drops to +inf, stable lo survives *)
+  Alcotest.check dom "growing hi widens" (itv ~lo:(i 1, false) ())
+    (Domain.widen (b 1 10) (b 1 12));
+  Alcotest.check dom "growing lo widens" (itv ~hi:(i 10, false) ())
+    (Domain.widen (b 1 10) (b 0 10));
+  Alcotest.check dom "stable interval unchanged" (b 1 10)
+    (Domain.widen (b 1 10) (b 1 10));
+  (* a chain that alternates growth stabilizes at top in two steps *)
+  let w1 = Domain.widen (b 1 10) (b 0 12) in
+  Alcotest.check dom "both moved: top" Domain.top w1;
+  Alcotest.check dom "widen is idempotent at top" Domain.top
+    (Domain.widen w1 Domain.top);
+  (* exclusions only shrink *)
+  let ne = Domain.of_rhs (Cmp (Neq, i 5)) in
+  Alcotest.(check bool) "exclusion kept while next rules it out" false
+    (Domain.mem (i 5) (Domain.widen ne ne));
+  Alcotest.check dom "exclusion dropped when next admits it" Domain.top
+    (Domain.widen ne Domain.top);
+  (* unbounded on both ends from the start *)
+  Alcotest.check dom "top widens to top" Domain.top (Domain.widen Domain.top Domain.top)
+
+(* --- order, emptiness, null --- *)
+
+let test_leq_and_empty () =
+  Alcotest.(check bool) "[2,3] <= [1,5]" true
+    (Domain.leq (Domain.of_rhs (Between (i 2, i 3))) (Domain.of_rhs (Between (i 1, i 5))));
+  Alcotest.(check bool) "[1,5] </= [2,3]" false
+    (Domain.leq (Domain.of_rhs (Between (i 1, i 5))) (Domain.of_rhs (Between (i 2, i 3))));
+  Alcotest.(check bool) "bot <= everything" true
+    (Domain.leq Domain.bot (Domain.point (t "z")));
+  (* inverted BETWEEN is empty *)
+  Alcotest.check dom "BETWEEN 5 AND 1 = bot" Domain.bot
+    (Domain.of_rhs (Between (i 5, i 1)));
+  (* text ordering: 'a' < 'b' *)
+  Alcotest.(check bool) "'a' in (-inf,'b')" true
+    (Domain.mem (t "a") (Domain.of_rhs (Cmp (Lt, t "b"))))
+
+let test_null_never_member () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "null out" false (Domain.mem Value.Null d))
+    [ Domain.top; Domain.point Value.Null; Domain.of_rhs (Cmp (Neq, i 1));
+      Domain.of_rhs (Between (i (-5), i 5)) ];
+  Alcotest.check dom "point null = bot" Domain.bot (Domain.point Value.Null);
+  Alcotest.check dom "x = NULL is unsatisfiable" Domain.bot
+    (Domain.of_rhs (Cmp (Eq, Value.Null)))
+
+(* --- QCheck: abstraction soundness --- *)
+
+let arb_value =
+  QCheck.oneof
+    [
+      QCheck.map (fun n -> i n) QCheck.(int_range (-20) 20);
+      QCheck.map (fun x -> f (float_of_int x /. 4.0)) QCheck.(int_range (-80) 80);
+      QCheck.map (fun c -> t (String.make 1 c)) QCheck.printable_char;
+    ]
+
+let arb_rhs =
+  QCheck.oneof
+    [
+      QCheck.map (fun v -> Cmp (Eq, v)) arb_value;
+      QCheck.map (fun v -> Cmp (Neq, v)) arb_value;
+      QCheck.map (fun v -> Cmp (Lt, v)) arb_value;
+      QCheck.map (fun v -> Cmp (Le, v)) arb_value;
+      QCheck.map (fun v -> Cmp (Gt, v)) arb_value;
+      QCheck.map (fun v -> Cmp (Ge, v)) arb_value;
+      QCheck.map
+        (fun (a, b) -> Between (a, b))
+        (QCheck.pair arb_value arb_value);
+    ]
+
+(* the concrete truth of [v <op> w] under SQL three-valued logic with
+   NULL collapsed to false — mirrors the executor's eval_cmp *)
+let concrete_sat v rhs =
+  match rhs with
+  | Cmp (op, w) -> (
+      let c = Value.compare v w in
+      match op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | Like | Not_like -> false (* not generated *))
+  | Between (lo, hi) -> Value.compare lo v <= 0 && Value.compare v hi <= 0
+
+let abstraction_sound =
+  QCheck.Test.make ~count:2000 ~name:"mem (of_rhs p) = concrete truth"
+    (QCheck.pair arb_value arb_rhs)
+    (fun (v, rhs) -> Domain.mem v (Domain.of_rhs rhs) = concrete_sat v rhs)
+
+let concretize_abstract =
+  QCheck.Test.make ~count:500 ~name:"concretize (abstract v) = Some v"
+    arb_value
+    (fun v -> Domain.concretize (Domain.abstract v) = Some v)
+
+let meet_exact =
+  QCheck.Test.make ~count:2000 ~name:"meet is exact intersection"
+    (QCheck.triple arb_value arb_rhs arb_rhs)
+    (fun (v, r1, r2) ->
+      Domain.mem v (Domain.meet (Domain.of_rhs r1) (Domain.of_rhs r2))
+      = (concrete_sat v r1 && concrete_sat v r2))
+
+let join_sound =
+  QCheck.Test.make ~count:2000 ~name:"join over-approximates union"
+    (QCheck.triple arb_value arb_rhs arb_rhs)
+    (fun (v, r1, r2) ->
+      (not (concrete_sat v r1 || concrete_sat v r2))
+      || Domain.mem v (Domain.join (Domain.of_rhs r1) (Domain.of_rhs r2)))
+
+let widen_sound =
+  QCheck.Test.make ~count:2000 ~name:"widen over-approximates its operands"
+    (QCheck.triple arb_value arb_rhs arb_rhs)
+    (fun (v, r1, r2) ->
+      let a = Domain.of_rhs r1 and b = Domain.of_rhs r2 in
+      (not (Domain.mem v a || Domain.mem v b)) || Domain.mem v (Domain.widen a b))
+
+(* --- rules: errors, warnings, open-world gating --- *)
+
+let schema = Fixtures.movie_schema
+
+let year = col "movies" "year"
+let name = col "movies" "name"
+let mid = col "movies" "mid"
+
+let sel cols =
+  List.map (fun c -> { p_agg = None; p_col = Some c; p_distinct = false }) cols
+
+let from1 = { f_tables = [ "movies" ]; f_joins = [] }
+
+let base_query =
+  {
+    q_distinct = false;
+    q_select = sel [ name ];
+    q_from = from1;
+    q_where = None;
+    q_group_by = [];
+    q_having = None;
+    q_order_by = [];
+    q_limit = None;
+  }
+
+let rules ds = List.map (fun d -> d.Diag.d_rule) ds
+
+let has rule ds = List.mem rule (rules ds)
+
+let test_clean_query () =
+  Alcotest.(check (list string)) "no diagnostics" []
+    (List.map Diag.rule_name (rules (Analyze.check_query schema base_query)))
+
+let test_error_rules () =
+  let where preds =
+    { base_query with q_where = Some { c_preds = preds; c_conn = And } }
+  in
+  let p c rhs = { pr_agg = None; pr_col = Some c; pr_rhs = rhs } in
+  Alcotest.(check bool) "contradiction" true
+    (has Diag.Unsatisfiable_where
+       (Analyze.check_query schema
+          (where [ p year (Cmp (Gt, i 2000)); p year (Cmp (Lt, i 1990)) ])));
+  Alcotest.(check bool) "eq/neq conflict" true
+    (has Diag.Unsatisfiable_where
+       (Analyze.check_query schema
+          (where [ p name (Cmp (Eq, t "Seven")); p name (Cmp (Neq, t "Seven")) ])));
+  Alcotest.(check bool) "unknown column" true
+    (has Diag.Unknown_column
+       (Analyze.check_query schema (where [ p (col "movies" "nope") (Cmp (Eq, i 1)) ])));
+  Alcotest.(check bool) "unknown table" true
+    (has Diag.Unknown_table
+       (Analyze.check_query schema
+          { base_query with
+            q_from = { f_tables = [ "moviez" ]; f_joins = [] };
+            q_select = sel [ col "moviez" "name" ] }));
+  Alcotest.(check bool) "type error" true
+    (has Diag.Comparison_type
+       (Analyze.check_query schema (where [ p name (Cmp (Lt, i 3)) ])));
+  Alcotest.(check bool) "sum over text" true
+    (has Diag.Aggregate_type
+       (Analyze.check_query schema
+          { base_query with
+            q_select = [ { p_agg = Some Sum; p_col = Some name; p_distinct = false } ] }));
+  Alcotest.(check bool) "limit 0" true
+    (has Diag.Nonpositive_limit
+       (Analyze.check_query schema { base_query with q_limit = Some 0 }));
+  Alcotest.(check bool) "group by pk" true
+    (has Diag.Group_by_primary_key
+       (Analyze.check_query schema
+          { base_query with
+            q_select =
+              [ { p_agg = None; p_col = Some mid; p_distinct = false };
+                { p_agg = Some Count; p_col = Some year; p_distinct = false } ];
+            q_group_by = [ mid ] }));
+  Alcotest.(check bool) "disconnected from" true
+    (has Diag.Disconnected_from
+       (Analyze.check_query schema
+          { base_query with
+            q_from = { f_tables = [ "movies"; "actor" ]; f_joins = [] } }))
+
+let test_warning_rules () =
+  let where preds =
+    { base_query with q_where = Some { c_preds = preds; c_conn = And } }
+  in
+  let p c rhs = { pr_agg = None; pr_col = Some c; pr_rhs = rhs } in
+  let dup = where [ p year (Cmp (Gt, i 2000)); p year (Cmp (Gt, i 2000)) ] in
+  Alcotest.(check bool) "duplicate predicate" true
+    (has Diag.Duplicate_predicate (Analyze.check_query schema dup));
+  Alcotest.(check bool) "duplicates are warnings, not errors" true
+    (Analyze.errors (Analyze.check_query schema dup) = []);
+  Alcotest.(check bool) "subsumed predicate" true
+    (has Diag.Subsumed_predicate
+       (Analyze.check_query schema
+          (where [ p year (Cmp (Gt, i 2000)); p year (Cmp (Gt, i 1990)) ])));
+  Alcotest.(check bool) "self join" true
+    (has Diag.Self_join
+       (Analyze.check_query schema
+          { base_query with
+            q_from =
+              { f_tables = [ "movies" ];
+                f_joins = [ { j_from = mid; j_to = mid } ] } }));
+  Alcotest.(check bool) "constant output" true
+    (has Diag.Constant_output
+       (Analyze.check_query schema
+          { (where [ p name (Cmp (Eq, t "Seven")) ]) with q_select = sel [ name ] }))
+
+let test_open_world_gating () =
+  (* the same contradictory predicates: decided but non-final WHERE must
+     not error (an open OR could still repair the conjunction) *)
+  let p c rhs = { pr_agg = None; pr_col = Some c; pr_rhs = rhs } in
+  let preds = [ p year (Cmp (Gt, i 2000)); p year (Cmp (Lt, i 1990)) ] in
+  let partial =
+    { Outline.empty with Outline.o_where = preds; o_where_conn = None }
+  in
+  Alcotest.(check bool) "non-final WHERE: no error" false
+    (Analyze.has_errors schema partial);
+  let final =
+    { partial with Outline.o_where_conn = Some And; o_where_final = true }
+  in
+  Alcotest.(check bool) "final WHERE: error" true (Analyze.has_errors schema final);
+  (* structural FROM errors wait for the final clause — join-path
+     construction may replace FROM wholesale *)
+  let broken_from =
+    { Outline.empty with
+      Outline.o_from = Some { f_tables = [ "movies"; "actor" ]; f_joins = [] } }
+  in
+  Alcotest.(check bool) "non-final FROM: no error" false
+    (Analyze.has_errors schema broken_from);
+  Alcotest.(check bool) "final FROM: error" true
+    (Analyze.has_errors schema { broken_from with Outline.o_from_final = true });
+  (* unknown column references are decided facts: they fire immediately *)
+  let bad_sel =
+    { Outline.empty with Outline.o_select = sel [ col "movies" "nope" ] }
+  in
+  Alcotest.(check bool) "unknown column fires on partials" true
+    (Analyze.has_errors schema bad_sel);
+  (* empty outline (the enumeration root) is silent *)
+  Alcotest.(check bool) "root outline clean" false
+    (Analyze.has_errors schema Outline.empty)
+
+let qcheck_cases =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x11A7 |]))
+    [ abstraction_sound; concretize_abstract; meet_exact; join_sound; widen_sound ]
+
+let suite =
+  [
+    Alcotest.test_case "meet: contradictions" `Quick test_meet_contradiction;
+    Alcotest.test_case "meet: narrowing" `Quick test_meet_narrows;
+    Alcotest.test_case "meet: numeric cross-type" `Quick test_meet_floats_cross_type;
+    Alcotest.test_case "join: hull" `Quick test_join_hull;
+    Alcotest.test_case "join: exclusions" `Quick test_join_keeps_common_exclusion;
+    Alcotest.test_case "widening" `Quick test_widen;
+    Alcotest.test_case "leq + emptiness" `Quick test_leq_and_empty;
+    Alcotest.test_case "null membership" `Quick test_null_never_member;
+    Alcotest.test_case "rules: clean query" `Quick test_clean_query;
+    Alcotest.test_case "rules: errors" `Quick test_error_rules;
+    Alcotest.test_case "rules: warnings" `Quick test_warning_rules;
+    Alcotest.test_case "rules: open-world gating" `Quick test_open_world_gating;
+  ]
+  @ qcheck_cases

@@ -13,6 +13,7 @@ let () =
       ("tsq", Test_tsq.suite);
       ("steiner+joinpath", Test_steiner.suite);
       ("semantics", Test_semantics.suite);
+      ("duolint", Test_lint.suite);
       ("verify", Test_verify.suite);
       ("frontier", Test_frontier.suite);
       ("enumerate", Test_enumerate.suite);
