@@ -208,6 +208,61 @@ let stage_profile () =
     Duobench.Mas.nli_study_tasks;
   (seconds, pruned, !static_warnings)
 
+(* Duopar profile: the B-tier MAS NLI tasks (three- and four-table joins,
+   the heaviest verification load) synthesized with a full-detail TSQ,
+   once sequentially and once with worker domains.  The run is
+   pop-bounded, not time-bounded, so both configurations do identical
+   work and the wall-clock ratio is a real speedup.  Candidate lists are
+   digested to demonstrate Duopar's bit-identical-output guarantee. *)
+let duopar_domains () =
+  match Duocore.Enumerate.domains_from_env () with 1 -> 4 | n -> n
+
+let duopar_profile () =
+  let db = Lazy.force mas_db in
+  let session = Lazy.force mas_session in
+  let tasks =
+    List.filter
+      (fun t -> String.length t.Duobench.Mas.task_id > 0 && t.Duobench.Mas.task_id.[0] = 'B')
+      Duobench.Mas.nli_study_tasks
+  in
+  let config domains =
+    { micro_config with
+      Duocore.Enumerate.time_budget_s = 30.0;
+      max_pops = 3_000;
+      domains }
+  in
+  let run_at domains =
+    let t0 = Duocore.Clock.now () in
+    let outcomes =
+      List.map
+        (fun task ->
+          let rng = Duobench.Rng.create 29 in
+          let tsq =
+            Duobench.Tsq_synth.synthesize rng db (Duobench.Mas.gold task)
+              ~detail:Duobench.Tsq_synth.Full
+          in
+          Duocore.Duoquest.synthesize ~config:(config domains) ?tsq
+            ~literals:task.Duobench.Mas.task_literals session
+            ~nlq:task.Duobench.Mas.task_nlq ())
+        tasks
+    in
+    (outcomes, Duocore.Clock.now () -. t0)
+  in
+  let digest outcomes =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n"
+            (List.concat_map
+               (fun o ->
+                 List.map
+                   (fun c -> Duosql.Pretty.query c.Duocore.Enumerate.cand_query)
+                   o.Duocore.Enumerate.out_candidates)
+               outcomes)))
+  in
+  let seq, seq_wall = run_at 1 in
+  let par, par_wall = run_at (duopar_domains ()) in
+  (tasks, seq, seq_wall, par, par_wall, digest seq, digest par)
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -261,6 +316,55 @@ let write_json path estimates =
         (if i = n_stages - 1 then "" else ","))
     Duocore.Verify.all_stages;
   out "  ],\n";
+  let tasks, _seq, seq_wall, par, par_wall, seq_hash, par_hash =
+    duopar_profile ()
+  in
+  let n_domains = duopar_domains () in
+  (* Sum committed per-domain stats across the parallel outcomes. *)
+  let per_domain =
+    Array.init n_domains (fun _ -> Duocore.Verify.new_stats ())
+  in
+  List.iter
+    (fun o ->
+      Array.iteri
+        (fun d ds ->
+          if d < n_domains then
+            Duocore.Verify.merge_stats ~into:per_domain.(d) ds)
+        o.Duocore.Enumerate.out_domain_stats)
+    par;
+  out "  \"duopar\": {\n";
+  out "    \"domains\": %d,\n" n_domains;
+  out "    \"cores_detected\": %d,\n" (Domain.recommended_domain_count ());
+  out "    \"tasks\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun t -> Printf.sprintf "\"%s\"" (json_escape t.Duobench.Mas.task_id))
+          tasks));
+  out "    \"sequential_wall_s\": %.6f,\n" seq_wall;
+  out "    \"parallel_wall_s\": %.6f,\n" par_wall;
+  out "    \"speedup\": %.3f,\n"
+    (if par_wall > 0. then seq_wall /. par_wall else 0.);
+  out "    \"candidate_hash_sequential\": \"%s\",\n" seq_hash;
+  out "    \"candidate_hash_parallel\": \"%s\",\n" par_hash;
+  out "    \"identical_candidates\": %b,\n" (String.equal seq_hash par_hash);
+  out "    \"per_domain\": [\n";
+  Array.iteri
+    (fun d st ->
+      out
+        "      {\"domain\": %d, \"pruned\": %d, \"full_executions\": %d, \
+         \"stage_seconds\": [%s]}%s\n"
+        d st.Duocore.Verify.pruned st.Duocore.Verify.full_executions
+        (String.concat ", "
+           (List.map
+              (fun stage ->
+                Printf.sprintf "%.6f"
+                  st.Duocore.Verify.stage_seconds.(Duocore.Verify.stage_index
+                                                    stage))
+              Duocore.Verify.all_stages))
+        (if d = n_domains - 1 then "" else ","))
+    per_domain;
+  out "    ]\n";
+  out "  },\n";
   out "  \"pruned_by_static\": %d,\n"
     (pruned.(Duocore.Verify.stage_index Duocore.Verify.S_static));
   out "  \"static_warnings\": %d\n" static_warnings;

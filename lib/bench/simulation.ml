@@ -13,7 +13,8 @@ let sim_config =
   { Enumerate.default_config with
     Enumerate.max_pops = 40_000;
     max_candidates = 100;
-    time_budget_s = 1.0 }
+    time_budget_s = 1.0;
+    domains = Enumerate.domains_from_env () }
 
 let sessions_of split =
   let tbl = Hashtbl.create 16 in

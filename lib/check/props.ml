@@ -103,6 +103,60 @@ let property1_prop ((sc : Gen.scenario), seed) =
   in
   walk Duocore.Partial.root 40
 
+(* Duopar determinism: enumeration with worker domains is observably
+   identical to the sequential run — same candidate queries in the same
+   emission order, same pop/push counts, and the same per-stage prune
+   counts.  This is the contract that makes [domains] a pure deployment
+   knob (DESIGN.md, "Duopar"): speculation must never leak into results
+   or accounting.  Seed picks the domain count (2..5) and whether
+   partial-query pruning is on. *)
+let parallel_determinism_prop ((sc : Gen.scenario), seed) =
+  let ctx = ctx_of sc in
+  let domains = 2 + (seed mod 4) in
+  let prune_partial = seed land 1 = 0 in
+  let run domains =
+    let config =
+      { Duocore.Enumerate.default_config with
+        Duocore.Enumerate.max_pops = 600;
+        max_candidates = 10;
+        time_budget_s = 20.0;
+        prune_partial;
+        domains }
+    in
+    Duocore.Enumerate.run config ctx sc.Gen.sc_db ~tsq:(Some sc.Gen.sc_tsq)
+      ~literals:[] ()
+  in
+  let seq = run 1 in
+  let par = run domains in
+  let sigs (o : Duocore.Enumerate.outcome) =
+    List.map
+      (fun (c : Duocore.Enumerate.candidate) ->
+        (Duosql.Pretty.query c.Duocore.Enumerate.cand_query,
+         c.Duocore.Enumerate.cand_pops))
+      o.Duocore.Enumerate.out_candidates
+  in
+  let prunes (o : Duocore.Enumerate.outcome) =
+    List.map
+      (Duocore.Verify.pruned_by o.Duocore.Enumerate.out_stats)
+      Duocore.Verify.all_stages
+  in
+  if sigs seq <> sigs par then
+    QCheck.Test.fail_reportf
+      "candidates diverge at domains=%d:\nseq: %s\npar: %s" domains
+      (String.concat " | " (List.map fst (sigs seq)))
+      (String.concat " | " (List.map fst (sigs par)))
+  else if
+    seq.Duocore.Enumerate.out_pops <> par.Duocore.Enumerate.out_pops
+    || seq.Duocore.Enumerate.out_pushed <> par.Duocore.Enumerate.out_pushed
+  then
+    QCheck.Test.fail_reportf
+      "loop accounting diverges at domains=%d: pops %d/%d pushes %d/%d"
+      domains seq.Duocore.Enumerate.out_pops par.Duocore.Enumerate.out_pops
+      seq.Duocore.Enumerate.out_pushed par.Duocore.Enumerate.out_pushed
+  else if prunes seq <> prunes par then
+    QCheck.Test.fail_reportf "prune counts diverge at domains=%d" domains
+  else true
+
 (* --- Duolint error soundness ---------------------------------------- *)
 
 (* A query Duolint rejects as an {e error} can never be a correct intent.
@@ -295,4 +349,7 @@ let tests ?(mult = 1) () =
     QCheck.Test.make ~count:(500 * mult)
       ~name:"Duolint soundness: rejected queries match no true answer"
       arb_seeded lint_soundness_prop;
+    QCheck.Test.make ~count:(6 * mult)
+      ~name:"Duopar determinism: parallel enumeration = sequential"
+      arb_seeded parallel_determinism_prop;
   ]

@@ -12,6 +12,7 @@ type config = {
   static_rules : bool;
   static_penalty : float;
   max_frontier : int;
+  domains : int;
 }
 
 let default_config =
@@ -26,7 +27,19 @@ let default_config =
     static_rules = true;
     static_penalty = 0.85;
     max_frontier = 400_000;
+    domains = 1;
   }
+
+(* DUOQUEST_DOMAINS=<n> is the deployment-side knob (CLI, bench,
+   simulation); unset, unparsable or out-of-range values fall back to
+   sequential. *)
+let domains_from_env () =
+  match Sys.getenv_opt "DUOQUEST_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n 64
+      | Some _ | None -> 1)
 
 type candidate = {
   cand_query : query;
@@ -46,6 +59,8 @@ type outcome = {
   out_verify_s : float;
   out_exhausted : bool;
   out_dropped : int;
+  out_domains : int;
+  out_domain_stats : Verify.stats array;
 }
 
 type hints = {
@@ -357,16 +372,50 @@ let expand ~guided hints ctx (t : Partial.t) =
 
 exception Budget_exhausted
 
+(* The result of speculatively processing one frontier state on some
+   domain: the expanded children with their cascade verdicts, plus the
+   private stats and profile times the task accumulated.  Expansion and
+   verification are pure functions of the state (the database, model
+   context and TSQ are immutable during a run; every cache only memoizes
+   deterministic results), so a task's verdicts are independent of which
+   domain ran it or when.  Stats are merged into the run's totals only
+   when the state is actually popped by the sequential committing loop —
+   speculation on states that are never popped leaves no trace, keeping
+   prune counts identical to a [domains = 1] run. *)
+type task_result = {
+  tr_worker : int;
+  tr_children : (Partial.t * bool) list;
+  tr_stats : Verify.stats;
+  tr_expand_s : float;
+  tr_verify_s : float;
+}
+
 let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> ()) () =
   (* Budgets and candidate timestamps are wall clock (Clock.now): the
      paper's time budget is real time, and CPU time stalls whenever the
      process blocks.  Profiling accumulators below use the cheap
      monotonic clock (see {!Clock}). *)
+  let domains = max 1 (min config.domains 64) in
   let start = Clock.now () in
   let stats = Verify.new_stats () in
+  let index =
+    (* Force the index on the caller's domain before any worker can race
+       to build it: environments share one immutable index. *)
+    if domains = 1 then index
+    else Some (match index with Some i -> i | None -> Duodb.Index.build db)
+  in
   let env =
     Verify.make_env ~stats ~semantics:config.semantic_rules
       ~static:config.static_rules ?index ?relcache ~db ~tsq ~literals ()
+  in
+  let envs =
+    Array.init domains (fun d -> if d = 0 then env else Verify.fork_env env)
+  in
+  (* Committed per-domain work.  With [domains = 1] this aliases [stats],
+     so the sequential path keeps its single-record accounting. *)
+  let domain_stats =
+    if domains = 1 then [| stats |]
+    else Array.init domains (fun _ -> Verify.new_stats ())
   in
   let hints = match tsq with Some s -> hints_of_tsq s | None -> no_hints in
   let frontier = Frontier.create ~cap:config.max_frontier () in
@@ -407,6 +456,79 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
     acc := !acc +. (Clock.mono () -. t0);
     r
   in
+  (* --- Duopar speculation (domains > 1) ---------------------------------
+     The sequential best-first loop below stays the single committing
+     loop: it alone pops, emits, merges stats and pushes children, so
+     candidate order, dedup and prune accounting are decided exactly as
+     with [domains = 1].  Parallelism is pure speculation ahead of it:
+     when the next popped state has no memoized result, the top
+     [spec_batch] frontier states are processed in one pool round (each
+     on some domain, against that domain's private caches and a private
+     stats record), the results memoized by state key, and the un-popped
+     states restored to the frontier with their original sequence
+     numbers.  Keys are unique within the frontier ([push_fresh] admits
+     each key once), so a memo entry can only belong to one live state. *)
+  let pool =
+    if domains > 1 then Some (Duopar.Pool.create ~domains) else None
+  in
+  let spec_batch = domains * 4 in
+  let memo : (string, task_result) Hashtbl.t = Hashtbl.create 256 in
+  let process worker (p : Partial.t) =
+    let tstats = Verify.new_stats () in
+    let env_t = Verify.with_stats envs.(worker) tstats in
+    let t0 = Clock.mono () in
+    let children = expand ~guided:config.guided hints ctx p in
+    let t1 = Clock.mono () in
+    let verdicts =
+      List.map
+        (fun (child : Partial.t) ->
+          let ok =
+            if Partial.is_complete child then Verify.verify env_t child
+            else if config.prune_partial then Verify.verify env_t child
+            else
+              (not config.static_rules) || Verify.check_static env_t child
+          in
+          (child, ok))
+        children
+    in
+    let t2 = Clock.mono () in
+    (* [sync_relcache] copies the worker cache's *cumulative* counters
+       into the current record; merging those per task would multiply
+       them.  Per-domain cache numbers are re-derived from the caches
+       once, when the run finishes. *)
+    tstats.Verify.relcache_hits <- 0;
+    tstats.Verify.pushdown_builds <- 0;
+    {
+      tr_worker = worker;
+      tr_children = verdicts;
+      tr_stats = tstats;
+      tr_expand_s = t1 -. t0;
+      tr_verify_s = t2 -. t1;
+    }
+  in
+  let fill pool (p : Partial.t) =
+    let extras = Frontier.pop_entries frontier (spec_batch - 1) in
+    let tasks =
+      Array.of_list
+        (p
+        :: List.filter_map
+             (fun ((st : Partial.t), _) ->
+               if Partial.is_complete st || Hashtbl.mem memo (Partial.key st)
+               then None
+               else Some st)
+             extras)
+    in
+    let results = Array.make (Array.length tasks) None in
+    Duopar.Pool.run pool (Array.length tasks) (fun ~worker i ->
+        results.(i) <- Some (process worker tasks.(i)));
+    Array.iteri
+      (fun i st ->
+        match results.(i) with
+        | Some r -> Hashtbl.replace memo (Partial.key st) r
+        | None -> ())
+      tasks;
+    Frontier.restore frontier extras
+  in
   let emit pq q =
     let duplicate =
       List.exists (fun c -> Duosql.Equal.queries c.cand_query q) !candidates
@@ -427,8 +549,11 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
       if !n_candidates >= config.max_candidates then raise Budget_exhausted
     end
   in
-  (try
-     while true do
+  Fun.protect
+    ~finally:(fun () -> Option.iter Duopar.Pool.shutdown pool)
+    (fun () ->
+      try
+        while true do
        if Frontier.is_empty frontier then begin
          (* An empty frontier only proves exhaustion when compaction never
             discarded a state: dropped states stay in [visited] and can
@@ -447,42 +572,89 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
            (match Partial.to_query p with
            | Some q -> emit p q
            | None -> ())
-       | Some p ->
+       | Some p -> (
            incr pops;
-           let children =
-             timed expand_s (fun () -> expand ~guided:config.guided hints ctx p)
-           in
-           List.iter
-             (fun (child : Partial.t) ->
-               (* verification can dominate a pop; respect the budget *)
-               if Clock.now () -. start > config.time_budget_s then
-                 raise Budget_exhausted;
-               if Partial.is_complete child then begin
-                 (* Complete queries are always verified (NoPQ included). *)
-                 if timed verify_s (fun () -> Verify.verify env child) then
-                   push_fresh child
-               end
-               else if
-                 (* Even without partial-query pruning (NoPQ), statically
-                    dead children never enter the frontier: stage 0 needs
-                    no TSQ and costs no database access. *)
-                 (if config.prune_partial then
-                    timed verify_s (fun () -> Verify.verify env child)
-                  else
-                    (not config.static_rules)
-                    || timed verify_s (fun () -> Verify.check_static env child))
-               then push_fresh child)
-             children)
-     done
-   with Budget_exhausted -> ());
+           match pool with
+           | None ->
+               let children =
+                 timed expand_s (fun () ->
+                     expand ~guided:config.guided hints ctx p)
+               in
+               List.iter
+                 (fun (child : Partial.t) ->
+                   (* verification can dominate a pop; respect the budget *)
+                   if Clock.now () -. start > config.time_budget_s then
+                     raise Budget_exhausted;
+                   if Partial.is_complete child then begin
+                     (* Complete queries are always verified (NoPQ included). *)
+                     if timed verify_s (fun () -> Verify.verify env child) then
+                       push_fresh child
+                   end
+                   else if
+                     (* Even without partial-query pruning (NoPQ), statically
+                        dead children never enter the frontier: stage 0 needs
+                        no TSQ and costs no database access. *)
+                     (if config.prune_partial then
+                        timed verify_s (fun () -> Verify.verify env child)
+                      else
+                        (not config.static_rules)
+                        || timed verify_s (fun () ->
+                               Verify.check_static env child))
+                   then push_fresh child)
+                 children
+           | Some pool ->
+               let key = Partial.key p in
+               let r =
+                 match Hashtbl.find_opt memo key with
+                 | Some r -> r
+                 | None ->
+                     (* [p] is always the first task of the fill. *)
+                     fill pool p;
+                     Hashtbl.find memo key
+               in
+               Hashtbl.remove memo key;
+               Verify.merge_stats ~into:domain_stats.(r.tr_worker) r.tr_stats;
+               expand_s := !expand_s +. r.tr_expand_s;
+               verify_s := !verify_s +. r.tr_verify_s;
+               List.iter
+                 (fun ((child : Partial.t), ok) ->
+                   if Clock.now () -. start > config.time_budget_s then
+                     raise Budget_exhausted;
+                   if ok then push_fresh child)
+                 r.tr_children))
+        done
+      with Budget_exhausted -> ());
+  let out_stats =
+    if domains = 1 then stats
+    else begin
+      (* Per-domain relation-cache numbers come from the caches
+         themselves; task records were zeroed (see [process]). *)
+      Array.iteri
+        (fun d ds ->
+          let hits, _misses, pushd =
+            Duoengine.Executor.cache_stats (Verify.relcache envs.(d))
+          in
+          ds.Verify.relcache_hits <- hits;
+          ds.Verify.pushdown_builds <- pushd)
+        domain_stats;
+      let total = Verify.new_stats () in
+      (* [stats] holds only push-time deprioritization warnings in
+         parallel mode (verification runs through task records). *)
+      Verify.merge_stats ~into:total stats;
+      Array.iter (fun ds -> Verify.merge_stats ~into:total ds) domain_stats;
+      total
+    end
+  in
   {
     out_candidates = List.rev !candidates;
     out_pops = !pops;
     out_pushed = Frontier.pushed frontier;
-    out_stats = stats;
+    out_stats;
     out_elapsed_s = Clock.now () -. start;
     out_expand_s = !expand_s;
     out_verify_s = !verify_s;
     out_exhausted = !exhausted;
     out_dropped = Frontier.dropped frontier;
+    out_domains = domains;
+    out_domain_stats = domain_stats;
   }

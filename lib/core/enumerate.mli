@@ -30,10 +30,24 @@ type config = {
   max_frontier : int;
       (** frontier memory guard: compact to the best half beyond this many
           queued states *)
+  domains : int;
+      (** Duopar: worker domains for speculative parallel
+          expand-and-verify (clamped to [1, 64]).  Any value produces the
+          {e same} candidate list, emission order and per-stage prune
+          counts as [domains = 1]: the sequential best-first loop remains
+          the only committing loop; extra domains merely precompute
+          results for states it is about to pop (see DESIGN.md,
+          "Duopar"). *)
 }
 
-(** Duoquest defaults: guided, pruning, 200k pops, 100 candidates, 60 s. *)
+(** Duoquest defaults: guided, pruning, 200k pops, 100 candidates, 60 s,
+    1 domain. *)
 val default_config : config
+
+(** Reads [DUOQUEST_DOMAINS]; 1 when unset, unparsable, or < 1; capped
+    at 64.  The CLI, bench and simulation paths use this so parallelism
+    stays an opt-in deployment knob. *)
+val domains_from_env : unit -> int
 
 type candidate = {
   cand_query : Duosql.Ast.query;
@@ -57,6 +71,11 @@ type outcome = {
   out_dropped : int;
       (** states discarded by frontier compaction; when positive, an empty
           frontier does not mean exhaustion *)
+  out_domains : int;  (** worker domains actually used (clamped) *)
+  out_domain_stats : Verify.stats array;
+      (** committed verification work per domain, indexed by worker id;
+          [out_stats] is their merge (plus push-time lint warnings).
+          With [domains = 1] this is [[| out_stats |]]. *)
 }
 
 (** TSQ-derived enumeration hints.  The limit hint only re-ranks module

@@ -57,25 +57,46 @@ let compact t =
   Array.blit live 0 t.heap 0 keep;
   t.len <- keep
 
-let push t pq =
+(* Insert a pre-stamped entry: shared by [push] (fresh sequence number)
+   and [restore] (original sequence number, no counter bump). *)
+let push_entry t entry =
   if t.len >= t.cap then compact t;
   if t.len = Array.length t.heap then begin
     let heap' = Array.make (2 * t.len) t.dummy in
     Array.blit t.heap 0 heap' 0 t.len;
     t.heap <- heap'
   end;
-  t.heap.(t.len) <- (pq, t.seq);
-  t.seq <- t.seq + 1;
+  t.heap.(t.len) <- entry;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
 
-let pop t =
+let push t pq =
+  push_entry t (pq, t.seq);
+  t.seq <- t.seq + 1
+
+let pop_entry t =
   if t.len = 0 then None
   else begin
-    let (pq, _) = t.heap.(0) in
+    let entry = t.heap.(0) in
     t.len <- t.len - 1;
     t.heap.(0) <- t.heap.(t.len);
     t.heap.(t.len) <- t.dummy;
     if t.len > 0 then sift_down t 0;
-    Some pq
+    Some entry
   end
+
+let pop t = Option.map fst (pop_entry t)
+
+let pop_entries t k =
+  let rec go k acc =
+    if k <= 0 then List.rev acc
+    else
+      match pop_entry t with
+      | None -> List.rev acc
+      | Some e -> go (k - 1) (e :: acc)
+  in
+  go k []
+
+let pop_k t k = List.map fst (pop_entries t k)
+
+let restore t entries = List.iter (push_entry t) entries

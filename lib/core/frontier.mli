@@ -25,5 +25,24 @@ val push : t -> Partial.t -> unit
 (** Remove and return the highest-priority state. *)
 val pop : t -> Partial.t option
 
+(** [pop_k t k] removes and returns up to [k] states in priority order —
+    exactly the states [k] successive {!pop} calls would return.  Fewer
+    than [k] states come back only when the frontier runs dry. *)
+val pop_k : t -> int -> Partial.t list
+
+(** Like {!pop_k} but keeps each state's insertion sequence number, so a
+    batch that was only {e inspected} can be put back verbatim with
+    {!restore}.  Used by the Duopar speculative rounds: the enumerator
+    batch-pops the top-K, processes them on worker domains, and restores
+    the ones it has not yet committed. *)
+val pop_entries : t -> int -> (Partial.t * int) list
+
+(** Re-insert entries from {!pop_entries} with their original sequence
+    numbers.  Does not advance the {!pushed} counter, so a
+    pop-and-restore round leaves priority order, tie-breaking and
+    accounting exactly as if it never happened.  (Restoring into a
+    frontier past its cap still triggers compaction, like any insert.) *)
+val restore : t -> (Partial.t * int) list -> unit
+
 (** Total states ever pushed (the sequence counter). *)
 val pushed : t -> int

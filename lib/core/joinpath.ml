@@ -42,8 +42,46 @@ let extensions schema (from : from_clause) =
    the key must capture the join-relevant structure, not just the schema
    name: two same-named schemas with different FK graphs must not share
    entries (found by Duocheck — its fuzz schemas, all named "fuzzdb",
-   were served each other's join paths). *)
-let memo : (string * string * int, from_clause list) Hashtbl.t = Hashtbl.create 256
+   were served each other's join paths).
+
+   The memo is domain-local ([Domain.DLS]): expansion runs on Duopar
+   worker domains, and an unsynchronized shared [Hashtbl] would race.
+   Per-domain memos need no locks, and since construction is a pure
+   function of the key, duplicated entries across domains cannot change
+   results — they only cost memory, bounded by [max_memo_entries] per
+   domain. *)
+
+type slot = { mutable hit : bool; value : from_clause list }
+
+let max_memo_entries = 100_000
+
+let memo_key : (string * string * int, slot) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+(* Halving eviction (clock-style second chance): drop the entries not
+   hit since the previous eviction, then arbitrary extras until at most
+   half the cap survives.  A long session keeps its hot join paths,
+   where the old all-or-nothing [Hashtbl.reset] dropped the entire memo
+   right on the hot path. *)
+let evict_half memo =
+  let keep = max_memo_entries / 2 in
+  let stale = Hashtbl.fold (fun k s acc -> if s.hit then acc else k :: acc) memo [] in
+  List.iter (Hashtbl.remove memo) stale;
+  let excess = Hashtbl.length memo - keep in
+  if excess > 0 then begin
+    let doomed = ref [] in
+    let n = ref 0 in
+    (try
+       Hashtbl.iter
+         (fun k _ ->
+           if !n >= excess then raise Exit;
+           doomed := k :: !doomed;
+           incr n)
+         memo
+     with Exit -> ());
+    List.iter (Hashtbl.remove memo) !doomed
+  end;
+  Hashtbl.iter (fun _ s -> s.hit <- false) memo
 
 let schema_signature (schema : Duodb.Schema.t) =
   String.concat "|"
@@ -87,15 +125,18 @@ let construct_uncached ?(depth = 1) schema ~tables =
           expand_level depth [ base ] [ base ])
 
 let construct ?(depth = 1) schema ~tables =
+  let memo = Domain.DLS.get memo_key in
   let key =
     ( schema.Duodb.Schema.name ^ ":" ^ schema_signature schema,
       String.concat ";" (List.sort String.compare tables),
       depth )
   in
   match Hashtbl.find_opt memo key with
-  | Some r -> r
+  | Some s ->
+      s.hit <- true;
+      s.value
   | None ->
       let r = construct_uncached ~depth schema ~tables in
-      if Hashtbl.length memo > 100_000 then Hashtbl.reset memo;
-      Hashtbl.replace memo key r;
+      if Hashtbl.length memo >= max_memo_entries then evict_half memo;
+      Hashtbl.replace memo key { hit = false; value = r };
       r

@@ -72,6 +72,39 @@ let pruned_by s = function
   | S_row -> s.pruned_by_row
   | S_complete -> s.pruned_by_complete
 
+(* All counters are plain adds; [stage_seconds] sums elementwise.  The
+   relation-cache mirrors ([relcache_hits], [pushdown_builds]) are also
+   summed, so a caller merging several per-domain stats records must
+   make sure each record carries only its own cache's numbers (see
+   [sync_relcache], which {e sets} cumulative values). *)
+let merge_stats ~into s =
+  into.column_probes <- into.column_probes + s.column_probes;
+  into.index_probes <- into.index_probes + s.index_probes;
+  into.row_probes <- into.row_probes + s.row_probes;
+  into.full_executions <- into.full_executions + s.full_executions;
+  into.relcache_hits <- into.relcache_hits + s.relcache_hits;
+  into.pushdown_builds <- into.pushdown_builds + s.pushdown_builds;
+  into.pruned <- into.pruned + s.pruned;
+  into.pruned_by_static <- into.pruned_by_static + s.pruned_by_static;
+  into.pruned_by_clauses <- into.pruned_by_clauses + s.pruned_by_clauses;
+  into.pruned_by_semantics <- into.pruned_by_semantics + s.pruned_by_semantics;
+  into.pruned_by_types <- into.pruned_by_types + s.pruned_by_types;
+  into.pruned_by_column <- into.pruned_by_column + s.pruned_by_column;
+  into.pruned_by_row <- into.pruned_by_row + s.pruned_by_row;
+  into.pruned_by_complete <- into.pruned_by_complete + s.pruned_by_complete;
+  into.static_warnings <- into.static_warnings + s.static_warnings;
+  Array.iteri
+    (fun i v -> into.stage_seconds.(i) <- into.stage_seconds.(i) +. v)
+    s.stage_seconds
+
+(* Process-wide cascade invocation counter.  The per-run stats records
+   above are all domain-confined; this is the one counter that must be
+   global (it spans every domain and every concurrent run), so it is an
+   [Atomic] rather than a mutable field. *)
+let verify_calls : int Atomic.t = Atomic.make 0
+
+let total_verifies () = Atomic.get verify_calls
+
 (* Verification queries abort past this relation size — the stand-in for
    the real system's per-query timeout (Section 3.4's "costly depending on
    the nature of the query"). *)
@@ -123,6 +156,31 @@ let make_env ?stats ?(semantics = true) ?(static = true) ?index ?relcache ~db
   }
 
 let stats env = env.e_stats
+let relcache env = env.e_relcache
+
+(* Per-domain environment for the Duopar speculative rounds: shares the
+   immutable inputs (database, TSQ, literals, the *forced* inverted
+   index) and gets private copies of everything mutable — probe caches,
+   relation cache, stats, and the Duolint prepared tables (whose
+   one-slot memos are written on every check).  Forcing the index here
+   runs on the caller's domain, so worker domains never race the lazy
+   thunk. *)
+let fork_env env =
+  {
+    env with
+    e_lint = Duolint.Analyze.prepare (Duodb.Database.schema env.e_db);
+    e_stats = new_stats ();
+    e_index = Lazy.from_val (Lazy.force env.e_index);
+    e_cache = Hashtbl.create 256;
+    e_row_cache = Hashtbl.create 256;
+    e_relcache = Duoengine.Executor.create_cache ();
+    e_range_cache = Hashtbl.create 64;
+  }
+
+(* Same environment (caches included), different stats sink — gives each
+   speculative task a private stats record that is merged into the run's
+   totals only if the task's state is actually popped. *)
+let with_stats env stats = { env with e_stats = stats }
 
 (* Mirror the shared relation cache's counters into the stats record after
    each executor call, so outcomes report pushdown and reuse activity. *)
@@ -287,6 +345,7 @@ let verify_static env (t : Partial.t) =
    children before they are ever pushed, with time and prunes attributed
    to stage 0. *)
 let check_static env (t : Partial.t) =
+  Atomic.incr verify_calls;
   let s = env.e_stats in
   let t0 = Clock.mono () in
   let ok = verify_static env t in
@@ -636,6 +695,7 @@ let bump_pruned s = function
   | S_complete -> s.pruned_by_complete <- s.pruned_by_complete + 1
 
 let verify env (t : Partial.t) =
+  Atomic.incr verify_calls;
   let s = env.e_stats in
   let stage st check =
     let i = stage_index st in

@@ -69,6 +69,22 @@ val new_stats : unit -> stats
     [stage_seconds]. *)
 val pruned_by : stats -> stage -> int
 
+(** [merge_stats ~into s] adds every counter of [s] into [into]
+    (elementwise for [stage_seconds]).  The Duopar loop runs each
+    speculative verification task against a private stats record and
+    merges it into the run's totals only when the task's state is
+    committed, so parallel prune counts match the sequential run
+    exactly.  Note [relcache_hits]/[pushdown_builds] are summed too —
+    callers must ensure each merged record carries only its own
+    relation cache's numbers. *)
+val merge_stats : into:stats -> stats -> unit
+
+(** Process-wide count of cascade invocations ({!verify} +
+    {!check_static}) across all domains and runs — the one globally
+    shared counter, backed by an [Atomic].  Monotone; callers interested
+    in a single run take a delta. *)
+val total_verifies : unit -> int
+
 (** A verification environment: database, sketch, tagged literals, probe
     cache and counters. *)
 type env
@@ -92,6 +108,24 @@ val make_env :
   env
 
 val stats : env -> stats
+
+(** The environment's relation cache (per-domain in parallel runs), for
+    aggregating {!Duoengine.Executor.cache_stats} across domains. *)
+val relcache : env -> Duoengine.Executor.relation_cache
+
+(** [fork_env env] builds a per-domain clone for Duopar workers: the
+    database, TSQ, literals and the (forced) inverted index are shared —
+    all immutable during synthesis — while every mutable part (probe
+    caches, relation cache, stats, Duolint prepared tables with their
+    one-slot memos) is private to the clone.  Caches only memoize pure
+    probe results, so which domain answers a probe can never change a
+    verdict. *)
+val fork_env : env -> env
+
+(** [with_stats env s] is [env] with [s] as its stats sink; caches are
+    shared with [env].  Used to give each speculative task a private
+    record that is merged (or discarded) at commit time. *)
+val with_stats : env -> stats -> env
 
 (** [verify env pq] is Algorithm 3's [Verify]: true when the partial query
     survives every applicable stage. *)

@@ -273,6 +273,15 @@ let create_cache () =
 
 let cache_stats c = (c.rc_hits, c.rc_misses, c.rc_pushdown_builds)
 
+(* Parallel verification keeps one relation cache per domain (a shared
+   [Hashtbl] would race); reporting sums their counters. *)
+let combined_stats caches =
+  List.fold_left
+    (fun (h, m, p) c ->
+      let h', m', p' = cache_stats c in
+      (h + h', m + m', p + p'))
+    (0, 0, 0) caches
+
 let build_relation_cached ?cache ?max_rows db (plan : Planner.t) =
   match cache with
   | None -> build_relation ?max_rows db plan

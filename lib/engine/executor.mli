@@ -38,6 +38,10 @@ val create_cache : unit -> relation_cache
     how many of those builds had predicates pushed into base scans. *)
 val cache_stats : relation_cache -> int * int * int
 
+(** Sum of {!cache_stats} over several caches — parallel verification
+    keeps one relation cache per domain, and reports merge them. *)
+val combined_stats : relation_cache list -> int * int * int
+
 (** [run ?cache ?max_rows ?planner db q] executes [q]. [Error msg] reports
     unknown tables/columns, disconnected FROM clauses, aggregates over
     incompatible types, or non-grouped projections mixed with aggregates.

@@ -1,0 +1,129 @@
+(* A round is one batch of [r_n] independent tasks.  Workers claim task
+   indices from [r_next] (fetch-and-add work stealing) and count
+   completions in [r_done]; the worker that completes the last task
+   signals the caller under the pool mutex, so the caller's wait cannot
+   miss it. *)
+type round = {
+  r_n : int;
+  r_fn : worker:int -> int -> unit;
+  r_next : int Atomic.t;
+  r_done : int Atomic.t;
+}
+
+type t = {
+  n_domains : int;
+  mu : Mutex.t;
+  work_cv : Condition.t;  (* workers wait here for a new round / stop *)
+  done_cv : Condition.t;  (* the caller waits here for round completion *)
+  mutable current : round option;
+  mutable epoch : int;  (* bumped once per installed round *)
+  mutable stop : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable handles : unit Domain.t list;
+}
+
+let domains t = t.n_domains
+
+(* Claim and run tasks until the round's index counter is exhausted.
+   Exceptions are recorded (first one wins) and the task still counts as
+   completed — the barrier must not deadlock on a failing task. *)
+let run_tasks t (r : round) ~worker =
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Atomic.fetch_and_add r.r_next 1 in
+    if i >= r.r_n then continue_ := false
+    else begin
+      (try r.r_fn ~worker i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mu;
+         if Option.is_none t.failure then t.failure <- Some (e, bt);
+         Mutex.unlock t.mu);
+      if Atomic.fetch_and_add r.r_done 1 = r.r_n - 1 then begin
+        (* last task: wake the caller.  Locking the mutex orders this
+           signal after the caller's wait registration. *)
+        Mutex.lock t.mu;
+        Condition.signal t.done_cv;
+        Mutex.unlock t.mu
+      end
+    end
+  done
+
+let rec worker_loop t ~worker last_epoch =
+  Mutex.lock t.mu;
+  while (not t.stop) && t.epoch = last_epoch do
+    Condition.wait t.work_cv t.mu
+  done;
+  if t.stop then Mutex.unlock t.mu
+  else begin
+    let epoch = t.epoch in
+    let r = t.current in
+    Mutex.unlock t.mu;
+    (match r with Some r -> run_tasks t r ~worker | None -> ());
+    worker_loop t ~worker epoch
+  end
+
+let create ~domains =
+  let n = max 1 (min domains 64) in
+  let t =
+    {
+      n_domains = n;
+      mu = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      current = None;
+      epoch = 0;
+      stop = false;
+      failure = None;
+      handles = [];
+    }
+  in
+  t.handles <-
+    List.init (n - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t ~worker:(i + 1) 0));
+  t
+
+let run t n f =
+  if n > 0 then begin
+    if t.n_domains = 1 || n = 1 then
+      (* no pool traffic: the degenerate cases run inline *)
+      for i = 0 to n - 1 do
+        f ~worker:0 i
+      done
+    else begin
+      let r =
+        { r_n = n; r_fn = f; r_next = Atomic.make 0; r_done = Atomic.make 0 }
+      in
+      Mutex.lock t.mu;
+      t.failure <- None;
+      t.current <- Some r;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.work_cv;
+      Mutex.unlock t.mu;
+      (* the caller is worker 0 *)
+      run_tasks t r ~worker:0;
+      Mutex.lock t.mu;
+      while Atomic.get r.r_done < r.r_n do
+        Condition.wait t.done_cv t.mu
+      done;
+      t.current <- None;
+      let failure = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.mu;
+      match failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.handles;
+  t.handles <- []
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -97,6 +97,54 @@ let test_mas_golds_survive_cascade () =
   Alcotest.(check bool) "some MAS golds are representable" true
     (!representable > 0)
 
+(* Duopar on the study golds: end-to-end synthesis of the MAS tasks with
+   their own synthesized TSQs must find the gold at the same rank, with
+   the same candidate list, at domains=1 and domains=4. *)
+let test_mas_golds_parallel_identical () =
+  let db = Duobench.Mas.database () in
+  let session = Duocore.Duoquest.create_session db in
+  let tasks =
+    List.filter
+      (fun (t : Duobench.Mas.task) ->
+        List.mem t.Duobench.Mas.task_id [ "A1"; "B1"; "B4" ])
+      Duobench.Mas.nli_study_tasks
+  in
+  List.iter
+    (fun (task : Duobench.Mas.task) ->
+      let gold = Duobench.Mas.gold task in
+      let rng = Duobench.Rng.create 29 in
+      let tsq =
+        Duobench.Tsq_synth.synthesize rng db gold
+          ~detail:Duobench.Tsq_synth.Full
+      in
+      let run domains =
+        let config =
+          { Duocore.Enumerate.default_config with
+            Duocore.Enumerate.max_pops = 3_000;
+            max_candidates = 10;
+            time_budget_s = 20.0;
+            domains }
+        in
+        Duocore.Duoquest.synthesize ~config ?tsq
+          ~literals:task.Duobench.Mas.task_literals session
+          ~nlq:task.Duobench.Mas.task_nlq ()
+      in
+      let seq = run 1 and par = run 4 in
+      let qs (o : Duocore.Enumerate.outcome) =
+        List.map
+          (fun (c : Duocore.Enumerate.candidate) ->
+            Duosql.Pretty.query c.Duocore.Enumerate.cand_query)
+          o.Duocore.Enumerate.out_candidates
+      in
+      Alcotest.(check (list string))
+        (task.Duobench.Mas.task_id ^ ": identical candidates")
+        (qs seq) (qs par);
+      Alcotest.(check (option int))
+        (task.Duobench.Mas.task_id ^ ": identical gold rank")
+        (Duocore.Duoquest.rank_of seq ~gold)
+        (Duocore.Duoquest.rank_of par ~gold))
+    tasks
+
 let suite =
   [
     Alcotest.test_case "reference: Figure 2 query" `Quick test_reference_on_fig2;
@@ -104,5 +152,7 @@ let suite =
       test_fig2_gold_survives_cascade;
     Alcotest.test_case "MAS A1-B4 golds survive at all detail levels" `Quick
       test_mas_golds_survive_cascade;
+    Alcotest.test_case "MAS golds: domains=4 synthesis identical" `Quick
+      test_mas_golds_parallel_identical;
   ]
   @ seeded_props

@@ -188,9 +188,99 @@ let test_stats_attribution () =
   Alcotest.(check int) "every prune attributed to a stage" s.Duocore.Verify.pruned
     attributed
 
+(* --- Duopar: parallel enumeration is observably identical --- *)
+
+let run_at ~domains ?tsq nlq =
+  let config =
+    { Enumerate.default_config with
+      Enumerate.max_pops = 4_000;
+      max_candidates = 30;
+      time_budget_s = 20.0;
+      domains }
+  in
+  Enumerate.run config (ctx nlq) db ~tsq ~literals:[] ()
+
+let candidate_sigs (o : Enumerate.outcome) =
+  List.map
+    (fun c ->
+      ( Duosql.Pretty.query c.Enumerate.cand_query,
+        c.Enumerate.cand_index,
+        c.Enumerate.cand_pops ))
+    o.Enumerate.out_candidates
+
+let check_identical seq par =
+  Alcotest.(check (list (triple string int int)))
+    "same candidates, same order, same pop counts" (candidate_sigs seq)
+    (candidate_sigs par);
+  Alcotest.(check int) "same pops" seq.Enumerate.out_pops par.Enumerate.out_pops;
+  Alcotest.(check int) "same pushes" seq.Enumerate.out_pushed
+    par.Enumerate.out_pushed;
+  List.iter
+    (fun stage ->
+      Alcotest.(check int)
+        (Printf.sprintf "same prunes in %s" (Duocore.Verify.stage_name stage))
+        (Duocore.Verify.pruned_by seq.Enumerate.out_stats stage)
+        (Duocore.Verify.pruned_by par.Enumerate.out_stats stage))
+    Duocore.Verify.all_stages
+
+let test_parallel_identical_nli () =
+  check_identical
+    (run_at ~domains:1 "movie names and years")
+    (run_at ~domains:4 "movie names and years")
+
+let test_parallel_identical_dual () =
+  let tsq =
+    Duocore.Tsq.make ~types:[ Duodb.Datatype.Text ]
+      ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "Forrest Gump") ] ]
+      ()
+  in
+  let seq = run_at ~domains:1 ~tsq "movie names" in
+  let par = run_at ~domains:4 ~tsq "movie names" in
+  check_identical seq par;
+  Alcotest.(check bool) "found something" true
+    (seq.Enumerate.out_candidates <> []);
+  Alcotest.(check int) "domains recorded" 4 par.Enumerate.out_domains;
+  (* per-domain records add up to the merged totals *)
+  let committed =
+    Array.fold_left
+      (fun acc (ds : Duocore.Verify.stats) -> acc + ds.Duocore.Verify.pruned)
+      0 par.Enumerate.out_domain_stats
+  in
+  Alcotest.(check int) "domain prunes sum to total"
+    par.Enumerate.out_stats.Duocore.Verify.pruned committed
+
+let test_parallel_exhaustion_identical () =
+  (* the exhaustive-enumeration flag and drop accounting survive
+     speculation: restored states keep their identity *)
+  let tsq =
+    Duocore.Tsq.make ~types:[ Duodb.Datatype.Text ]
+      ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "No Such Value Anywhere") ] ]
+      ()
+  in
+  let run domains =
+    let config =
+      { Enumerate.default_config with
+        Enumerate.max_pops = 200_000;
+        time_budget_s = 20.0;
+        domains }
+    in
+    Enumerate.run config (ctx "names") db ~tsq:(Some tsq) ~literals:[] ()
+  in
+  let seq = run 1 and par = run 3 in
+  Alcotest.(check int) "no candidates" 0 (List.length par.Enumerate.out_candidates);
+  Alcotest.(check bool) "still exhausted" par.Enumerate.out_exhausted
+    seq.Enumerate.out_exhausted;
+  Alcotest.(check int) "same pops" seq.Enumerate.out_pops par.Enumerate.out_pops
+
 let suite =
   [
     Alcotest.test_case "root expansion" `Quick test_root_expansion;
+    Alcotest.test_case "duopar: NLI run identical" `Quick
+      test_parallel_identical_nli;
+    Alcotest.test_case "duopar: dual-spec run identical" `Quick
+      test_parallel_identical_dual;
+    Alcotest.test_case "duopar: exhaustion identical" `Quick
+      test_parallel_exhaustion_identical;
     Alcotest.test_case "confidence partition" `Quick test_confidence_partition;
     Alcotest.test_case "uniform mode" `Quick test_uniform_mode;
     Alcotest.test_case "done is terminal" `Quick test_done_is_terminal;

@@ -76,9 +76,77 @@ let prop_pushed_count =
       done;
       Frontier.pushed f = n)
 
+let test_pop_k_order () =
+  let f = Frontier.create () in
+  List.iter (fun c -> Frontier.push f (state c)) [ 0.3; 0.9; 0.1; 0.5; 0.7 ];
+  let confs l = List.map (fun (s : Partial.t) -> s.Partial.confidence) l in
+  Alcotest.(check (list (float 1e-9))) "best k, descending" [ 0.9; 0.7; 0.5 ]
+    (confs (Frontier.pop_k f 3));
+  Alcotest.(check (list (float 1e-9))) "remainder still ordered" [ 0.3; 0.1 ]
+    (confs (Frontier.pop_k f 10));
+  Alcotest.(check (list (float 1e-9))) "empty" [] (confs (Frontier.pop_k f 4))
+
+let test_pop_k_matches_pops =
+  QCheck.Test.make ~name:"pop_k equals k single pops" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 30) (float_bound_inclusive 1.0))
+        (int_range 0 12))
+    (fun (confs, k) ->
+      let f1 = Frontier.create () and f2 = Frontier.create () in
+      List.iter
+        (fun c ->
+          Frontier.push f1 (state c);
+          Frontier.push f2 (state c))
+        confs;
+      let batch =
+        List.map (fun (s : Partial.t) -> s.Partial.confidence) (Frontier.pop_k f1 k)
+      in
+      let rec singles n acc =
+        if n = 0 then List.rev acc
+        else
+          match Frontier.pop f2 with
+          | Some s -> singles (n - 1) (s.Partial.confidence :: acc)
+          | None -> List.rev acc
+      in
+      batch = singles k [] && Frontier.size f1 = Frontier.size f2)
+
+let test_restore_preserves_order () =
+  let f = Frontier.create () in
+  (* ties everywhere: FIFO order is carried by the entry seq numbers *)
+  List.iteri
+    (fun i _ -> Frontier.push f { (state 0.5) with Partial.nproj = i })
+    [ (); (); (); () ];
+  let entries = Frontier.pop_entries f 3 in
+  Frontier.restore f entries;
+  let order = List.init 4 (fun _ -> (Option.get (Frontier.pop f)).Partial.nproj) in
+  Alcotest.(check (list int)) "original FIFO order back" [ 0; 1; 2; 3 ] order;
+  Alcotest.(check int) "restore does not count as pushes" 4 (Frontier.pushed f)
+
+let test_pop_k_compaction_interaction () =
+  let f = Frontier.create ~cap:10 () in
+  for i = 1 to 50 do
+    Frontier.push f (state (float_of_int i /. 100.0))
+  done;
+  let dropped0 = Frontier.dropped f in
+  Alcotest.(check bool) "compaction dropped some" true (dropped0 > 0);
+  (* batch pop + restore must not disturb the dropped accounting, and
+     restoring past the cap still triggers compaction rather than
+     unbounded growth *)
+  let entries = Frontier.pop_entries f (Frontier.size f) in
+  Frontier.restore f entries;
+  Alcotest.(check bool) "size still bounded" true (Frontier.size f <= 11);
+  Alcotest.(check (float 1e-9)) "best survivor unchanged" 0.5
+    (Option.get (Frontier.pop f)).Partial.confidence;
+  Alcotest.(check bool) "dropped monotone" true (Frontier.dropped f >= dropped0)
+
 let suite =
   [
     Alcotest.test_case "pop order" `Quick test_pop_order;
+    Alcotest.test_case "pop_k order" `Quick test_pop_k_order;
+    Alcotest.test_case "restore preserves order" `Quick test_restore_preserves_order;
+    Alcotest.test_case "pop_k + compaction" `Quick test_pop_k_compaction_interaction;
+    QCheck_alcotest.to_alcotest test_pop_k_matches_pops;
     Alcotest.test_case "FIFO on ties" `Quick test_fifo_on_ties;
     Alcotest.test_case "join-length tiebreak" `Quick test_join_length_tiebreak;
     Alcotest.test_case "empty pop" `Quick test_empty_pop;

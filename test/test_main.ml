@@ -16,6 +16,7 @@ let () =
       ("duolint", Test_lint.suite);
       ("verify", Test_verify.suite);
       ("frontier", Test_frontier.suite);
+      ("duopar pool", Test_par.suite);
       ("enumerate", Test_enumerate.suite);
       ("rng", Test_rng.suite);
       ("pbe", Test_pbe.suite);
