@@ -70,6 +70,168 @@ let executor_bench_tests () =
   in
   List.concat_map pair [ "A1"; "B1"; "B4" ]
 
+(* --- Duodb columnar kernels: scan/probe microbenchmarks and a
+   batched-vs-unbatched probe comparison, all on the largest MAS table --- *)
+
+(* The largest MAS table with a numeric column carrying data, and —
+   independently, since the biggest tables are all-numeric link tables —
+   the largest table with a text column carrying data. *)
+let duodb_targets =
+  lazy
+    (let db = Lazy.force mas_db in
+     let schema = Duodb.Database.schema db in
+     let rows_of (t : Duodb.Schema.table) =
+       Duodb.Table.row_count (Duodb.Database.table_exn db t.Duodb.Schema.tbl_name)
+     in
+     let by_rows =
+       List.sort (fun a b -> compare (rows_of b) (rows_of a)) schema.Duodb.Schema.tables
+     in
+     let pick (tdef : Duodb.Schema.table) ty =
+       let tbl = Duodb.Database.table_exn db tdef.Duodb.Schema.tbl_name in
+       List.find_opt
+         (fun (c : Duodb.Schema.column) ->
+           Duodb.Datatype.equal c.Duodb.Schema.col_type ty
+           && Option.is_some (Duodb.Table.column_range tbl c.Duodb.Schema.col_name))
+         tdef.Duodb.Schema.tbl_columns
+     in
+     let target ty =
+       List.find_map
+         (fun tdef ->
+           Option.map
+             (fun c ->
+               (tdef, Duodb.Database.table_exn db tdef.Duodb.Schema.tbl_name, c))
+             (pick tdef ty))
+         by_rows
+     in
+     (Option.get (target Duodb.Datatype.Number), target Duodb.Datatype.Text))
+
+let distinct_non_null tbl (c : Duodb.Schema.column) =
+  List.sort_uniq Duodb.Value.compare
+    (List.filter
+       (fun v -> not (Duodb.Value.is_null v))
+       (Array.to_list (Duodb.Table.column_array tbl c.Duodb.Schema.col_name)))
+
+(* A selective range: bottom decile of the column's distinct values, the
+   shape of a verification probe's equality/range predicate (and one a
+   zone map can actually skip blocks for). *)
+let low_decile vals =
+  let arr = Array.of_list vals in
+  arr.(Array.length arr / 10)
+
+(* Vectorized kernels against a scalar row-at-a-time scan of the same
+   predicate, so the JSON records what the columnar layout buys.  The
+   scalar side collects matching row indices exactly like the
+   pre-columnar executor's filter did. *)
+let duodb_bench_tests () =
+  let (_, tbl, nc), txt = Lazy.force duodb_targets in
+  let open Duosql.Ast in
+  let ncr = col nc.Duodb.Schema.col_table nc.Duodb.Schema.col_name in
+  let j = Duodb.Table.column_index tbl nc.Duodb.Schema.col_name in
+  let lo =
+    match Duodb.Table.column_range tbl nc.Duodb.Schema.col_name with
+    | Some (lo, _) -> lo
+    | None -> assert false
+  in
+  let hi = low_decile (distinct_non_null tbl nc) in
+  let range_cond = { c_preds = [ between ncr lo hi ]; c_conn = And } in
+  let scalar_range () =
+    let acc = ref [] in
+    let rows = Duodb.Table.rows tbl in
+    Array.iteri
+      (fun i row ->
+        let v = row.(j) in
+        if
+          (not (Duodb.Value.is_null v))
+          && Duodb.Value.compare lo v <= 0
+          && Duodb.Value.compare v hi <= 0
+        then acc := i :: !acc)
+      rows;
+    !acc
+  in
+  [
+    Test.make ~name:"duodb/scan-range/kernel"
+      (Staged.stage (fun () -> ignore (Duoengine.Kernel.select tbl range_cond)));
+    Test.make ~name:"duodb/scan-range/scalar"
+      (Staged.stage (fun () -> ignore (scalar_range ())));
+  ]
+  @
+  match txt with
+  | None -> []
+  | Some (_, ttbl, tc) ->
+      let k = Duodb.Table.column_index ttbl tc.Duodb.Schema.col_name in
+      let probe_vals =
+        List.filteri
+          (fun i (_ : Duodb.Value.t) -> i < 8)
+          (distinct_non_null ttbl tc)
+      in
+      let tcr = col tc.Duodb.Schema.col_table tc.Duodb.Schema.col_name in
+      let eq_cond =
+        { c_preds = [ pred tcr Eq (List.hd probe_vals) ]; c_conn = And }
+      in
+      let kj = Duodb.Table.column_index ttbl tc.Duodb.Schema.col_name in
+      let scalar_eq () =
+        let v0 = List.hd probe_vals in
+        let acc = ref [] in
+        Array.iteri
+          (fun i row -> if Duodb.Value.equal row.(kj) v0 then acc := i :: !acc)
+          (Duodb.Table.rows ttbl);
+        !acc
+      in
+      [
+        Test.make ~name:"duodb/scan-txt-eq/kernel"
+          (Staged.stage (fun () -> ignore (Duoengine.Kernel.select ttbl eq_cond)));
+        Test.make ~name:"duodb/scan-txt-eq/scalar"
+          (Staged.stage (fun () -> ignore (scalar_eq ())));
+        Test.make ~name:"duodb/probe-exists/kernel"
+          (Staged.stage (fun () ->
+               ignore (Duoengine.Kernel.probe_exists ttbl ~col:k probe_vals)));
+      ]
+
+(* Batched multi-candidate probe execution: twelve single-table candidates
+   over the largest MAS table, run once through [Executor.run_batch] (one
+   shared base scan) and once as twelve independent [Executor.run] calls —
+   both without a relation cache, so every repetition pays its scans, the
+   shape of one cold verify_batch round. *)
+let duodb_batch_profile () =
+  let (tdef, tbl, nc), _ = Lazy.force duodb_targets in
+  let db = Lazy.force mas_db in
+  let open Duosql.Ast in
+  let ncr = col nc.Duodb.Schema.col_table nc.Duodb.Schema.col_name in
+  let vals = Array.of_list (distinct_non_null tbl nc) in
+  let candidates = 12 in
+  let qs =
+    Array.init candidates (fun k ->
+        let v = vals.(k * (Array.length vals - 1) / (candidates - 1)) in
+        let rhs =
+          if k mod 3 = 0 then Cmp (Ge, v)
+          else if k mod 3 = 1 then Cmp (Le, v)
+          else Cmp (Eq, v)
+        in
+        {
+          (simple [ proj_col ncr ] (from_table tdef.Duodb.Schema.tbl_name)) with
+          q_where =
+            Some
+              {
+                c_preds = [ { pr_agg = None; pr_col = Some ncr; pr_rhs = rhs } ];
+                c_conn = And;
+              };
+        })
+  in
+  let reps = match scale () with `Quick -> 40 | `Full -> 200 in
+  let time f =
+    let t0 = Duocore.Clock.now () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Duocore.Clock.now () -. t0
+  in
+  let batched_s = time (fun () -> ignore (Duoengine.Executor.run_batch db qs)) in
+  let unbatched_s =
+    time (fun () -> Array.iter (fun q -> ignore (Duoengine.Executor.run db q)) qs)
+  in
+  (tdef.Duodb.Schema.tbl_name, Duodb.Table.row_count tbl, candidates, reps,
+   batched_s, unbatched_s)
+
 let bench_tests () =
   [
     (* table1: capability matrix rendering *)
@@ -132,6 +294,7 @@ let bench_tests () =
              (Duobench.Mas.nli_study_tasks @ Duobench.Mas.pbe_study_tasks)));
   ]
   @ executor_bench_tests ()
+  @ duodb_bench_tests ()
 
 let run_microbench () =
   print_newline ();
@@ -185,6 +348,7 @@ let stage_profile () =
   let seconds = Array.make n_stages 0.0 in
   let pruned = Array.make n_stages 0 in
   let static_warnings = ref 0 in
+  let batch_rounds = ref 0 and batched_probes = ref 0 and row_probes = ref 0 in
   List.iter
     (fun task ->
       let rng = Duobench.Rng.create 29 in
@@ -199,6 +363,9 @@ let stage_profile () =
       in
       let st = outcome.Duocore.Enumerate.out_stats in
       static_warnings := !static_warnings + st.Duocore.Verify.static_warnings;
+      batch_rounds := !batch_rounds + st.Duocore.Verify.batch_rounds;
+      batched_probes := !batched_probes + st.Duocore.Verify.batched_probes;
+      row_probes := !row_probes + st.Duocore.Verify.row_probes;
       List.iter
         (fun stage ->
           let i = Duocore.Verify.stage_index stage in
@@ -206,7 +373,7 @@ let stage_profile () =
           pruned.(i) <- pruned.(i) + Duocore.Verify.pruned_by st stage)
         Duocore.Verify.all_stages)
     Duobench.Mas.nli_study_tasks;
-  (seconds, pruned, !static_warnings)
+  (seconds, pruned, !static_warnings, !batch_rounds, !batched_probes, !row_probes)
 
 (* Duopar profile: the B-tier MAS NLI tasks (three- and four-table joins,
    the heaviest verification load) synthesized with a full-detail TSQ,
@@ -300,7 +467,33 @@ let write_json path estimates =
         (if i = List.length sp - 1 then "" else ","))
     sp;
   out "  ],\n";
-  let seconds, pruned, static_warnings = stage_profile () in
+  let tname, trows, n_cand, reps, batched_s, unbatched_s =
+    duodb_batch_profile ()
+  in
+  out "  \"duodb\": {\n";
+  out "    \"table\": \"%s\",\n" (json_escape tname);
+  out "    \"rows\": %d,\n" trows;
+  (match
+     ( List.assoc_opt "duodb/scan-range/kernel" estimates,
+       List.assoc_opt "duodb/scan-range/scalar" estimates )
+   with
+  | Some kernel_ns, Some scalar_ns when kernel_ns > 0. ->
+      out
+        "    \"scan_range\": {\"kernel_ns\": %.1f, \"scalar_ns\": %.1f, \
+         \"speedup\": %.2f},\n"
+        kernel_ns scalar_ns (scalar_ns /. kernel_ns)
+  | Some _, Some _ | Some _, None | None, Some _ | None, None -> ());
+  out
+    "    \"batched_probe\": {\"candidates\": %d, \"reps\": %d, \
+     \"batched_wall_s\": %.6f, \"unbatched_wall_s\": %.6f, \"speedup\": \
+     %.3f}\n"
+    n_cand reps batched_s unbatched_s
+    (if batched_s > 0. then unbatched_s /. batched_s else 0.);
+  out "  },\n";
+  let seconds, pruned, static_warnings, batch_rounds, batched_probes, row_probes
+      =
+    stage_profile ()
+  in
   out "  \"verify_stages\": [\n";
   let n_stages = List.length Duocore.Verify.all_stages in
   List.iteri
@@ -347,6 +540,19 @@ let write_json path estimates =
   out "    \"candidate_hash_sequential\": \"%s\",\n" seq_hash;
   out "    \"candidate_hash_parallel\": \"%s\",\n" par_hash;
   out "    \"identical_candidates\": %b,\n" (String.equal seq_hash par_hash);
+  (* Speculation commit rate across the parallel runs: how much of the
+     domains' speculative expand+verify work a pop actually consumed. *)
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 par in
+  let spec_rounds = sum (fun o -> o.Duocore.Enumerate.out_spec_rounds) in
+  let spec_tasks = sum (fun o -> o.Duocore.Enumerate.out_spec_tasks) in
+  let spec_hits = sum (fun o -> o.Duocore.Enumerate.out_spec_hits) in
+  out "    \"spec_rounds\": %d,\n" spec_rounds;
+  out "    \"spec_tasks\": %d,\n" spec_tasks;
+  out "    \"spec_committed\": %d,\n" spec_hits;
+  out "    \"commit_rate\": %s,\n"
+    (if spec_tasks = 0 then "null"
+     else
+       Printf.sprintf "%.3f" (float_of_int spec_hits /. float_of_int spec_tasks));
   out "    \"per_domain\": [\n";
   Array.iteri
     (fun d st ->
@@ -365,6 +571,10 @@ let write_json path estimates =
     per_domain;
   out "    ]\n";
   out "  },\n";
+  out
+    "  \"verify_batching\": {\"batch_rounds\": %d, \"shared_scan_probes\": \
+     %d, \"row_probes\": %d},\n"
+    batch_rounds batched_probes row_probes;
   out "  \"pruned_by_static\": %d,\n"
     (pruned.(Duocore.Verify.stage_index Duocore.Verify.S_static));
   out "  \"static_warnings\": %d\n" static_warnings;

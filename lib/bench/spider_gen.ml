@@ -495,7 +495,13 @@ let col_ref_of c = col c.Schema.col_table c.Schema.col_name
 (* Sample a realistic literal from the column's data. *)
 let sample_value rng db (c : Schema.column) =
   let tbl = Duodb.Database.table_exn db c.Schema.col_table in
-  let vs = List.filter (fun v -> not (Value.is_null v)) (Duodb.Table.column_values tbl c.Schema.col_name) in
+  let vs =
+    List.rev
+      (Array.fold_left
+         (fun acc v -> if Value.is_null v then acc else v :: acc)
+         []
+         (Duodb.Table.column_array tbl c.Schema.col_name))
+  in
   match vs with [] -> None | _ -> Some (Rng.choose rng vs)
 
 let op_phrase rng op =

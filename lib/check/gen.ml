@@ -117,9 +117,13 @@ let gen_db st schema =
 
 let sample_value st db (c : Schema.column) =
   let vs =
-    List.filter
-      (fun v -> not (Value.is_null v))
-      (Duodb.Table.column_values (Database.table_exn db c.Schema.col_table) c.Schema.col_name)
+    List.rev
+      (Array.fold_left
+         (fun acc v -> if Value.is_null v then acc else v :: acc)
+         []
+         (Duodb.Table.column_array
+            (Database.table_exn db c.Schema.col_table)
+            c.Schema.col_name))
   in
   if vs = [] then None else Some (pick_list st vs)
 
@@ -361,7 +365,7 @@ let seed_literals db =
       let t = Database.table_exn db tbl.Schema.tbl_name in
       List.iter
         (fun (c : Schema.column) ->
-          List.iter
+          Array.iter
             (fun v ->
               match v with
               | Value.Text _ when List.length !texts < 2 && not (List.mem v !texts) ->
@@ -369,7 +373,7 @@ let seed_literals db =
               | Value.Int _ when List.length !nums < 3 && not (List.mem v !nums) ->
                   nums := !nums @ [ v ]
               | Value.Null | Value.Int _ | Value.Float _ | Value.Text _ -> ())
-            (Duodb.Table.column_values t c.Schema.col_name))
+            (Duodb.Table.column_array t c.Schema.col_name))
         tbl.Schema.tbl_columns)
     schema.Schema.tables;
   !texts @ !nums

@@ -34,6 +34,160 @@ let roundtrip_prop (sc : Gen.scenario) =
   | Ok q' -> Duosql.Equal.queries sc.Gen.sc_query q'
   | Error _ -> false
 
+(* Columnar storage = row reference: every derived columnar view of a
+   generated database — single cells, column vectors, per-block zone
+   maps — agrees with the materialized row view, and the probe kernels
+   answer exactly like a scalar row scan under the verifier's cell
+   semantics ([Value.equal] membership; [Value.compare] ranges skipping
+   NULLs). *)
+let columnar_prop (sc : Gen.scenario) =
+  let module Table = Duodb.Table in
+  let module Schema = Duodb.Schema in
+  let db = sc.Gen.sc_db in
+  let schema = Duodb.Database.schema db in
+  List.for_all
+    (fun (tdef : Schema.table) ->
+      let tbl = Duodb.Database.table_exn db tdef.Schema.tbl_name in
+      let rows = Table.rows tbl in
+      let n = Table.row_count tbl in
+      List.for_all
+        (fun (c : Schema.column) ->
+          let j = Table.column_index tbl c.Schema.col_name in
+          let colv = Table.column_array tbl c.Schema.col_name in
+          let cells_ok =
+            Array.length colv = n
+            &&
+            let ok = ref true in
+            for i = 0 to n - 1 do
+              if
+                (not (Value.equal colv.(i) rows.(i).(j)))
+                || not (Value.equal (Table.value_at tbl ~col:j ~row:i) rows.(i).(j))
+              then ok := false
+            done;
+            !ok
+          in
+          let zones_ok =
+            let ok = ref true in
+            for b = 0 to Table.num_blocks tbl - 1 do
+              let lo = b * Table.block
+              and hi = min n ((b + 1) * Table.block) - 1 in
+              let zref = ref None in
+              for i = lo to hi do
+                let v = rows.(i).(j) in
+                if not (Value.is_null v) then
+                  zref :=
+                    (match !zref with
+                    | None -> Some (v, v)
+                    | Some (mn, mx) ->
+                        Some
+                          ( (if Value.compare v mn < 0 then v else mn),
+                            if Value.compare v mx > 0 then v else mx ))
+              done;
+              match (Table.zone tbl ~col:j ~blk:b, !zref) with
+              | None, None -> ()
+              | Some (zlo, zhi), Some (rlo, rhi) ->
+                  if not (Value.equal zlo rlo && Value.equal zhi rhi) then
+                    ok := false
+              | None, Some _ | Some _, None -> ok := false
+            done;
+            !ok
+          in
+          (* Probe pool: a few distinct column values plus values surely
+             absent, NULL included (Exact-cell probes match NULL cells). *)
+          let probes =
+            Value.Null :: Value.Text "duocheck-absent" :: Value.Float 999983.5
+            :: List.filteri
+                 (fun i _ -> i < 8)
+                 (List.sort_uniq Value.compare (Array.to_list colv))
+          in
+          let probe_ok =
+            List.for_all
+              (fun (v, r) ->
+                r = Table.exists (fun row -> Value.equal row.(j) v) tbl)
+              (Duoengine.Kernel.probe_exists tbl ~col:j probes)
+          in
+          let rprobes = List.filteri (fun i _ -> i < 5) probes in
+          let range_ok =
+            List.for_all
+              (fun lo ->
+                List.for_all
+                  (fun hi ->
+                    Duoengine.Kernel.probe_range tbl ~col:j lo hi
+                    = Table.exists
+                        (fun row ->
+                          let v = row.(j) in
+                          (not (Value.is_null v))
+                          && Value.compare lo v <= 0
+                          && Value.compare v hi <= 0)
+                        tbl)
+                  rprobes)
+              rprobes
+          in
+          cells_ok && zones_ok && probe_ok && range_ok
+          || QCheck.Test.fail_reportf
+               "columnar mismatch on %s.%s (cells %b zones %b probe %b range %b)"
+               tdef.Schema.tbl_name c.Schema.col_name cells_ok zones_ok
+               probe_ok range_ok)
+        tdef.Schema.tbl_columns)
+    schema.Schema.tables
+
+(* run_batch = run, query by query: batching shared base scans is purely
+   executional.  The batch mixes the scenario's own (possibly joining)
+   query with simple single-table probes over every column — several per
+   table, so the shared-scan grouping path is actually taken. *)
+let batch_prop (sc : Gen.scenario) =
+  let open Duosql.Ast in
+  let db = sc.Gen.sc_db in
+  let schema = Duodb.Database.schema db in
+  let probes =
+    List.concat_map
+      (fun (t : Duodb.Schema.table) ->
+        let tbl = Duodb.Database.table_exn db t.Duodb.Schema.tbl_name in
+        List.concat_map
+          (fun (c : Duodb.Schema.column) ->
+            let cr = col t.Duodb.Schema.tbl_name c.Duodb.Schema.col_name in
+            let base =
+              {
+                q_distinct = false;
+                q_select = [ { p_agg = None; p_col = Some cr; p_distinct = false } ];
+                q_from = from_table t.Duodb.Schema.tbl_name;
+                q_where = None;
+                q_group_by = [];
+                q_having = None;
+                q_order_by = [];
+                q_limit = None;
+              }
+            in
+            let with_pred rhs =
+              { base with
+                q_where =
+                  Some
+                    { c_preds = [ { pr_agg = None; pr_col = Some cr; pr_rhs = rhs } ];
+                      c_conn = And } }
+            in
+            base
+            :: (match
+                  Array.find_opt
+                    (fun v -> not (Value.is_null v))
+                    (Duodb.Table.column_array tbl c.Duodb.Schema.col_name)
+                with
+               | Some v -> [ with_pred (Cmp (Eq, v)); with_pred (Cmp (Le, v)) ]
+               | None -> []))
+          t.Duodb.Schema.tbl_columns)
+      schema.Duodb.Schema.tables
+  in
+  let qs = Array.of_list (sc.Gen.sc_query :: probes) in
+  let batched, _report = Executor.run_batch db qs in
+  let ok = ref true in
+  Array.iteri
+    (fun i q ->
+      match (batched.(i), Executor.run db q) with
+      | Ok a, Ok b -> if not (resultsets_agree a b) then ok := false
+      | Error ea, Error eb -> if ea <> eb then ok := false
+      | Ok _, Error _ | Error _, Ok _ -> ok := false)
+    qs;
+  !ok
+
 (* Guidance context for a scenario: the query's own literals plus a few
    database values, so the model's WHERE/HAVING branches are populated. *)
 let ctx_of (sc : Gen.scenario) =
@@ -340,6 +494,11 @@ let tests ?(mult = 1) () =
       Gen.arb_scenario differential_prop;
     QCheck.Test.make ~count:(120 * mult)
       ~name:"round-trip: parse (pretty q) = q" Gen.arb_scenario roundtrip_prop;
+    QCheck.Test.make ~count:(40 * mult)
+      ~name:"columnar storage = row reference" Gen.arb_scenario columnar_prop;
+    QCheck.Test.make ~count:(20 * mult)
+      ~name:"batched probe execution = per-query run" Gen.arb_scenario
+      batch_prop;
     QCheck.Test.make ~count:(8 * mult)
       ~name:"cascade soundness: pruned states have no satisfying completion"
       Gen.arb_scenario soundness_prop;

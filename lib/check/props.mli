@@ -4,6 +4,11 @@
       the naive {!Reference} interpreter on every generated query (all
       three error out on out-of-scope inputs);
     - {b round-trip}: [parse (pretty q) = q] under {!Duosql.Equal.queries};
+    - {b columnar}: Duodb's columnar views (cells, column vectors, zone
+      maps) and the engine's probe kernels agree with the materialized
+      row view and a scalar reference scan;
+    - {b batched execution}: {!Duoengine.Executor.run_batch} returns
+      exactly what per-query {!Duoengine.Executor.run} returns;
     - {b cascade soundness}: no Verify stage prunes a partial query that
       has a completion satisfying the TSQ ({!Soundness.check});
     - {b Property 1}: every expansion's children partition the parent's
@@ -13,6 +18,8 @@
 
 val differential_prop : Gen.scenario -> bool
 val roundtrip_prop : Gen.scenario -> bool
+val columnar_prop : Gen.scenario -> bool
+val batch_prop : Gen.scenario -> bool
 val soundness_prop : Gen.scenario -> bool
 val property1_prop : Gen.scenario * int -> bool
 

@@ -61,6 +61,9 @@ type outcome = {
   out_dropped : int;
   out_domains : int;
   out_domain_stats : Verify.stats array;
+  out_spec_rounds : int;
+  out_spec_tasks : int;
+  out_spec_hits : int;
 }
 
 type hints = {
@@ -372,6 +375,25 @@ let expand ~guided hints ctx (t : Partial.t) =
 
 exception Budget_exhausted
 
+(* One verdict pass over an expansion's children.  Both the sequential
+   loop and the Duopar speculative tasks go through this single function,
+   so verdicts and per-stage prune counts are independent of [domains].
+   With partial-query pruning the whole sibling set runs through
+   {!Verify.verify_batch}, which shares one base scan across the
+   children's uncached row probes; under NoPQ only complete children pay
+   the cascade (partials get at most the free static stage). *)
+let judge env config children =
+  if config.prune_partial then Verify.verify_batch env children
+  else
+    List.map
+      (fun (child : Partial.t) ->
+        let ok =
+          if Partial.is_complete child then Verify.verify env child
+          else (not config.static_rules) || Verify.check_static env child
+        in
+        (child, ok))
+      children
+
 (* The result of speculatively processing one frontier state on some
    domain: the expanded children with their cascade verdicts, plus the
    private stats and profile times the task accumulated.  Expansion and
@@ -473,24 +495,20 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
   in
   let spec_batch = domains * 4 in
   let memo : (string, task_result) Hashtbl.t = Hashtbl.create 256 in
+  (* Speculation accounting: rounds of pool work, tasks launched, and
+     memoized results eventually committed by a pop.  Their ratio is the
+     speculation commit rate the bench reports; all zero when
+     [domains = 1]. *)
+  let spec_rounds = ref 0 in
+  let spec_tasks = ref 0 in
+  let spec_hits = ref 0 in
   let process worker (p : Partial.t) =
     let tstats = Verify.new_stats () in
     let env_t = Verify.with_stats envs.(worker) tstats in
     let t0 = Clock.mono () in
     let children = expand ~guided:config.guided hints ctx p in
     let t1 = Clock.mono () in
-    let verdicts =
-      List.map
-        (fun (child : Partial.t) ->
-          let ok =
-            if Partial.is_complete child then Verify.verify env_t child
-            else if config.prune_partial then Verify.verify env_t child
-            else
-              (not config.static_rules) || Verify.check_static env_t child
-          in
-          (child, ok))
-        children
-    in
+    let verdicts = judge env_t config children in
     let t2 = Clock.mono () in
     (* [sync_relcache] copies the worker cache's *cumulative* counters
        into the current record; merging those per task would multiply
@@ -518,6 +536,8 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
                else Some st)
              extras)
     in
+    incr spec_rounds;
+    spec_tasks := !spec_tasks + Array.length tasks;
     let results = Array.make (Array.length tasks) None in
     Duopar.Pool.run pool (Array.length tasks) (fun ~worker i ->
         results.(i) <- Some (process worker tasks.(i)));
@@ -580,28 +600,18 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
                  timed expand_s (fun () ->
                      expand ~guided:config.guided hints ctx p)
                in
+               (* verification can dominate a pop; respect the budget *)
+               if Clock.now () -. start > config.time_budget_s then
+                 raise Budget_exhausted;
+               let verdicts =
+                 timed verify_s (fun () -> judge env config children)
+               in
                List.iter
-                 (fun (child : Partial.t) ->
-                   (* verification can dominate a pop; respect the budget *)
+                 (fun ((child : Partial.t), ok) ->
                    if Clock.now () -. start > config.time_budget_s then
                      raise Budget_exhausted;
-                   if Partial.is_complete child then begin
-                     (* Complete queries are always verified (NoPQ included). *)
-                     if timed verify_s (fun () -> Verify.verify env child) then
-                       push_fresh child
-                   end
-                   else if
-                     (* Even without partial-query pruning (NoPQ), statically
-                        dead children never enter the frontier: stage 0 needs
-                        no TSQ and costs no database access. *)
-                     (if config.prune_partial then
-                        timed verify_s (fun () -> Verify.verify env child)
-                      else
-                        (not config.static_rules)
-                        || timed verify_s (fun () ->
-                               Verify.check_static env child))
-                   then push_fresh child)
-                 children
+                   if ok then push_fresh child)
+                 verdicts
            | Some pool ->
                let key = Partial.key p in
                let r =
@@ -613,6 +623,7 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
                      Hashtbl.find memo key
                in
                Hashtbl.remove memo key;
+               incr spec_hits;
                Verify.merge_stats ~into:domain_stats.(r.tr_worker) r.tr_stats;
                expand_s := !expand_s +. r.tr_expand_s;
                verify_s := !verify_s +. r.tr_verify_s;
@@ -657,4 +668,7 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
     out_dropped = Frontier.dropped frontier;
     out_domains = domains;
     out_domain_stats = domain_stats;
+    out_spec_rounds = !spec_rounds;
+    out_spec_tasks = !spec_tasks;
+    out_spec_hits = !spec_hits;
   }

@@ -76,6 +76,13 @@ type outcome = {
       (** committed verification work per domain, indexed by worker id;
           [out_stats] is their merge (plus push-time lint warnings).
           With [domains = 1] this is [[| out_stats |]]. *)
+  out_spec_rounds : int;
+      (** Duopar pool rounds run (0 when [domains = 1]) *)
+  out_spec_tasks : int;
+      (** speculative expand-and-verify tasks launched across all rounds *)
+  out_spec_hits : int;
+      (** speculative results committed by a pop; [out_spec_hits /
+          out_spec_tasks] is the speculation commit rate *)
 }
 
 (** TSQ-derived enumeration hints.  The limit hint only re-ranks module

@@ -52,6 +52,8 @@ type stats = {
   mutable pruned_by_row : int;
   mutable pruned_by_complete : int;
   mutable static_warnings : int;
+  mutable batch_rounds : int;
+  mutable batched_probes : int;
   mutable stage_seconds : float array;
 }
 
@@ -61,6 +63,7 @@ let new_stats () =
     pruned_by_static = 0; pruned_by_clauses = 0; pruned_by_semantics = 0;
     pruned_by_types = 0; pruned_by_column = 0; pruned_by_row = 0;
     pruned_by_complete = 0; static_warnings = 0;
+    batch_rounds = 0; batched_probes = 0;
     stage_seconds = Array.make (List.length all_stages) 0.0 }
 
 let pruned_by s = function
@@ -93,6 +96,8 @@ let merge_stats ~into s =
   into.pruned_by_row <- into.pruned_by_row + s.pruned_by_row;
   into.pruned_by_complete <- into.pruned_by_complete + s.pruned_by_complete;
   into.static_warnings <- into.static_warnings + s.static_warnings;
+  into.batch_rounds <- into.batch_rounds + s.batch_rounds;
+  into.batched_probes <- into.batched_probes + s.batched_probes;
   Array.iteri
     (fun i v -> into.stage_seconds.(i) <- into.stage_seconds.(i) +. v)
     s.stage_seconds
@@ -469,10 +474,19 @@ let column_probe env (c : Duodb.Schema.column) cell =
         | Some r ->
             env.e_stats.index_probes <- env.e_stats.index_probes + 1;
             r
-        | None ->
+        | None -> (
+            (* Vectorized column probe: dictionary lookup / zone-skipped
+               columnar pass instead of materializing every row. *)
             let tbl = Duodb.Database.table_exn env.e_db c.Duodb.Schema.col_table in
             let idx = Duodb.Table.column_index tbl c.Duodb.Schema.col_name in
-            Duodb.Table.exists (fun row -> Tsq.cell_matches cell row.(idx)) tbl
+            match cell with
+            | Tsq.Any -> Duodb.Table.row_count tbl > 0
+            | Tsq.Exact v ->
+                List.exists
+                  (fun ((_ : Value.t), r) -> r)
+                  (Duoengine.Kernel.probe_exists tbl ~col:idx [ v ])
+            | Tsq.Range (lo, hi) ->
+                Duoengine.Kernel.probe_range tbl ~col:idx lo hi)
       in
       Hashtbl.replace env.e_cache key r;
       r
@@ -559,24 +573,35 @@ let can_check_rows (t : Partial.t) =
    partial-query and complete-query semantics cannot drift. *)
 let distinct_match_on = Tsq.distinct_match_on
 
-let verify_by_row env (t : Partial.t) =
+(* A row probe the stage has decided to run: the probe query, the
+   (output position, example cell index) pairs to match on, and the
+   memoization key.  Splitting planning from execution lets
+   [verify_batch] collect the plans of a whole sibling set and run the
+   uncached ones through one {!Duoengine.Executor.run_batch} call. *)
+type row_plan = {
+  rp_probe : query;
+  rp_positions : (int * int) list;
+  rp_key : string;
+}
+
+let row_probe_plan env (t : Partial.t) : row_plan option =
   let tuples =
     match env.e_tsq with None -> [] | Some tsq -> tsq.Tsq.tuples
   in
-  if tuples = [] then true
-  else if Partial.is_complete t then true
+  if tuples = [] then None
+  else if Partial.is_complete t then None
     (* complete states go through the full Definition 2.4 check instead *)
-  else if not (can_check_rows t) then true
+  else if not (can_check_rows t) then None
   else
     match t.Partial.from with
-    | None -> true
+    | None -> None
     | Some from ->
         (* Keep only fully decided slots; record (output position, cell
            index) pairs so skipped slots stay unconstrained. *)
         let decided =
           List.filteri (fun _ s -> Option.is_some (decided_slot_proj s)) t.Partial.projs
         in
-        if decided = [] then true
+        if decided = [] then None
         else begin
           let indexed =
             List.mapi (fun i s -> (i, s)) t.Partial.projs
@@ -616,7 +641,7 @@ let verify_by_row env (t : Partial.t) =
           if
             redundant
             || not (List.for_all (fun tb -> List.mem tb from.f_tables) probe_tables)
-          then true
+          then None
           else begin
             let probe =
               {
@@ -635,30 +660,43 @@ let verify_by_row env (t : Partial.t) =
               ^ String.concat ","
                   (List.map (fun (o, c) -> Printf.sprintf "%d:%d" o c) positions)
             in
-            match Hashtbl.find_opt env.e_row_cache key with
-            | Some r -> r
-            | None ->
-                env.e_stats.row_probes <- env.e_stats.row_probes + 1;
-                let r =
-                  match
-                    Duoengine.Executor.run ~cache:env.e_relcache
-                      ~max_rows:verification_max_rows env.e_db probe
-                  with
-                  | Error _ -> false
-                  | Ok res ->
-                      let support =
-                        match env.e_tsq with
-                        | None -> 0
-                        | Some tsq -> Tsq.required_support tsq
-                      in
-                      distinct_match_on ~support positions tuples
-                        res.Duoengine.Executor.res_rows
-                in
-                sync_relcache env;
-                Hashtbl.replace env.e_row_cache key r;
-                r
+            Some { rp_probe = probe; rp_positions = positions; rp_key = key }
           end
         end
+
+(* Match a probe's result rows against the example tuples at the plan's
+   decided positions. *)
+let row_probe_matches env plan (res : Duoengine.Executor.resultset) =
+  let support =
+    match env.e_tsq with None -> 0 | Some tsq -> Tsq.required_support tsq
+  in
+  let tuples =
+    match env.e_tsq with None -> [] | Some tsq -> tsq.Tsq.tuples
+  in
+  distinct_match_on ~support plan.rp_positions tuples
+    res.Duoengine.Executor.res_rows
+
+let run_row_probe env plan =
+  match Hashtbl.find_opt env.e_row_cache plan.rp_key with
+  | Some r -> r
+  | None ->
+      env.e_stats.row_probes <- env.e_stats.row_probes + 1;
+      let r =
+        match
+          Duoengine.Executor.run ~cache:env.e_relcache
+            ~max_rows:verification_max_rows env.e_db plan.rp_probe
+        with
+        | Error _ -> false
+        | Ok res -> row_probe_matches env plan res
+      in
+      sync_relcache env;
+      Hashtbl.replace env.e_row_cache plan.rp_key r;
+      r
+
+let verify_by_row env (t : Partial.t) =
+  match row_probe_plan env t with
+  | None -> true
+  | Some plan -> run_row_probe env plan
 
 (* --- complete-query stage --- *)
 
@@ -734,3 +772,114 @@ let verify env (t : Partial.t) =
   in
   if not ok then s.pruned <- s.pruned + 1;
   ok
+
+(* Batched cascade over a sibling set (the children of one expansion).
+   Verdicts, prune counters and probe counts are exactly what running
+   {!verify} on each child in order would produce — the batching only
+   changes *how* the uncached row probes execute: their plans are
+   collected across the surviving children, deduplicated against the
+   row-probe cache, and executed through one
+   {!Duoengine.Executor.run_batch} call, so candidates scanning the same
+   base table share a single scan. *)
+let verify_batch env (children : Partial.t list) =
+  let s = env.e_stats in
+  let arr = Array.of_list children in
+  let n = Array.length arr in
+  let alive = Array.make n true in
+  let fail i st =
+    bump_pruned s st;
+    s.pruned <- s.pruned + 1;
+    alive.(i) <- false
+  in
+  let timed_stage st check t =
+    let k = stage_index st in
+    let t0 = Clock.mono () in
+    let ok = check env t in
+    s.stage_seconds.(k) <- s.stage_seconds.(k) +. (Clock.mono () -. t0);
+    ok
+  in
+  (* Stages 0-4 are pure or probe-cached per candidate; run them with the
+     usual early exit. *)
+  let early =
+    [ (S_static, verify_static);
+      (S_clauses, verify_clauses);
+      (S_semantics, verify_semantics);
+      (S_types, verify_column_types);
+      (S_column, verify_by_column) ]
+  in
+  Array.iteri
+    (fun i t ->
+      Atomic.incr verify_calls;
+      let rec go = function
+        | [] -> ()
+        | (st, check) :: rest ->
+            if timed_stage st check t then go rest else fail i st
+      in
+      go early)
+    arr;
+  (* Row stage: plan every survivor's probe, then run the uncached plans
+     (deduplicated by key) as one batch. *)
+  let t0 = Clock.mono () in
+  let plans = Array.make n None in
+  Array.iteri
+    (fun i t -> if alive.(i) then plans.(i) <- row_probe_plan env t)
+    arr;
+  let pending : (string, row_plan) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun p ->
+      match p with
+      | Some p
+        when (not (Hashtbl.mem env.e_row_cache p.rp_key))
+             && not (Hashtbl.mem pending p.rp_key) ->
+          Hashtbl.add pending p.rp_key p
+      | Some _ | None -> ())
+    plans;
+  let todo =
+    Array.of_list (Hashtbl.fold (fun _ p acc -> p :: acc) pending [])
+  in
+  if Array.length todo > 0 then begin
+    s.batch_rounds <- s.batch_rounds + 1;
+    let results, report =
+      Duoengine.Executor.run_batch ~cache:env.e_relcache
+        ~max_rows:verification_max_rows env.e_db
+        (Array.map (fun p -> p.rp_probe) todo)
+    in
+    s.batched_probes <- s.batched_probes + report.Duoengine.Executor.br_shared;
+    Array.iteri
+      (fun k p ->
+        s.row_probes <- s.row_probes + 1;
+        let r =
+          match results.(k) with
+          | Error _ -> false
+          | Ok res -> row_probe_matches env p res
+        in
+        Hashtbl.replace env.e_row_cache p.rp_key r)
+      todo;
+    sync_relcache env
+  end;
+  Array.iteri
+    (fun i _ ->
+      if alive.(i) then
+        let ok =
+          match plans.(i) with
+          | None -> true
+          | Some p -> run_row_probe env p (* cache hit after the batch *)
+        in
+        if not ok then fail i S_row)
+    arr;
+  let k = stage_index S_row in
+  s.stage_seconds.(k) <- s.stage_seconds.(k) +. (Clock.mono () -. t0);
+  (* Complete-query stage, per candidate as before. *)
+  Array.iteri
+    (fun i t ->
+      if alive.(i) then
+        match Partial.to_query t with
+        | Some q when Partial.is_complete t ->
+            let kc = stage_index S_complete in
+            let tc = Clock.mono () in
+            let ok = verify_complete env q in
+            s.stage_seconds.(kc) <- s.stage_seconds.(kc) +. (Clock.mono () -. tc);
+            if not ok then fail i S_complete
+        | Some _ | None -> ())
+    arr;
+  Array.to_list (Array.mapi (fun i t -> (t, alive.(i))) arr)

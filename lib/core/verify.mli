@@ -59,6 +59,10 @@ type stats = {
   mutable pruned_by_complete : int;
   mutable static_warnings : int;
       (** Duolint warnings used to deprioritize frontier pushes *)
+  mutable batch_rounds : int;
+      (** {!verify_batch} rounds that executed at least one row probe *)
+  mutable batched_probes : int;
+      (** row probes served by a shared base scan inside a batch round *)
   mutable stage_seconds : float array;
       (** processor time per cascade stage, indexed by {!stage_index} *)
 }
@@ -130,6 +134,17 @@ val with_stats : env -> stats -> env
 (** [verify env pq] is Algorithm 3's [Verify]: true when the partial query
     survives every applicable stage. *)
 val verify : env -> Partial.t -> bool
+
+(** [verify_batch env children] runs the cascade over a sibling set (the
+    children of one expansion) and returns each child with its verdict,
+    in order.  Verdicts, prune counters and probe counts are exactly
+    those of calling {!verify} on each child in sequence; the difference
+    is purely executional — the uncached row probes of the surviving
+    children are deduplicated and executed through one
+    {!Duoengine.Executor.run_batch} call, so candidates probing the same
+    base table share a single scan ([stats.batch_rounds] /
+    [stats.batched_probes] report the activity). *)
+val verify_batch : env -> Partial.t list -> (Partial.t * bool) list
 
 (** Project an enumerator state into Duolint's open-world clause view.
     Finality flags are conservative: set only when no later decision can

@@ -135,23 +135,33 @@ let scan_filter tbl (cond : condition) =
     | And -> List.for_all (fun (i, rhs) -> eval_rhs rhs row.(i)) compiled
     | Or -> List.exists (fun (i, rhs) -> eval_rhs rhs row.(i)) compiled
 
+(* Matching row indices for an optional pushed condition: the vectorized
+   kernel scan (zone-map block skipping, dictionary probes) when the
+   condition compiles, the scalar row loop otherwise.  [None] means "all
+   rows" — callers iterate [0, row_count) directly. *)
+let scan_indices tbl cond_opt =
+  match cond_opt with
+  | None -> None
+  | Some cond -> (
+      match Kernel.select tbl cond with
+      | Some idxs -> Some idxs
+      | None ->
+          let keep = scan_filter tbl cond in
+          let out = Dyn.create () in
+          let n = Duodb.Table.row_count tbl in
+          for i = 0 to n - 1 do
+            if keep (Duodb.Table.get tbl i) then Dyn.push out i
+          done;
+          Some (Dyn.to_array out))
+
 (* Filtered base scan: surviving rows plus their original row indices
    (join provenance). *)
 let scan db name pushed =
   ignore (table_columns db name);
   let tbl = Duodb.Database.table_exn db name in
-  let keep =
-    match List.assoc_opt name pushed with
-    | None -> fun _ -> true
-    | Some cond -> scan_filter tbl cond
-  in
-  let out = Dyn.create () in
-  let n = Duodb.Table.row_count tbl in
-  for i = 0 to n - 1 do
-    let row = Duodb.Table.get tbl i in
-    if keep row then Dyn.push out (row, i)
-  done;
-  Dyn.to_array out
+  match scan_indices tbl (List.assoc_opt name pushed) with
+  | None -> Array.init (Duodb.Table.row_count tbl) (fun i -> (Duodb.Table.get tbl i, i))
+  | Some idxs -> Array.map (fun i -> (Duodb.Table.get tbl i, i)) idxs
 
 (* Build the joined relation following the plan's attach sequence.  Each
    wide row carries a provenance vector (per-table source row index, in
@@ -185,20 +195,15 @@ let build_relation ?(max_rows = max_int) db (plan : Planner.t) =
       let cols = table_columns db t in
       let tbl = Duodb.Database.table_exn db t in
       let right_idx = Duodb.Table.column_index tbl op.Planner.jo_right in
-      let keep =
-        match List.assoc_opt t pushed with
-        | None -> fun _ -> true
-        | Some cond -> scan_filter tbl cond
-      in
       (* Bucket the attached table's surviving rows by join key, keeping
          table order within each bucket so in-order executions need no
-         sort afterwards. *)
+         sort afterwards.  The pushed filter runs as a kernel scan when
+         it compiles. *)
       let buckets = V1tbl.create 256 in
-      let n = Duodb.Table.row_count tbl in
-      for i = 0 to n - 1 do
+      let bucket_row i =
         let row = Duodb.Table.get tbl i in
         let v = row.(right_idx) in
-        if (not (Value.is_null v)) && keep row then begin
+        if not (Value.is_null v) then begin
           match V1tbl.find_opt buckets v with
           | Some d -> Dyn.push d (row, i)
           | None ->
@@ -206,7 +211,13 @@ let build_relation ?(max_rows = max_int) db (plan : Planner.t) =
               Dyn.push d (row, i);
               V1tbl.replace buckets v d
         end
-      done;
+      in
+      (match scan_indices tbl (List.assoc_opt t pushed) with
+      | None ->
+          for i = 0 to Duodb.Table.row_count tbl - 1 do
+            bucket_row i
+          done
+      | Some idxs -> Array.iter bucket_row idxs);
       let left_idx =
         match Hashtbl.find_opt rel_index op.Planner.jo_left with
         | Some i -> i
@@ -450,26 +461,27 @@ let make_groups q rel (sel : int array) : int array list =
     Array.to_list (Array.map Dyn.to_array (Dyn.to_array order))
   end
 
-let run ?cache ?max_rows ?(planner = true) db q =
-  try
-    let plan =
-      match Planner.plan ~enabled:planner db q with
-      | Ok p -> p
-      | Error e -> fail "%s" e
-    in
-    let rel = build_relation_cached ?cache ?max_rows db plan in
-    (* Validate every referenced column against the FROM clause up front. *)
-    List.iter (fun c -> ignore (lookup rel c)) (referenced_columns q);
-    let sel =
-      match plan.Planner.plan_residual with
-      | None -> Array.init (Array.length rel.rel_rows) Fun.id
-      | Some cond ->
-          let out = Dyn.create () in
-          Array.iteri
-            (fun i row -> if eval_where rel cond row then Dyn.push out i)
-            rel.rel_rows;
-          Dyn.to_array out
-    in
+(* Execute the post-relation pipeline (filter, group, HAVING, project,
+   DISTINCT, sort, limit) of [q] against an already-built relation.
+   [sel] short-circuits the residual filter with a precomputed selection
+   vector (indices into [rel.rel_rows]) — the batched probe path feeds
+   kernel-computed selections for shared single-table scans. *)
+let exec_on_relation ?sel ~residual db rel q =
+  (* Validate every referenced column against the FROM clause up front. *)
+  List.iter (fun c -> ignore (lookup rel c)) (referenced_columns q);
+  let sel =
+    match sel with
+    | Some s -> s
+    | None -> (
+        match residual with
+        | None -> Array.init (Array.length rel.rel_rows) Fun.id
+        | Some cond ->
+            let out = Dyn.create () in
+            Array.iteri
+              (fun i row -> if eval_where rel cond row then Dyn.push out i)
+              rel.rel_rows;
+            Dyn.to_array out)
+  in
     let groups = make_groups q rel sel in
     let groups =
       match q.q_having with
@@ -531,9 +543,104 @@ let run ?cache ?max_rows ?(planner = true) db q =
     let res_cols =
       List.map (fun p -> (Duosql.Pretty.proj p, proj_type db p)) q.q_select
     in
-    Ok { res_cols; res_rows = out_rows }
+    { res_cols; res_rows = out_rows }
+
+let run ?cache ?max_rows ?(planner = true) db q =
+  try
+    let plan =
+      match Planner.plan ~enabled:planner db q with
+      | Ok p -> p
+      | Error e -> fail "%s" e
+    in
+    let rel = build_relation_cached ?cache ?max_rows db plan in
+    Ok (exec_on_relation ~residual:plan.Planner.plan_residual db rel q)
   with
   | Exec_error e -> Error e
+
+(* --- batched multi-candidate probes --- *)
+
+type batch_report = {
+  br_queries : int;
+  br_groups : int;
+  br_shared : int;
+}
+
+(* Execute a batch of candidate probe queries together.  Single-table
+   probes are grouped per base table: the unfiltered base scan is built
+   (or fetched from the cache) once, and each candidate's WHERE clause
+   becomes a selection over that shared in-order relation — computed by
+   the vectorized kernel when it compiles, by the scalar residual
+   evaluator otherwise.  This replaces N near-identical filtered scans
+   with one scan plus N cheap selections.
+
+   Soundness of sharing: a single-table relation is never bounded by
+   [max_rows] (only join growth is checked), so the shared unfiltered
+   relation cannot raise an error that per-query pushed execution would
+   have avoided; and because the relation is in table order, kernel
+   selection indices address [rel_rows] directly.  Multi-table probes
+   keep per-query execution (an unfiltered join could overflow
+   [max_rows] where the pushed join would not) and still share work
+   through the relation cache.  Each result is exactly what {!run}
+   would return for that query. *)
+let run_batch ?cache ?max_rows ?(planner = true) db (qs : query array) =
+  let nq = Array.length qs in
+  let results = Array.make nq (Error "batch: not executed") in
+  let done_ = Array.make nq false in
+  let groups : (string, int Dyn.t) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun i q ->
+      match q.q_from.f_tables with
+      | [ t ] when q.q_from.f_joins = [] -> (
+          match Hashtbl.find_opt groups t with
+          | Some d -> Dyn.push d i
+          | None ->
+              let d = Dyn.create () in
+              Dyn.push d i;
+              Hashtbl.replace groups t d)
+      | [] | _ :: _ -> ())
+    qs;
+  let br_groups = ref 0 and br_shared = ref 0 in
+  Hashtbl.iter
+    (fun t d ->
+      if d.Dyn.len >= 2 then begin
+        let members = Dyn.to_array d in
+        match Planner.plan ~enabled:planner db { qs.(members.(0)) with q_where = None } with
+        | Error _ -> () (* members fall through to per-query execution *)
+        | Ok plan -> (
+            incr br_groups;
+            match build_relation_cached ?cache ?max_rows db plan with
+            | exception Exec_error e ->
+                (* e.g. unknown table: every member fails identically *)
+                Array.iter
+                  (fun i ->
+                    results.(i) <- Error e;
+                    done_.(i) <- true;
+                    incr br_shared)
+                  members
+            | rel ->
+                let tbl = Duodb.Database.table_exn db t in
+                Array.iter
+                  (fun i ->
+                    let q = qs.(i) in
+                    results.(i) <-
+                      (try
+                         match q.q_where with
+                         | None -> Ok (exec_on_relation ~residual:None db rel q)
+                         | Some cond -> (
+                             match Kernel.select tbl cond with
+                             | Some sel -> Ok (exec_on_relation ~sel ~residual:None db rel q)
+                             | None -> Ok (exec_on_relation ~residual:(Some cond) db rel q))
+                       with Exec_error e -> Error e);
+                    done_.(i) <- true;
+                    incr br_shared)
+                  members)
+      end)
+    groups;
+  Array.iteri
+    (fun i q ->
+      if not done_.(i) then results.(i) <- run ?cache ?max_rows ~planner db q)
+    qs;
+  (results, { br_queries = nq; br_groups = !br_groups; br_shared = !br_shared })
 
 let run_exn ?cache ?max_rows ?planner db q =
   match run ?cache ?max_rows ?planner db q with

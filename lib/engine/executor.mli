@@ -58,6 +58,32 @@ val run :
   Duosql.Ast.query ->
   (resultset, string) result
 
+(** What {!run_batch} shared: [br_groups] shared base scans served
+    [br_shared] of the [br_queries] probe queries; the rest executed
+    individually (still sharing relations through the cache). *)
+type batch_report = {
+  br_queries : int;
+  br_groups : int;
+  br_shared : int;
+}
+
+(** [run_batch db qs] executes candidate probe queries together.
+    Single-table probes that scan the same base table share one
+    unfiltered scan: each candidate's WHERE becomes a vectorized
+    selection over the shared in-order relation instead of its own
+    filtered table scan.  Multi-table probes run individually (an
+    unfiltered join could exceed [max_rows] where the pushed join would
+    not), sharing relations through [cache] as usual.  The result array
+    is positionally aligned with [qs] and each entry is exactly what
+    {!run} returns for that query. *)
+val run_batch :
+  ?cache:relation_cache ->
+  ?max_rows:int ->
+  ?planner:bool ->
+  Duodb.Database.t ->
+  Duosql.Ast.query array ->
+  (resultset, string) result array * batch_report
+
 (** Like {!run} but raises [Failure]. *)
 val run_exn :
   ?cache:relation_cache ->

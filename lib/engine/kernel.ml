@@ -1,0 +1,368 @@
+(* Vectorized predicate kernels over Duodb's columnar storage.
+
+   A pushed WHERE condition is compiled once per scan into per-predicate
+   columnar tests — closures over the raw column arrays — and evaluated
+   block-by-block with zone-map skipping, instead of reconstructing a
+   [Value.t] per cell.  Compilation refuses anything whose evaluation
+   could raise or needs semantics beyond single-column comparisons
+   ([compile] returns [None]); the executor falls back to the scalar row
+   loop, so the kernels never change observable behaviour.
+
+   Numeric comparisons run on the unboxed [float array].  Primitive
+   float comparisons agree with [Value.compare] everywhere except NaN
+   (handled explicitly; OCaml's [Float.compare] only diverges from the
+   primitives there — [-0.] and [0.] compare equal both ways) and
+   int/int comparisons beyond float precision (|v| >= 2^53), where a
+   scalar [Value.compare] confirms primitively-equal outcomes.  Text
+   predicates run on dictionary codes: LIKE is evaluated once per
+   distinct dictionary entry, equality probes are a dictionary lookup
+   (an absent string matches nothing without touching a single row). *)
+
+open Duosql.Ast
+module Value = Duodb.Value
+module Table = Duodb.Table
+module Bitset = Duodb.Bitset
+
+(* Growable selection vector. *)
+module Ivec = struct
+  type t = {
+    mutable arr : int array;
+    mutable len : int;
+  }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let push d x =
+    if d.len = Array.length d.arr then begin
+      let cap = if d.len = 0 then 64 else d.len * 2 in
+      let arr = Array.make cap 0 in
+      Array.blit d.arr 0 arr 0 d.len;
+      d.arr <- arr
+    end;
+    d.arr.(d.len) <- x;
+    d.len <- d.len + 1
+
+  let to_array d = Array.sub d.arr 0 d.len
+end
+
+type compiled = {
+  k_test : int -> bool;  (* row index -> predicate verdict *)
+  k_zmay : (Value.t * Value.t) option -> bool;
+      (* zone -> may any row in the block match? [None] = all-null block *)
+  k_col : int;  (* column whose zone map [k_zmay] consults *)
+}
+
+let two53 = 9007199254740992.0 (* 2^53: ints beyond this lose float precision *)
+
+let sign_decides op s =
+  match op with
+  | Eq -> s = 0
+  | Neq -> s <> 0
+  | Lt -> s < 0
+  | Le -> s <= 0
+  | Gt -> s > 0
+  | Ge -> s >= 0
+  | Like | Not_like -> assert false (* compiled via the dictionary path *)
+
+(* Sign of [Value.compare cell lit] for a non-null numeric cell at row [i].
+   Strict float verdicts are exact (rounding is monotonic); primitive
+   equality falls back to a scalar compare only for the int/int case past
+   2^53, and NaN cells sort below every non-NaN literal. *)
+let num_sign tbl j (data : float array) (is_int : Bitset.t) lit =
+  match lit with
+  | Value.Null -> fun (_ : int) -> 1 (* numbers rank above NULL *)
+  | Value.Text _ -> fun (_ : int) -> -1 (* numbers rank below text *)
+  | Value.Int _ | Value.Float _ ->
+      let x = Value.to_float lit in
+      if x <> x then fun i ->
+        let f = data.(i) in
+        if f <> f then 0 else 1 (* NaN literal: only NaN cells tie *)
+      else
+        let risky =
+          match lit with
+          | Value.Int _ -> Float.abs x >= two53
+          | Value.Null | Value.Float _ | Value.Text _ -> false
+        in
+        fun i ->
+          let f = data.(i) in
+          if f < x then -1
+          else if f > x then 1
+          else if f <> f then -1 (* NaN cell below non-NaN literal *)
+          else if risky && Bitset.get is_int i then
+            Value.compare (Table.value_at tbl ~col:j ~row:i) lit
+          else 0
+
+(* Zone-map block tests: may any row of a block with non-null range
+   [Some (lo, hi)] satisfy the predicate?  All-null blocks ([None])
+   never match — every comparison against NULL is false. *)
+let zmay_cmp op lit z =
+  match z with
+  | None -> false
+  | Some (lo, hi) -> (
+      match op with
+      | Eq -> Value.compare lit lo >= 0 && Value.compare lit hi <= 0
+      | Neq -> not (Value.compare lo hi = 0 && Value.compare lo lit = 0)
+      | Lt -> Value.compare lo lit < 0
+      | Le -> Value.compare lo lit <= 0
+      | Gt -> Value.compare hi lit > 0
+      | Ge -> Value.compare hi lit >= 0
+      | Like | Not_like -> true)
+
+let zmay_between lo_v hi_v z =
+  match z with
+  | None -> false
+  | Some (lo, hi) -> Value.compare hi lo_v >= 0 && Value.compare lo hi_v <= 0
+
+let non_null_zone z = match z with None -> false | Some (_, _) -> true
+
+(* Sign of [Value.compare cell bound] for a non-null text cell, as a
+   function of its dictionary code: text ranks above NULL and numbers. *)
+let txt_bound dict dict_len b =
+  match b with
+  | Value.Null | Value.Int _ | Value.Float _ -> fun (_ : int) -> 1
+  | Value.Text s ->
+      let signs = Array.init dict_len (fun k -> String.compare dict.(k) s) in
+      fun k -> signs.(k)
+
+let const_false j =
+  Some { k_test = (fun (_ : int) -> false); k_zmay = (fun (_ : (Value.t * Value.t) option) -> false); k_col = j }
+
+(* Compile one predicate into a columnar test, or [None] when it must go
+   through the scalar path (aggregate/missing column, or a LIKE whose
+   evaluation could raise on non-text operands). *)
+let compile tbl (p : pred) =
+  match p.pr_agg, p.pr_col with
+  | Some _, (Some _ | None) | None, None -> None
+  | None, Some c -> (
+      match Table.column_index tbl c.cr_col with
+      | exception Invalid_argument _ -> None
+      | j -> (
+          match p.pr_rhs, Table.view tbl j with
+          | Cmp ((Eq | Neq | Lt | Le | Gt | Ge) as op, lit), Table.V_num { data; is_int; nulls } ->
+              if Value.is_null lit then const_false j
+              else
+                let sg = num_sign tbl j data is_int lit in
+                Some
+                  {
+                    k_test = (fun i -> (not (Bitset.get nulls i)) && sign_decides op (sg i));
+                    k_zmay = zmay_cmp op lit;
+                    k_col = j;
+                  }
+          | Between (lo, hi), Table.V_num { data; is_int; nulls } ->
+              let slo = num_sign tbl j data is_int lo
+              and shi = num_sign tbl j data is_int hi in
+              Some
+                {
+                  k_test =
+                    (fun i -> (not (Bitset.get nulls i)) && slo i >= 0 && shi i <= 0);
+                  k_zmay = zmay_between lo hi;
+                  k_col = j;
+                }
+          | Cmp ((Eq | Neq | Lt | Le | Gt | Ge) as op, lit), Table.V_txt { codes; dict; dict_len; nulls = _ } -> (
+              match lit with
+              | Value.Null -> const_false j
+              | Value.Text s -> (
+                  match op with
+                  | Eq -> (
+                      match Table.find_code tbl j s with
+                      | Some code ->
+                          Some
+                            {
+                              k_test = (fun i -> codes.(i) = code);
+                              k_zmay = zmay_cmp Eq lit;
+                              k_col = j;
+                            }
+                      | None -> const_false j)
+                  | Neq | Lt | Le | Gt | Ge ->
+                      let signs = Array.init dict_len (fun k -> String.compare dict.(k) s) in
+                      Some
+                        {
+                          k_test =
+                            (fun i ->
+                              let k = codes.(i) in
+                              k >= 0 && sign_decides op signs.(k));
+                          k_zmay = zmay_cmp op lit;
+                          k_col = j;
+                        }
+                  | Like | Not_like -> assert false)
+              | Value.Int _ | Value.Float _ ->
+                  (* text cells rank above numeric literals: sign is +1 for
+                     every non-null cell *)
+                  if sign_decides op 1 then
+                    Some
+                      { k_test = (fun i -> codes.(i) >= 0); k_zmay = non_null_zone; k_col = j }
+                  else const_false j)
+          | Between (lo, hi), Table.V_txt { codes; dict; dict_len; nulls = _ } ->
+              let slo = txt_bound dict dict_len lo
+              and shi = txt_bound dict dict_len hi in
+              Some
+                {
+                  k_test =
+                    (fun i ->
+                      let k = codes.(i) in
+                      k >= 0 && slo k >= 0 && shi k <= 0);
+                  k_zmay = zmay_between lo hi;
+                  k_col = j;
+                }
+          | Cmp ((Like | Not_like) as op, Value.Text pat), Table.V_txt { codes; dict; dict_len; nulls = _ } ->
+              (* one LIKE evaluation per distinct dictionary entry *)
+              let m = Array.init dict_len (fun k -> Value.like dict.(k) ~pattern:pat) in
+              let want = (match op with
+                | Like -> true
+                | Not_like -> false
+                | Eq | Neq | Lt | Le | Gt | Ge -> assert false)
+              in
+              Some
+                {
+                  k_test =
+                    (fun i ->
+                      let k = codes.(i) in
+                      k >= 0 && m.(k) = want);
+                  k_zmay = non_null_zone;
+                  k_col = j;
+                }
+          | Cmp ((Like | Not_like), (Value.Null | Value.Int _ | Value.Float _ | Value.Text _)), (Table.V_num _ | Table.V_txt _) ->
+              (* LIKE over a numeric column or with a non-text pattern can
+                 raise; leave it to the scalar evaluator *)
+              None))
+
+(* [select tbl cond] is the ascending row indices satisfying [cond] under
+   the executor's pushed-scan semantics, or [None] when some predicate is
+   not compilable (caller falls back to the scalar filter). *)
+let select tbl (cond : condition) =
+  let rec comp acc = function
+    | [] -> Some (List.rev acc)
+    | p :: ps -> (
+        match compile tbl p with
+        | Some c -> comp (c :: acc) ps
+        | None -> None)
+  in
+  match comp [] cond.c_preds with
+  | None | Some [] -> None
+  | Some comps ->
+      let n = Table.row_count tbl in
+      let block_may, row_test =
+        match comps, cond.c_conn with
+        | [ c ], (And | Or) ->
+            ((fun b -> c.k_zmay (Table.zone tbl ~col:c.k_col ~blk:b)), c.k_test)
+        | comps, And ->
+            ( (fun b ->
+                List.for_all (fun c -> c.k_zmay (Table.zone tbl ~col:c.k_col ~blk:b)) comps),
+              fun i -> List.for_all (fun c -> c.k_test i) comps )
+        | comps, Or ->
+            ( (fun b ->
+                List.exists (fun c -> c.k_zmay (Table.zone tbl ~col:c.k_col ~blk:b)) comps),
+              fun i -> List.exists (fun c -> c.k_test i) comps )
+      in
+      let out = Ivec.create () in
+      for b = 0 to Table.num_blocks tbl - 1 do
+        if block_may b then begin
+          let lo = b * Table.block in
+          let hi = min n (lo + Table.block) - 1 in
+          for i = lo to hi do
+            if row_test i then Ivec.push out i
+          done
+        end
+      done;
+      Some (Ivec.to_array out)
+
+(* Membership probes for the verifier's column stage: for each value,
+   does some cell of column [col] satisfy [Value.equal cell v]?  Unlike
+   SQL comparisons, NULL probes match NULL cells and NaN matches NaN
+   ([Value.equal] semantics).  All probes share one zone-skipped pass;
+   the scan stops as soon as every probe is resolved. *)
+let probe_exists tbl ~col:j values =
+  match values with
+  | [] -> []
+  | values ->
+      let view = Table.view tbl j in
+      let mk v =
+        match view, v with
+        | Table.V_num { nulls; _ }, Value.Null ->
+            ((fun i -> Bitset.get nulls i), fun (_ : (Value.t * Value.t) option) -> true)
+        | Table.V_txt { codes; _ }, Value.Null ->
+            ((fun i -> codes.(i) < 0), fun (_ : (Value.t * Value.t) option) -> true)
+        | Table.V_num { data; is_int; nulls }, (Value.Int _ | Value.Float _) ->
+            let sg = num_sign tbl j data is_int v in
+            ((fun i -> (not (Bitset.get nulls i)) && sg i = 0), zmay_cmp Eq v)
+        | Table.V_txt { codes; _ }, Value.Text s -> (
+            match Table.find_code tbl j s with
+            | Some code -> ((fun i -> codes.(i) = code), zmay_cmp Eq v)
+            | None ->
+                ((fun (_ : int) -> false), fun (_ : (Value.t * Value.t) option) -> false))
+        | Table.V_num _, Value.Text _ | Table.V_txt _, (Value.Int _ | Value.Float _) ->
+            (* type rank mismatch: no cell can be equal *)
+            ((fun (_ : int) -> false), fun (_ : (Value.t * Value.t) option) -> false)
+      in
+      let probes = Array.of_list (List.map (fun v -> (v, mk v, ref false)) values) in
+      let n = Table.row_count tbl in
+      let nb = Table.num_blocks tbl in
+      let remaining = ref (Array.length probes) in
+      let b = ref 0 in
+      while !remaining > 0 && !b < nb do
+        let z = Table.zone tbl ~col:j ~blk:!b in
+        let active =
+          Array.fold_right
+            (fun (_, (test, zmay), found) acc ->
+              if (not !found) && zmay z then (test, found) :: acc else acc)
+            probes []
+        in
+        (match active with
+        | [] -> ()
+        | active ->
+            let lo = !b * Table.block in
+            let hi = min n (lo + Table.block) - 1 in
+            let i = ref lo in
+            let active = ref active in
+            while !active <> [] && !i <= hi do
+              active :=
+                List.filter
+                  (fun (test, found) ->
+                    if test !i then begin
+                      found := true;
+                      decr remaining;
+                      false
+                    end
+                    else true)
+                  !active;
+              incr i
+            done);
+        incr b
+      done;
+      Array.to_list (Array.map (fun (v, _, found) -> (v, !found)) probes)
+
+(* [probe_range tbl ~col lo hi] is true when some non-null cell [v] of
+   the column satisfies [lo <= v <= hi] under [Value.compare] — the
+   verifier's Range cell probe.  Zone-skipped, early exit on the first
+   hit. *)
+let probe_range tbl ~col:j lo hi =
+  let test =
+    match Table.view tbl j with
+    | Table.V_num { data; is_int; nulls } ->
+        let slo = num_sign tbl j data is_int lo
+        and shi = num_sign tbl j data is_int hi in
+        fun i -> (not (Bitset.get nulls i)) && slo i >= 0 && shi i <= 0
+    | Table.V_txt { codes; dict; dict_len; nulls = _ } ->
+        let slo = txt_bound dict dict_len lo
+        and shi = txt_bound dict dict_len hi in
+        fun i ->
+          let k = codes.(i) in
+          k >= 0 && slo k >= 0 && shi k <= 0
+  in
+  let n = Table.row_count tbl in
+  let nb = Table.num_blocks tbl in
+  let found = ref false in
+  let b = ref 0 in
+  while (not !found) && !b < nb do
+    if zmay_between lo hi (Table.zone tbl ~col:j ~blk:!b) then begin
+      let lo_i = !b * Table.block in
+      let hi_i = min n (lo_i + Table.block) - 1 in
+      let i = ref lo_i in
+      while (not !found) && !i <= hi_i do
+        if test !i then found := true;
+        incr i
+      done
+    end;
+    incr b
+  done;
+  !found

@@ -1,0 +1,33 @@
+(** Vectorized predicate kernels over {!Duodb.Table}'s columnar storage.
+
+    Pushed scan conditions compile into per-predicate closures over the
+    raw column arrays (unboxed floats, dictionary codes) and evaluate
+    block-by-block with zone-map skipping — no [Value.t] is
+    reconstructed per cell.  Results are bit-for-bit identical to the
+    scalar evaluator: anything whose semantics the kernels cannot
+    replicate exactly (aggregate predicates, unknown columns, LIKE
+    forms that can raise on non-text operands) refuses to compile and
+    the caller falls back to the scalar row loop. *)
+
+(** [select tbl cond] is the ascending row indices of [tbl] satisfying
+    [cond] under the executor's pushed-scan semantics (NULL comparisons
+    false, [And]/[Or] over the predicates), or [None] when some
+    predicate is not compilable. *)
+val select : Duodb.Table.t -> Duosql.Ast.condition -> int array option
+
+(** [probe_exists tbl ~col vs] answers, for each probe value, whether
+    some cell of column [col] equals it under [Value.equal] semantics
+    (NULL matches NULL, NaN matches NaN — this is cell membership, not a
+    SQL comparison).  All probes share one zone-skipped pass over the
+    column, stopping as soon as every probe is resolved; text probes
+    resolve through the dictionary, so an absent string costs no row
+    accesses at all. *)
+val probe_exists :
+  Duodb.Table.t -> col:int -> Duodb.Value.t list -> (Duodb.Value.t * bool) list
+
+(** [probe_range tbl ~col lo hi] is true when some non-null cell [v] of
+    column [col] satisfies [lo <= v <= hi] under [Value.compare] — the
+    verifier's Range cell probe.  Zone-skipped, stops at the first
+    hit. *)
+val probe_range :
+  Duodb.Table.t -> col:int -> Duodb.Value.t -> Duodb.Value.t -> bool

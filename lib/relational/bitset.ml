@@ -1,0 +1,52 @@
+(* Packed bit vector used for the columnar null / int-tag bitmaps.  One
+   byte holds eight rows; growth doubles like the column arrays so the
+   amortized insert cost stays O(1). *)
+
+type t = {
+  mutable bits : Bytes.t;
+  mutable len : int;  (* bits in use *)
+}
+
+let create n =
+  { bits = Bytes.make (max 1 ((n + 7) / 8)) '\000'; len = n }
+
+let length t = t.len
+
+let ensure t n =
+  let need = (n + 7) / 8 in
+  let cap = Bytes.length t.bits in
+  if need > cap then begin
+    let cap' = max need (cap * 2) in
+    let bits' = Bytes.make cap' '\000' in
+    Bytes.blit t.bits 0 bits' 0 cap;
+    t.bits <- bits'
+  end;
+  if n > t.len then t.len <- n
+
+let get t i =
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  ensure t (i + 1);
+  let j = i lsr 3 in
+  Bytes.unsafe_set t.bits j
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits j) lor (1 lsl (i land 7))))
+
+let clear t i =
+  ensure t (i + 1);
+  let j = i lsr 3 in
+  Bytes.unsafe_set t.bits j
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits j) land lnot (1 lsl (i land 7)) land 0xff))
+
+let push t b =
+  let i = t.len in
+  ensure t (i + 1);
+  if b then set t i else clear t i
+
+let count t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if get t i then incr n
+  done;
+  !n

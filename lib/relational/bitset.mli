@@ -1,0 +1,23 @@
+(** Packed bit vector: the null and int-tag bitmaps of columnar storage.
+
+    Reads via {!get} are bounds-unchecked for speed — callers index only
+    within [0, length).  Writes grow the backing bytes as needed. *)
+
+type t
+
+(** [create n] is an all-zero bitset of length [n]. *)
+val create : int -> t
+
+val length : t -> int
+
+(** [get t i] is bit [i].  Unchecked: [i] must be below {!length}. *)
+val get : t -> int -> bool
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+(** [push t b] appends one bit. *)
+val push : t -> bool -> unit
+
+(** Number of set bits (test/debug use; O(length)). *)
+val count : t -> int

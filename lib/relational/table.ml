@@ -1,13 +1,91 @@
-type t = {
-  tschema : Schema.table;
-  mutable data : Value.t array array;
-  mutable len : int;
+(* Columnar table storage (Duodb).
+
+   Rows are decomposed into typed per-column arrays at insert time:
+
+   - number columns keep their magnitudes in an unboxed [float array]
+     plus an int-tag bitmap (so [Int 3] and [Float 3.0] stay distinct on
+     the way back out) and a tiny side table for integers whose float
+     round-trip is lossy (|i| >= 2^53);
+   - text columns are dictionary-coded: an [int array] of codes into a
+     per-column string dictionary ([null_code] marks NULL);
+   - every column carries a null bitmap and per-block min/max zone maps
+     ({!block} rows per block, nulls excluded) that the engine's
+     vectorized kernels use to skip whole blocks.
+
+   The row-oriented API ([rows], [get], [fold], ...) is preserved by a
+   lazily materialized row view: [ensure_rows] (the single
+   materialization point) rebuilds missing suffix rows from the columns.
+   Returned row arrays are that shared view — callers must treat them as
+   read-only (see the .mli aliasing contract). *)
+
+let block = 256
+let null_code = -1
+
+type num_col = {
+  mutable nc_data : float array;  (* magnitude; 0.0 in null slots *)
+  nc_int : Bitset.t;              (* slot holds an Int *)
+  nc_null : Bitset.t;
+  nc_exact : (int, int) Hashtbl.t;
+      (* row -> original int where [int_of_float (float_of_int i) <> i] *)
 }
 
-let create tschema = { tschema; data = [||]; len = 0 }
+type txt_col = {
+  mutable tc_codes : int array;   (* dictionary code, or [null_code] *)
+  mutable tc_dict : string array;
+  mutable tc_dict_len : int;
+  tc_lookup : (string, int) Hashtbl.t;
+  tc_null : Bitset.t;             (* mirrors [code = null_code] *)
+}
+
+type store =
+  | Cnum of num_col
+  | Ctxt of txt_col
+
+type col = {
+  c_store : store;
+  (* per-block min/max over non-null values ([Value.compare] order);
+     [None] = no non-null value in the block yet *)
+  mutable c_zones : (Value.t * Value.t) option array;
+}
+
+type t = {
+  tschema : Schema.table;
+  cols : col array;
+  mutable len : int;
+  mutable cap : int;
+  (* materialized row view; rows [0, rowv_len) are built *)
+  mutable rowv : Value.t array array;
+  mutable rowv_len : int;
+}
+
+let make_col (c : Schema.column) =
+  let c_store =
+    match c.Schema.col_type with
+    | Datatype.Number ->
+        Cnum
+          { nc_data = [||]; nc_int = Bitset.create 0; nc_null = Bitset.create 0;
+            nc_exact = Hashtbl.create 4 }
+    | Datatype.Text ->
+        Ctxt
+          { tc_codes = [||]; tc_dict = [||]; tc_dict_len = 0;
+            tc_lookup = Hashtbl.create 16; tc_null = Bitset.create 0 }
+  in
+  { c_store; c_zones = [||] }
+
+let create tschema =
+  {
+    tschema;
+    cols = Array.of_list (List.map make_col tschema.Schema.tbl_columns);
+    len = 0;
+    cap = 0;
+    rowv = [||];
+    rowv_len = 0;
+  }
+
 let schema t = t.tschema
 let name t = t.tschema.Schema.tbl_name
 let row_count t = t.len
+let num_columns t = Array.length t.cols
 
 let column_index t col =
   let rec find i = function
@@ -19,12 +97,94 @@ let column_index t col =
   in
   find 0 t.tschema.Schema.tbl_columns
 
-let grow t =
-  let cap = Array.length t.data in
-  let cap' = if cap = 0 then 16 else cap * 2 in
-  let data' = Array.make cap' [||] in
-  Array.blit t.data 0 data' 0 t.len;
-  t.data <- data'
+(* --- growth --- *)
+
+let grow_float arr cap' =
+  let a = Array.make cap' 0.0 in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a
+
+let grow_int arr cap' =
+  let a = Array.make cap' null_code in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a
+
+let ensure_cap t =
+  if t.len = t.cap then begin
+    let cap' = if t.cap = 0 then 16 else t.cap * 2 in
+    let nblocks = ((cap' + block - 1) / block) in
+    Array.iter
+      (fun c ->
+        (match c.c_store with
+        | Cnum nc -> nc.nc_data <- grow_float nc.nc_data cap'
+        | Ctxt tc -> tc.tc_codes <- grow_int tc.tc_codes cap');
+        if Array.length c.c_zones < nblocks then begin
+          let z = Array.make nblocks None in
+          Array.blit c.c_zones 0 z 0 (Array.length c.c_zones);
+          c.c_zones <- z
+        end)
+      t.cols;
+    t.cap <- cap'
+  end
+
+(* --- insert --- *)
+
+let zone_update c i v =
+  if not (Value.is_null v) then begin
+    let b = i / block in
+    c.c_zones.(b) <-
+      (match c.c_zones.(b) with
+      | None -> Some (v, v)
+      | Some (lo, hi) ->
+          let lo = if Value.compare v lo < 0 then v else lo in
+          let hi = if Value.compare v hi > 0 then v else hi in
+          Some (lo, hi))
+  end
+
+let intern tc s =
+  match Hashtbl.find_opt tc.tc_lookup s with
+  | Some code -> code
+  | None ->
+      let code = tc.tc_dict_len in
+      if code = Array.length tc.tc_dict then begin
+        let cap' = if code = 0 then 16 else code * 2 in
+        let d = Array.make cap' "" in
+        Array.blit tc.tc_dict 0 d 0 code;
+        tc.tc_dict <- d
+      end;
+      tc.tc_dict.(code) <- s;
+      tc.tc_dict_len <- code + 1;
+      Hashtbl.replace tc.tc_lookup s code;
+      code
+
+let store_cell t j v =
+  let i = t.len in
+  let c = t.cols.(j) in
+  (match c.c_store, v with
+  | Cnum nc, Value.Null ->
+      nc.nc_data.(i) <- 0.0;
+      Bitset.push nc.nc_int false;
+      Bitset.push nc.nc_null true
+  | Cnum nc, Value.Int x ->
+      let f = float_of_int x in
+      nc.nc_data.(i) <- f;
+      if int_of_float f <> x then Hashtbl.replace nc.nc_exact i x;
+      Bitset.push nc.nc_int true;
+      Bitset.push nc.nc_null false
+  | Cnum nc, Value.Float f ->
+      nc.nc_data.(i) <- f;
+      Bitset.push nc.nc_int false;
+      Bitset.push nc.nc_null false
+  | Ctxt tc, Value.Null ->
+      tc.tc_codes.(i) <- null_code;
+      Bitset.push tc.tc_null true
+  | Ctxt tc, Value.Text s ->
+      tc.tc_codes.(i) <- intern tc s;
+      Bitset.push tc.tc_null false
+  | Cnum _, Value.Text _ | Ctxt _, (Value.Int _ | Value.Float _) ->
+      (* unreachable: [insert] type-checks against the schema first *)
+      invalid_arg "Table.store_cell: value contradicts column type");
+  zone_update c i v
 
 let insert t row =
   let cols = t.tschema.Schema.tbl_columns in
@@ -42,49 +202,125 @@ let insert t row =
              (Datatype.to_string c.Schema.col_type)
              (Value.to_sql row.(i))))
     cols;
-  if t.len = Array.length t.data then grow t;
-  t.data.(t.len) <- row;
+  ensure_cap t;
+  Array.iteri (fun j _ -> store_cell t j row.(j)) row;
   t.len <- t.len + 1
 
 let insert_all t rows = List.iter (insert t) rows
-let rows t = Array.sub t.data 0 t.len
+
+(* --- cell access from the columns --- *)
+
+let value_at t ~col ~row =
+  match t.cols.(col).c_store with
+  | Cnum nc ->
+      if Bitset.get nc.nc_null row then Value.Null
+      else if Bitset.get nc.nc_int row then
+        Value.Int
+          (match Hashtbl.find_opt nc.nc_exact row with
+          | Some x -> x
+          | None -> int_of_float nc.nc_data.(row))
+      else Value.Float nc.nc_data.(row)
+  | Ctxt tc ->
+      let code = tc.tc_codes.(row) in
+      if code = null_code then Value.Null else Value.Text tc.tc_dict.(code)
+
+(* --- materialized row view ---------------------------------------------
+   The single place rows are (re)built from the columns: every row-view
+   entry point funnels through [ensure_rows], so the aliasing contract
+   ("returned arrays are the live shared view, do not mutate") is
+   enforced here and nowhere else. *)
+
+let ensure_rows t =
+  if t.rowv_len < t.len then begin
+    if Array.length t.rowv < t.len then begin
+      let rv = Array.make t.cap [||] in
+      Array.blit t.rowv 0 rv 0 t.rowv_len;
+      t.rowv <- rv
+    end;
+    let ncols = num_columns t in
+    for i = t.rowv_len to t.len - 1 do
+      t.rowv.(i) <- Array.init ncols (fun j -> value_at t ~col:j ~row:i)
+    done;
+    t.rowv_len <- t.len
+  end
+
+let rows t =
+  ensure_rows t;
+  Array.sub t.rowv 0 t.len
 
 let get t i =
   if i < 0 || i >= t.len then
     invalid_arg (Printf.sprintf "Table.get: row %d out of %d in %s" i t.len (name t));
-  t.data.(i)
+  if t.rowv_len <= i then ensure_rows t;
+  t.rowv.(i)
 
 let fold f init t =
+  ensure_rows t;
   let acc = ref init in
   for i = 0 to t.len - 1 do
-    acc := f !acc t.data.(i)
+    acc := f !acc t.rowv.(i)
   done;
   !acc
 
 let iter f t =
+  ensure_rows t;
   for i = 0 to t.len - 1 do
-    f t.data.(i)
+    f t.rowv.(i)
   done
 
 let exists p t =
-  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  ensure_rows t;
+  let rec go i = i < t.len && (p t.rowv.(i) || go (i + 1)) in
   go 0
 
-let column_values t col =
-  let idx = column_index t col in
-  List.rev (fold (fun acc row -> row.(idx) :: acc) [] t)
+(* --- columnar accessors --- *)
+
+let column_array t col =
+  let j = column_index t col in
+  Array.init t.len (fun i -> value_at t ~col:j ~row:i)
+
+let column_values t col = Array.to_list (column_array t col)
+
+type view =
+  | V_num of { data : float array; is_int : Bitset.t; nulls : Bitset.t }
+  | V_txt of {
+      codes : int array;
+      dict : string array;
+      dict_len : int;
+      nulls : Bitset.t;
+    }
+
+let view t j =
+  match t.cols.(j).c_store with
+  | Cnum nc ->
+      V_num { data = nc.nc_data; is_int = nc.nc_int; nulls = nc.nc_null }
+  | Ctxt tc ->
+      V_txt
+        { codes = tc.tc_codes; dict = tc.tc_dict; dict_len = tc.tc_dict_len;
+          nulls = tc.tc_null }
+
+let find_code t j s =
+  match t.cols.(j).c_store with
+  | Cnum _ -> None
+  | Ctxt tc -> Hashtbl.find_opt tc.tc_lookup s
+
+let num_blocks t = (t.len + block - 1) / block
+
+let zone t ~col ~blk = t.cols.(col).c_zones.(blk)
 
 let column_range t col =
-  let idx = column_index t col in
-  fold
-    (fun acc row ->
-      let v = row.(idx) in
-      if Value.is_null v then acc
-      else
-        match acc with
-        | None -> Some (v, v)
-        | Some (lo, hi) ->
-            let lo = if Value.compare v lo < 0 then v else lo in
-            let hi = if Value.compare v hi > 0 then v else hi in
-            Some (lo, hi))
-    None t
+  let j = column_index t col in
+  let acc = ref None in
+  for b = 0 to num_blocks t - 1 do
+    match zone t ~col:j ~blk:b with
+    | None -> ()
+    | Some (lo, hi) ->
+        acc :=
+          (match !acc with
+          | None -> Some (lo, hi)
+          | Some (lo', hi') ->
+              let lo = if Value.compare lo lo' < 0 then lo else lo' in
+              let hi = if Value.compare hi hi' > 0 then hi else hi' in
+              Some (lo, hi))
+  done;
+  !acc

@@ -1,8 +1,19 @@
-(** In-memory table storage: a table schema plus its rows.
+(** Columnar table storage: a table schema plus typed per-column arrays.
 
-    Rows are value arrays indexed in the order of the schema's column list.
-    Storage is append-only; the synthesis workloads build databases once and
-    only read them afterwards. *)
+    Values are decomposed on insert: number columns into an unboxed
+    [float array] (plus an int-tag bitmap and an exact side table for
+    integers beyond float precision), text columns into dictionary
+    codes.  Every column carries a null bitmap and per-{!block} min/max
+    zone maps for block skipping.  Storage is append-only; the synthesis
+    workloads build databases once and only read them afterwards.
+
+    {b Aliasing contract.}  The row-oriented functions ({!rows}, {!get},
+    {!fold}, {!iter}, {!exists}) serve rows from a single lazily
+    materialized row view that is shared between calls and with the
+    table itself.  Returned arrays are that live view — callers must
+    not mutate them (treat every [Value.t array] obtained from this
+    module as read-only).  Materialization is incremental: inserting
+    after a read only rebuilds the new suffix. *)
 
 type t
 
@@ -21,21 +32,32 @@ val insert : t -> Value.t array -> unit
 val insert_all : t -> Value.t array list -> unit
 
 val row_count : t -> int
+val num_columns : t -> int
 
 (** Position of a column name within rows. Raises [Not_found]-style
     [Invalid_argument] for unknown columns. *)
 val column_index : t -> string -> int
 
-(** All rows in insertion order. The returned array is the live storage —
-    callers must not mutate it. *)
+(** All rows in insertion order.  The rows are the live materialized
+    view — see the aliasing contract above; callers must not mutate. *)
 val rows : t -> Value.t array array
 
 (** [get t i] is row [i] (insertion order) without copying the row array.
     Raises [Invalid_argument] when [i] is out of bounds.  The executor's
-    scans use this for index-based access to the array-backed storage. *)
+    scans use this for index-based access; the row is the live
+    materialized view (aliasing contract above). *)
 val get : t -> int -> Value.t array
 
-(** [column_values t col] is the column vector for [col]. *)
+(** [value_at t ~col ~row] reconstructs a single cell straight from the
+    columns, without materializing the row view. *)
+val value_at : t -> col:int -> row:int -> Value.t
+
+(** [column_array t col] is a freshly allocated column vector for [col]
+    (the caller owns it). *)
+val column_array : t -> string -> Value.t array
+
+(** [column_values t col] is {!column_array} as a list.  Compatibility
+    shim — hot paths should use {!column_array} or {!view}. *)
 val column_values : t -> string -> Value.t list
 
 (** [fold f init t] folds over rows in insertion order. *)
@@ -47,5 +69,44 @@ val iter : (Value.t array -> unit) -> t -> unit
 val exists : (Value.t array -> bool) -> t -> bool
 
 (** Min and max of a column ignoring [Null]s; [None] when all null/empty.
-    Used by AVG range verification (Section 3.4). *)
+    Computed from the zone maps.  Used by AVG range verification
+    (Section 3.4). *)
 val column_range : t -> string -> (Value.t * Value.t) option
+
+(** {1 Columnar access for the engine's vectorized kernels} *)
+
+(** Rows per zone-map block. *)
+val block : int
+
+(** Live columnar storage of one column.  Arrays may be longer than
+    {!row_count} (growth slack) — only indices in [\[0, row_count)] are
+    meaningful.  Do not mutate.
+
+    [V_num]: [data.(i)] is the numeric magnitude (0.0 in null slots);
+    [is_int] tags slots holding [Value.Int] (exact reconstruction goes
+    through {!value_at}).  [V_txt]: [codes.(i)] is a dictionary code or
+    [-1] for NULL; [dict.(0 .. dict_len-1)] are the distinct strings. *)
+type view =
+  | V_num of { data : float array; is_int : Bitset.t; nulls : Bitset.t }
+  | V_txt of {
+      codes : int array;
+      dict : string array;
+      dict_len : int;
+      nulls : Bitset.t;
+    }
+
+(** [view t j] is the live columnar view of column [j]. *)
+val view : t -> int -> view
+
+(** [find_code t j s] is the dictionary code of string [s] in text
+    column [j]; [None] when absent (so no row can equal [s]) or when
+    the column is numeric. *)
+val find_code : t -> int -> string -> int option
+
+(** Number of zone-map blocks covering [\[0, row_count)]. *)
+val num_blocks : t -> int
+
+(** [zone t ~col ~blk] is the min/max over non-null values of rows
+    [\[blk*block, (blk+1)*block) ∩ \[0, row_count)]; [None] when the
+    block holds no non-null value. *)
+val zone : t -> col:int -> blk:int -> (Value.t * Value.t) option

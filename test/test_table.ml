@@ -93,6 +93,102 @@ let test_index_contains () =
   Alcotest.(check bool) "absent value" false
     (Index.contains idx ~table:"movies" ~column:"name" "Tom Hanks")
 
+(* --- columnar internals: dictionary, null bitmaps, zone maps --- *)
+
+let i n = Value.Int n
+let t s = Value.Text s
+
+let wide_schema =
+  Duodb.Schema.make ~name:"wide"
+    [ Duodb.Schema.table "t"
+        [ ("id", Duodb.Datatype.Number); ("tag", Duodb.Datatype.Text) ]
+        ~pk:[ "id" ] ]
+    []
+
+let wide_tbl rows =
+  let db = Database.create wide_schema in
+  List.iter (fun r -> Database.insert db ~table:"t" r) rows;
+  Database.table_exn db "t"
+
+let test_dict_encoding () =
+  let tbl =
+    wide_tbl
+      [ [| i 1; t "red" |]; [| i 2; t "blue" |]; [| i 3; t "red" |];
+        [| i 4; Value.Null |]; [| i 5; t "blue" |]; [| i 6; t "red" |] ]
+  in
+  let j = Table.column_index tbl "tag" in
+  (match Table.view tbl j with
+  | Table.V_txt { codes; dict; dict_len; nulls = _ } ->
+      Alcotest.(check int) "two distinct strings" 2 dict_len;
+      Alcotest.(check string) "decode row 0" "red" dict.(codes.(0));
+      Alcotest.(check string) "decode row 1" "blue" dict.(codes.(1));
+      Alcotest.(check int) "repeats share a code" codes.(0) codes.(2);
+      Alcotest.(check int) "null sentinel" (-1) codes.(3)
+  | Table.V_num _ -> Alcotest.fail "expected a text view");
+  Alcotest.(check bool) "find_code present" true
+    (Option.is_some (Table.find_code tbl j "blue"));
+  Alcotest.(check bool) "find_code absent" false
+    (Option.is_some (Table.find_code tbl j "green"))
+
+let test_null_bitmaps () =
+  let tbl =
+    wide_tbl [ [| i 1; t "x" |]; [| Value.Null; Value.Null |]; [| i 3; t "y" |] ]
+  in
+  let jn = Table.column_index tbl "id" in
+  (match Table.view tbl jn with
+  | Table.V_num { nulls; _ } ->
+      Alcotest.(check bool) "row 0 not null" false (Duodb.Bitset.get nulls 0);
+      Alcotest.(check bool) "row 1 null" true (Duodb.Bitset.get nulls 1)
+  | Table.V_txt _ -> Alcotest.fail "expected a numeric view");
+  Alcotest.check Fixtures.value_testable "value_at reconstructs NULL" Value.Null
+    (Table.value_at tbl ~col:(Table.column_index tbl "tag") ~row:1)
+
+let test_zone_maps () =
+  (* three blocks: ids 0..255, then 1256..1511, then 1512..1599; the text
+     column stays entirely NULL, so its zones are all absent *)
+  let rows =
+    List.init 600 (fun k ->
+        [| i (if k < 256 then k else 1000 + k); Value.Null |])
+  in
+  let tbl = wide_tbl rows in
+  let j = Table.column_index tbl "id" in
+  Alcotest.(check int) "blocks" 3 (Table.num_blocks tbl);
+  (match Table.zone tbl ~col:j ~blk:0 with
+  | Some (lo, hi) ->
+      Alcotest.check Fixtures.value_testable "blk0 lo" (Value.Int 0) lo;
+      Alcotest.check Fixtures.value_testable "blk0 hi" (Value.Int 255) hi
+  | None -> Alcotest.fail "expected a zone for block 0");
+  (match Table.zone tbl ~col:j ~blk:1 with
+  | Some (lo, hi) ->
+      Alcotest.check Fixtures.value_testable "blk1 lo" (Value.Int 1256) lo;
+      Alcotest.check Fixtures.value_testable "blk1 hi" (Value.Int 1511) hi
+  | None -> Alcotest.fail "expected a zone for block 1");
+  Alcotest.(check bool) "all-null block has no zone" true
+    (Table.zone tbl ~col:(Table.column_index tbl "tag") ~blk:0 = None)
+
+let test_exact_big_ints () =
+  (* 2^53 and 2^53 + 1 collapse to one float; the exact side table keeps
+     them distinct *)
+  let big = 9007199254740993 in
+  let tbl = wide_tbl [ [| i 9007199254740992; Value.Null |]; [| i big; Value.Null |] ] in
+  let j = Table.column_index tbl "id" in
+  Alcotest.check Fixtures.value_testable "exact reconstruction" (Value.Int big)
+    (Table.value_at tbl ~col:j ~row:1);
+  Alcotest.(check bool) "distinct beyond float precision" false
+    (Value.equal
+       (Table.value_at tbl ~col:j ~row:0)
+       (Table.value_at tbl ~col:j ~row:1))
+
+let test_incremental_rows () =
+  let db = db () in
+  let tbl = Database.table_exn db "movies" in
+  let before = Array.length (Table.rows tbl) in
+  Database.insert db ~table:"movies" [| i 99; t "New"; i 2024; i 1 |];
+  let rows = Table.rows tbl in
+  Alcotest.(check int) "suffix appended" (before + 1) (Array.length rows);
+  Alcotest.check Fixtures.value_testable "new row visible" (Value.Text "New")
+    rows.(before).(1)
+
 let suite =
   [
     Alcotest.test_case "row counts" `Quick test_row_counts;
@@ -107,4 +203,9 @@ let suite =
     Alcotest.test_case "index lookup" `Quick test_index_lookup;
     Alcotest.test_case "index autocomplete" `Quick test_index_complete;
     Alcotest.test_case "index contains" `Quick test_index_contains;
+    Alcotest.test_case "dictionary encoding" `Quick test_dict_encoding;
+    Alcotest.test_case "null bitmaps" `Quick test_null_bitmaps;
+    Alcotest.test_case "zone maps" `Quick test_zone_maps;
+    Alcotest.test_case "exact big ints" `Quick test_exact_big_ints;
+    Alcotest.test_case "incremental row view" `Quick test_incremental_rows;
   ]
