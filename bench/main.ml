@@ -399,21 +399,32 @@ let duopar_profile () =
       domains }
   in
   let run_at domains =
-    let t0 = Duocore.Clock.now () in
-    let outcomes =
-      List.map
-        (fun task ->
-          let rng = Duobench.Rng.create 29 in
-          let tsq =
-            Duobench.Tsq_synth.synthesize rng db (Duobench.Mas.gold task)
-              ~detail:Duobench.Tsq_synth.Full
-          in
-          Duocore.Duoquest.synthesize ~config:(config domains) ?tsq
-            ~literals:task.Duobench.Mas.task_literals session
-            ~nlq:task.Duobench.Mas.task_nlq ())
-        tasks
+    let config = config domains in
+    (* One pool for the whole task list (the server-style deployment);
+       on a single-core host effective_domains clamps to 1 and the run
+       takes the sequential path with no pool at all. *)
+    let eff = Duocore.Enumerate.effective_domains config in
+    let pool =
+      if eff > 1 then Some (Duopar.Pool.create ~domains:eff) else None
     in
-    (outcomes, Duocore.Clock.now () -. t0)
+    Fun.protect
+      ~finally:(fun () -> Option.iter Duopar.Pool.shutdown pool)
+      (fun () ->
+        let t0 = Duocore.Clock.now () in
+        let outcomes =
+          List.map
+            (fun task ->
+              let rng = Duobench.Rng.create 29 in
+              let tsq =
+                Duobench.Tsq_synth.synthesize rng db (Duobench.Mas.gold task)
+                  ~detail:Duobench.Tsq_synth.Full
+              in
+              Duocore.Duoquest.synthesize ~config ?tsq ?pool
+                ~literals:task.Duobench.Mas.task_literals session
+                ~nlq:task.Duobench.Mas.task_nlq ())
+            tasks
+        in
+        (outcomes, Duocore.Clock.now () -. t0))
   in
   let digest outcomes =
     Digest.to_hex
@@ -512,7 +523,14 @@ let write_json path estimates =
   let tasks, _seq, seq_wall, par, par_wall, seq_hash, par_hash =
     duopar_profile ()
   in
-  let n_domains = duopar_domains () in
+  (* Domains actually used: the requested count clamps to the cores
+     available (overcommit is off), so a single-core host runs the
+     "parallel" configuration on the sequential path. *)
+  let n_domains =
+    List.fold_left
+      (fun acc o -> max acc o.Duocore.Enumerate.out_domains)
+      1 par
+  in
   (* Sum committed per-domain stats across the parallel outcomes. *)
   let per_domain =
     Array.init n_domains (fun _ -> Duocore.Verify.new_stats ())
@@ -526,6 +544,7 @@ let write_json path estimates =
         o.Duocore.Enumerate.out_domain_stats)
     par;
   out "  \"duopar\": {\n";
+  out "    \"domains_requested\": %d,\n" (duopar_domains ());
   out "    \"domains\": %d,\n" n_domains;
   out "    \"cores_detected\": %d,\n" (Domain.recommended_domain_count ());
   out "    \"tasks\": [%s],\n"

@@ -1,0 +1,133 @@
+(* serve_smoke: boot duoserve on a Unix socket, run a scripted session
+   end-to-end over the wire, and shut the server down cleanly.
+
+   This is the @serve-smoke gate wired into @check: it proves the whole
+   stack — socket loop, protocol codec, session scheduling, refinement,
+   cancellation, graceful drain — not just the in-process handle_line
+   path the unit tests cover.  Exits 0 on success. *)
+
+module Server = Duoserve.Server
+module Client = Duoserve.Client
+module Protocol = Duoserve.Protocol
+module Json = Duoserve.Json
+module Enumerate = Duocore.Enumerate
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("serve_smoke: " ^ msg); exit 1) fmt
+
+let check name cond = if not cond then die "check failed: %s" name
+
+let get_int j field =
+  match Option.bind (Json.member field j) Json.get_int with
+  | Some i -> i
+  | None -> die "response missing integer %S" field
+
+let get_str j field =
+  match Option.bind (Json.member field j) Json.get_str with
+  | Some s -> s
+  | None -> die "response missing string %S" field
+
+let () =
+  let path = Printf.sprintf "/tmp/duoserve-smoke-%d.sock" (Unix.getpid ()) in
+  let split = Duobench.Spider_gen.mini ~seed:11 ~n_dbs:2 ~per_db:2 () in
+  let config =
+    {
+      Server.max_sessions = 4;
+      slice_pops = 32;
+      session_config =
+        { Enumerate.default_config with
+          Enumerate.max_pops = 800;
+          max_candidates = 5;
+          time_budget_s = 20.0 };
+    }
+  in
+  let server = Server.create config split.Duobench.Spider_gen.databases in
+  let listen =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 16;
+    fd
+  in
+  let server_domain = Domain.spawn (fun () -> Server.serve server ~listen) in
+  let c = Client.connect_unix path in
+  (* 1. the database inventory *)
+  let dbs =
+    match
+      Option.bind (Json.member "dbs" (Client.request_exn c Protocol.List_dbs))
+        Json.get_list
+    with
+    | Some l -> List.filter_map Json.get_str l
+    | None -> die "list_dbs gave no dbs"
+  in
+  check "two databases served" (List.length dbs = 2);
+  (* 2. open a session on the first task *)
+  let task = List.hd split.Duobench.Spider_gen.tasks in
+  let open_req =
+    Protocol.Open_session
+      {
+        Protocol.op_db = task.Duobench.Spider_gen.sp_db;
+        op_nlq = task.Duobench.Spider_gen.sp_nlq;
+        op_tsq = None;
+        op_literals = Some task.Duobench.Spider_gen.sp_literals;
+        op_max_pops = Some 400;
+        op_max_candidates = None;
+        op_time_budget_s = None;
+      }
+  in
+  let opened = Client.request_exn c open_req in
+  let sid = get_int opened "session" in
+  check "session admitted running" (get_str opened "status" = "running");
+  (* 3. poll until the enumeration finishes *)
+  let rec poll tries =
+    if tries > 2_000 then die "session %d never finished" sid;
+    let r = Client.request_exn c (Protocol.Get_candidates (sid, None)) in
+    if get_str r "status" = "running" then (
+      Unix.sleepf 0.01;
+      poll (tries + 1))
+    else r
+  in
+  let done_resp = poll 0 in
+  check "session finished" (get_str done_resp "status" = "finished");
+  check "bounded pops" (get_int done_resp "pops" <= 400);
+  (* 4. refine with a sketch derived from the gold answer and re-run *)
+  let db = List.assoc task.Duobench.Spider_gen.sp_db split.Duobench.Spider_gen.databases in
+  (match
+     Duobench.Tsq_synth.synthesize (Duobench.Rng.create 7) db
+       task.Duobench.Spider_gen.sp_gold ~detail:Duobench.Tsq_synth.Full
+   with
+  | None -> ()
+  | Some tsq ->
+      let refined = Client.request_exn c (Protocol.Refine_tsq (sid, tsq)) in
+      check "refine restarts" (get_str refined "status" = "running");
+      check "refinement counted" (get_int refined "refinements" = 1);
+      check "refined run finishes" (get_str (poll 0) "status" = "finished"));
+  (* 5. a second session, cancelled mid-run *)
+  let second =
+    Client.request_exn c
+      (Protocol.Open_session
+         {
+           Protocol.op_db = task.Duobench.Spider_gen.sp_db;
+           op_nlq = task.Duobench.Spider_gen.sp_nlq;
+           op_tsq = None;
+           op_literals = None;
+           op_max_pops = None;
+           op_max_candidates = None;
+           op_time_budget_s = None;
+         })
+  in
+  let sid2 = get_int second "session" in
+  let cancelled = Client.request_exn c (Protocol.Cancel sid2) in
+  check "cancelled" (get_str cancelled "status" = "cancelled");
+  (* 6. close both, check the books, drain *)
+  ignore (Client.request_exn c (Protocol.Close sid));
+  ignore (Client.request_exn c (Protocol.Close sid2));
+  let stats = Client.request_exn c Protocol.Stats in
+  check "no sessions left" (get_int stats "sessions" = 0);
+  check "two opened" (get_int stats "opened" = 2);
+  let bye = Client.request_exn c Protocol.Shutdown in
+  check "draining acknowledged"
+    (Option.bind (Json.member "draining" bye) Json.get_bool = Some true);
+  Client.close c;
+  Domain.join server_domain;
+  Server.destroy server;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  print_endline "serve_smoke: OK"

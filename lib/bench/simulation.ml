@@ -26,36 +26,46 @@ let sessions_of split =
 let run_split ?(config = sim_config) ?(seed = 4242) ~mode ~detail split =
   let sessions = sessions_of split in
   let rng = Rng.create seed in
-  List.map
-    (fun (task : Spider_gen.task) ->
-      let trng = Rng.split rng in
-      let session = Hashtbl.find sessions task.Spider_gen.sp_db in
-      let db = Duoquest.session_db session in
-      let gold = task.Spider_gen.sp_gold in
-      let tsq =
-        match detail with
-        | None -> None
-        | Some d -> Tsq_synth.synthesize trng db gold ~detail:d
-      in
-      let outcome =
-        Duoquest.synthesize ~config ~mode ?tsq
-          ~literals:task.Spider_gen.sp_literals session
-          ~nlq:task.Spider_gen.sp_nlq ()
-      in
-      let rank = Duoquest.rank_of outcome ~gold in
-      let time =
-        Option.bind rank (fun r ->
-            List.nth_opt outcome.Enumerate.out_candidates (r - 1)
-            |> Option.map (fun c -> c.Enumerate.cand_time_s))
-      in
-      {
-        pt_task = task;
-        pt_rank = rank;
-        pt_time = time;
-        pt_candidates = List.length outcome.Enumerate.out_candidates;
-        pt_pops = outcome.Enumerate.out_pops;
-      })
-    split.Spider_gen.tasks
+  (* One worker pool for the whole split: spawning and joining domains
+     per task would dominate these sub-second runs. *)
+  let eff_domains = Enumerate.effective_domains config in
+  let pool =
+    if eff_domains > 1 then Some (Duopar.Pool.create ~domains:eff_domains)
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Duopar.Pool.shutdown pool)
+    (fun () ->
+      List.map
+        (fun (task : Spider_gen.task) ->
+          let trng = Rng.split rng in
+          let session = Hashtbl.find sessions task.Spider_gen.sp_db in
+          let db = Duoquest.session_db session in
+          let gold = task.Spider_gen.sp_gold in
+          let tsq =
+            match detail with
+            | None -> None
+            | Some d -> Tsq_synth.synthesize trng db gold ~detail:d
+          in
+          let outcome =
+            Duoquest.synthesize ~config ~mode ?tsq ?pool
+              ~literals:task.Spider_gen.sp_literals session
+              ~nlq:task.Spider_gen.sp_nlq ()
+          in
+          let rank = Duoquest.rank_of outcome ~gold in
+          let time =
+            Option.bind rank (fun r ->
+                List.nth_opt outcome.Enumerate.out_candidates (r - 1)
+                |> Option.map (fun c -> c.Enumerate.cand_time_s))
+          in
+          {
+            pt_task = task;
+            pt_rank = rank;
+            pt_time = time;
+            pt_candidates = List.length outcome.Enumerate.out_candidates;
+            pt_pops = outcome.Enumerate.out_pops;
+          })
+        split.Spider_gen.tasks)
 
 type pbe_status =
   | Pbe_correct

@@ -275,7 +275,9 @@ let parallel_determinism_prop ((sc : Gen.scenario), seed) =
         max_candidates = 10;
         time_budget_s = 20.0;
         prune_partial;
-        domains }
+        domains;
+        (* exercise the speculative machinery even on one core *)
+        overcommit = true }
     in
     Duocore.Enumerate.run config ctx sc.Gen.sc_db ~tsq:(Some sc.Gen.sc_tsq)
       ~literals:[] ()
@@ -309,6 +311,83 @@ let parallel_determinism_prop ((sc : Gen.scenario), seed) =
       seq.Duocore.Enumerate.out_pushed par.Duocore.Enumerate.out_pushed
   else if prunes seq <> prunes par then
     QCheck.Test.fail_reportf "prune counts diverge at domains=%d" domains
+  else true
+
+(* Resume determinism: a run paused via [Enumerate.step] after any number
+   of pops and resumed later is observably identical to the uninterrupted
+   [run] — same candidates in the same order, same pop/push counts, same
+   per-stage prunes, same exhaustion flag.  This is the contract Duoserve
+   time-slicing rests on: the scheduler may suspend a session at any
+   slice boundary without changing what it computes.  Seed picks the
+   slice size (1..12), the domain count (1..3) and whether partial-query
+   pruning is on. *)
+let resume_determinism_prop ((sc : Gen.scenario), seed) =
+  let ctx = ctx_of sc in
+  let slice = 1 + (seed mod 12) in
+  let domains = 1 + (seed / 12 mod 3) in
+  let prune_partial = seed land 1 = 0 in
+  let config =
+    { Duocore.Enumerate.default_config with
+      Duocore.Enumerate.max_pops = 400;
+      max_candidates = 10;
+      time_budget_s = 20.0;
+      prune_partial;
+      domains;
+      overcommit = true }
+  in
+  let full =
+    Duocore.Enumerate.run config ctx sc.Gen.sc_db ~tsq:(Some sc.Gen.sc_tsq)
+      ~literals:[] ()
+  in
+  let st =
+    Duocore.Enumerate.init config ctx sc.Gen.sc_db ~tsq:(Some sc.Gen.sc_tsq)
+      ~literals:[] ()
+  in
+  let stepped =
+    Fun.protect
+      ~finally:(fun () -> Duocore.Enumerate.release st)
+      (fun () ->
+        let rec go () =
+          match Duocore.Enumerate.step ~max_pops:slice st with
+          | Duocore.Enumerate.Running -> go ()
+          | Duocore.Enumerate.Finished -> Duocore.Enumerate.outcome st
+        in
+        go ())
+  in
+  let sigs (o : Duocore.Enumerate.outcome) =
+    List.map
+      (fun (c : Duocore.Enumerate.candidate) ->
+        (Duosql.Pretty.query c.Duocore.Enumerate.cand_query,
+         c.Duocore.Enumerate.cand_pops))
+      o.Duocore.Enumerate.out_candidates
+  in
+  let prunes (o : Duocore.Enumerate.outcome) =
+    List.map
+      (Duocore.Verify.pruned_by o.Duocore.Enumerate.out_stats)
+      Duocore.Verify.all_stages
+  in
+  if sigs full <> sigs stepped then
+    QCheck.Test.fail_reportf
+      "candidates diverge at slice=%d domains=%d:\nrun:  %s\nstep: %s" slice
+      domains
+      (String.concat " | " (List.map fst (sigs full)))
+      (String.concat " | " (List.map fst (sigs stepped)))
+  else if
+    full.Duocore.Enumerate.out_pops <> stepped.Duocore.Enumerate.out_pops
+    || full.Duocore.Enumerate.out_pushed <> stepped.Duocore.Enumerate.out_pushed
+  then
+    QCheck.Test.fail_reportf
+      "loop accounting diverges at slice=%d: pops %d/%d pushes %d/%d" slice
+      full.Duocore.Enumerate.out_pops stepped.Duocore.Enumerate.out_pops
+      full.Duocore.Enumerate.out_pushed stepped.Duocore.Enumerate.out_pushed
+  else if prunes full <> prunes stepped then
+    QCheck.Test.fail_reportf "prune counts diverge at slice=%d" slice
+  else if
+    full.Duocore.Enumerate.out_exhausted
+    <> stepped.Duocore.Enumerate.out_exhausted
+    || full.Duocore.Enumerate.out_dropped
+       <> stepped.Duocore.Enumerate.out_dropped
+  then QCheck.Test.fail_reportf "exhaustion accounting diverges at slice=%d" slice
   else true
 
 (* --- Duolint error soundness ---------------------------------------- *)
@@ -511,4 +590,7 @@ let tests ?(mult = 1) () =
     QCheck.Test.make ~count:(6 * mult)
       ~name:"Duopar determinism: parallel enumeration = sequential"
       arb_seeded parallel_determinism_prop;
+    QCheck.Test.make ~count:(6 * mult)
+      ~name:"resume determinism: stepped enumeration = uninterrupted run"
+      arb_seeded resume_determinism_prop;
   ]

@@ -12,7 +12,12 @@
     - {b cascade soundness}: no Verify stage prunes a partial query that
       has a completion satisfying the TSQ ({!Soundness.check});
     - {b Property 1}: every expansion's children partition the parent's
-      confidence mass (join-path forks exempt by design). *)
+      confidence mass (join-path forks exempt by design);
+    - {b Duopar determinism}: enumeration with worker domains is
+      observably identical to the sequential run;
+    - {b resume determinism}: a run time-sliced via {!Duocore.Enumerate.step}
+      and resumed is observably identical to the uninterrupted run — the
+      contract Duoserve's session scheduler rests on. *)
 
 (** Individual properties, exposed for ad-hoc harnesses. *)
 

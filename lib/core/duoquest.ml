@@ -20,8 +20,8 @@ let mode_name = function
   | `No_guide -> "NoGuide"
   | `No_pq -> "NoPQ"
 
-let synthesize ?(config = Enumerate.default_config) ?(mode = `Duoquest) ?tsq
-    ?literals ?on_candidate session ~nlq () =
+let prepare ?(config = Enumerate.default_config) ?(mode = `Duoquest) ?tsq
+    ?literals ?relcache ?pool ?on_candidate session ~nlq () =
   let config =
     match mode with
     | `Duoquest | `Nli -> config
@@ -43,8 +43,20 @@ let synthesize ?(config = Enumerate.default_config) ?(mode = `Duoquest) ?tsq
   let literal_values =
     List.map (fun l -> l.Duonl.Nlq.lit_value) analyzed.Duonl.Nlq.literals
   in
-  Enumerate.run config ctx session.s_db ~index:session.s_index ~tsq
-    ~literals:literal_values ?on_candidate ()
+  Enumerate.init config ctx session.s_db ~index:session.s_index ?relcache ?pool
+    ~tsq ~literals:literal_values ?on_candidate ()
+
+let synthesize ?config ?mode ?tsq ?literals ?relcache ?pool ?on_candidate
+    session ~nlq () =
+  let state =
+    prepare ?config ?mode ?tsq ?literals ?relcache ?pool ?on_candidate session
+      ~nlq ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Enumerate.release state)
+    (fun () ->
+      ignore (Enumerate.step state);
+      Enumerate.outcome state)
 
 let rank_of outcome ~gold =
   let rec find i = function

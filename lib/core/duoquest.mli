@@ -35,6 +35,10 @@ val mode_name : mode -> string
     - [tsq]: the table sketch query; omitting it (or passing [`Nli]) makes
       the run single-specification.
     - [config]: enumeration budgets (see {!Enumerate.config}).
+    - [relcache]: a relation cache shared across runs on the same
+      database (sound while the database is immutable).
+    - [pool]: a caller-owned {!Duopar.Pool.t} reused across runs instead
+      of spawning and joining domains per call.
     - [on_candidate]: streaming callback, as the front-end displays
       candidates one at a time. *)
 val synthesize :
@@ -42,11 +46,31 @@ val synthesize :
   ?mode:mode ->
   ?tsq:Tsq.t ->
   ?literals:Duodb.Value.t list ->
+  ?relcache:Duoengine.Executor.relation_cache ->
+  ?pool:Duopar.Pool.t ->
   ?on_candidate:(Enumerate.candidate -> unit) ->
   session ->
   nlq:string ->
   unit ->
   Enumerate.outcome
+
+(** [prepare] is {!synthesize} stopped before the first enumeration step:
+    it analyzes the NLQ, builds the guidance context and returns the
+    paused {!Enumerate.state}.  Duoserve sessions are built on this —
+    the server time-slices many prepared states with {!Enumerate.step}.
+    The caller owns the state ({!Enumerate.release} when done). *)
+val prepare :
+  ?config:Enumerate.config ->
+  ?mode:mode ->
+  ?tsq:Tsq.t ->
+  ?literals:Duodb.Value.t list ->
+  ?relcache:Duoengine.Executor.relation_cache ->
+  ?pool:Duopar.Pool.t ->
+  ?on_candidate:(Enumerate.candidate -> unit) ->
+  session ->
+  nlq:string ->
+  unit ->
+  Enumerate.state
 
 (** 1-based rank of the gold query among the candidates (by
     {!Duosql.Equal.queries}), or [None]. *)

@@ -13,6 +13,7 @@ type config = {
   static_penalty : float;
   max_frontier : int;
   domains : int;
+  overcommit : bool;
 }
 
 let default_config =
@@ -28,7 +29,19 @@ let default_config =
     static_penalty = 0.85;
     max_frontier = 400_000;
     domains = 1;
+    overcommit = false;
   }
+
+(* Speculation only pays off when the extra domains map to real cores:
+   on a single-core host the workers time-share with the committing loop
+   and every round is pure overhead (the 0.34x "speedup" of the first
+   Duopar bench).  The default path therefore clamps the domain count to
+   the hardware; [overcommit] keeps the old behavior for tests that must
+   exercise the parallel machinery regardless of the machine. *)
+let effective_domains config =
+  let requested = max 1 (min config.domains 64) in
+  if config.overcommit then requested
+  else min requested (max 1 (Domain.recommended_domain_count ()))
 
 (* DUOQUEST_DOMAINS=<n> is the deployment-side knob (CLI, bench,
    simulation); unset, unparsable or out-of-range values fall back to
@@ -412,13 +425,56 @@ type task_result = {
   tr_verify_s : float;
 }
 
-let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> ()) () =
-  (* Budgets and candidate timestamps are wall clock (Clock.now): the
-     paper's time budget is real time, and CPU time stalls whenever the
-     process blocks.  Profiling accumulators below use the cheap
-     monotonic clock (see {!Clock}). *)
-  let domains = max 1 (min config.domains 64) in
-  let start = Clock.now () in
+(* --- resumable enumeration state ---------------------------------------
+   Everything [run] used to keep in closure-captured refs now lives in an
+   explicit record, so a run can be paused after any pop and resumed later
+   (Duoserve time-slices many sessions this way).  [run] is rebuilt as
+   [init] + one unbounded [step]: the loop body is shared, so the stepped
+   and the monolithic executions are the same code and their candidates,
+   prune counts and accounting are bit-identical by construction. *)
+
+type status =
+  | Running
+  | Finished
+
+type state = {
+  st_config : config;
+  st_ctx : Model.ctx;
+  st_hints : hints;
+  st_domains : int;
+  st_envs : Verify.env array;  (* index 0 is the committing loop's env *)
+  st_stats : Verify.stats;
+  st_domain_stats : Verify.stats array;
+  st_frontier : Frontier.t;
+  st_visited : (string, unit) Hashtbl.t;
+  st_pool : Duopar.Pool.t option;
+  st_owns_pool : bool;
+  st_memo : (string, task_result) Hashtbl.t;
+  st_on_candidate : candidate -> unit;
+  mutable st_candidates : candidate list;  (* newest first *)
+  mutable st_n_candidates : int;
+  mutable st_pops : int;
+  mutable st_exhausted : bool;
+  mutable st_finished : bool;
+  mutable st_released : bool;
+  mutable st_elapsed_s : float;  (* active wall time across steps *)
+  mutable st_expand_s : float;
+  mutable st_verify_s : float;
+  mutable st_spec_rounds : int;
+  mutable st_spec_tasks : int;
+  mutable st_spec_hits : int;
+}
+
+let init config ctx db ?index ?relcache ?pool ~tsq ~literals
+    ?(on_candidate = fun _ -> ()) () =
+  (* A caller-supplied pool fixes the domain count: the caller already
+     decided how much parallelism this process runs with (one pool per
+     server or bench process, shared across runs). *)
+  let domains =
+    match pool with
+    | Some p -> Duopar.Pool.domains p
+    | None -> effective_domains config
+  in
   let stats = Verify.new_stats () in
   let index =
     (* Force the index on the caller's domain before any worker can race
@@ -441,234 +497,299 @@ let run config ctx db ?index ?relcache ~tsq ~literals ?(on_candidate = fun _ -> 
   in
   let hints = match tsq with Some s -> hints_of_tsq s | None -> no_hints in
   let frontier = Frontier.create ~cap:config.max_frontier () in
-  let visited = Hashtbl.create 4096 in
-  (* Duolint warnings deprioritize at push time, never inside [expand]:
-     expansion keeps children confidences summing to the parent's
-     (Property 1); the frontier order is where suspicion belongs. *)
-  let deprioritize (child : Partial.t) =
-    if not config.static_rules then child
-    else
-      match Verify.static_warnings env child with
-      | 0 -> child
-      | n ->
-          {
-            child with
-            Partial.confidence =
-              child.Partial.confidence
-              *. (config.static_penalty ** float_of_int n);
-          }
-  in
-  let push_fresh (child : Partial.t) =
-    let key = Partial.key child in
-    if not (Hashtbl.mem visited key) then begin
-      Hashtbl.replace visited key ();
-      Frontier.push frontier (deprioritize child)
-    end
-  in
   Frontier.push frontier Partial.root;
-  let candidates = ref [] in
-  let n_candidates = ref 0 in
-  let pops = ref 0 in
-  let exhausted = ref false in
-  let expand_s = ref 0.0 in
-  let verify_s = ref 0.0 in
-  let timed acc f =
-    let t0 = Clock.mono () in
-    let r = f () in
-    acc := !acc +. (Clock.mono () -. t0);
-    r
+  let pool, owns_pool =
+    if domains > 1 then
+      match pool with
+      | Some p -> (Some p, false)
+      | None -> (Some (Duopar.Pool.create ~domains), true)
+    else (None, false)
   in
-  (* --- Duopar speculation (domains > 1) ---------------------------------
-     The sequential best-first loop below stays the single committing
-     loop: it alone pops, emits, merges stats and pushes children, so
-     candidate order, dedup and prune accounting are decided exactly as
-     with [domains = 1].  Parallelism is pure speculation ahead of it:
-     when the next popped state has no memoized result, the top
-     [spec_batch] frontier states are processed in one pool round (each
-     on some domain, against that domain's private caches and a private
-     stats record), the results memoized by state key, and the un-popped
-     states restored to the frontier with their original sequence
-     numbers.  Keys are unique within the frontier ([push_fresh] admits
-     each key once), so a memo entry can only belong to one live state. *)
-  let pool =
-    if domains > 1 then Some (Duopar.Pool.create ~domains) else None
-  in
-  let spec_batch = domains * 4 in
-  let memo : (string, task_result) Hashtbl.t = Hashtbl.create 256 in
-  (* Speculation accounting: rounds of pool work, tasks launched, and
-     memoized results eventually committed by a pop.  Their ratio is the
-     speculation commit rate the bench reports; all zero when
-     [domains = 1]. *)
-  let spec_rounds = ref 0 in
-  let spec_tasks = ref 0 in
-  let spec_hits = ref 0 in
-  let process worker (p : Partial.t) =
-    let tstats = Verify.new_stats () in
-    let env_t = Verify.with_stats envs.(worker) tstats in
-    let t0 = Clock.mono () in
-    let children = expand ~guided:config.guided hints ctx p in
-    let t1 = Clock.mono () in
-    let verdicts = judge env_t config children in
-    let t2 = Clock.mono () in
-    (* [sync_relcache] copies the worker cache's *cumulative* counters
-       into the current record; merging those per task would multiply
-       them.  Per-domain cache numbers are re-derived from the caches
-       once, when the run finishes. *)
-    tstats.Verify.relcache_hits <- 0;
-    tstats.Verify.pushdown_builds <- 0;
-    {
-      tr_worker = worker;
-      tr_children = verdicts;
-      tr_stats = tstats;
-      tr_expand_s = t1 -. t0;
-      tr_verify_s = t2 -. t1;
-    }
-  in
-  let fill pool (p : Partial.t) =
-    let extras = Frontier.pop_entries frontier (spec_batch - 1) in
-    let tasks =
-      Array.of_list
-        (p
-        :: List.filter_map
-             (fun ((st : Partial.t), _) ->
-               if Partial.is_complete st || Hashtbl.mem memo (Partial.key st)
-               then None
-               else Some st)
-             extras)
-    in
-    incr spec_rounds;
-    spec_tasks := !spec_tasks + Array.length tasks;
-    let results = Array.make (Array.length tasks) None in
-    Duopar.Pool.run pool (Array.length tasks) (fun ~worker i ->
-        results.(i) <- Some (process worker tasks.(i)));
-    Array.iteri
-      (fun i st ->
-        match results.(i) with
-        | Some r -> Hashtbl.replace memo (Partial.key st) r
-        | None -> ())
-      tasks;
-    Frontier.restore frontier extras
-  in
-  let emit pq q =
-    let duplicate =
-      List.exists (fun c -> Duosql.Equal.queries c.cand_query q) !candidates
-    in
-    if not duplicate then begin
-      let c =
+  {
+    st_config = config;
+    st_ctx = ctx;
+    st_hints = hints;
+    st_domains = domains;
+    st_envs = envs;
+    st_stats = stats;
+    st_domain_stats = domain_stats;
+    st_frontier = frontier;
+    st_visited = Hashtbl.create 4096;
+    st_pool = pool;
+    st_owns_pool = owns_pool;
+    st_memo = Hashtbl.create 256;
+    st_on_candidate = on_candidate;
+    st_candidates = [];
+    st_n_candidates = 0;
+    st_pops = 0;
+    st_exhausted = false;
+    st_finished = false;
+    st_released = false;
+    st_elapsed_s = 0.0;
+    st_expand_s = 0.0;
+    st_verify_s = 0.0;
+    st_spec_rounds = 0;
+    st_spec_tasks = 0;
+    st_spec_hits = 0;
+  }
+
+let finished s = s.st_finished
+
+let release s =
+  if not s.st_released then begin
+    s.st_released <- true;
+    if s.st_owns_pool then Option.iter Duopar.Pool.shutdown s.st_pool
+  end
+
+(* Duolint warnings deprioritize at push time, never inside [expand]:
+   expansion keeps children confidences summing to the parent's
+   (Property 1); the frontier order is where suspicion belongs. *)
+let deprioritize s (child : Partial.t) =
+  if not s.st_config.static_rules then child
+  else
+    match Verify.static_warnings s.st_envs.(0) child with
+    | 0 -> child
+    | n ->
         {
-          cand_query = q;
-          cand_confidence = pq.Partial.confidence;
-          cand_index = !n_candidates;
-          cand_pops = !pops;
-          cand_time_s = Clock.now () -. start;
+          child with
+          Partial.confidence =
+            child.Partial.confidence
+            *. (s.st_config.static_penalty ** float_of_int n);
         }
-      in
-      candidates := c :: !candidates;
-      incr n_candidates;
-      on_candidate c;
-      if !n_candidates >= config.max_candidates then raise Budget_exhausted
-    end
+
+let push_fresh s (child : Partial.t) =
+  let key = Partial.key child in
+  if not (Hashtbl.mem s.st_visited key) then begin
+    Hashtbl.replace s.st_visited key ();
+    Frontier.push s.st_frontier (deprioritize s child)
+  end
+
+let process s worker (p : Partial.t) =
+  let tstats = Verify.new_stats () in
+  let env_t = Verify.with_stats s.st_envs.(worker) tstats in
+  let t0 = Clock.mono () in
+  let children = expand ~guided:s.st_config.guided s.st_hints s.st_ctx p in
+  let t1 = Clock.mono () in
+  let verdicts = judge env_t s.st_config children in
+  let t2 = Clock.mono () in
+  (* [sync_relcache] copies the worker cache's *cumulative* counters
+     into the current record; merging those per task would multiply
+     them.  Per-domain cache numbers are re-derived from the caches
+     once, when the run finishes. *)
+  tstats.Verify.relcache_hits <- 0;
+  tstats.Verify.pushdown_builds <- 0;
+  {
+    tr_worker = worker;
+    tr_children = verdicts;
+    tr_stats = tstats;
+    tr_expand_s = t1 -. t0;
+    tr_verify_s = t2 -. t1;
+  }
+
+(* One speculative pool round ahead of the committing loop: batch-pop the
+   top of the frontier, process every un-memoized incomplete state on some
+   domain, memoize by state key, restore.  Keys are unique within the
+   frontier ([push_fresh] admits each key once), so a memo entry can only
+   belong to one live state. *)
+let fill s pool (p : Partial.t) =
+  let spec_batch = s.st_domains * 4 in
+  let extras = Frontier.pop_entries s.st_frontier (spec_batch - 1) in
+  let tasks =
+    Array.of_list
+      (p
+      :: List.filter_map
+           (fun ((st : Partial.t), _) ->
+             if Partial.is_complete st || Hashtbl.mem s.st_memo (Partial.key st)
+             then None
+             else Some st)
+           extras)
   in
-  Fun.protect
-    ~finally:(fun () -> Option.iter Duopar.Pool.shutdown pool)
-    (fun () ->
-      try
-        while true do
-       if Frontier.is_empty frontier then begin
-         (* An empty frontier only proves exhaustion when compaction never
-            discarded a state: dropped states stay in [visited] and can
-            never re-enter, so their subtrees were not enumerated. *)
-         exhausted := Frontier.dropped frontier = 0;
-         raise Budget_exhausted
-       end;
-       if !pops >= config.max_pops then raise Budget_exhausted;
-       if Clock.now () -. start > config.time_budget_s then raise Budget_exhausted;
-       (match Frontier.pop frontier with
-       | None -> raise Budget_exhausted
-       | Some p when Partial.is_complete p ->
-           (* Complete states are emitted when popped, so candidates stream
-              out in nonincreasing confidence order. *)
-           incr pops;
-           (match Partial.to_query p with
-           | Some q -> emit p q
-           | None -> ())
-       | Some p -> (
-           incr pops;
-           match pool with
-           | None ->
-               let children =
-                 timed expand_s (fun () ->
-                     expand ~guided:config.guided hints ctx p)
-               in
-               (* verification can dominate a pop; respect the budget *)
-               if Clock.now () -. start > config.time_budget_s then
-                 raise Budget_exhausted;
-               let verdicts =
-                 timed verify_s (fun () -> judge env config children)
-               in
-               List.iter
-                 (fun ((child : Partial.t), ok) ->
-                   if Clock.now () -. start > config.time_budget_s then
-                     raise Budget_exhausted;
-                   if ok then push_fresh child)
-                 verdicts
-           | Some pool ->
-               let key = Partial.key p in
-               let r =
-                 match Hashtbl.find_opt memo key with
-                 | Some r -> r
-                 | None ->
-                     (* [p] is always the first task of the fill. *)
-                     fill pool p;
-                     Hashtbl.find memo key
-               in
-               Hashtbl.remove memo key;
-               incr spec_hits;
-               Verify.merge_stats ~into:domain_stats.(r.tr_worker) r.tr_stats;
-               expand_s := !expand_s +. r.tr_expand_s;
-               verify_s := !verify_s +. r.tr_verify_s;
-               List.iter
-                 (fun ((child : Partial.t), ok) ->
-                   if Clock.now () -. start > config.time_budget_s then
-                     raise Budget_exhausted;
-                   if ok then push_fresh child)
-                 r.tr_children))
-        done
-      with Budget_exhausted -> ());
+  s.st_spec_rounds <- s.st_spec_rounds + 1;
+  s.st_spec_tasks <- s.st_spec_tasks + Array.length tasks;
+  let results = Array.make (Array.length tasks) None in
+  Duopar.Pool.run pool (Array.length tasks) (fun ~worker i ->
+      results.(i) <- Some (process s worker tasks.(i)));
+  Array.iteri
+    (fun i st ->
+      match results.(i) with
+      | Some r -> Hashtbl.replace s.st_memo (Partial.key st) r
+      | None -> ())
+    tasks;
+  Frontier.restore s.st_frontier extras
+
+exception Slice_exhausted
+
+(* [step ?max_pops s] advances the run by at most [max_pops] further
+   frontier pops (unbounded when omitted), stopping early when any budget
+   of [s.st_config] finishes the run.  The time budget counts only active
+   stepping time, so a paused session is not charged for the pause. *)
+let step ?max_pops s =
+  if s.st_finished then Finished
+  else begin
+    let config = s.st_config in
+    let t0 = Clock.now () in
+    let now () = s.st_elapsed_s +. (Clock.now () -. t0) in
+    let pop_limit =
+      match max_pops with
+      | None -> max_int
+      | Some k when k >= max_int - s.st_pops -> max_int
+      | Some k -> s.st_pops + max 0 k
+    in
+    let over_time () = now () > config.time_budget_s in
+    let emit pq q =
+      let duplicate =
+        List.exists
+          (fun c -> Duosql.Equal.queries c.cand_query q)
+          s.st_candidates
+      in
+      if not duplicate then begin
+        let c =
+          {
+            cand_query = q;
+            cand_confidence = pq.Partial.confidence;
+            cand_index = s.st_n_candidates;
+            cand_pops = s.st_pops;
+            cand_time_s = now ();
+          }
+        in
+        s.st_candidates <- c :: s.st_candidates;
+        s.st_n_candidates <- s.st_n_candidates + 1;
+        s.st_on_candidate c;
+        if s.st_n_candidates >= config.max_candidates then
+          raise Budget_exhausted
+      end
+    in
+    let timed acc f =
+      let m0 = Clock.mono () in
+      let r = f () in
+      acc (Clock.mono () -. m0);
+      r
+    in
+    (* The sequential best-first loop stays the single committing loop: it
+       alone pops, emits, merges stats and pushes children, so candidate
+       order, dedup and prune accounting are decided exactly as with
+       [domains = 1]; worker domains merely precompute results for states
+       it is about to pop (see [fill]). *)
+    (try
+       while true do
+         if s.st_pops >= pop_limit then raise Slice_exhausted;
+         if Frontier.is_empty s.st_frontier then begin
+           (* An empty frontier only proves exhaustion when compaction never
+              discarded a state: dropped states stay in [st_visited] and can
+              never re-enter, so their subtrees were not enumerated. *)
+           s.st_exhausted <- Frontier.dropped s.st_frontier = 0;
+           raise Budget_exhausted
+         end;
+         if s.st_pops >= config.max_pops then raise Budget_exhausted;
+         if over_time () then raise Budget_exhausted;
+         match Frontier.pop s.st_frontier with
+         | None -> raise Budget_exhausted
+         | Some p when Partial.is_complete p -> (
+             (* Complete states are emitted when popped, so candidates
+                stream out in nonincreasing confidence order. *)
+             s.st_pops <- s.st_pops + 1;
+             match Partial.to_query p with
+             | Some q -> emit p q
+             | None -> ())
+         | Some p -> (
+             s.st_pops <- s.st_pops + 1;
+             match s.st_pool with
+             | None ->
+                 let children =
+                   timed
+                     (fun d -> s.st_expand_s <- s.st_expand_s +. d)
+                     (fun () ->
+                       expand ~guided:config.guided s.st_hints s.st_ctx p)
+                 in
+                 (* verification can dominate a pop; respect the budget *)
+                 if over_time () then raise Budget_exhausted;
+                 let verdicts =
+                   timed
+                     (fun d -> s.st_verify_s <- s.st_verify_s +. d)
+                     (fun () -> judge s.st_envs.(0) config children)
+                 in
+                 List.iter
+                   (fun ((child : Partial.t), ok) ->
+                     if over_time () then raise Budget_exhausted;
+                     if ok then push_fresh s child)
+                   verdicts
+             | Some pool ->
+                 let key = Partial.key p in
+                 let r =
+                   match Hashtbl.find_opt s.st_memo key with
+                   | Some r -> r
+                   | None ->
+                       (* [p] is always the first task of the fill. *)
+                       fill s pool p;
+                       Hashtbl.find s.st_memo key
+                 in
+                 Hashtbl.remove s.st_memo key;
+                 s.st_spec_hits <- s.st_spec_hits + 1;
+                 Verify.merge_stats
+                   ~into:s.st_domain_stats.(r.tr_worker)
+                   r.tr_stats;
+                 s.st_expand_s <- s.st_expand_s +. r.tr_expand_s;
+                 s.st_verify_s <- s.st_verify_s +. r.tr_verify_s;
+                 List.iter
+                   (fun ((child : Partial.t), ok) ->
+                     if over_time () then raise Budget_exhausted;
+                     if ok then push_fresh s child)
+                   r.tr_children)
+       done
+     with
+    | Budget_exhausted -> s.st_finished <- true
+    | Slice_exhausted -> ());
+    s.st_elapsed_s <- now ();
+    if s.st_finished then Finished else Running
+  end
+
+(* Snapshot the run's observable outcome.  Pure with respect to results:
+   recomputing the per-domain relation-cache counters just overwrites them
+   with the caches' current cumulative numbers, so calling this mid-run
+   (Duoserve's [get_candidates]) and again at the end is safe. *)
+let outcome s =
   let out_stats =
-    if domains = 1 then stats
+    if s.st_domains = 1 then s.st_stats
     else begin
       (* Per-domain relation-cache numbers come from the caches
          themselves; task records were zeroed (see [process]). *)
       Array.iteri
         (fun d ds ->
           let hits, _misses, pushd =
-            Duoengine.Executor.cache_stats (Verify.relcache envs.(d))
+            Duoengine.Executor.cache_stats (Verify.relcache s.st_envs.(d))
           in
           ds.Verify.relcache_hits <- hits;
           ds.Verify.pushdown_builds <- pushd)
-        domain_stats;
+        s.st_domain_stats;
       let total = Verify.new_stats () in
-      (* [stats] holds only push-time deprioritization warnings in
+      (* [st_stats] holds only push-time deprioritization warnings in
          parallel mode (verification runs through task records). *)
-      Verify.merge_stats ~into:total stats;
-      Array.iter (fun ds -> Verify.merge_stats ~into:total ds) domain_stats;
+      Verify.merge_stats ~into:total s.st_stats;
+      Array.iter (fun ds -> Verify.merge_stats ~into:total ds) s.st_domain_stats;
       total
     end
   in
   {
-    out_candidates = List.rev !candidates;
-    out_pops = !pops;
-    out_pushed = Frontier.pushed frontier;
+    out_candidates = List.rev s.st_candidates;
+    out_pops = s.st_pops;
+    out_pushed = Frontier.pushed s.st_frontier;
     out_stats;
-    out_elapsed_s = Clock.now () -. start;
-    out_expand_s = !expand_s;
-    out_verify_s = !verify_s;
-    out_exhausted = !exhausted;
-    out_dropped = Frontier.dropped frontier;
-    out_domains = domains;
-    out_domain_stats = domain_stats;
-    out_spec_rounds = !spec_rounds;
-    out_spec_tasks = !spec_tasks;
-    out_spec_hits = !spec_hits;
+    out_elapsed_s = s.st_elapsed_s;
+    out_expand_s = s.st_expand_s;
+    out_verify_s = s.st_verify_s;
+    out_exhausted = s.st_exhausted;
+    out_dropped = Frontier.dropped s.st_frontier;
+    out_domains = s.st_domains;
+    out_domain_stats = s.st_domain_stats;
+    out_spec_rounds = s.st_spec_rounds;
+    out_spec_tasks = s.st_spec_tasks;
+    out_spec_hits = s.st_spec_hits;
   }
+
+let run config ctx db ?index ?relcache ?pool ~tsq ~literals ?on_candidate () =
+  let s = init config ctx db ?index ?relcache ?pool ~tsq ~literals ?on_candidate () in
+  Fun.protect
+    ~finally:(fun () -> release s)
+    (fun () ->
+      ignore (step s);
+      outcome s)

@@ -38,11 +38,24 @@ type config = {
           the only committing loop; extra domains merely precompute
           results for states it is about to pop (see DESIGN.md,
           "Duopar"). *)
+  overcommit : bool;
+      (** When [false] (the default), the worker-domain count is further
+          clamped to [Domain.recommended_domain_count ()]: on a
+          single-core host speculation is pure overhead, so the run takes
+          the sequential path outright.  [true] keeps [domains] as
+          requested regardless of the hardware (determinism tests
+          exercise the speculative machinery this way). *)
 }
 
 (** Duoquest defaults: guided, pruning, 200k pops, 100 candidates, 60 s,
-    1 domain. *)
+    1 domain, no overcommit. *)
 val default_config : config
+
+(** The worker-domain count a run with this config will actually use on
+    this machine ([domains] clamped to [1, 64] and, without [overcommit],
+    to the available cores).  Callers that share one {!Duopar.Pool.t}
+    across runs size it with this. *)
+val effective_domains : config -> int
 
 (** Reads [DUOQUEST_DOMAINS]; 1 when unset, unparsable, or < 1; capped
     at 64.  The CLI, bench and simulation paths use this so parallelism
@@ -106,17 +119,77 @@ val hints_of_tsq : Tsq.t -> hints
 val expand :
   guided:bool -> hints -> Duoguide.Model.ctx -> Partial.t -> Partial.t list
 
-(** Run the enumeration.  [tsq = None] is the pure-NLI setting.
+(** {2 Resumable enumeration}
+
+    A {!state} is a paused run: the frontier, dedup table, join-path
+    memos, per-domain verification environments and all accounting.
+    {!init} builds it, {!step} advances it by a bounded number of
+    frontier pops, {!outcome} snapshots the observable results at any
+    point, and {!release} frees the worker pool.  {!run} is exactly
+    [init] + one unbounded [step] + [outcome] + [release], so a run
+    paused after any pop and resumed later commits the same pops in the
+    same order — candidates, prune counts and accounting are
+    bit-identical to the uninterrupted run (property-tested under
+    [@fuzz]).  Duoserve time-slices many concurrent sessions over this
+    interface. *)
+
+type state
+
+type status =
+  | Running  (** the slice ended with budget and frontier remaining *)
+  | Finished  (** a budget hit or the frontier drained; the run is over *)
+
+(** [init config ctx db ~tsq ~literals ()] builds a paused run with the
+    root state on the frontier.  [tsq = None] is the pure-NLI setting.
     [on_candidate] fires at each emission (the paper's streaming UI).
     [index] and [relcache] thread a session's inverted index and shared
     relation cache into the verification environment (see
-    {!Verify.make_env}). *)
+    {!Verify.make_env}).  [pool] supplies a caller-owned worker pool
+    shared across runs (one per server or bench process); it fixes the
+    domain count and is {e not} shut down by {!release}.  Without it a
+    pool is created when {!effective_domains} exceeds 1 and owned by the
+    state. *)
+val init :
+  config ->
+  Duoguide.Model.ctx ->
+  Duodb.Database.t ->
+  ?index:Duodb.Index.t ->
+  ?relcache:Duoengine.Executor.relation_cache ->
+  ?pool:Duopar.Pool.t ->
+  tsq:Tsq.t option ->
+  literals:Duodb.Value.t list ->
+  ?on_candidate:(candidate -> unit) ->
+  unit ->
+  state
+
+(** [step ?max_pops s] advances the run by at most [max_pops] further
+    frontier pops (unbounded when omitted).  Budgets come from the
+    config given to {!init}; the wall-clock budget counts only active
+    stepping time, so a paused session is not charged for its pause.
+    Stepping a [Finished] state is a no-op. *)
+val step : ?max_pops:int -> state -> status
+
+val finished : state -> bool
+
+(** Snapshot the run's observable outcome; callable mid-run (a streaming
+    UI polling candidates) and after the final step — final results are
+    whatever the last call returns once {!finished} holds. *)
+val outcome : state -> outcome
+
+(** Shut down the state's worker pool if it owns one (no-op for a pool
+    passed into {!init}, and with [domains = 1]).  Idempotent.  A
+    released state must not be stepped again. *)
+val release : state -> unit
+
+(** Run the enumeration to completion: [init] + one unbounded [step] +
+    [outcome] + [release].  Arguments as {!init}. *)
 val run :
   config ->
   Duoguide.Model.ctx ->
   Duodb.Database.t ->
   ?index:Duodb.Index.t ->
   ?relcache:Duoengine.Executor.relation_cache ->
+  ?pool:Duopar.Pool.t ->
   tsq:Tsq.t option ->
   literals:Duodb.Value.t list ->
   ?on_candidate:(candidate -> unit) ->

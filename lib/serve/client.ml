@@ -1,0 +1,51 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let of_fd fd = { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_unix path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  of_fd fd
+
+let connect_tcp ?(host = "127.0.0.1") port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  of_fd fd
+
+let request c req =
+  match
+    output_string c.oc (Protocol.request_to_line req);
+    output_char c.oc '\n';
+    flush c.oc;
+    input_line c.ic
+  with
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error e -> Error ("connection failed: " ^ e)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("connection failed: " ^ Unix.error_message e)
+  | line -> (
+      match Json.parse line with
+      | Error e -> Error ("unparsable response: " ^ e)
+      | Ok j -> (
+          match Option.bind (Json.member "ok" j) Json.get_bool with
+          | Some true -> Ok j
+          | Some false | None -> (
+              match Option.bind (Json.member "error" j) Json.get_str with
+              | Some msg -> Error msg
+              | None -> Error ("bad response: " ^ line))))
+
+let request_exn c req =
+  match request c req with
+  | Ok j -> j
+  | Error e ->
+      failwith
+        (Printf.sprintf "duoserve request %s failed: %s"
+           (Protocol.request_to_line req)
+           e)
+
+let close c =
+  try Unix.close c.fd with Unix.Unix_error _ -> ()

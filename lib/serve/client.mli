@@ -1,0 +1,18 @@
+(** A minimal blocking Duoserve client: one connection, synchronous
+    request/response.  Used by the load generator and the smoke test;
+    interactive callers would talk the line protocol directly. *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : ?host:string -> int -> t
+
+(** Send one request and wait for the response line.  [Ok json] for an
+    [{"ok":true}] response, [Error msg] for a protocol error or a dead
+    connection. *)
+val request : t -> Protocol.request -> (Json.t, string) result
+
+(** [Error]-raising variant for scripted sessions. *)
+val request_exn : t -> Protocol.request -> Json.t
+
+val close : t -> unit

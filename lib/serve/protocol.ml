@@ -1,0 +1,322 @@
+module Value = Duodb.Value
+module Tsq = Duocore.Tsq
+
+type open_params = {
+  op_db : string;
+  op_nlq : string;
+  op_tsq : Tsq.t option;
+  op_literals : Value.t list option;
+  op_max_pops : int option;
+  op_max_candidates : int option;
+  op_time_budget_s : float option;
+}
+
+type request =
+  | Open_session of open_params
+  | Refine_tsq of int * Tsq.t
+  | Get_candidates of int * int option
+  | Cancel of int
+  | Close of int
+  | List_dbs
+  | Stats
+  | Shutdown
+
+(* --- scalar values --------------------------------------------------- *)
+
+let value_to_json = function
+  | Value.Null -> Json.Null
+  | Value.Int i -> Json.Num (float_of_int i)
+  | Value.Float f -> Json.Num f
+  | Value.Text s -> Json.Str s
+
+let value_of_json = function
+  | Json.Null -> Ok Value.Null
+  | Json.Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Ok (Value.Int (int_of_float f))
+      else Ok (Value.Float f)
+  | Json.Str s -> Ok (Value.Text s)
+  | Json.Bool _ | Json.List _ | Json.Obj _ ->
+      Error "literal must be null, a number or a string"
+
+(* --- TSQ ------------------------------------------------------------- *)
+
+let cell_to_json = function
+  | Tsq.Any -> Json.Null
+  | Tsq.Exact v -> value_to_json v
+  | Tsq.Range (lo, hi) ->
+      Json.Obj [ ("lo", value_to_json lo); ("hi", value_to_json hi) ]
+
+let cell_of_json j =
+  match j with
+  | Json.Null -> Ok Tsq.Any
+  | Json.Obj _ -> (
+      match (Json.member "lo" j, Json.member "hi" j) with
+      | Some lo, Some hi -> (
+          match (value_of_json lo, value_of_json hi) with
+          | Ok lo, Ok hi -> Ok (Tsq.Range (lo, hi))
+          | Error e, (Ok _ | Error _) | Ok _, Error e ->
+              Error ("bad range bound: " ^ e))
+      | None, (Some _ | None) | Some _, None ->
+          Error "range cell needs both \"lo\" and \"hi\"")
+  | Json.Num _ | Json.Str _ -> (
+      match value_of_json j with
+      | Ok v -> Ok (Tsq.Exact v)
+      | Error e -> Error e)
+  | Json.Bool _ | Json.List _ ->
+      Error "cell must be null, a scalar, or {\"lo\":..,\"hi\":..}"
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest -> (
+      match f x with
+      | Error e -> Error e
+      | Ok y -> (
+          match map_result f rest with
+          | Ok ys -> Ok (y :: ys)
+          | Error e -> Error e))
+
+let tuple_of_json j =
+  match Json.get_list j with
+  | None -> Error "tuple must be an array of cells"
+  | Some cells -> map_result cell_of_json cells
+
+let ( let* ) r f = Result.bind r f
+
+let tuples_of_field name j =
+  match Json.member name j with
+  | None -> Ok []
+  | Some l -> (
+      match Json.get_list l with
+      | None -> Error (Printf.sprintf "%S must be an array of tuples" name)
+      | Some ts -> map_result tuple_of_json ts)
+
+let tsq_to_json (t : Tsq.t) =
+  let tuples ts = Json.List (List.map (fun tu -> Json.List (List.map cell_to_json tu)) ts) in
+  let fields = ref [] in
+  let push k v = fields := (k, v) :: !fields in
+  (match t.Tsq.min_support with
+  | Some m -> push "min_support" (Json.Num (float_of_int m))
+  | None -> ());
+  if t.Tsq.negatives <> [] then push "negatives" (tuples t.Tsq.negatives);
+  if t.Tsq.limit > 0 then push "limit" (Json.Num (float_of_int t.Tsq.limit));
+  if t.Tsq.sorted then push "sorted" (Json.Bool true);
+  if t.Tsq.tuples <> [] then push "tuples" (tuples t.Tsq.tuples);
+  (match t.Tsq.types with
+  | Some tys ->
+      push "types"
+        (Json.List
+           (List.map (fun ty -> Json.Str (Duodb.Datatype.to_string ty)) tys))
+  | None -> ());
+  Json.Obj !fields
+
+let tsq_of_json j =
+  let decoded =
+    match j with
+    | Json.Obj _ ->
+        let int_field name =
+          match Json.member name j with
+          | None -> Ok None
+          | Some v -> (
+              match Json.get_int v with
+              | Some i -> Ok (Some i)
+              | None -> Error (Printf.sprintf "%S must be an integer" name))
+        in
+        let* types =
+          match Json.member "types" j with
+          | None -> Ok None
+          | Some l -> (
+              match Json.get_list l with
+              | None -> Error "\"types\" must be an array"
+              | Some tys ->
+                  let parse ty =
+                    match Json.get_str ty with
+                    | None -> Error "type annotation must be a string"
+                    | Some s -> (
+                        match Duodb.Datatype.of_string s with
+                        | Some t -> Ok t
+                        | None ->
+                            Error
+                              (Printf.sprintf
+                                 "unknown type %S (expected \"text\" or \
+                                  \"number\")"
+                                 s))
+                  in
+                  Result.map Option.some (map_result parse tys))
+        in
+        let* tuples = tuples_of_field "tuples" j in
+        let* sorted =
+          match Json.member "sorted" j with
+          | None -> Ok false
+          | Some v -> (
+              match Json.get_bool v with
+              | Some b -> Ok b
+              | None -> Error "\"sorted\" must be a boolean")
+        in
+        let* limit = int_field "limit" in
+        let* negatives = tuples_of_field "negatives" j in
+        let* min_support = int_field "min_support" in
+        Ok
+          (Tsq.make ?types ~tuples ~sorted
+             ~limit:(Option.value limit ~default:0)
+             ~negatives ?min_support ())
+    | Json.Null | Json.Bool _ | Json.Num _ | Json.Str _ | Json.List _ ->
+        Error "expected an object"
+  in
+  Result.map_error (fun e -> "bad tsq: " ^ e) decoded
+
+(* --- requests -------------------------------------------------------- *)
+
+let str_field j name =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing %S" name)
+  | Some v -> (
+      match Json.get_str v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "%S must be a string" name))
+
+let sid_field j =
+  match Json.member "session" j with
+  | None -> Error "missing \"session\""
+  | Some v -> (
+      match Json.get_int v with
+      | Some i -> Ok i
+      | None -> Error "\"session\" must be an integer")
+
+let opt_int j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match Json.get_int v with
+      | Some i -> Ok (Some i)
+      | None -> Error (Printf.sprintf "%S must be an integer" name))
+
+let opt_num j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match Json.get_num v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "%S must be a number" name))
+
+let open_of_json j =
+  let* db = str_field j "db" in
+  let* nlq = str_field j "nlq" in
+  let* tsq =
+    match Json.member "tsq" j with
+    | None -> Ok None
+    | Some Json.Null -> Ok None
+    | Some (Json.Bool _ | Json.Num _ | Json.Str _ | Json.List _ | Json.Obj _)
+      as t ->
+        Result.map Option.some (tsq_of_json (Option.get t))
+  in
+  let* literals =
+    match Json.member "literals" j with
+    | None -> Ok None
+    | Some l -> (
+        match Json.get_list l with
+        | None -> Error "\"literals\" must be an array"
+        | Some vs -> Result.map Option.some (map_result value_of_json vs))
+  in
+  let* max_pops = opt_int j "max_pops" in
+  let* max_candidates = opt_int j "max_candidates" in
+  let* time_budget_s = opt_num j "time_budget_s" in
+  Ok
+    (Open_session
+       {
+         op_db = db;
+         op_nlq = nlq;
+         op_tsq = tsq;
+         op_literals = literals;
+         op_max_pops = max_pops;
+         op_max_candidates = max_candidates;
+         op_time_budget_s = time_budget_s;
+       })
+
+let request_of_line line =
+  match Json.parse line with
+  | Error e -> Error ("malformed JSON: " ^ e)
+  | Ok j -> (
+      match str_field j "op" with
+      | Error e -> Error e
+      | Ok op -> (
+          match op with
+          | "open_session" -> open_of_json j
+          | "refine_tsq" ->
+              let* sid = sid_field j in
+              let* tsq =
+                match Json.member "tsq" j with
+                | None -> Error "missing \"tsq\""
+                | Some t -> tsq_of_json t
+              in
+              Ok (Refine_tsq (sid, tsq))
+          | "get_candidates" ->
+              let* sid = sid_field j in
+              let* k = opt_int j "k" in
+              Ok (Get_candidates (sid, k))
+          | "cancel" ->
+              let* sid = sid_field j in
+              Ok (Cancel sid)
+          | "close" ->
+              let* sid = sid_field j in
+              Ok (Close sid)
+          | "list_dbs" -> Ok List_dbs
+          | "stats" -> Ok Stats
+          | "shutdown" -> Ok Shutdown
+          | op -> Error (Printf.sprintf "unknown op %S" op)))
+
+let request_to_line req =
+  let obj op fields = Json.to_string (Json.Obj (("op", Json.Str op) :: fields)) in
+  let sid i = ("session", Json.Num (float_of_int i)) in
+  match req with
+  | Open_session p ->
+      let fields = ref [] in
+      let push k v = fields := (k, v) :: !fields in
+      (match p.op_time_budget_s with
+      | Some f -> push "time_budget_s" (Json.Num f)
+      | None -> ());
+      (match p.op_max_candidates with
+      | Some i -> push "max_candidates" (Json.Num (float_of_int i))
+      | None -> ());
+      (match p.op_max_pops with
+      | Some i -> push "max_pops" (Json.Num (float_of_int i))
+      | None -> ());
+      (match p.op_literals with
+      | Some vs -> push "literals" (Json.List (List.map value_to_json vs))
+      | None -> ());
+      (match p.op_tsq with
+      | Some t -> push "tsq" (tsq_to_json t)
+      | None -> ());
+      push "nlq" (Json.Str p.op_nlq);
+      push "db" (Json.Str p.op_db);
+      obj "open_session" !fields
+  | Refine_tsq (i, t) -> obj "refine_tsq" [ sid i; ("tsq", tsq_to_json t) ]
+  | Get_candidates (i, k) ->
+      obj "get_candidates"
+        (sid i
+        ::
+        (match k with
+        | Some k -> [ ("k", Json.Num (float_of_int k)) ]
+        | None -> []))
+  | Cancel i -> obj "cancel" [ sid i ]
+  | Close i -> obj "close" [ sid i ]
+  | List_dbs -> obj "list_dbs" []
+  | Stats -> obj "stats" []
+  | Shutdown -> obj "shutdown" []
+
+(* --- responses ------------------------------------------------------- *)
+
+let ok_line fields = Json.to_string (Json.Obj (("ok", Json.Bool true) :: fields))
+
+let error_line msg =
+  Json.to_string
+    (Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
+
+let candidate_json (c : Duocore.Enumerate.candidate) =
+  Json.Obj
+    [
+      ("rank", Json.Num (float_of_int (c.Duocore.Enumerate.cand_index + 1)));
+      ("sql", Json.Str (Duosql.Pretty.query c.Duocore.Enumerate.cand_query));
+      ("confidence", Json.Num c.Duocore.Enumerate.cand_confidence);
+      ("pops", Json.Num (float_of_int c.Duocore.Enumerate.cand_pops));
+    ]

@@ -1,0 +1,73 @@
+(** The Duoserve line protocol.
+
+    Each request and each response is one JSON object per line.  A
+    request carries an ["op"] field naming the operation; responses
+    carry ["ok"] plus operation-specific fields, or
+    [{"ok":false,"error":...}].
+
+    Operations:
+    - [open_session] — admit a dual-specification session: ["db"],
+      ["nlq"], optional ["tsq"], ["literals"], and per-session budget
+      overrides ["max_pops"] / ["max_candidates"] / ["time_budget_s"]
+      (each clamped to the server's ceiling);
+    - [refine_tsq] — replace a session's sketch (the Figure 1
+      interaction loop) and restart its enumeration under the new TSQ;
+    - [get_candidates] — snapshot the session's ranked candidates so
+      far, optionally the top ["k"];
+    - [cancel] — stop a session's enumeration, keeping its results
+      readable;
+    - [close] — drop the session and free its slot;
+    - [list_dbs], [stats], [shutdown] — server-level operations
+      (shutdown starts a graceful drain).
+
+    TSQ wire form: [{"types":["text","number"], "tuples":[[cell,...],...],
+    "sorted":bool, "limit":int, "negatives":[...], "min_support":int}]
+    where a cell is [null] (match anything), a scalar (exact match), or
+    [{"lo":v,"hi":v}] (inclusive range).  Numbers decode to [Int] when
+    integral, [Float] otherwise. *)
+
+type open_params = {
+  op_db : string;
+  op_nlq : string;
+  op_tsq : Duocore.Tsq.t option;
+  op_literals : Duodb.Value.t list option;
+      (** [None]: extract literals from the NLQ (the usual path) *)
+  op_max_pops : int option;
+  op_max_candidates : int option;
+  op_time_budget_s : float option;
+}
+
+type request =
+  | Open_session of open_params
+  | Refine_tsq of int * Duocore.Tsq.t
+  | Get_candidates of int * int option
+  | Cancel of int
+  | Close of int
+  | List_dbs
+  | Stats
+  | Shutdown
+
+(** Decode one request line.  The error string is ready to ship back via
+    {!error_line}. *)
+val request_of_line : string -> (request, string) result
+
+(** Encode a request as a protocol line (no trailing newline) — the
+    client half, used by the load generator and the smoke test. *)
+val request_to_line : request -> string
+
+(** [{"ok":true, <fields>}] as a line. *)
+val ok_line : (string * Json.t) list -> string
+
+(** [{"ok":false,"error":msg}] as a line. *)
+val error_line : string -> string
+
+(** {2 Wire pieces} *)
+
+val value_to_json : Duodb.Value.t -> Json.t
+val value_of_json : Json.t -> (Duodb.Value.t, string) result
+val tsq_to_json : Duocore.Tsq.t -> Json.t
+val tsq_of_json : Json.t -> (Duocore.Tsq.t, string) result
+
+(** [{"rank":i,"sql":s,"confidence":c,"pops":n}] — emission rank is
+    1-based on the wire. *)
+val candidate_json : Duocore.Enumerate.candidate -> Json.t

@@ -1,0 +1,123 @@
+module Enumerate = Duocore.Enumerate
+module Duoquest = Duocore.Duoquest
+
+type status =
+  | Running
+  | Finished
+  | Cancelled
+
+let status_name = function
+  | Running -> "running"
+  | Finished -> "finished"
+  | Cancelled -> "cancelled"
+
+type t = {
+  sid : int;
+  db_name : string;
+  nlq : string;
+  config : Enumerate.config;
+  duo : Duoquest.session;
+  relcache : Duoengine.Executor.relation_cache option;
+  pool : Duopar.Pool.t option;
+  literals : Duodb.Value.t list option;
+  mutable tsq : Duocore.Tsq.t option;
+  mutable state : Enumerate.state option;
+  mutable last : Enumerate.outcome option;
+      (** snapshot kept after the state is released *)
+  mutable status : status;
+  mutable slices : int;
+  mutable refinements : int;
+}
+
+let sid s = s.sid
+let db_name s = s.db_name
+let nlq s = s.nlq
+let status s = s.status
+let slices s = s.slices
+let refinements s = s.refinements
+
+let prepare s =
+  Duoquest.prepare ~config:s.config ?tsq:s.tsq ?literals:s.literals
+    ?relcache:s.relcache ?pool:s.pool s.duo ~nlq:s.nlq ()
+
+let create ~sid ~db_name ~config ?relcache ?pool ~nlq ?tsq ?literals duo =
+  let s =
+    {
+      sid;
+      db_name;
+      nlq;
+      config;
+      duo;
+      relcache;
+      pool;
+      literals;
+      tsq;
+      state = None;
+      last = None;
+      status = Running;
+      slices = 0;
+      refinements = 0;
+    }
+  in
+  s.state <- Some (prepare s);
+  s
+
+let release_state s =
+  match s.state with
+  | None -> ()
+  | Some st ->
+      s.last <- Some (Enumerate.outcome st);
+      Enumerate.release st;
+      s.state <- None
+
+let step ~max_pops s =
+  match (s.status, s.state) with
+  | Running, Some st -> (
+      s.slices <- s.slices + 1;
+      match Enumerate.step ~max_pops st with
+      | Enumerate.Running -> ()
+      | Enumerate.Finished -> s.status <- Finished)
+  | Running, None | (Finished | Cancelled), (Some _ | None) -> ()
+
+let refine s tsq =
+  release_state s;
+  s.tsq <- Some tsq;
+  s.last <- None;
+  s.refinements <- s.refinements + 1;
+  s.state <- Some (prepare s);
+  s.status <- Running
+
+let cancel s =
+  release_state s;
+  match s.status with
+  | Running -> s.status <- Cancelled
+  | Finished | Cancelled -> ()
+
+let empty_outcome =
+  {
+    Enumerate.out_candidates = [];
+    out_pops = 0;
+    out_pushed = 0;
+    out_stats = Duocore.Verify.new_stats ();
+    out_elapsed_s = 0.0;
+    out_expand_s = 0.0;
+    out_verify_s = 0.0;
+    out_exhausted = false;
+    out_dropped = 0;
+    out_domains = 1;
+    out_domain_stats = [||];
+    out_spec_rounds = 0;
+    out_spec_tasks = 0;
+    out_spec_hits = 0;
+  }
+
+let outcome s =
+  match s.state with
+  | Some st -> Enumerate.outcome st
+  | None -> (
+      match s.last with Some o -> o | None -> empty_outcome)
+
+let close s =
+  release_state s;
+  s.last <- None;
+  s.status <- Cancelled

@@ -1,0 +1,67 @@
+(** One Duoserve synthesis session: a dual specification (NLQ + optional
+    TSQ) bound to a database, carrying its resumable
+    {!Duocore.Enumerate.state}.
+
+    The server time-slices sessions cooperatively with {!step}; by
+    resume determinism (see {!Duocore.Enumerate.step}) the interleaving
+    never changes a session's results, so concurrent sessions cannot
+    interfere.  The wall-clock budget charges only active stepping time
+    — a session preempted by its neighbours is not billed for waiting.
+
+    {!refine} implements the paper's interaction loop (Figure 1): the
+    sketch is replaced and enumeration restarts from the root under the
+    new TSQ.  Results from the previous sketch are discarded — the new
+    sketch re-judges the whole space, not just past survivors. *)
+
+type status =
+  | Running
+  | Finished
+  | Cancelled
+
+val status_name : status -> string
+
+type t
+
+val sid : t -> int
+val db_name : t -> string
+val nlq : t -> string
+val status : t -> status
+
+(** Slices this session has been stepped, and times it was refined. *)
+val slices : t -> int
+
+val refinements : t -> int
+
+(** [create ~sid ~db_name ~config duo params] admits the session and
+    prepares its enumeration (paused before the first pop).  [config] is
+    the already-clamped per-session budget; [relcache] is the per-database
+    shared relation cache; [pool] the server's shared worker pool. *)
+val create :
+  sid:int ->
+  db_name:string ->
+  config:Duocore.Enumerate.config ->
+  ?relcache:Duoengine.Executor.relation_cache ->
+  ?pool:Duopar.Pool.t ->
+  nlq:string ->
+  ?tsq:Duocore.Tsq.t ->
+  ?literals:Duodb.Value.t list ->
+  Duocore.Duoquest.session ->
+  t
+
+(** Advance a [Running] session by at most [max_pops] frontier pops; a
+    no-op otherwise. *)
+val step : max_pops:int -> t -> unit
+
+(** Replace the TSQ and restart enumeration; any status returns to
+    [Running]. *)
+val refine : t -> Duocore.Tsq.t -> unit
+
+(** Stop enumerating and release the enumeration state.  The outcome
+    snapshot stays readable until {!close}. *)
+val cancel : t -> unit
+
+(** Results so far — callable in any status. *)
+val outcome : t -> Duocore.Enumerate.outcome
+
+(** Release everything.  The session must not be used afterwards. *)
+val close : t -> unit

@@ -190,13 +190,17 @@ let test_stats_attribution () =
 
 (* --- Duopar: parallel enumeration is observably identical --- *)
 
+(* [overcommit] forces the speculative path even on a single-core test
+   machine — these tests are about determinism of the machinery, not
+   about whether parallelism pays off here. *)
 let run_at ~domains ?tsq nlq =
   let config =
     { Enumerate.default_config with
       Enumerate.max_pops = 4_000;
       max_candidates = 30;
       time_budget_s = 20.0;
-      domains }
+      domains;
+      overcommit = true }
   in
   Enumerate.run config (ctx nlq) db ~tsq ~literals:[] ()
 
@@ -262,7 +266,8 @@ let test_parallel_exhaustion_identical () =
       { Enumerate.default_config with
         Enumerate.max_pops = 200_000;
         time_budget_s = 20.0;
-        domains }
+        domains;
+        overcommit = true }
     in
     Enumerate.run config (ctx "names") db ~tsq:(Some tsq) ~literals:[] ()
   in
@@ -272,9 +277,136 @@ let test_parallel_exhaustion_identical () =
     seq.Enumerate.out_exhausted;
   Alcotest.(check int) "same pops" seq.Enumerate.out_pops par.Enumerate.out_pops
 
+(* --- resumable stepping: pause/resume is observably identical --------- *)
+
+let config_for ~domains =
+  { Enumerate.default_config with
+    Enumerate.max_pops = 4_000;
+    max_candidates = 30;
+    time_budget_s = 20.0;
+    domains;
+    overcommit = true }
+
+(* Drive a run as a sequence of [slice]-pop steps; returns the final
+   outcome and how many step calls it took. *)
+let stepped ~slice ~domains ?tsq ?config nlq =
+  let config = match config with Some c -> c | None -> config_for ~domains in
+  let s = Enumerate.init config (ctx nlq) db ~tsq ~literals:[] () in
+  Fun.protect
+    ~finally:(fun () -> Enumerate.release s)
+    (fun () ->
+      let steps = ref 0 in
+      let rec go () =
+        incr steps;
+        match Enumerate.step ~max_pops:slice s with
+        | Enumerate.Running -> go ()
+        | Enumerate.Finished -> ()
+      in
+      go ();
+      Alcotest.(check bool) "finished reported" true (Enumerate.finished s);
+      (* stepping a finished state is a no-op *)
+      (match Enumerate.step ~max_pops:slice s with
+      | Enumerate.Finished -> ()
+      | Enumerate.Running -> Alcotest.fail "step after Finished ran");
+      (Enumerate.outcome s, !steps))
+
+let check_flags (seq : Enumerate.outcome) (st : Enumerate.outcome) =
+  Alcotest.(check bool) "same exhausted flag" seq.Enumerate.out_exhausted
+    st.Enumerate.out_exhausted;
+  Alcotest.(check int) "same dropped count" seq.Enumerate.out_dropped
+    st.Enumerate.out_dropped
+
+let test_resume_identical_nli () =
+  let full = run_at ~domains:1 "movie names and years" in
+  List.iter
+    (fun slice ->
+      let st, steps = stepped ~slice ~domains:1 "movie names and years" in
+      Alcotest.(check bool)
+        (Printf.sprintf "slice %d really paused" slice)
+        true
+        (steps > 1);
+      check_identical full st;
+      check_flags full st)
+    [ 1; 7; 64 ]
+
+let test_resume_identical_dual () =
+  let tsq =
+    Duocore.Tsq.make ~types:[ Duodb.Datatype.Text ]
+      ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "Forrest Gump") ] ]
+      ()
+  in
+  let full = run_at ~domains:1 ~tsq "movie names" in
+  Alcotest.(check bool) "found something" true
+    (full.Enumerate.out_candidates <> []);
+  let st, _ = stepped ~slice:5 ~domains:1 ~tsq "movie names" in
+  check_identical full st;
+  check_flags full st
+
+let test_resume_identical_duopar () =
+  (* pausing between speculative rounds must not change what the
+     committing loop commits *)
+  let full = run_at ~domains:1 "movie names and years" in
+  let st, _ = stepped ~slice:3 ~domains:4 "movie names and years" in
+  check_identical full st;
+  check_flags full st
+
+let test_resume_exhaustion_flags () =
+  let tsq =
+    Duocore.Tsq.make ~types:[ Duodb.Datatype.Text ]
+      ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "No Such Value Anywhere") ] ]
+      ()
+  in
+  let config =
+    { Enumerate.default_config with
+      Enumerate.max_pops = 200_000;
+      time_budget_s = 20.0 }
+  in
+  let full = Enumerate.run config (ctx "names") db ~tsq:(Some tsq) ~literals:[] () in
+  let st, _ = stepped ~slice:17 ~domains:1 ~tsq ~config "names" in
+  Alcotest.(check bool) "exhaustive run" true full.Enumerate.out_exhausted;
+  check_identical full st;
+  check_flags full st
+
+let test_resume_snapshot_prefix () =
+  (* a mid-run snapshot's candidates are a prefix of the final list *)
+  let config = config_for ~domains:1 in
+  let s =
+    Enumerate.init config (ctx "movie names and years") db ~tsq:None
+      ~literals:[] ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Enumerate.release s)
+    (fun () ->
+      let rec drive snapshots =
+        let snap = Enumerate.outcome s in
+        match Enumerate.step ~max_pops:40 s with
+        | Enumerate.Running -> drive (snap :: snapshots)
+        | Enumerate.Finished -> (Enumerate.outcome s, snapshots)
+      in
+      let final, snapshots = drive [] in
+      let final_sigs = candidate_sigs final in
+      List.iter
+        (fun snap ->
+          let sigs = candidate_sigs snap in
+          let n = List.length sigs in
+          Alcotest.(check (list (triple string int int)))
+            "snapshot is a prefix of the final candidates" sigs
+            (List.filteri (fun i _ -> i < n) final_sigs))
+        snapshots)
+
 let suite =
   [
     Alcotest.test_case "root expansion" `Quick test_root_expansion;
+    Alcotest.test_case "resume: stepped NLI run identical" `Quick
+      test_resume_identical_nli;
+    Alcotest.test_case "resume: stepped dual-spec run identical" `Quick
+      test_resume_identical_dual;
+    Alcotest.test_case "resume: stepped duopar run identical" `Quick
+      test_resume_identical_duopar;
+    Alcotest.test_case "resume: exhaustion flags survive pausing" `Quick
+      test_resume_exhaustion_flags;
+    Alcotest.test_case "resume: snapshots are prefixes" `Quick
+      test_resume_snapshot_prefix;
     Alcotest.test_case "duopar: NLI run identical" `Quick
       test_parallel_identical_nli;
     Alcotest.test_case "duopar: dual-spec run identical" `Quick

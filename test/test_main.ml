@@ -27,6 +27,7 @@ let () =
       ("simulation pipeline", Test_simulation.suite);
       ("synthesis", Test_synth.suite);
       ("mas workload", Test_mas.suite);
+      ("duoserve", Test_serve.suite);
       ("duocheck", Test_check.suite);
       ("user simulation", Test_usersim.suite);
     ]
