@@ -150,6 +150,137 @@ let solo_run ~dbs ~tasks k =
     (fun c -> Duosql.Pretty.query c.Enumerate.cand_query)
     outcome.Enumerate.out_candidates
 
+(* --- warm-vs-cold refinement sweep ---------------------------------- *)
+
+(* For each distinct task with a synthesizable sketch: run a session to
+   completion under a loosened ancestor of the sketch, then tighten it in
+   place — the server must serve that over the warm [Enumerate.rebase]
+   path — and measure refine→finish latency.  The cold baseline refines a
+   sketchless session to the same target, which takes the from-root
+   fallback.  Warm must keep the cold run's candidates (as a prefix; the
+   pop budget is per refinement, so a pop-bound cold run may legally stop
+   earlier). *)
+
+type refine_report = {
+  rf_tasks : int;
+  rf_warm_ms : float array;  (** sorted *)
+  rf_cold_ms : float array;  (** sorted *)
+  rf_mismatches : int;
+}
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let refine_sweep ~path ~dbs ~tasks ~max_tasks () =
+  let module Tsq = Duocore.Tsq in
+  let conn = Client.connect_unix path in
+  let open_session ?tsq (task : Spider_gen.task) =
+    let req =
+      Protocol.Open_session
+        {
+          Protocol.op_db = task.Spider_gen.sp_db;
+          op_nlq = task.Spider_gen.sp_nlq;
+          op_tsq = tsq;
+          op_literals = Some task.Spider_gen.sp_literals;
+          op_max_pops = None;
+          op_max_candidates = None;
+          op_time_budget_s = None;
+        }
+    in
+    let rec admit tries =
+      if tries > 100_000 then die "refine sweep: never admitted";
+      match Client.request conn req with
+      | Ok j -> j
+      | Error e when String.length e >= 11 && String.sub e 0 11 = "server full"
+        ->
+          Unix.sleepf 0.004;
+          admit (tries + 1)
+      | Error e -> die "refine sweep: open failed: %s" e
+    in
+    match get_int (admit 0) "session" with
+    | Some sid -> sid
+    | None -> die "refine sweep: open response without session id"
+  in
+  let rec poll sid tries =
+    if tries > 50_000 then die "refine sweep: session %d stuck" sid;
+    match Client.request conn (Protocol.Get_candidates (sid, None)) with
+    | Error e -> die "refine sweep: poll failed: %s" e
+    | Ok r -> (
+        match get_str r "status" with
+        | Some "running" ->
+            Unix.sleepf 0.002;
+            poll sid (tries + 1)
+        | Some _ -> r
+        | None -> die "refine sweep: poll without status")
+  in
+  (* refine→finish latency, whether the warm path served it, final SQLs *)
+  let refine_to sid tsq =
+    let t0 = Unix.gettimeofday () in
+    match Client.request conn (Protocol.Refine_tsq (sid, tsq)) with
+    | Error e -> die "refine sweep: refine failed: %s" e
+    | Ok r ->
+        let rebased = Option.bind (Json.member "rebased" r) Json.get_bool in
+        let final = poll sid 0 in
+        (Unix.gettimeofday () -. t0, rebased = Some true, sqls_of final)
+  in
+  let close sid = ignore (Client.request conn (Protocol.Close sid)) in
+  let warm = ref [] and cold = ref [] in
+  let n = ref 0 and mismatches = ref 0 in
+  Array.iteri
+    (fun k (task : Spider_gen.task) ->
+      if !n < max_tasks then
+        let db = List.assoc task.Spider_gen.sp_db dbs in
+        match
+          Duobench.Tsq_synth.synthesize
+            (Duobench.Rng.create (200 + k))
+            db task.Spider_gen.sp_gold ~detail:Duobench.Tsq_synth.Full
+        with
+        | None -> ()
+        | Some t0 ->
+            let tight = { t0 with Tsq.min_support = None } in
+            let loose =
+              { tight with
+                Tsq.tuples =
+                  (match tight.Tsq.tuples with [] -> [] | t :: _ -> [ t ]);
+                sorted = false;
+                negatives = [] }
+            in
+            if Tsq.refines ~old:loose ~new_:tight = Tsq.Tightening then begin
+              incr n;
+              let sid = open_session ~tsq:loose task in
+              ignore (poll sid 0);
+              let w_lat, w_rebased, w_sqls = refine_to sid tight in
+              close sid;
+              if not w_rebased then
+                die "refine sweep: tightening on task %d not served warm" k;
+              let sid = open_session task in
+              ignore (poll sid 0);
+              let c_lat, c_rebased, c_sqls = refine_to sid tight in
+              close sid;
+              if c_rebased then
+                die "refine sweep: sketchless refine on task %d took the \
+                     rebase path" k;
+              warm := (w_lat *. 1000.0) :: !warm;
+              cold := (c_lat *. 1000.0) :: !cold;
+              if not (is_prefix c_sqls w_sqls) then incr mismatches
+            end)
+    tasks;
+  Client.close conn;
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  {
+    rf_tasks = !n;
+    rf_warm_ms = sorted !warm;
+    rf_cold_ms = sorted !cold;
+    rf_mismatches = !mismatches;
+  }
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -211,6 +342,8 @@ let () =
   in
   let results = List.concat_map Domain.join client_domains in
   let wall = Unix.gettimeofday () -. t_start in
+  (* warm-vs-cold refinement sweep on the still-running server *)
+  let refine = refine_sweep ~path ~dbs ~tasks:base_tasks ~max_tasks:8 () in
   (* drain the server *)
   let control = Client.connect_unix path in
   let stats = Client.request_exn control Protocol.Stats in
@@ -249,10 +382,18 @@ let () =
     if wall > 0.0 then float_of_int (List.length results) /. wall else 0.0
   in
   let n_rejected = Atomic.get rejected in
+  let refine_warm_p50 = percentile refine.rf_warm_ms 0.50 in
+  let refine_cold_p50 = percentile refine.rf_cold_ms 0.50 in
   Printf.printf
     "loadgen: %d sessions in %.2fs (%.2f/s); latency ms p50=%.1f p95=%.1f \
      p99=%.1f; %d rejected opens; %d interference mismatches\n%!"
     (List.length results) wall throughput p50 p95 p99 n_rejected !mismatches;
+  Printf.printf
+    "loadgen: refine sweep over %d tasks: warm p50=%.1fms cold p50=%.1fms \
+     (%.1fx); %d candidate mismatches\n%!"
+    refine.rf_tasks refine_warm_p50 refine_cold_p50
+    (if refine_warm_p50 > 0.0 then refine_cold_p50 /. refine_warm_p50 else 0.0)
+    refine.rf_mismatches;
   (match !json_path with
   | None -> ()
   | Some out ->
@@ -281,6 +422,16 @@ let () =
       ;
       p "  \"interference\": {\"tasks_checked\": %d, \"mismatches\": %d},\n"
         checked !mismatches;
+      p "  \"refine\": {\"tasks\": %d, \"warm_ms\": {\"p50\": %.2f, \
+         \"p95\": %.2f}, \"cold_ms\": {\"p50\": %.2f, \"p95\": %.2f}, \
+         \"warm_speedup_p50\": %.2f, \"candidate_mismatches\": %d},\n"
+        refine.rf_tasks refine_warm_p50
+        (percentile refine.rf_warm_ms 0.95)
+        refine_cold_p50
+        (percentile refine.rf_cold_ms 0.95)
+        (if refine_warm_p50 > 0.0 then refine_cold_p50 /. refine_warm_p50
+         else 0.0)
+        refine.rf_mismatches;
       p "  \"note\": \"%s\"\n"
         (json_escape
            "latency is per-session completion time under concurrent \
@@ -288,4 +439,4 @@ let () =
       p "}\n";
       close_out oc;
       Printf.printf "loadgen: wrote %s\n%!" out);
-  if !mismatches > 0 then exit 1
+  if !mismatches > 0 || refine.rf_mismatches > 0 then exit 1

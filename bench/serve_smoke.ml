@@ -26,6 +26,11 @@ let get_str j field =
   | Some s -> s
   | None -> die "response missing string %S" field
 
+let get_bool j field =
+  match Option.bind (Json.member field j) Json.get_bool with
+  | Some b -> b
+  | None -> die "response missing boolean %S" field
+
 let () =
   let path = Printf.sprintf "/tmp/duoserve-smoke-%d.sock" (Unix.getpid ()) in
   let split = Duobench.Spider_gen.mini ~seed:11 ~n_dbs:2 ~per_db:2 () in
@@ -90,6 +95,8 @@ let () =
   check "bounded pops" (get_int done_resp "pops" <= 400);
   (* 4. refine with a sketch derived from the gold answer and re-run *)
   let db = List.assoc task.Duobench.Spider_gen.sp_db split.Duobench.Spider_gen.databases in
+  let warm_refines = ref 0 in
+  let cold_refines = ref 0 in
   (match
      Duobench.Tsq_synth.synthesize (Duobench.Rng.create 7) db
        task.Duobench.Spider_gen.sp_gold ~detail:Duobench.Tsq_synth.Full
@@ -99,7 +106,27 @@ let () =
       let refined = Client.request_exn c (Protocol.Refine_tsq (sid, tsq)) in
       check "refine restarts" (get_str refined "status" = "running");
       check "refinement counted" (get_int refined "refinements" = 1);
-      check "refined run finishes" (get_str (poll 0) "status" = "finished"));
+      (* no previous sketch to tighten: served by the from-root path *)
+      check "first refine is cold" (not (get_bool refined "rebased"));
+      incr cold_refines;
+      check "refined run finishes" (get_str (poll 0) "status" = "finished");
+      (* 4b. tighten the sketch in place: a negative tuple that matches no
+         row keeps every candidate alive, so the warm rebase path must
+         serve the refinement without re-enumerating from the root. *)
+      let module Tsq = Duocore.Tsq in
+      let tighter =
+        Tsq.add_negative tsq
+          (List.map
+             (fun _ -> Tsq.Exact (Duodb.Value.Text "duoserve-smoke-neg"))
+             (List.hd tsq.Tsq.tuples))
+      in
+      check "edit classifies as tightening"
+        (Tsq.refines ~old:tsq ~new_:tighter = Tsq.Tightening);
+      let warmed = Client.request_exn c (Protocol.Refine_tsq (sid, tighter)) in
+      check "second refinement counted" (get_int warmed "refinements" = 2);
+      check "tightening served by rebase" (get_bool warmed "rebased");
+      incr warm_refines;
+      check "rebased run finishes" (get_str (poll 0) "status" = "finished"));
   (* 5. a second session, cancelled mid-run *)
   let second =
     Client.request_exn c
@@ -123,6 +150,8 @@ let () =
   let stats = Client.request_exn c Protocol.Stats in
   check "no sessions left" (get_int stats "sessions" = 0);
   check "two opened" (get_int stats "opened" = 2);
+  check "refinements booked" (get_int stats "refined" = !warm_refines + !cold_refines);
+  check "warm rebases booked" (get_int stats "rebased" = !warm_refines);
   let bye = Client.request_exn c Protocol.Shutdown in
   check "draining acknowledged"
     (Option.bind (Json.member "draining" bye) Json.get_bool = Some true);

@@ -390,6 +390,143 @@ let resume_determinism_prop ((sc : Gen.scenario), seed) =
   then QCheck.Test.fail_reportf "exhaustion accounting diverges at slice=%d" slice
   else true
 
+(* --- Incremental refinement ----------------------------------------- *)
+
+(* A seeded tightening edit of a sketch: append a duplicate example (when
+   full support is already demanded), add a negative built from a
+   perturbed example row, or toggle the sorted flag on (the always-legal
+   fallback).  [Tsq.refines] must classify every one as a tightening. *)
+let neg_cell = function
+  | Duocore.Tsq.Exact (Value.Int v) -> Duocore.Tsq.Exact (Value.Int (v + 13))
+  | Duocore.Tsq.Exact (Value.Text s) ->
+      Duocore.Tsq.Exact (Value.Text (s ^ "x"))
+  | Duocore.Tsq.Exact (Value.Null | Value.Float _)
+  | Duocore.Tsq.Any | Duocore.Tsq.Range _ ->
+      Duocore.Tsq.Exact (Value.Text "duocheck-neg")
+
+let tighten_tsq (t : Duocore.Tsq.t) seed =
+  let module Tsq = Duocore.Tsq in
+  let full_support =
+    t.Tsq.tuples <> [] && Tsq.required_support t = List.length t.Tsq.tuples
+  in
+  match seed mod 3 with
+  | 0 when full_support ->
+      { t with
+        Tsq.tuples = t.Tsq.tuples @ [ List.hd t.Tsq.tuples ];
+        min_support = None }
+  | 1 when t.Tsq.tuples <> [] ->
+      Tsq.add_negative t (List.map neg_cell (List.hd t.Tsq.tuples))
+  | _ -> { t with Tsq.sorted = true }
+
+(* Tightening monotonicity: every state the cascade prunes under the old
+   sketch stays pruned under the tightened one — the contract that lets
+   [Enumerate.rebase] keep the visited set and re-check only survivors.
+   Walks a random derivation and compares full-cascade verdicts under
+   both sketches at every state (pruned or not). *)
+let refine_monotone_prop ((sc : Gen.scenario), seed) =
+  let old_t = sc.Gen.sc_tsq in
+  let new_t = tighten_tsq old_t seed in
+  if Duocore.Tsq.refines ~old:old_t ~new_:new_t <> Duocore.Tsq.Tightening then
+    QCheck.Test.fail_reportf "seeded edit did not classify as a tightening"
+  else begin
+    let ctx = ctx_of sc in
+    let env_old =
+      Duocore.Verify.make_env ~db:sc.Gen.sc_db ~tsq:(Some old_t) ~literals:[] ()
+    in
+    let env_new =
+      Duocore.Verify.make_env ~db:sc.Gen.sc_db ~tsq:(Some new_t) ~literals:[] ()
+    in
+    (* header edits are Incomparable, so old and new hints coincide *)
+    let hints = Duocore.Enumerate.hints_of_tsq old_t in
+    let st = Random.State.make [| seed |] in
+    let rec walk state steps =
+      steps <= 0
+      ||
+      let old_ok = Duocore.Verify.verify env_old state in
+      let new_ok = Duocore.Verify.verify env_new state in
+      if new_ok && not old_ok then
+        QCheck.Test.fail_reportf "tightened sketch revived a pruned state: %s"
+          (Duocore.Partial.to_string state)
+      else
+        match Duocore.Enumerate.expand ~guided:true hints ctx state with
+        | [] -> true
+        | children ->
+            walk
+              (List.nth children (Random.State.int st (List.length children)))
+              (steps - 1)
+    in
+    walk Duocore.Partial.root 40
+  end
+
+(* Incremental re-synthesis = from-root restart: loosen the scenario's
+   sketch (first example only, unsorted, no negatives), enumerate under
+   the loose sketch for a random number of pops, [rebase] onto the
+   original, finish — and compare against an uninterrupted run under the
+   original sketch.  The pop budget is per refinement by design, so when
+   the cold run is stopped by its pop budget the warm run may legally
+   emit more: the cold candidate list must then be a strict prefix. *)
+let incremental_refine_prop ((sc : Gen.scenario), seed) =
+  let module Tsq = Duocore.Tsq in
+  let module E = Duocore.Enumerate in
+  let new_t = { sc.Gen.sc_tsq with Tsq.min_support = None } in
+  let old_t =
+    { new_t with
+      Tsq.tuples =
+        (match new_t.Tsq.tuples with [] -> [] | t :: _ -> [ t ]);
+      sorted = false;
+      negatives = [] }
+  in
+  if Tsq.refines ~old:old_t ~new_:new_t <> Tsq.Tightening then
+    QCheck.Test.fail_reportf "loosened sketch is not refined by the original"
+  else begin
+    let ctx = ctx_of sc in
+    let config =
+      { E.default_config with
+        E.max_pops = 1_500;
+        max_candidates = 5;
+        time_budget_s = 20.0 }
+    in
+    let cold = E.run config ctx sc.Gen.sc_db ~tsq:(Some new_t) ~literals:[] () in
+    let st = E.init config ctx sc.Gen.sc_db ~tsq:(Some old_t) ~literals:[] () in
+    let warm =
+      Fun.protect
+        ~finally:(fun () -> E.release st)
+        (fun () ->
+          ignore (E.step ~max_pops:(1 + (seed mod 40)) st);
+          E.rebase st ~tsq:new_t;
+          let rec go () =
+            match E.step st with E.Running -> go () | E.Finished -> ()
+          in
+          go ();
+          E.outcome st)
+    in
+    let sqls (o : E.outcome) =
+      List.map
+        (fun (c : E.candidate) -> Duosql.Pretty.query c.E.cand_query)
+        o.E.out_candidates
+    in
+    let rec is_prefix xs ys =
+      match (xs, ys) with
+      | [], _ -> true
+      | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+      | _ :: _, [] -> false
+    in
+    let cs = sqls cold and ws = sqls warm in
+    let cold_budget_bound = cold.E.out_pops >= config.E.max_pops in
+    if not (is_prefix cs ws) then
+      QCheck.Test.fail_reportf
+        "incremental candidates diverge from the from-root run:\ncold: %s\nwarm: %s"
+        (String.concat " | " cs) (String.concat " | " ws)
+    else if (not cold_budget_bound) && cs <> ws then
+      QCheck.Test.fail_reportf
+        "warm run emitted extra candidates without a cold budget bound:\ncold: %s\nwarm: %s"
+        (String.concat " | " cs) (String.concat " | " ws)
+    else if warm.E.out_rebases <> 1 then
+      QCheck.Test.fail_reportf "expected exactly one rebase, saw %d"
+        warm.E.out_rebases
+    else true
+  end
+
 (* --- Duolint error soundness ---------------------------------------- *)
 
 (* A query Duolint rejects as an {e error} can never be a correct intent.
@@ -593,4 +730,10 @@ let tests ?(mult = 1) () =
     QCheck.Test.make ~count:(6 * mult)
       ~name:"resume determinism: stepped enumeration = uninterrupted run"
       arb_seeded resume_determinism_prop;
+    QCheck.Test.make ~count:(20 * mult)
+      ~name:"refinement monotonicity: tightened prune set contains the original"
+      arb_seeded refine_monotone_prop;
+    QCheck.Test.make ~count:(6 * mult)
+      ~name:"incremental refine = from-root restart"
+      arb_seeded incremental_refine_prop;
   ]

@@ -17,7 +17,14 @@
       observably identical to the sequential run;
     - {b resume determinism}: a run time-sliced via {!Duocore.Enumerate.step}
       and resumed is observably identical to the uninterrupted run — the
-      contract Duoserve's session scheduler rests on. *)
+      contract Duoserve's session scheduler rests on;
+    - {b refinement monotonicity}: any {!Duocore.Tsq.refines} tightening
+      only grows the cascade's prune set — no state pruned under the old
+      sketch is revived by the new one (the contract behind
+      {!Duocore.Enumerate.rebase} keeping the visited set);
+    - {b incremental refine}: enumerating under a loosened sketch, then
+      rebasing onto the original mid-run, emits the same candidates as a
+      from-root run under the original. *)
 
 (** Individual properties, exposed for ad-hoc harnesses. *)
 

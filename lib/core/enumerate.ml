@@ -77,6 +77,9 @@ type outcome = {
   out_spec_rounds : int;
   out_spec_tasks : int;
   out_spec_hits : int;
+  out_rebases : int;
+  out_rebase_kept : int;
+  out_rebase_dropped : int;
 }
 
 type hints = {
@@ -440,7 +443,7 @@ type status =
 type state = {
   st_config : config;
   st_ctx : Model.ctx;
-  st_hints : hints;
+  mutable st_hints : hints;  (* retargeted by [rebase] *)
   st_domains : int;
   st_envs : Verify.env array;  (* index 0 is the committing loop's env *)
   st_stats : Verify.stats;
@@ -454,6 +457,12 @@ type state = {
   mutable st_candidates : candidate list;  (* newest first *)
   mutable st_n_candidates : int;
   mutable st_pops : int;
+  mutable st_pop_base : int;
+      (* pops at the last (re)start: the pop budget is per refinement,
+         while [st_pops] stays cumulative for reporting *)
+  mutable st_rebases : int;
+  mutable st_rebase_kept : int;
+  mutable st_rebase_dropped : int;
   mutable st_exhausted : bool;
   mutable st_finished : bool;
   mutable st_released : bool;
@@ -522,6 +531,10 @@ let init config ctx db ?index ?relcache ?pool ~tsq ~literals
     st_candidates = [];
     st_n_candidates = 0;
     st_pops = 0;
+    st_pop_base = 0;
+    st_rebases = 0;
+    st_rebase_kept = 0;
+    st_rebase_dropped = 0;
     st_exhausted = false;
     st_finished = false;
     st_released = false;
@@ -680,7 +693,8 @@ let step ?max_pops s =
            s.st_exhausted <- Frontier.dropped s.st_frontier = 0;
            raise Budget_exhausted
          end;
-         if s.st_pops >= config.max_pops then raise Budget_exhausted;
+         if s.st_pops - s.st_pop_base >= config.max_pops then
+           raise Budget_exhausted;
          if over_time () then raise Budget_exhausted;
          match Frontier.pop s.st_frontier with
          | None -> raise Budget_exhausted
@@ -743,6 +757,83 @@ let step ?max_pops s =
     if s.st_finished then Finished else Running
   end
 
+(* [charge s seconds] pre-spends active time against the run's wall-clock
+   budget, as if the run had already stepped for that long.  The session
+   layer uses it to make the time budget cumulative across from-root
+   refinement restarts: the replacement run starts with the old run's
+   elapsed time already on the meter. *)
+let charge s seconds = if seconds > 0.0 then s.st_elapsed_s <- s.st_elapsed_s +. seconds
+
+(* Warm-restart the run under a tightened sketch (Tsq.Tightening — the
+   caller classifies; rebasing on an Incomparable edit is unsound).
+
+   Soundness rests on per-stage monotonicity: under a tightening, every
+   cascade stage that failed a state under the old sketch also fails it
+   under the new one, so states pruned before the refinement need no
+   second look — only the *survivors* (the frontier, and the emitted
+   candidates) can change verdict, and only from pass to fail.  Each
+   survivor is re-checked with {!Verify.reverify}, which re-runs just the
+   sketch-reading stages (clauses / column / row / complete) and carries
+   the TSQ-independent verdicts (static, semantics) and the
+   type-annotation stage (a tightening keeps [types] equal).
+
+   Equivalence with a from-root run under the new sketch: a tightening
+   also keeps the guidance header ([hints_of_tsq]) identical, so
+   expansion proposes the same children with the same confidences;
+   [Frontier.pop_entries]/[restore] preserve insertion sequence numbers,
+   so the surviving frontier keeps the exact relative order the cold
+   run's frontier would impose on those states.  The re-filtered
+   candidate list is therefore candidate-for-candidate the cold run's
+   prefix (unit- and property-tested). *)
+let rebase s ~tsq =
+  let t0 = Clock.now () in
+  let m0 = Clock.mono () in
+  (* Retarget every domain's environment and the guidance hints; the
+     speculation memo holds verdicts computed under the old sketch and
+     must be dropped (visited-key dedup is unaffected: any state whose
+     key is already recorded was either kept, or pruned — and a pruned
+     state stays pruned under a tightening). *)
+  Array.iteri (fun d env -> s.st_envs.(d) <- Verify.retarget env ~tsq) s.st_envs;
+  s.st_hints <- hints_of_tsq tsq;
+  Hashtbl.reset s.st_memo;
+  let env = s.st_envs.(0) in
+  (* Re-verify the frontier survivors.  Under NoPQ partial states were
+     never verified against the sketch, so only complete states are
+     re-checked there. *)
+  let entries =
+    Frontier.pop_entries s.st_frontier (Frontier.size s.st_frontier)
+  in
+  let kept, dropped =
+    List.partition
+      (fun ((p : Partial.t), _) ->
+        if s.st_config.prune_partial || Partial.is_complete p then
+          Verify.reverify env p
+        else true)
+      entries
+  in
+  Frontier.restore s.st_frontier kept;
+  (* Re-filter the emitted candidates ([st_candidates] is newest-first)
+     and renumber the survivors in emission order. *)
+  let kept_cands =
+    List.filter (fun c -> Verify.reverify_query env c.cand_query) s.st_candidates
+  in
+  let n = List.length kept_cands in
+  s.st_candidates <- List.mapi (fun i c -> { c with cand_index = n - 1 - i }) kept_cands;
+  let dropped_cands = s.st_n_candidates - n in
+  s.st_n_candidates <- n;
+  s.st_rebases <- s.st_rebases + 1;
+  s.st_rebase_kept <- s.st_rebase_kept + List.length kept + n;
+  s.st_rebase_dropped <- s.st_rebase_dropped + List.length dropped + dropped_cands;
+  (* The pop budget is per refinement; the time budget stays cumulative
+     (rebase work itself is on the meter).  If the carried candidates
+     already fill the candidate budget, a cold run under the new sketch
+     would stop right where they end, so the rebased run is done too. *)
+  s.st_pop_base <- s.st_pops;
+  s.st_finished <- s.st_n_candidates >= s.st_config.max_candidates;
+  if not s.st_finished then s.st_exhausted <- false;
+  s.st_verify_s <- s.st_verify_s +. (Clock.mono () -. m0);
+  s.st_elapsed_s <- s.st_elapsed_s +. (Clock.now () -. t0)
+
 (* Snapshot the run's observable outcome.  Pure with respect to results:
    recomputing the per-domain relation-cache counters just overwrites them
    with the caches' current cumulative numbers, so calling this mid-run
@@ -784,6 +875,9 @@ let outcome s =
     out_spec_rounds = s.st_spec_rounds;
     out_spec_tasks = s.st_spec_tasks;
     out_spec_hits = s.st_spec_hits;
+    out_rebases = s.st_rebases;
+    out_rebase_kept = s.st_rebase_kept;
+    out_rebase_dropped = s.st_rebase_dropped;
   }
 
 let run config ctx db ?index ?relcache ?pool ~tsq ~literals ?on_candidate () =

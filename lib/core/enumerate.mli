@@ -96,6 +96,13 @@ type outcome = {
   out_spec_hits : int;
       (** speculative results committed by a pop; [out_spec_hits /
           out_spec_tasks] is the speculation commit rate *)
+  out_rebases : int;  (** warm restarts taken via {!rebase} *)
+  out_rebase_kept : int;
+      (** frontier states and candidates that survived re-verification
+          across all rebases *)
+  out_rebase_dropped : int;
+      (** frontier states and candidates pruned by re-verification
+          across all rebases *)
 }
 
 (** TSQ-derived enumeration hints.  The limit hint only re-ranks module
@@ -180,6 +187,33 @@ val outcome : state -> outcome
     passed into {!init}, and with [domains = 1]).  Idempotent.  A
     released state must not be stepped again. *)
 val release : state -> unit
+
+(** {2 Incremental re-synthesis}
+
+    [rebase s ~tsq] warm-restarts a paused (or finished) run under a
+    {e tightened} sketch instead of re-enumerating from the root: the
+    caller must have classified the edit as [Tsq.Tightening] (rebasing
+    on an [Incomparable] edit is unsound — restart from the root
+    instead).  Every cascade stage is monotone under a tightening, so
+    states pruned before the refinement stay pruned; only the survivors
+    — the frontier and the emitted candidates — are re-checked, and only
+    through the sketch-reading stages ({!Verify.reverify}).  The
+    frontier keeps its insertion order and the guidance hints are
+    unchanged by construction of [Tsq.refines], so subsequent {!step}s
+    emit exactly what a from-root run under [tsq] would emit
+    (candidate-for-candidate; property-tested).
+
+    Budgets after a rebase: the pop budget starts fresh (per
+    refinement), the wall-clock budget stays cumulative — rebase work
+    itself is charged to it.  Rebase counts are reported in
+    [out_rebases] / [out_rebase_kept] / [out_rebase_dropped]. *)
+val rebase : state -> tsq:Tsq.t -> unit
+
+(** [charge s seconds] pre-spends active time against the run's
+    wall-clock budget.  The session layer charges a replacement run with
+    the previous run's elapsed time on a from-root refinement restart,
+    so a client cannot extend its time budget by refining. *)
+val charge : state -> float -> unit
 
 (** Run the enumeration to completion: [init] + one unbounded [step] +
     [outcome] + [release].  Arguments as {!init}. *)

@@ -174,6 +174,47 @@ let width t =
       | tup :: _ -> Some (List.length tup)
       | [] -> None)
 
+type refinement = Tightening | Incomparable
+
+(* [xs] appears in [ys] in order (not necessarily contiguously). *)
+let rec subsequence xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' ->
+      if x = y then subsequence xs' ys' else subsequence xs ys'
+
+let refines ~old ~new_ =
+  (* Tightening must guarantee two things at once: (a) every cascade
+     stage is monotone — a state failing under [old] also fails under
+     [new_] — and (b) the guidance hints derived from the sketch header
+     (types, width, limit) are unchanged, so a rebased run expands and
+     scores exactly like a from-root run.  Header edits are therefore
+     Incomparable even when they logically restrict the query set. *)
+  let header_fixed =
+    old.types = new_.types && old.limit = new_.limit
+    && width old = width new_
+  in
+  (* With a partial support threshold, adding a tuple is NOT a
+     tightening: a result matching only the new tuple can satisfy
+     [new_] yet fail [old].  Extending the example list is only safe
+     when both sketches demand every tuple. *)
+  let tuples_tighten =
+    if old.tuples = new_.tuples then
+      required_support new_ >= required_support old
+    else
+      subsequence old.tuples new_.tuples
+      && required_support old = List.length old.tuples
+      && required_support new_ = List.length new_.tuples
+  in
+  let negatives_tighten =
+    List.for_all (fun n -> List.mem n new_.negatives) old.negatives
+  in
+  let sorted_tighten = (not old.sorted) || new_.sorted in
+  if header_fixed && tuples_tighten && negatives_tighten && sorted_tighten
+  then Tightening
+  else Incomparable
+
 let pp_cell ppf = function
   | Any -> Format.pp_print_string ppf "_"
   | Exact v -> Value.pp ppf v

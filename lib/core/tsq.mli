@@ -99,4 +99,22 @@ val num_tuples : t -> int
     when the sketch constrains neither. *)
 val width : t -> int option
 
+(** Classification of a sketch edit for incremental re-synthesis. *)
+type refinement =
+  | Tightening
+      (** [new_] accepts a subset of the queries [old] accepts, {e and}
+          derives the same expansion guidance: every cascade verdict is
+          monotone (fail under [old] implies fail under [new_]), so a
+          running enumeration can be rebased instead of restarted. *)
+  | Incomparable
+      (** Anything else — the caller must restart from the root. *)
+
+(** [refines ~old ~new_] is [Tightening] when [new_] only narrows [old]:
+    same type annotations, limit, and sketch width (header edits change
+    the guidance hints, so they always classify [Incomparable]); example
+    tuples unchanged with equal-or-higher support, or extended as an
+    order-preserving supersequence with full support demanded on both
+    sides; negatives a superset; and [sorted] only toggled on. *)
+val refines : old:t -> new_:t -> refinement
+
 val pp : Format.formatter -> t -> unit

@@ -773,6 +773,74 @@ let verify env (t : Partial.t) =
   if not ok then s.pruned <- s.pruned + 1;
   ok
 
+(* --- incremental refinement (Enumerate.rebase) --- *)
+
+(* Point the environment at a tightened sketch.  The column-probe and
+   range caches memoize pure facts about the database ("does this cell
+   occur in this column") that no sketch edit can change, so they carry
+   over; the row-probe cache memoizes *match verdicts* against the
+   sketch's tuples and support threshold, so it must start empty. *)
+let retarget env ~tsq =
+  { env with e_tsq = Some tsq; e_row_cache = Hashtbl.create 256 }
+
+(* Re-verification of a state that already survived the full cascade
+   under the pre-refinement sketch.  Under a [Tsq.Tightening] edit the
+   carried verdicts stay valid without re-running:
+   - [S_static] and [S_semantics] never read the sketch;
+   - [S_types] reads only [tsq.types], which a tightening keeps equal.
+   What can flip is anything reading [sorted], [tuples], [negatives] or
+   the support threshold: [S_clauses], [S_column], [S_row], and the full
+   Definition 2.4 check on complete states. *)
+let reverify env (t : Partial.t) =
+  Atomic.incr verify_calls;
+  let s = env.e_stats in
+  let stage st check =
+    let i = stage_index st in
+    let t0 = Clock.mono () in
+    let ok = check env t in
+    s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Clock.mono () -. t0);
+    ok
+    || begin
+         bump_pruned s st;
+         false
+       end
+  in
+  let ok =
+    stage S_clauses verify_clauses
+    && stage S_column verify_by_column
+    && stage S_row verify_by_row
+    &&
+    match Partial.to_query t with
+    | Some q when Partial.is_complete t ->
+        let i = stage_index S_complete in
+        let t0 = Clock.mono () in
+        let ok = verify_complete env q in
+        s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Clock.mono () -. t0);
+        ok
+        || begin
+             bump_pruned s S_complete;
+             false
+           end
+    | Some _ | None -> true
+  in
+  if not ok then s.pruned <- s.pruned + 1;
+  ok
+
+(* Re-check an already-emitted candidate (a complete query) under the
+   retargeted sketch; counted and timed like a complete-stage prune. *)
+let reverify_query env q =
+  Atomic.incr verify_calls;
+  let s = env.e_stats in
+  let i = stage_index S_complete in
+  let t0 = Clock.mono () in
+  let ok = verify_complete env q in
+  s.stage_seconds.(i) <- s.stage_seconds.(i) +. (Clock.mono () -. t0);
+  if not ok then begin
+    bump_pruned s S_complete;
+    s.pruned <- s.pruned + 1
+  end;
+  ok
+
 (* Batched cascade over a sibling set (the children of one expansion).
    Verdicts, prune counters and probe counts are exactly what running
    {!verify} on each child in order would produce — the batching only

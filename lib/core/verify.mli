@@ -183,3 +183,23 @@ val verify_by_row : env -> Partial.t -> bool
 
 (** Complete-query stage: literal usage plus full TSQ satisfaction. *)
 val verify_complete : env -> Duosql.Ast.query -> bool
+
+(** [retarget env ~tsq] points the environment at a tightened sketch for
+    {!Enumerate.rebase}.  The column-probe and range caches memoize pure
+    database facts and carry over; the row-probe cache memoizes match
+    verdicts against the sketch's tuples and is reset. *)
+val retarget : env -> tsq:Tsq.t -> env
+
+(** [reverify env t] re-runs only the cascade stages whose verdict can
+    change under a [Tsq.Tightening] edit — [S_clauses], [S_column],
+    [S_row], and the full complete-query check — on a state that already
+    survived the full cascade under the pre-refinement sketch.
+    [S_static]/[S_semantics] never read the sketch and [S_types] reads
+    only the (unchanged) type annotations, so their verdicts carry.
+    Counts as a cascade invocation in {!total_verifies}. *)
+val reverify : env -> Partial.t -> bool
+
+(** [reverify_query env q] re-checks an already-emitted candidate under
+    the retargeted sketch, with time and prunes attributed to the
+    complete stage. *)
+val reverify_query : env -> Duosql.Ast.query -> bool

@@ -32,6 +32,8 @@ type t = {
   mutable rejected : int;
   mutable completed : int;
   mutable cancelled : int;
+  mutable refined : int;
+  mutable rebased : int;  (** refinements served by the warm rebase path *)
   mutable slices : int;
 }
 
@@ -59,6 +61,8 @@ let create ?pool config dbs =
     rejected = 0;
     completed = 0;
     cancelled = 0;
+    refined = 0;
+    rebased = 0;
     slices = 0;
   }
 
@@ -187,6 +191,8 @@ let stats_fields t =
     ("rejected", Json.Num (float_of_int t.rejected));
     ("completed", Json.Num (float_of_int t.completed));
     ("cancelled", Json.Num (float_of_int t.cancelled));
+    ("refined", Json.Num (float_of_int t.refined));
+    ("rebased", Json.Num (float_of_int t.rebased));
     ("slices", Json.Num (float_of_int t.slices));
     ("draining", Json.Bool t.is_draining);
   ]
@@ -201,10 +207,23 @@ let handle_request t req =
       match find_session t sid with
       | Error e -> Protocol.error_line e
       | Ok s ->
+          let before = Session.rebased s in
           Session.refine s tsq;
+          let warm = Session.rebased s > before in
+          t.refined <- t.refined + 1;
+          if warm then t.rebased <- t.rebased + 1;
+          (* A warm rebase can finish on the spot when the carried
+             candidates already fill the budget; keep the completion
+             books consistent with the tick path. *)
+          (match Session.status s with
+          | Session.Finished -> t.completed <- t.completed + 1
+          | Session.Running | Session.Cancelled -> ());
           Protocol.ok_line
             (session_fields s
-            @ [ ("refinements", Json.Num (float_of_int (Session.refinements s))) ]))
+            @ [
+                ("refinements", Json.Num (float_of_int (Session.refinements s)));
+                ("rebased", Json.Bool warm);
+              ]))
   | Protocol.Get_candidates (sid, k) -> (
       match find_session t sid with
       | Error e -> Protocol.error_line e

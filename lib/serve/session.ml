@@ -1,5 +1,6 @@
 module Enumerate = Duocore.Enumerate
 module Duoquest = Duocore.Duoquest
+module Tsq = Duocore.Tsq
 
 type status =
   | Running
@@ -27,6 +28,7 @@ type t = {
   mutable status : status;
   mutable slices : int;
   mutable refinements : int;
+  mutable rebased : int;
 }
 
 let sid s = s.sid
@@ -35,6 +37,7 @@ let nlq s = s.nlq
 let status s = s.status
 let slices s = s.slices
 let refinements s = s.refinements
+let rebased s = s.rebased
 
 let prepare s =
   Duoquest.prepare ~config:s.config ?tsq:s.tsq ?literals:s.literals
@@ -57,6 +60,7 @@ let create ~sid ~db_name ~config ?relcache ?pool ~nlq ?tsq ?literals duo =
       status = Running;
       slices = 0;
       refinements = 0;
+      rebased = 0;
     }
   in
   s.state <- Some (prepare s);
@@ -79,21 +83,10 @@ let step ~max_pops s =
       | Enumerate.Finished -> s.status <- Finished)
   | Running, None | (Finished | Cancelled), (Some _ | None) -> ()
 
-let refine s tsq =
-  release_state s;
-  s.tsq <- Some tsq;
-  s.last <- None;
-  s.refinements <- s.refinements + 1;
-  s.state <- Some (prepare s);
-  s.status <- Running
-
-let cancel s =
-  release_state s;
-  match s.status with
-  | Running -> s.status <- Cancelled
-  | Finished | Cancelled -> ()
-
-let empty_outcome =
+(* A fresh record every call: outcomes carry a mutable [Verify.stats], so
+   a shared module-level value would let one caller's mutation corrupt
+   every session's empty outcome (regression-tested). *)
+let empty_outcome () =
   {
     Enumerate.out_candidates = [];
     out_pops = 0;
@@ -109,15 +102,60 @@ let empty_outcome =
     out_spec_rounds = 0;
     out_spec_tasks = 0;
     out_spec_hits = 0;
+    out_rebases = 0;
+    out_rebase_kept = 0;
+    out_rebase_dropped = 0;
   }
 
 let outcome s =
   match s.state with
   | Some st -> Enumerate.outcome st
   | None -> (
-      match s.last with Some o -> o | None -> empty_outcome)
+      match s.last with Some o -> o | None -> empty_outcome ())
+
+let refine s tsq =
+  s.refinements <- s.refinements + 1;
+  let warm =
+    (* Warm-restart only when the live enumeration state is still around
+       (a cancelled session released it) and the edit is a proper
+       tightening of the previous sketch. *)
+    match (s.state, s.tsq) with
+    | Some st, Some old when Tsq.refines ~old ~new_:tsq = Tsq.Tightening ->
+        Some st
+    | (Some _ | None), (Some _ | None) -> None
+  in
+  s.tsq <- Some tsq;
+  match warm with
+  | Some st ->
+      s.rebased <- s.rebased + 1;
+      Enumerate.rebase st ~tsq;
+      s.last <- None;
+      s.status <- (if Enumerate.finished st then Finished else Running)
+  | None ->
+      (* From-root fallback.  The time budget is cumulative across
+         refinements: the replacement run starts with the previous run's
+         active stepping time already charged, so a client cannot extend
+         its wall-clock budget by refining (the pop budget, by contrast,
+         is per refinement). *)
+      let spent = (outcome s).Enumerate.out_elapsed_s in
+      release_state s;
+      s.last <- None;
+      let st = prepare s in
+      Enumerate.charge st spent;
+      s.state <- Some st;
+      s.status <- Running
+
+let cancel s =
+  release_state s;
+  match s.status with
+  | Running -> s.status <- Cancelled
+  | Finished | Cancelled -> ()
 
 let close s =
   release_state s;
   s.last <- None;
-  s.status <- Cancelled
+  (* A session that ran to completion stays [Finished] in the books;
+     only an interrupted run is reported as cancelled. *)
+  match s.status with
+  | Running -> s.status <- Cancelled
+  | Finished | Cancelled -> ()

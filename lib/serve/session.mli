@@ -8,10 +8,16 @@
     interfere.  The wall-clock budget charges only active stepping time
     — a session preempted by its neighbours is not billed for waiting.
 
-    {!refine} implements the paper's interaction loop (Figure 1): the
-    sketch is replaced and enumeration restarts from the root under the
-    new TSQ.  Results from the previous sketch are discarded — the new
-    sketch re-judges the whole space, not just past survivors. *)
+    {!refine} implements the paper's interaction loop (Figure 1)
+    incrementally: when the new sketch is a {!Duocore.Tsq.Tightening} of
+    the previous one, the running enumeration is warm-restarted in place
+    via {!Duocore.Enumerate.rebase} — the frontier and emitted
+    candidates are re-checked through only the sketch-reading cascade
+    stages, everything already pruned stays pruned (stage monotonicity),
+    and subsequent steps emit exactly what a from-root run under the new
+    sketch would.  [Incomparable] edits (or a refine after cancel) fall
+    back to a from-root restart.  Either way the wall-clock budget is
+    cumulative across refinements; the pop budget is per refinement. *)
 
 type status =
   | Running
@@ -31,6 +37,10 @@ val status : t -> status
 val slices : t -> int
 
 val refinements : t -> int
+
+(** Refinements served by the warm {!Duocore.Enumerate.rebase} path
+    (the rest fell back to a from-root restart). *)
+val rebased : t -> int
 
 (** [create ~sid ~db_name ~config duo params] admits the session and
     prepares its enumeration (paused before the first pop).  [config] is
@@ -52,16 +62,22 @@ val create :
     no-op otherwise. *)
 val step : max_pops:int -> t -> unit
 
-(** Replace the TSQ and restart enumeration; any status returns to
-    [Running]. *)
+(** Replace the TSQ: warm-restart via {!Duocore.Enumerate.rebase} on a
+    tightening edit, from-root (with the elapsed time re-charged)
+    otherwise.  The session returns to [Running] — or directly to
+    [Finished] when the carried candidates already fill the budget. *)
 val refine : t -> Duocore.Tsq.t -> unit
 
 (** Stop enumerating and release the enumeration state.  The outcome
     snapshot stays readable until {!close}. *)
 val cancel : t -> unit
 
-(** Results so far — callable in any status. *)
+(** Results so far — callable in any status.  A session with no state
+    and no snapshot reports a fresh all-zero outcome (a new record per
+    call — outcomes carry mutable stats). *)
 val outcome : t -> Duocore.Enumerate.outcome
 
-(** Release everything.  The session must not be used afterwards. *)
+(** Release everything.  A [Finished] session keeps that status for the
+    books; a [Running] one is marked [Cancelled].  The session must not
+    be used afterwards. *)
 val close : t -> unit

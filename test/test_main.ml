@@ -26,6 +26,7 @@ let () =
       ("spider workload", Test_spider.suite);
       ("simulation pipeline", Test_simulation.suite);
       ("synthesis", Test_synth.suite);
+      ("refinement", Test_refine.suite);
       ("mas workload", Test_mas.suite);
       ("duoserve", Test_serve.suite);
       ("duocheck", Test_check.suite);

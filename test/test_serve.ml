@@ -179,7 +179,7 @@ let test_golden_list_and_stats () =
   check_transcript "list_dbs and stats goldens"
     [
       "{\"ok\":true,\"dbs\":[\"movies\"]}";
-      "{\"ok\":true,\"sessions\":0,\"running\":0,\"opened\":0,\"rejected\":0,\"completed\":0,\"cancelled\":0,\"slices\":0,\"draining\":false}";
+      "{\"ok\":true,\"sessions\":0,\"running\":0,\"opened\":0,\"rejected\":0,\"completed\":0,\"cancelled\":0,\"refined\":0,\"rebased\":0,\"slices\":0,\"draining\":false}";
     ]
     (transcript server [ "{\"op\":\"list_dbs\"}"; "{\"op\":\"stats\"}" ]);
   Server.destroy server
@@ -379,8 +379,10 @@ let test_refine_restarts () =
   let first =
     Server.handle_line server "{\"op\":\"get_candidates\",\"session\":1}"
   in
+  (* no prior TSQ on the session, so this refine is a from-root restart:
+     [rebased] is false *)
   Alcotest.(check string) "refine response"
-    "{\"ok\":true,\"session\":1,\"status\":\"running\",\"refinements\":1}"
+    "{\"ok\":true,\"session\":1,\"status\":\"running\",\"refinements\":1,\"rebased\":false}"
     (Server.handle_line server
        "{\"op\":\"refine_tsq\",\"session\":1,\"tsq\":{\"types\":[\"text\"],\"tuples\":[[\"Forrest Gump\"]]}}");
   while Server.tick server do
