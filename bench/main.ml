@@ -37,6 +37,16 @@ let micro_config =
     max_candidates = 10;
     time_budget_s = 0.5 }
 
+(* The cascade profile digs deeper than the microbenchmarks: the later
+   stages (Duosem's cardinality bound, the probe stages) only see real
+   traffic a few thousand pops in, and the run must be pop-bounded, not
+   time-bounded, so the promoted JSON counters are machine-independent. *)
+let profile_config =
+  { micro_config with
+    Duocore.Enumerate.max_pops = 12_000;
+    max_candidates = 40;
+    time_budget_s = 30.0 }
+
 let fig2_tsq =
   Duocore.Tsq.make ~types:[ Duodb.Datatype.Text ]
     ~tuples:[ [ Duocore.Tsq.Exact (Duodb.Value.Text "Forrest Gump") ] ]
@@ -348,6 +358,7 @@ let stage_profile () =
   let seconds = Array.make n_stages 0.0 in
   let pruned = Array.make n_stages 0 in
   let static_warnings = ref 0 in
+  let dedup_semantic = ref 0 in
   let batch_rounds = ref 0 and batched_probes = ref 0 and row_probes = ref 0 in
   List.iter
     (fun task ->
@@ -357,12 +368,13 @@ let stage_profile () =
           ~detail:Duobench.Tsq_synth.Full
       in
       let outcome =
-        Duocore.Duoquest.synthesize ~config:micro_config ?tsq
+        Duocore.Duoquest.synthesize ~config:profile_config ?tsq
           ~literals:task.Duobench.Mas.task_literals session
           ~nlq:task.Duobench.Mas.task_nlq ()
       in
       let st = outcome.Duocore.Enumerate.out_stats in
       static_warnings := !static_warnings + st.Duocore.Verify.static_warnings;
+      dedup_semantic := !dedup_semantic + st.Duocore.Verify.dedup_semantic;
       batch_rounds := !batch_rounds + st.Duocore.Verify.batch_rounds;
       batched_probes := !batched_probes + st.Duocore.Verify.batched_probes;
       row_probes := !row_probes + st.Duocore.Verify.row_probes;
@@ -373,7 +385,13 @@ let stage_profile () =
           pruned.(i) <- pruned.(i) + Duocore.Verify.pruned_by st stage)
         Duocore.Verify.all_stages)
     Duobench.Mas.nli_study_tasks;
-  (seconds, pruned, !static_warnings, !batch_rounds, !batched_probes, !row_probes)
+  ( seconds,
+    pruned,
+    !static_warnings,
+    !dedup_semantic,
+    !batch_rounds,
+    !batched_probes,
+    !row_probes )
 
 (* Duopar profile: the B-tier MAS NLI tasks (three- and four-table joins,
    the heaviest verification load) synthesized with a full-detail TSQ,
@@ -501,8 +519,13 @@ let write_json path estimates =
     n_cand reps batched_s unbatched_s
     (if batched_s > 0. then unbatched_s /. batched_s else 0.);
   out "  },\n";
-  let seconds, pruned, static_warnings, batch_rounds, batched_probes, row_probes
-      =
+  let ( seconds,
+        pruned,
+        static_warnings,
+        dedup_semantic,
+        batch_rounds,
+        batched_probes,
+        row_probes ) =
     stage_profile ()
   in
   out "  \"verify_stages\": [\n";
@@ -594,6 +617,13 @@ let write_json path estimates =
     "  \"verify_batching\": {\"batch_rounds\": %d, \"shared_scan_probes\": \
      %d, \"row_probes\": %d},\n"
     batch_rounds batched_probes row_probes;
+  (* Duosem activity across the stage-profile runs: states and
+     candidates collapsed by canonical-key dedup, and states pruned by
+     the abstract cardinality bound. *)
+  out
+    "  \"duosem\": {\"dedup_semantic\": %d, \"pruned_by_cardinality\": %d},\n"
+    dedup_semantic
+    (pruned.(Duocore.Verify.stage_index Duocore.Verify.S_cardinality));
   out "  \"pruned_by_static\": %d,\n"
     (pruned.(Duocore.Verify.stage_index Duocore.Verify.S_static));
   out "  \"static_warnings\": %d\n" static_warnings;

@@ -4,29 +4,117 @@
    no rule of severity [Error] fired (warnings are advice), 1 when at
    least one error fired, 2 on usage, I/O or parse problems.
 
+   [--json] switches the report to one machine-readable JSON document on
+   stdout (stable field order, Duoserve's codec); [--explain] adds the
+   Duosem view of each query — canonical form, constraint-reasoner facts
+   and the abstract row-count interval.
+
    File format: one query per line; blank lines and [--] comments are
    skipped, a trailing [;] is allowed. *)
 
 open Cmdliner
 module Diag = Duolint.Diagnostic
 module Analyze = Duolint.Analyze
+module Duosem = Duolint.Duosem
+module Json = Duoserve.Json
+
+type totals = { mutable queries : int; mutable errors : int; mutable warnings : int }
+
+(* One run's output sink: totals plus, in JSON mode, the accumulated
+   diagnostic and explanation objects (newest first). *)
+type ctx = {
+  quiet : bool;
+  json : bool;
+  explain : bool;
+  totals : totals;
+  mutable diags_json : Json.t list;
+  mutable explains_json : Json.t list;
+}
+
+let diag_json ~where ~sql (d : Diag.t) =
+  Json.Obj
+    [
+      ("where", Json.Str where);
+      ("sql", Json.Str sql);
+      ("rule", Json.Str (Diag.rule_name d.Diag.d_rule));
+      ( "severity",
+        Json.Str
+          (match Diag.severity d.Diag.d_rule with
+          | Diag.Error -> "error"
+          | Diag.Warning -> "warning") );
+      ("clause", Json.Str (Diag.clause_name d.Diag.d_clause));
+      ("message", Json.Str d.Diag.d_message);
+    ]
+
+let parse_error_json ~where ~sql msg =
+  Json.Obj
+    [
+      ("where", Json.Str where);
+      ("sql", Json.Str sql);
+      ("rule", Json.Str "parse_error");
+      ("severity", Json.Str "error");
+      ("clause", Json.Str "");
+      ("message", Json.Str msg);
+    ]
+
+let card_json (c : Duosem.card) =
+  Json.Obj
+    [
+      ("lo", Json.Num (float_of_int c.Duosem.c_lo));
+      ( "hi",
+        match c.Duosem.c_hi with
+        | None -> Json.Null
+        | Some n -> Json.Num (float_of_int n) );
+    ]
+
+let explain_query ctx schema ~where sql q =
+  let ex = Duosem.explain (Duosem.prepare schema) q in
+  if ctx.json then
+    ctx.explains_json <-
+      Json.Obj
+        [
+          ("where", Json.Str where);
+          ("sql", Json.Str sql);
+          ("canonical", Json.Str ex.Duosem.ex_canonical);
+          ("cardinality", card_json ex.Duosem.ex_card);
+          ("facts", Json.List (List.map (fun f -> Json.Str f) ex.Duosem.ex_facts));
+        ]
+      :: ctx.explains_json
+  else begin
+    Printf.printf "%s: %s\n" where sql;
+    Printf.printf "  canonical: %s\n" ex.Duosem.ex_canonical;
+    Printf.printf "  cardinality: %s\n" (Duosem.card_to_string ex.Duosem.ex_card);
+    List.iter (fun f -> Printf.printf "  %s\n" f) ex.Duosem.ex_facts
+  end
+
+let report ctx ~where sql diags =
+  ctx.totals.queries <- ctx.totals.queries + 1;
+  let errs = Analyze.errors diags and warns = Analyze.warnings diags in
+  ctx.totals.errors <- ctx.totals.errors + List.length errs;
+  ctx.totals.warnings <- ctx.totals.warnings + List.length warns;
+  let shown = if ctx.quiet then errs else diags in
+  if ctx.json then
+    ctx.diags_json <-
+      List.rev_append (List.map (diag_json ~where ~sql) shown) ctx.diags_json
+  else if errs <> [] || ((not ctx.quiet) && warns <> []) then begin
+    Printf.printf "%s: %s\n" where sql;
+    List.iter (fun d -> Format.printf "  %a@." Diag.pp d) shown
+  end
+
+let parse_failure ctx ~where sql msg =
+  ctx.totals.errors <- ctx.totals.errors + 1;
+  if ctx.json then
+    ctx.diags_json <- parse_error_json ~where ~sql msg :: ctx.diags_json
+  else Printf.printf "%s: parse error: %s\n" where msg
+
+let check ctx schema ~where sql q =
+  report ctx ~where sql (Analyze.check_query schema q);
+  if ctx.explain then explain_query ctx schema ~where sql q
 
 let schema_of = function
   | "movies" -> Ok Duobench.Movies.schema
   | "mas" -> Ok Duobench.Mas.schema
   | other -> Error (Printf.sprintf "unknown schema %S (try: movies, mas)" other)
-
-type totals = { mutable queries : int; mutable errors : int; mutable warnings : int }
-
-let report ?(quiet = false) totals ~where sql diags =
-  totals.queries <- totals.queries + 1;
-  let errs = Analyze.errors diags and warns = Analyze.warnings diags in
-  totals.errors <- totals.errors + List.length errs;
-  totals.warnings <- totals.warnings + List.length warns;
-  if errs <> [] || ((not quiet) && warns <> []) then begin
-    Printf.printf "%s: %s\n" where sql;
-    List.iter (fun d -> Format.printf "  %a@." Diag.pp d) (if quiet then errs else diags)
-  end
 
 let strip_statement line =
   let line = String.trim line in
@@ -39,7 +127,7 @@ let strip_statement line =
   then None
   else Some line
 
-let lint_file ~quiet totals schema path =
+let lint_file ctx schema path =
   match In_channel.with_open_text path In_channel.input_lines with
   | exception Sys_error e ->
       Printf.eprintf "duolint: %s\n" e;
@@ -52,24 +140,20 @@ let lint_file ~quiet totals schema path =
           | Some sql -> (
               let where = Printf.sprintf "%s:%d" path (lineno + 1) in
               match Duosql.Parser.query ~schema sql with
-              | Error e ->
-                  Printf.printf "%s: parse error: %s\n" where e;
-                  (* a parse failure counts as an error finding *)
-                  totals.errors <- totals.errors + 1
-              | Ok q -> report ~quiet totals ~where sql (Analyze.check_query schema q)))
+              | Error e -> parse_failure ctx ~where sql e
+              | Ok q -> check ctx schema ~where sql q))
         lines;
       true
 
 (* The gold corpora must come through stage 0 untouched: a lint error on a
    gold query would mean the cascade prunes a correct answer. *)
-let lint_golds ~quiet totals =
+let lint_golds ctx =
   List.iter
     (fun (t : Duobench.Mas.task) ->
       let q = Duobench.Mas.gold t in
-      report ~quiet totals
+      check ctx Duobench.Mas.schema
         ~where:(Printf.sprintf "mas:%s" t.Duobench.Mas.task_id)
-        (Duosql.Pretty.query q)
-        (Analyze.check_query Duobench.Mas.schema q))
+        (Duosql.Pretty.query q) q)
     (Duobench.Mas.nli_study_tasks @ Duobench.Mas.pbe_study_tasks);
   let split = Duobench.Spider_gen.mini ~n_dbs:4 ~per_db:6 () in
   List.iter
@@ -78,28 +162,55 @@ let lint_golds ~quiet totals =
       | None -> ()
       | Some db ->
           let q = t.Duobench.Spider_gen.sp_gold in
-          report ~quiet totals
+          check ctx
+            (Duodb.Database.schema db)
             ~where:(Printf.sprintf "spider:%s" t.Duobench.Spider_gen.sp_db)
-            (Duosql.Pretty.query q)
-            (Analyze.check_query (Duodb.Database.schema db) q))
+            (Duosql.Pretty.query q) q)
     split.Duobench.Spider_gen.tasks
 
-let main schema_name golds quiet files =
+let summary ctx =
+  if ctx.json then begin
+    let base =
+      [
+        ("queries", Json.Num (float_of_int ctx.totals.queries));
+        ("errors", Json.Num (float_of_int ctx.totals.errors));
+        ("warnings", Json.Num (float_of_int ctx.totals.warnings));
+        ("diagnostics", Json.List (List.rev ctx.diags_json));
+      ]
+    in
+    let fields =
+      if ctx.explain then
+        base @ [ ("explanations", Json.List (List.rev ctx.explains_json)) ]
+      else base
+    in
+    print_endline (Json.to_string (Json.Obj fields))
+  end
+  else
+    Printf.printf "%d queries, %d errors, %d warnings\n" ctx.totals.queries
+      ctx.totals.errors ctx.totals.warnings
+
+let main schema_name golds quiet json explain files =
   if (not golds) && files = [] then
     `Error (true, "nothing to lint: give SQL files or --golds")
   else
     match schema_of schema_name with
     | Error e -> `Error (false, e)
     | Ok schema ->
-        let totals = { queries = 0; errors = 0; warnings = 0 } in
-        let io_ok =
-          List.for_all (fun f -> lint_file ~quiet totals schema f) files
+        let ctx =
+          {
+            quiet;
+            json;
+            explain;
+            totals = { queries = 0; errors = 0; warnings = 0 };
+            diags_json = [];
+            explains_json = [];
+          }
         in
-        if golds then lint_golds ~quiet totals;
-        Printf.printf "%d queries, %d errors, %d warnings\n" totals.queries
-          totals.errors totals.warnings;
+        let io_ok = List.for_all (fun f -> lint_file ctx schema f) files in
+        if golds then lint_golds ctx;
+        summary ctx;
         if not io_ok then `Error (false, "could not read every input file")
-        else if totals.errors > 0 then `Ok 1
+        else if ctx.totals.errors > 0 then `Ok 1
         else `Ok 0
 
 let cmd =
@@ -118,12 +229,32 @@ let cmd =
     let doc = "Report errors only; suppress warnings." in
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
   in
+  let json_arg =
+    let doc =
+      "Emit one JSON document on stdout instead of the text report \
+       (fields in a fixed order: queries, errors, warnings, diagnostics, \
+       then explanations under $(b,--explain))."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let explain_arg =
+    let doc =
+      "For every query that parses, also print the Duosem analysis: the \
+       canonical form, the constraint-reasoner facts (implied \
+       predicates, redundant DISTINCT, eliminable joins) and the \
+       abstract row-count interval."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
   let files_arg =
     Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"SQL files, one query per line.")
   in
   let doc = "Static analysis for Duoquest SQL (schema/type checks, satisfiability, structure, redundancy)" in
   Cmd.v
     (Cmd.info "duolint" ~version:"1.0.0" ~doc)
-    Term.(ret (const main $ schema_arg $ golds_arg $ quiet_arg $ files_arg))
+    Term.(
+      ret
+        (const main $ schema_arg $ golds_arg $ quiet_arg $ json_arg
+       $ explain_arg $ files_arg))
 
 let () = exit (Cmd.eval' cmd)

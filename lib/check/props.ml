@@ -695,6 +695,146 @@ let lint_soundness_prop ((sc : Gen.scenario), seed) =
            (Duosql.Pretty.query q))
     errs
 
+(* --- Duosem equivalence and cardinality ------------------------------ *)
+
+module Duosem = Duolint.Duosem
+module Domain = Duolint.Domain
+
+(* Canonicalization is meaning-preserving: the canonical form of every
+   generated query has the same error status and the same result
+   multiset as the original on its database (row order may differ —
+   canonicalization sorts the FROM clause, and the planner's table order
+   is a legitimate tie-break) — and taking the canonical form again is a
+   fixpoint, so [canonical_key] really is a key. *)
+let duosem_equiv_prop (sc : Gen.scenario) =
+  let q = sc.Gen.sc_query in
+  let cq = Duosem.canonical_query q in
+  if Duosem.canonical_key cq <> Duosem.canonical_key q then
+    QCheck.Test.fail_reportf "canonicalization is not idempotent on %s"
+      (Duosql.Pretty.query q)
+  else
+    let sorted_rows (r : Executor.resultset) =
+      List.sort compare
+        (List.map
+           (fun row -> List.map Value.to_sql (Array.to_list row))
+           r.Executor.res_rows)
+    in
+    match (Reference.run sc.Gen.sc_db q, Reference.run sc.Gen.sc_db cq) with
+    | Ok a, Ok b ->
+        (a.Executor.res_cols = b.Executor.res_cols
+        && sorted_rows a = sorted_rows b)
+        || QCheck.Test.fail_reportf
+             "canonical form changes the result multiset:\n%s\n%s"
+             (Duosql.Pretty.query q) (Duosql.Pretty.query cq)
+    | Error _, Error _ -> true
+    | Ok _, Error _ | Error _, Ok _ ->
+        QCheck.Test.fail_reportf "canonical form changes the error status:\n%s\n%s"
+          (Duosql.Pretty.query q) (Duosql.Pretty.query cq)
+
+(* The abstract row-count interval contains the true count on every
+   generated query that executes. *)
+let duosem_card_prop (sc : Gen.scenario) =
+  let q = sc.Gen.sc_query in
+  let pre = Duosem.prepare (Duodb.Database.schema sc.Gen.sc_db) in
+  let c = Duosem.bound_query pre q in
+  match Reference.run sc.Gen.sc_db q with
+  | Error _ -> true
+  | Ok r ->
+      let n = List.length r.Executor.res_rows in
+      (c.Duosem.c_lo <= n
+      && match c.Duosem.c_hi with None -> true | Some h -> n <= h)
+      || QCheck.Test.fail_reportf "true count %d outside bound %s for %s" n
+           (Duosem.card_to_string c) (Duosql.Pretty.query q)
+
+(* --- Domain lattice laws --------------------------------------------- *)
+
+let gen_lattice_value st =
+  match Random.State.int st 6 with
+  | 0 -> Value.Int (Random.State.int st 7 - 3)
+  | 1 -> Value.Int (Random.State.int st 100)
+  | 2 -> Value.Float (float_of_int (Random.State.int st 14 - 6) /. 2.0)
+  | 3 -> Value.Text (String.make 1 (Char.chr (97 + Random.State.int st 4)))
+  | 4 -> Value.Text "mm"
+  | _ -> Value.Int 0
+
+(* Normalized elements only: everything reachable from predicate
+   abstractions through meets and joins — exactly the values the
+   analyzer ever holds.  [Neq] seeds exclusion lists, equal-endpoint
+   [Between] seeds points, reversed [Between] seeds [Bot]. *)
+let rec gen_lattice_domain st depth =
+  if depth <= 0 || Random.State.int st 3 = 0 then
+    let v = gen_lattice_value st in
+    let open Duosql.Ast in
+    match Random.State.int st 8 with
+    | 0 -> Domain.of_rhs (Cmp (Eq, v))
+    | 1 -> Domain.of_rhs (Cmp (Neq, v))
+    | 2 -> Domain.of_rhs (Cmp (Lt, v))
+    | 3 -> Domain.of_rhs (Cmp (Le, v))
+    | 4 -> Domain.of_rhs (Cmp (Gt, v))
+    | 5 -> Domain.of_rhs (Cmp (Ge, v))
+    | 6 -> Domain.of_rhs (Between (v, gen_lattice_value st))
+    | _ -> Domain.top
+  else
+    let a = gen_lattice_domain st (depth - 1) in
+    let b = gen_lattice_domain st (depth - 1) in
+    if Random.State.bool st then Domain.meet a b else Domain.join a b
+
+(* Lattice laws, checked against concrete membership on a probe pool:
+   meet is exact intersection, join over-approximates union, [leq] is a
+   partial order consistent with inclusion, and widening covers its next
+   operand and stabilizes along randomized ascending chains. *)
+let domain_lattice_prop seed =
+  let st = Random.State.make [| seed |] in
+  let probes = List.init 24 (fun _ -> gen_lattice_value st) in
+  let a = gen_lattice_domain st 3 in
+  let b = gen_lattice_domain st 3 in
+  let c = gen_lattice_domain st 3 in
+  let fail fmt = QCheck.Test.fail_reportf fmt in
+  let mem_ok =
+    List.for_all
+      (fun v ->
+        Domain.mem v (Domain.meet a b) = (Domain.mem v a && Domain.mem v b)
+        && ((not (Domain.mem v a || Domain.mem v b))
+           || Domain.mem v (Domain.join a b))
+        && ((not (Domain.leq a b)) || not (Domain.mem v a) || Domain.mem v b))
+      probes
+  in
+  if not mem_ok then fail "meet/join/leq disagree with membership"
+  else if not (Domain.leq a a) then fail "leq is not reflexive"
+  else if Domain.leq a b && Domain.leq b a && not (Domain.equal a b) then
+    fail "leq is not antisymmetric"
+  else if Domain.leq a b && Domain.leq b c && not (Domain.leq a c) then
+    fail "leq is not transitive"
+  else if not (Domain.leq a (Domain.join a b) && Domain.leq b (Domain.join a b))
+  then fail "join is not an upper bound"
+  else if
+    not (Domain.leq (Domain.meet a b) a && Domain.leq (Domain.meet a b) b)
+  then fail "meet is not a lower bound"
+  else begin
+    (* Randomized ascending chain: fold widening over successive joins.
+       Each iterate must cover the next operand and grow monotonically;
+       afterwards re-widening with every chain element is the identity —
+       the chain has stabilized. *)
+    let chain = List.init 20 (fun _ -> gen_lattice_domain st 2) in
+    let w =
+      List.fold_left
+        (fun w d ->
+          let next = Domain.join w d in
+          let w' = Domain.widen w next in
+          if not (Domain.leq next w') then
+            fail "widen does not cover its next operand"
+          else if not (Domain.leq w w') then fail "widen is not ascending"
+          else w')
+        (gen_lattice_domain st 2)
+        chain
+    in
+    List.for_all
+      (fun d ->
+        Domain.equal (Domain.widen w (Domain.join w d)) w
+        || fail "widened chain did not stabilize")
+      chain
+  end
+
 let arb_seeded =
   QCheck.make
     ~print:(fun (sc, seed) ->
@@ -736,4 +876,15 @@ let tests ?(mult = 1) () =
     QCheck.Test.make ~count:(6 * mult)
       ~name:"incremental refine = from-root restart"
       arb_seeded incremental_refine_prop;
+    QCheck.Test.make ~count:(80 * mult)
+      ~name:"Duosem equivalence: canonical query = original on its database"
+      Gen.arb_scenario duosem_equiv_prop;
+    QCheck.Test.make ~count:(80 * mult)
+      ~name:"Duosem cardinality bound contains the true row count"
+      Gen.arb_scenario duosem_card_prop;
+    QCheck.Test.make ~count:(200 * mult)
+      ~name:"Domain lattice laws: meet/join/leq/widen vs membership"
+      (QCheck.make ~print:string_of_int (fun st ->
+           Random.State.int st 1_000_000))
+      domain_lattice_prop;
   ]

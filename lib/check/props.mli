@@ -24,7 +24,17 @@
       {!Duocore.Enumerate.rebase} keeping the visited set);
     - {b incremental refine}: enumerating under a loosened sketch, then
       rebasing onto the original mid-run, emits the same candidates as a
-      from-root run under the original. *)
+      from-root run under the original;
+    - {b Duosem equivalence}: {!Duolint.Duosem.canonical_query} keeps the
+      error status and the result multiset of every generated query on
+      its database, and canonicalization is idempotent;
+    - {b Duosem cardinality}: {!Duolint.Duosem.bound_query}'s interval
+      contains the true row count of every query that executes;
+    - {b Domain lattice laws}: {!Duolint.Domain} meet is exact
+      intersection and join over-approximates union (checked against
+      concrete membership), [leq] is a partial order consistent with
+      inclusion, and widening covers its operand and stabilizes along
+      randomized ascending chains. *)
 
 (** Individual properties, exposed for ad-hoc harnesses. *)
 
@@ -34,6 +44,9 @@ val columnar_prop : Gen.scenario -> bool
 val batch_prop : Gen.scenario -> bool
 val soundness_prop : Gen.scenario -> bool
 val property1_prop : Gen.scenario * int -> bool
+val duosem_equiv_prop : Gen.scenario -> bool
+val duosem_card_prop : Gen.scenario -> bool
+val domain_lattice_prop : int -> bool
 
 (** [tests ~mult ()] builds the property list with iteration counts scaled
     by [mult] (default 1: the small seeded configuration wired into

@@ -24,6 +24,7 @@ let stage_names = List.map Verify.stage_name Verify.all_stages
 let first_failing_stage env (t : Partial.t) =
   if not (Verify.verify_static env t) then Some "static"
   else if not (Verify.verify_clauses env t) then Some "clauses"
+  else if not (Verify.verify_cardinality env t) then Some "cardinality"
   else if not (Verify.verify_semantics env t) then Some "semantics"
   else if not (Verify.verify_column_types env t) then Some "types"
   else if not (Verify.verify_by_column env t) then Some "column"

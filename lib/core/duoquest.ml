@@ -62,7 +62,7 @@ let rank_of outcome ~gold =
   let rec find i = function
     | [] -> None
     | c :: rest ->
-        if Duosql.Equal.queries c.Enumerate.cand_query gold then Some i
+        if Duolint.Duosem.equal_queries c.Enumerate.cand_query gold then Some i
         else find (i + 1) rest
   in
   find 1 outcome.Enumerate.out_candidates

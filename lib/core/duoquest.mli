@@ -73,7 +73,9 @@ val prepare :
   Enumerate.state
 
 (** 1-based rank of the gold query among the candidates (by
-    {!Duosql.Equal.queries}), or [None]. *)
+    {!Duolint.Duosem.equal_queries} — canonical-form equality, so a
+    candidate spelling the gold's predicates in another equivalent way
+    still counts), or [None]. *)
 val rank_of : Enumerate.outcome -> gold:Duosql.Ast.query -> int option
 
 (** First [k] candidates in emission order. *)

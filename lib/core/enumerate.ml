@@ -450,6 +450,12 @@ type state = {
   st_domain_stats : Verify.stats array;
   st_frontier : Frontier.t;
   st_visited : (string, unit) Hashtbl.t;
+  st_canon : (string, unit) Hashtbl.t;
+      (* Duosem canonical keys of admitted states: a second visited-set
+         layer collapsing states that differ only by predicate order or
+         by equivalent predicate spellings ([Partial.canonical_key]) *)
+  st_emitted : (string, unit) Hashtbl.t;
+      (* Duosem canonical keys of emitted candidates *)
   st_pool : Duopar.Pool.t option;
   st_owns_pool : bool;
   st_memo : (string, task_result) Hashtbl.t;
@@ -524,6 +530,8 @@ let init config ctx db ?index ?relcache ?pool ~tsq ~literals
     st_domain_stats = domain_stats;
     st_frontier = frontier;
     st_visited = Hashtbl.create 4096;
+    st_canon = Hashtbl.create 4096;
+    st_emitted = Hashtbl.create 64;
     st_pool = pool;
     st_owns_pool = owns_pool;
     st_memo = Hashtbl.create 256;
@@ -574,7 +582,17 @@ let push_fresh s (child : Partial.t) =
   let key = Partial.key child in
   if not (Hashtbl.mem s.st_visited key) then begin
     Hashtbl.replace s.st_visited key ();
-    Frontier.push s.st_frontier (deprioritize s child)
+    (* Second layer: collapse states whose decided content is Duosem-
+       canonically equal (predicate order, equivalent spellings).  Runs
+       only on the committing loop, so the collapse — like all dedup —
+       is deterministic across domain counts. *)
+    let ckey = Partial.canonical_key child in
+    if Hashtbl.mem s.st_canon ckey then
+      s.st_stats.Verify.dedup_semantic <- s.st_stats.Verify.dedup_semantic + 1
+    else begin
+      Hashtbl.replace s.st_canon ckey ();
+      Frontier.push s.st_frontier (deprioritize s child)
+    end
   end
 
 let process s worker (p : Partial.t) =
@@ -650,12 +668,16 @@ let step ?max_pops s =
     in
     let over_time () = now () > config.time_budget_s in
     let emit pq q =
-      let duplicate =
-        List.exists
-          (fun c -> Duosql.Equal.queries c.cand_query q)
-          s.st_candidates
-      in
-      if not duplicate then begin
+      (* Candidate dedup on Duosem canonical keys: a strict coarsening of
+         the former [Duosql.Equal.queries] scan (which already treated
+         FROM and WHERE as multisets), O(1) per emission instead of a
+         list walk. *)
+      let ckey = Duolint.Duosem.dedup_key q in
+      if Hashtbl.mem s.st_emitted ckey then
+        s.st_stats.Verify.dedup_semantic <-
+          s.st_stats.Verify.dedup_semantic + 1
+      else begin
+        Hashtbl.replace s.st_emitted ckey ();
         let c =
           {
             cand_query = q;
@@ -819,6 +841,15 @@ let rebase s ~tsq =
   in
   let n = List.length kept_cands in
   s.st_candidates <- List.mapi (fun i c -> { c with cand_index = n - 1 - i }) kept_cands;
+  (* The emission-dedup table must mirror the surviving candidate list:
+     a dropped candidate's canonical twin may satisfy the tightened
+     sketch (satisfaction can read row order, which canonicalization
+     abstracts) and deserves a fresh chance to emit. *)
+  Hashtbl.reset s.st_emitted;
+  List.iter
+    (fun c ->
+      Hashtbl.replace s.st_emitted (Duolint.Duosem.dedup_key c.cand_query) ())
+    s.st_candidates;
   let dropped_cands = s.st_n_candidates - n in
   s.st_n_candidates <- n;
   s.st_rebases <- s.st_rebases + 1;

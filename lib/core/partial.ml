@@ -218,6 +218,62 @@ let key t =
     | None -> "")
     (to_string t)
 
+(* Whether the decided predicate list and connective can still change.
+   Mirrors [Verify.where_done]; duplicated because the dependency runs
+   the other way. *)
+let rec where_settled = function
+  | P_joinpath inner -> where_settled inner
+  | P_keywords | P_num_proj | P_proj_target _ | P_proj_agg _ | P_where_num
+  | P_where_col _ | P_where_op _ | P_where_conn ->
+      false
+  | P_group_col | P_having_presence | P_having_pred | P_order_target
+  | P_order_dir | P_limit | P_done ->
+      true
+
+let canonical_key t =
+  (* Interval-folding the conjuncts is only meaning-preserving when the
+     predicate set is conjunctive and settled; otherwise fall back to
+     sorting, which is sound under either connective (commutativity and
+     idempotence).  FROM and the join path stay verbatim: their order can
+     steer executor row order, which a sorted sketch observes. *)
+  let fold_ok =
+    match t.where_preds with
+    | [] | [ _ ] -> true
+    | _ :: _ :: _ -> where_settled t.phase && t.conn = And
+  in
+  let where_preds =
+    if fold_ok then Duolint.Duosem.canonical_conjuncts t.where_preds
+    else Duolint.Duosem.sorted_preds t.where_preds
+  in
+  let having_pred =
+    match t.having_pred with
+    | None -> None
+    | Some p -> (
+        match Duolint.Duosem.canonical_conjuncts [ p ] with
+        | [ p' ] -> Some p'
+        | [] | _ :: _ :: _ -> Some p)
+  in
+  (* Folding can erase which tagged literals the state consumed (x > 3
+     AND x > 5 folds like x > 4 AND x > 5), and the complete-stage
+     literal check observes exactly that — so the key carries the used
+     literal multiset verbatim. *)
+  let lits =
+    used_literals t
+    |> List.map Duodb.Value.to_sql
+    |> List.sort String.compare
+    |> String.concat ","
+  in
+  Printf.sprintf "%d|%d|%d|%s|%b%b%b|%s|%s|%s"
+    (phase_index t.phase) t.nproj t.where_n
+    (match t.conn with And -> "&" | Or -> "|")
+    t.kw.Duoguide.Model.kw_where t.kw.Duoguide.Model.kw_group
+    t.kw.Duoguide.Model.kw_order
+    (match t.where_pending with
+    | Some c -> c.Duodb.Schema.col_table ^ "." ^ c.Duodb.Schema.col_name
+    | None -> "")
+    lits
+    (to_string { t with where_preds; having_pred })
+
 let join_length t =
   match t.from with
   | None -> 0

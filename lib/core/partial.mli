@@ -94,6 +94,16 @@ val to_string : t -> string
     orders can coincide; the enumerator dedupes on this key. *)
 val key : t -> string
 
+(** Like {!key}, but with WHERE/HAVING conjuncts put into Duosem normal
+    form (sorted; interval-folded once the predicate set is settled and
+    conjunctive), so states that differ only by predicate order or by
+    equivalent predicate spellings collide.  The used literal multiset
+    and the verbatim join path are part of the key, keeping the
+    complete-stage literal check and row-order-sensitive sketch
+    satisfaction observationally equal across collapsed states.  The
+    enumerator uses it as a second visited-set layer ([dedup_semantic]). *)
+val canonical_key : t -> string
+
 (** Confidence-then-join-length ordering for the best-first frontier:
     higher confidence first; ties prefer shorter join paths
     (Section 3.3.4), then earlier creation. *)

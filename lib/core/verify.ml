@@ -9,6 +9,7 @@ module Datatype = Duodb.Datatype
 type stage =
   | S_static
   | S_clauses
+  | S_cardinality
   | S_semantics
   | S_types
   | S_column
@@ -16,20 +17,23 @@ type stage =
   | S_complete
 
 let all_stages =
-  [ S_static; S_clauses; S_semantics; S_types; S_column; S_row; S_complete ]
+  [ S_static; S_clauses; S_cardinality; S_semantics; S_types; S_column;
+    S_row; S_complete ]
 
 let stage_index = function
   | S_static -> 0
   | S_clauses -> 1
-  | S_semantics -> 2
-  | S_types -> 3
-  | S_column -> 4
-  | S_row -> 5
-  | S_complete -> 6
+  | S_cardinality -> 2
+  | S_semantics -> 3
+  | S_types -> 4
+  | S_column -> 5
+  | S_row -> 6
+  | S_complete -> 7
 
 let stage_name = function
   | S_static -> "static"
   | S_clauses -> "clauses"
+  | S_cardinality -> "cardinality"
   | S_semantics -> "semantics"
   | S_types -> "types"
   | S_column -> "column"
@@ -46,11 +50,13 @@ type stats = {
   mutable pruned : int;
   mutable pruned_by_static : int;
   mutable pruned_by_clauses : int;
+  mutable pruned_by_cardinality : int;
   mutable pruned_by_semantics : int;
   mutable pruned_by_types : int;
   mutable pruned_by_column : int;
   mutable pruned_by_row : int;
   mutable pruned_by_complete : int;
+  mutable dedup_semantic : int;
   mutable static_warnings : int;
   mutable batch_rounds : int;
   mutable batched_probes : int;
@@ -60,15 +66,17 @@ type stats = {
 let new_stats () =
   { column_probes = 0; index_probes = 0; row_probes = 0; full_executions = 0;
     relcache_hits = 0; pushdown_builds = 0; pruned = 0;
-    pruned_by_static = 0; pruned_by_clauses = 0; pruned_by_semantics = 0;
+    pruned_by_static = 0; pruned_by_clauses = 0; pruned_by_cardinality = 0;
+    pruned_by_semantics = 0;
     pruned_by_types = 0; pruned_by_column = 0; pruned_by_row = 0;
-    pruned_by_complete = 0; static_warnings = 0;
+    pruned_by_complete = 0; dedup_semantic = 0; static_warnings = 0;
     batch_rounds = 0; batched_probes = 0;
     stage_seconds = Array.make (List.length all_stages) 0.0 }
 
 let pruned_by s = function
   | S_static -> s.pruned_by_static
   | S_clauses -> s.pruned_by_clauses
+  | S_cardinality -> s.pruned_by_cardinality
   | S_semantics -> s.pruned_by_semantics
   | S_types -> s.pruned_by_types
   | S_column -> s.pruned_by_column
@@ -90,11 +98,14 @@ let merge_stats ~into s =
   into.pruned <- into.pruned + s.pruned;
   into.pruned_by_static <- into.pruned_by_static + s.pruned_by_static;
   into.pruned_by_clauses <- into.pruned_by_clauses + s.pruned_by_clauses;
+  into.pruned_by_cardinality <-
+    into.pruned_by_cardinality + s.pruned_by_cardinality;
   into.pruned_by_semantics <- into.pruned_by_semantics + s.pruned_by_semantics;
   into.pruned_by_types <- into.pruned_by_types + s.pruned_by_types;
   into.pruned_by_column <- into.pruned_by_column + s.pruned_by_column;
   into.pruned_by_row <- into.pruned_by_row + s.pruned_by_row;
   into.pruned_by_complete <- into.pruned_by_complete + s.pruned_by_complete;
+  into.dedup_semantic <- into.dedup_semantic + s.dedup_semantic;
   into.static_warnings <- into.static_warnings + s.static_warnings;
   into.batch_rounds <- into.batch_rounds + s.batch_rounds;
   into.batched_probes <- into.batched_probes + s.batched_probes;
@@ -123,6 +134,9 @@ type env = {
   e_static : bool;
   (* schema compiled to hash lookups for the stage-0 rules *)
   e_lint : Duolint.Analyze.prepared;
+  (* immutable schema key facts for the Duosem cardinality stage; safe
+     to share across forked domains *)
+  e_sem : Duolint.Duosem.prepared;
   e_stats : stats;
   (* Master inverted index for text-literal column probes; forced on first
      use when no session index is supplied.  The database is append-only
@@ -146,6 +160,7 @@ let make_env ?stats ?(semantics = true) ?(static = true) ?index ?relcache ~db
     e_semantics = semantics;
     e_static = static;
     e_lint = Duolint.Analyze.prepare (Duodb.Database.schema db);
+    e_sem = Duolint.Duosem.prepare (Duodb.Database.schema db);
     e_stats = (match stats with Some s -> s | None -> new_stats ());
     e_index =
       (match index with
@@ -292,7 +307,7 @@ let verify_clauses env (t : Partial.t) =
            | Some n -> tsq.Tsq.limit > 0 && n <= tsq.Tsq.limit
          end
 
-(* --- stage 2: semantic rules on decided parts (Table 4) --- *)
+(* --- stage 3: semantic rules on decided parts (Table 4) --- *)
 
 let decided_slot_proj (s : Partial.proj_slot) =
   match s.Partial.pj_target, s.Partial.pj_agg with
@@ -375,6 +390,58 @@ let static_warnings env (t : Partial.t) =
 let verify_static_query env q =
   (not env.e_static)
   || not (Duolint.Analyze.has_errors_p env.e_lint (Duolint.Outline.of_query q))
+
+(* --- stage 2: Duosem cardinality bound vs the required tuple count --- *)
+
+(* Database-free: a sketch with example tuples needs at least
+   [required_support] distinct result rows ([Tsq.satisfies] matches
+   tuples to rows injectively), so a state whose abstract row-count
+   upper bound (Duosem: aggregation without GROUP BY, pinned primary
+   keys, LIMIT) falls below that threshold has no satisfying completion.
+   Monotone under refinement: a tightening only grows
+   [required_support], and the bound itself only tightens with more
+   decisions. *)
+(* Grammar-aware refinement of the outline for cardinality purposes: once
+   keywords commit to GROUP BY, the projection list is final and exactly
+   one projection is plain, every completion that survives the static
+   rules groups by exactly that column — [Partial] has a single group
+   slot and [Projection_not_grouped] rejects any other choice.  The
+   outline may therefore commit the GROUP BY clause before the
+   enumerator decides it, letting the pinned-group-key bound fire
+   database-free ahead of the probe stages.  Only valid under enforced
+   static rules: without them, ungrouped-projection completions survive
+   and keep SQLite's bare-column (many-row) semantics. *)
+let outline_for_cardinality env (t : Partial.t) =
+  let o = outline_of_partial t in
+  if
+    env.e_static && kw_decided t
+    && t.Partial.kw.Duoguide.Model.kw_group
+    && t.Partial.group_col = None
+    && o.Duolint.Outline.o_select_final
+  then
+    match
+      List.filter_map
+        (fun (p : proj) -> if p.p_agg = None then p.p_col else None)
+        o.Duolint.Outline.o_select
+    with
+    | [ c ] ->
+        { o with Duolint.Outline.o_group_by = [ c ]; o_group_final = true }
+    | [] | _ :: _ :: _ -> o
+  else o
+
+let verify_cardinality env (t : Partial.t) =
+  match env.e_tsq with
+  | None -> true
+  | Some tsq -> (
+      let support = Tsq.required_support tsq in
+      support <= 0
+      ||
+      match
+        (Duolint.Duosem.bound env.e_sem (outline_for_cardinality env t))
+          .Duolint.Duosem.c_hi
+      with
+      | None -> true
+      | Some hi -> hi >= support)
 
 let verify_semantics env (t : Partial.t) =
   env.e_semantics = false
@@ -726,6 +793,7 @@ let verify_complete env q =
 let bump_pruned s = function
   | S_static -> s.pruned_by_static <- s.pruned_by_static + 1
   | S_clauses -> s.pruned_by_clauses <- s.pruned_by_clauses + 1
+  | S_cardinality -> s.pruned_by_cardinality <- s.pruned_by_cardinality + 1
   | S_semantics -> s.pruned_by_semantics <- s.pruned_by_semantics + 1
   | S_types -> s.pruned_by_types <- s.pruned_by_types + 1
   | S_column -> s.pruned_by_column <- s.pruned_by_column + 1
@@ -752,6 +820,7 @@ let verify env (t : Partial.t) =
   let ok =
     stage S_static verify_static
     && stage S_clauses verify_clauses
+    && stage S_cardinality verify_cardinality
     && stage S_semantics verify_semantics
     && stage S_types verify_column_types
     && stage S_column verify_by_column
@@ -789,8 +858,9 @@ let retarget env ~tsq =
    - [S_static] and [S_semantics] never read the sketch;
    - [S_types] reads only [tsq.types], which a tightening keeps equal.
    What can flip is anything reading [sorted], [tuples], [negatives] or
-   the support threshold: [S_clauses], [S_column], [S_row], and the full
-   Definition 2.4 check on complete states. *)
+   the support threshold: [S_clauses], [S_cardinality] (the required
+   tuple count only grows under a tightening), [S_column], [S_row], and
+   the full Definition 2.4 check on complete states. *)
 let reverify env (t : Partial.t) =
   Atomic.incr verify_calls;
   let s = env.e_stats in
@@ -807,6 +877,7 @@ let reverify env (t : Partial.t) =
   in
   let ok =
     stage S_clauses verify_clauses
+    && stage S_cardinality verify_cardinality
     && stage S_column verify_by_column
     && stage S_row verify_by_row
     &&
@@ -871,6 +942,7 @@ let verify_batch env (children : Partial.t list) =
   let early =
     [ (S_static, verify_static);
       (S_clauses, verify_clauses);
+      (S_cardinality, verify_cardinality);
       (S_semantics, verify_semantics);
       (S_types, verify_column_types);
       (S_column, verify_by_column) ]

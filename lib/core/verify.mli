@@ -8,6 +8,8 @@
       access, no TSQ needed);
     + [VerifyClauses] — clause presence vs the sketch's sorted flag and
       limit (no database access);
+    + [VerifyCardinality] — Duosem's abstract row-count upper bound vs
+      the sketch's required tuple count (schema only);
     + [VerifySemantics] — the Table 4 rules on decided parts (no database
       access);
     + [VerifyColumnTypes] — projection types vs the sketch's type
@@ -30,6 +32,7 @@
 type stage =
   | S_static
   | S_clauses
+  | S_cardinality
   | S_semantics
   | S_types
   | S_column
@@ -52,11 +55,17 @@ type stats = {
   mutable pruned : int;  (** states rejected by any stage *)
   mutable pruned_by_static : int;
   mutable pruned_by_clauses : int;
+  mutable pruned_by_cardinality : int;
+      (** states whose Duosem row-count upper bound is below the
+          sketch's required tuple count *)
   mutable pruned_by_semantics : int;
   mutable pruned_by_types : int;
   mutable pruned_by_column : int;
   mutable pruned_by_row : int;
   mutable pruned_by_complete : int;
+  mutable dedup_semantic : int;
+      (** enumerator pushes/emissions suppressed because a
+          Duosem-canonically-equal state or candidate was already seen *)
   mutable static_warnings : int;
       (** Duolint warnings used to deprioritize frontier pushes *)
   mutable batch_rounds : int;
@@ -171,6 +180,12 @@ val verify_static_query : env -> Duosql.Ast.query -> bool
 
 val verify_clauses : env -> Partial.t -> bool
 
+(** Duosem stage: prunes when the state's abstract row-count upper bound
+    ({!Duolint.Duosem.bound} over {!outline_of_partial}) is strictly
+    below the sketch's required tuple count.  Monotone because the bound
+    only tightens as more clauses are decided. *)
+val verify_cardinality : env -> Partial.t -> bool
+
 val verify_semantics : env -> Partial.t -> bool
 val verify_column_types : env -> Partial.t -> bool
 val verify_by_column : env -> Partial.t -> bool
@@ -191,9 +206,10 @@ val verify_complete : env -> Duosql.Ast.query -> bool
 val retarget : env -> tsq:Tsq.t -> env
 
 (** [reverify env t] re-runs only the cascade stages whose verdict can
-    change under a [Tsq.Tightening] edit — [S_clauses], [S_column],
-    [S_row], and the full complete-query check — on a state that already
-    survived the full cascade under the pre-refinement sketch.
+    change under a [Tsq.Tightening] edit — [S_clauses], [S_cardinality]
+    (the required tuple count only grows), [S_column], [S_row], and the
+    full complete-query check — on a state that already survived the
+    full cascade under the pre-refinement sketch.
     [S_static]/[S_semantics] never read the sketch and [S_types] reads
     only the (unchanged) type annotations, so their verdicts carry.
     Counts as a cascade invocation in {!total_verifies}. *)

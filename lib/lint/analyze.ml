@@ -221,13 +221,16 @@ let check_duplicate_preds emit clause preds =
 
 (* Subsumption under a decided AND: a predicate whose satisfying set
    contains a strictly stronger sibling on the same target adds nothing.
-   [top] never subsumes — LIKE abstracts to top, and "everything includes
-   X" is not evidence of redundancy. *)
+   [top] never subsumes — "everything includes X" is not evidence of
+   redundancy — and the implied side must abstract {e exactly}
+   ([Domain.exact_rhs]): a LIKE band over-approximates, so containment in
+   it proves nothing about the LIKE itself. *)
 let check_subsumed emit clause preds conn =
   match conn with
   | Some And when List.length preds >= 2 ->
       let arr = Array.of_list preds in
       let doms = Array.map (fun p -> Domain.of_rhs p.pr_rhs) arr in
+      let implied j = Domain.exact_rhs arr.(j).pr_rhs && not (Domain.is_top doms.(j)) in
       let n = Array.length arr in
       for i = 0 to n - 1 do
         for j = 0 to n - 1 do
@@ -236,14 +239,14 @@ let check_subsumed emit clause preds conn =
             && same_target arr.(i) arr.(j)
             && not (equal_pred arr.(i) arr.(j))
           then
-            if (not (Domain.is_top doms.(j))) && Domain.leq doms.(i) doms.(j)
+            if implied j && Domain.leq doms.(i) doms.(j)
             then
               emit
                 (D.make D.Subsumed_predicate clause "%s is implied by %s"
                    (Duosql.Pretty.pred arr.(j))
                    (Duosql.Pretty.pred arr.(i)))
             else if
-              (not (Domain.is_top doms.(i))) && Domain.leq doms.(j) doms.(i)
+              implied i && Domain.leq doms.(j) doms.(i)
             then
               emit
                 (D.make D.Subsumed_predicate clause "%s is implied by %s"

@@ -163,6 +163,60 @@ let widen a b =
    the meet computes canonical bounds, so inclusion is an equality test. *)
 let leq a b = equal (meet a b) a
 
+(* Smallest string strictly above every string with prefix [s] in byte
+   order: increment the last incrementable byte and truncate there.
+   [None] when no such string exists (all bytes are 0xff). *)
+let succ_string s =
+  let rec last_incr i =
+    if i < 0 then None
+    else if Char.code s.[i] < 0xff then Some i
+    else last_incr (i - 1)
+  in
+  match last_incr (String.length s - 1) with
+  | None -> None
+  | Some i ->
+      Some
+        (String.init (i + 1) (fun j ->
+             if j < i then s.[j] else Char.chr (Char.code s.[j] + 1)))
+
+(* The literal prefix of a LIKE pattern: the characters before the first
+   wildcard, and whether a wildcard follows. *)
+let like_prefix p =
+  let n = String.length p in
+  let rec go i = if i < n && p.[i] <> '%' && p.[i] <> '_' then go (i + 1) else i in
+  let k = go 0 in
+  (String.sub p 0 k, k < n)
+
+(* LIKE matches case-insensitively ([Value.like] folds both sides), so
+   its satisfying set is not exactly an interval of the case-sensitive
+   order.  But a pattern with a non-leading wildcard still pins every
+   matching string into the prefix's lexicographic band: each byte of the
+   match's prefix is the pattern byte in either case, uppercase ASCII
+   sorts below lowercase, hence
+   [uppercase(prefix) <= s < succ(lowercase(prefix))].  A wildcard-free
+   pattern tightens the upper bound to [lowercase(pattern)] inclusive.
+   The result over-approximates (e.g. ["aZ"] lies in the band of
+   [LIKE 'ab%'] without matching), so it is sound for unsatisfiability
+   but not for implication — see {!exact_rhs}. *)
+let of_like v =
+  match v with
+  | Value.Text p ->
+      let prefix, wildcards = like_prefix p in
+      if prefix = "" then top
+      else
+        let lo = Some (Value.Text (String.uppercase_ascii prefix), false) in
+        let hi =
+          if wildcards then
+            match succ_string (String.lowercase_ascii prefix) with
+            | Some s -> Some (Value.Text s, true)
+            | None -> None
+          else Some (Value.Text (String.lowercase_ascii p), false)
+        in
+        norm lo hi []
+  | Value.Null | Value.Int _ | Value.Float _ ->
+      (* non-text pattern: a type error upstream; stay sound with top *)
+      top
+
 let of_rhs (rhs : Duosql.Ast.pred_rhs) =
   match rhs with
   | Duosql.Ast.Cmp (op, v) ->
@@ -175,12 +229,26 @@ let of_rhs (rhs : Duosql.Ast.pred_rhs) =
         | Duosql.Ast.Le -> norm None (Some (v, false)) []
         | Duosql.Ast.Gt -> norm (Some (v, true)) None []
         | Duosql.Ast.Ge -> norm (Some (v, false)) None []
-        (* LIKE matches case-insensitively, so its satisfying set is not
-           an interval of the case-sensitive order: approximate by top. *)
-        | Duosql.Ast.Like | Duosql.Ast.Not_like -> top)
+        | Duosql.Ast.Like -> of_like v
+        (* the complement of a LIKE set is not an interval at all *)
+        | Duosql.Ast.Not_like -> top)
   | Duosql.Ast.Between (lo, hi) ->
       if Value.is_null lo || Value.is_null hi then Bot
       else norm (Some (lo, false)) (Some (hi, false)) []
+
+(* Whether [of_rhs rhs] is the predicate's exact satisfying set rather
+   than an over-approximation.  Comparisons and BETWEEN abstract exactly;
+   LIKE/NOT LIKE do not (case-folding).  Only exact abstractions may sit
+   on the implied side of a subsumption argument. *)
+let exact_rhs (rhs : Duosql.Ast.pred_rhs) =
+  match rhs with
+  | Duosql.Ast.Cmp ((Duosql.Ast.Like | Duosql.Ast.Not_like), _) -> false
+  | Duosql.Ast.Cmp
+      ( ( Duosql.Ast.Eq | Duosql.Ast.Neq | Duosql.Ast.Lt | Duosql.Ast.Le
+        | Duosql.Ast.Gt | Duosql.Ast.Ge ),
+        _ )
+  | Duosql.Ast.Between _ ->
+      true
 
 let pp fmt = function
   | Bot -> Format.pp_print_string fmt "bot"

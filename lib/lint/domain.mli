@@ -39,9 +39,21 @@ val concretize : t -> Duodb.Value.t option
 val mem : Duodb.Value.t -> t -> bool
 
 val of_rhs : Duosql.Ast.pred_rhs -> t
-(** Abstraction of one predicate right-hand side.  [LIKE]/[NOT LIKE]
-    abstract to {!top} (case-insensitive matching is not an interval of
-    the case-sensitive order). *)
+(** Abstraction of one predicate right-hand side.  A [LIKE] pattern with
+    a literal prefix (no leading wildcard) abstracts to the prefix's
+    lexicographic band with case-folded bounds —
+    [[uppercase(prefix), succ(lowercase(prefix)))], tightened to
+    [lowercase(pattern)] inclusive when the pattern has no wildcard at
+    all; leading-wildcard [LIKE] and every [NOT LIKE] abstract to {!top}.
+    The [LIKE] bands {e over}-approximate (sound for unsatisfiability,
+    not for implication — see {!exact_rhs}). *)
+
+val exact_rhs : Duosql.Ast.pred_rhs -> bool
+(** Whether {!of_rhs} returns the predicate's exact satisfying set.
+    [true] for comparisons and [BETWEEN]; [false] for [LIKE]/[NOT LIKE],
+    whose abstractions over-approximate.  Subsumption reasoning may only
+    conclude "[p] implies [q]" from [leq (of_rhs p) (of_rhs q)] when
+    [exact_rhs q] holds. *)
 
 val meet : t -> t -> t
 (** Set intersection, exact on this domain. *)

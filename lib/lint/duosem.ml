@@ -1,0 +1,490 @@
+open Duosql.Ast
+module Schema = Duodb.Schema
+module Value = Duodb.Value
+
+(* Duosem: database-free semantic analysis.  Three layers, all reading
+   nothing but the query/outline and the schema:
+
+   1. a canonicalizer rewriting queries into a normal form (sorted
+      conjuncts, oriented and sorted join edges, per-target interval
+      folding that subsumes BETWEEN<->range normalization, duplicate and
+      subsumed-conjunct elimination, constant folding) so that
+      semantically equal candidates collide on [canonical_key];
+   2. a constraint reasoner over schema PK/FK facts plus the
+      {!Domain} intervals (predicate implication, redundant DISTINCT,
+      key-preserving join elimination), surfaced as facts for
+      [duolint --explain];
+   3. a cardinality bounder assigning each (partial) query an abstract
+      row-count interval, the enumerator's database-free prune rule
+      against the TSQ's required tuple count.
+
+   The dialect keeps negation at the predicate leaves ([!=], [NOT LIKE])
+   and has no NULL tests, so NOT-pushdown normalization reduces to
+   folding [!=] into the domain's exclusion sets. *)
+
+(* --- canonicalizer --- *)
+
+let same_target (p : pred) (q : pred) =
+  equal_agg p.pr_agg q.pr_agg
+  &&
+  match p.pr_col, q.pr_col with
+  | None, None -> true
+  | Some a, Some b -> equal_col_ref a b
+  | None, Some _ | Some _, None -> false
+
+(* Predicates are ordered (and deduplicated) by their rendering, which is
+   injective up to value equality — [Int 5] and [Float 5.0] both print
+   "5" and compare equal, so a rendering collision is always a semantic
+   equality. *)
+let compare_preds a b = String.compare (Duosql.Pretty.pred a) (Duosql.Pretty.pred b)
+let sorted_preds ps = List.sort_uniq compare_preds ps
+
+let target_pred (rep : pred) rhs =
+  { pr_agg = rep.pr_agg; pr_col = rep.pr_col; pr_rhs = rhs }
+
+(* Render a (non-empty) abstract element back into the canonical
+   predicate list with exactly the same satisfying set: a point becomes
+   [=], two inclusive bounds become [BETWEEN], single/strict bounds
+   become the matching comparison, exclusions become [!=].  [None] for
+   [Bot]: an unsatisfiable conjunction has no canonical rendering, the
+   caller keeps the original predicates (the linter flags them). *)
+let rendered rep d =
+  match d with
+  | Domain.Bot -> None
+  | Domain.Itv { lo; hi; excl } ->
+      let bounds =
+        match Domain.concretize d with
+        | Some v -> [ target_pred rep (Cmp (Eq, v)) ]
+        | None -> (
+            match lo, hi with
+            | Some (l, false), Some (h, false) ->
+                [ target_pred rep (Between (l, h)) ]
+            | (Some _ | None), (Some _ | None) ->
+                (match lo with
+                | Some (l, true) -> [ target_pred rep (Cmp (Gt, l)) ]
+                | Some (l, false) -> [ target_pred rep (Cmp (Ge, l)) ]
+                | None -> [])
+                @ (match hi with
+                  | Some (h, true) -> [ target_pred rep (Cmp (Lt, h)) ]
+                  | Some (h, false) -> [ target_pred rep (Cmp (Le, h)) ]
+                  | None -> []))
+      in
+      Some (bounds @ List.map (fun v -> target_pred rep (Cmp (Neq, v))) excl)
+
+let canonical_conjuncts preds =
+  let rec split groups = function
+    | [] -> List.rev groups
+    | p :: rest ->
+        let mine, other = List.partition (same_target p) rest in
+        split ((p :: mine) :: groups) other
+  in
+  let folded =
+    List.concat_map
+      (fun group ->
+        (* Only exactly-abstracted predicates fold through the domain;
+           LIKE/NOT LIKE over-approximate and are kept verbatim. *)
+        let exact, opaque =
+          List.partition (fun (p : pred) -> Domain.exact_rhs p.pr_rhs) group
+        in
+        match exact with
+        | [] -> opaque
+        | rep :: _ -> (
+            let d =
+              List.fold_left
+                (fun d (p : pred) -> Domain.meet d (Domain.of_rhs p.pr_rhs))
+                Domain.top exact
+            in
+            match rendered rep d with
+            | Some ps -> ps @ opaque
+            | None -> exact @ opaque))
+      (split [] preds)
+  in
+  sorted_preds folded
+
+let canonical_condition = function
+  | None -> None
+  | Some c -> (
+      let ps =
+        match c.c_conn with
+        | And -> canonical_conjuncts c.c_preds
+        | Or ->
+            if List.length c.c_preds <= 1 then canonical_conjuncts c.c_preds
+            else sorted_preds c.c_preds (* OR is commutative and idempotent *)
+      in
+      match ps with
+      | [] -> None
+      | _ :: _ ->
+          let conn = if List.length ps <= 1 then And else c.c_conn in
+          Some { c_preds = ps; c_conn = conn })
+
+let compare_cols a b =
+  String.compare (Duosql.Pretty.col_ref a) (Duosql.Pretty.col_ref b)
+
+(* Join equality is symmetric: orient each edge by its rendered
+   endpoints, then sort the edge list.  Duplicate edges (after
+   orientation) are dropped — a conjunction is idempotent. *)
+let canonical_edge (e : join_edge) =
+  if compare_cols e.j_from e.j_to <= 0 then e
+  else { j_from = e.j_to; j_to = e.j_from }
+
+let compare_edges a b =
+  let render (e : join_edge) =
+    Duosql.Pretty.col_ref e.j_from ^ "=" ^ Duosql.Pretty.col_ref e.j_to
+  in
+  String.compare (render a) (render b)
+
+let canonical_from (f : from_clause) =
+  {
+    f_tables = List.sort_uniq String.compare f.f_tables;
+    f_joins = List.sort_uniq compare_edges (List.map canonical_edge f.f_joins);
+  }
+
+(* Whether the query's result multiset can depend on base row order —
+   and hence on the FROM clause's table/edge order, which steers the
+   executor's scan order.  Two cases: LIMIT truncates at a row-order-
+   dependent cut (absent a provably tie-free ORDER BY, which is not
+   decidable here), and a bare column projected next to aggregation (or
+   outside its GROUP BY key) is picked from the group's first row. *)
+let order_sensitive (q : query) =
+  q.q_limit <> None
+  ||
+  let has_agg =
+    List.exists (fun (p : proj) -> Option.is_some p.p_agg) q.q_select
+    || List.exists (fun (o : order_item) -> Option.is_some o.o_agg) q.q_order_by
+    || (match q.q_having with
+       | Some c -> List.exists (fun (p : pred) -> Option.is_some p.pr_agg) c.c_preds
+       | None -> false)
+  in
+  (has_agg || q.q_group_by <> [])
+  && List.exists
+       (fun (p : proj) ->
+         p.p_agg = None
+         &&
+         match p.p_col with
+         | Some c -> not (List.exists (equal_col_ref c) q.q_group_by)
+         | None -> false)
+       q.q_select
+
+(* SELECT and ORDER BY stay positional (output columns and sort keys are
+   ordered); everything multiset-like is sorted.  The FROM clause is
+   sorted only when the result multiset provably cannot observe scan
+   order ([order_sensitive]). *)
+let canonical_query (q : query) =
+  {
+    q with
+    q_from = (if order_sensitive q then q.q_from else canonical_from q.q_from);
+    q_where = canonical_condition q.q_where;
+    q_group_by = List.sort_uniq compare_cols q.q_group_by;
+    q_having = canonical_condition q.q_having;
+  }
+
+let canonical_key q = Duosql.Pretty.query (canonical_query q)
+let equal_queries a b = String.equal (canonical_key a) (canonical_key b)
+
+(* Candidate-dedup key: like [canonical_key] but with the FROM clause
+   unconditionally sorted — the multiset view [Duosql.Equal.queries]
+   already takes, so replacing the emission-dedup scan with this key
+   never emits a pair the old scan would have collapsed.  Not a semantic
+   equivalence on order-sensitive queries; rankings treat scan-order
+   variants as one candidate by design. *)
+let dedup_key (q : query) =
+  Duosql.Pretty.query { (canonical_query q) with q_from = canonical_from q.q_from }
+
+(* --- prepared schema facts --- *)
+
+type prepared = {
+  s_schema : Schema.t;
+  s_pk : (string, string list) Hashtbl.t;  (* table -> primary key *)
+}
+
+let prepare (schema : Schema.t) =
+  let s_pk = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Schema.table) ->
+      Hashtbl.replace s_pk t.Schema.tbl_name t.Schema.tbl_pk)
+    schema.Schema.tables;
+  { s_schema = schema; s_pk }
+
+let single_pk pre tbl col =
+  match Hashtbl.find_opt pre.s_pk tbl with
+  | Some [ k ] -> String.equal k col
+  | Some _ | None -> false
+
+(* --- constraint reasoner / cardinality bounder --- *)
+
+(* The decided predicates usable as conjuncts.  With a known AND (or a
+   single predicate) every decided predicate must hold on every result
+   row of every completion — additional conjuncts only shrink the result.
+   With an undecided connective a later OR could weaken any decided
+   predicate, so nothing can be assumed. *)
+let conjuncts (o : Outline.t) =
+  match o.Outline.o_where_conn with
+  | Some And -> o.Outline.o_where
+  | Some Or -> ( match o.Outline.o_where with [ p ] -> [ p ] | _ -> [])
+  | None ->
+      if o.Outline.o_where_final && List.length o.Outline.o_where <= 1 then
+        o.Outline.o_where
+      else []
+
+let point_value (p : pred) =
+  match p.pr_rhs with
+  | Cmp (Eq, v) when not (Value.is_null v) -> Some v
+  | Between (lo, hi) when (not (Value.is_null lo)) && Value.equal lo hi ->
+      Some lo
+  | Cmp ((Eq | Neq | Lt | Le | Gt | Ge | Like | Not_like), _) | Between _ ->
+      None
+
+(* Tables whose full primary key is fixed to constants by point
+   predicates among the conjuncts: at most one surviving row each. *)
+let pinned_tables pre conj =
+  List.filter_map
+    (fun (tbl : Schema.table) ->
+      match tbl.Schema.tbl_pk with
+      | [] -> None
+      | pk ->
+          if
+            List.for_all
+              (fun k ->
+                List.exists
+                  (fun (p : pred) ->
+                    p.pr_agg = None
+                    && (match p.pr_col with
+                       | Some c ->
+                           String.equal c.cr_table tbl.Schema.tbl_name
+                           && String.equal c.cr_col k
+                       | None -> false)
+                    && Option.is_some (point_value p))
+                  conj)
+              pk
+          then Some tbl.Schema.tbl_name
+          else None)
+    pre.s_schema.Schema.tables
+
+(* Close a set of row-pinned tables over key-preserving join edges: a
+   table [u] joined on its full single-column primary key to an
+   already-pinned side contributes at most one row per join row, so the
+   joined relation stays pinned. *)
+let pinned_closure pre (f : from_clause) seed =
+  let pinned = Hashtbl.create 8 in
+  List.iter (fun t -> Hashtbl.replace pinned t ()) seed;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (e : join_edge) ->
+        let try_side (u : col_ref) (v : col_ref) =
+          if
+            Hashtbl.mem pinned v.cr_table
+            && (not (Hashtbl.mem pinned u.cr_table))
+            && single_pk pre u.cr_table u.cr_col
+          then begin
+            Hashtbl.replace pinned u.cr_table ();
+            changed := true
+          end
+        in
+        try_side e.j_from e.j_to;
+        try_side e.j_to e.j_from)
+      f.f_joins
+  done;
+  pinned
+
+type card = { c_lo : int; c_hi : int option }
+
+let card_to_string c =
+  Printf.sprintf "[%d, %s]" c.c_lo
+    (match c.c_hi with None -> "inf" | Some n -> string_of_int n)
+
+(* Abstract row-count interval of every completion of the outline.
+   Soundness argument per rule (DESIGN.md, "Duosem"):
+   - aggregation without GROUP BY evaluates over the single implicit
+     group, so any well-formed completion returns at most one row
+     (exactly one when nothing can filter or truncate the output);
+     mixed aggregate/plain completions are semantic errors and satisfy
+     no TSQ, so they need no bound.  The rule only needs the group
+     clause to be decided empty — it is FROM- and WHERE-independent.
+   - a final FROM whose every table is pinned (full-PK point predicates,
+     closed over key-preserving join edges) yields at most one joined
+     row; later conjuncts, grouping, HAVING and LIMIT only shrink that.
+     The rule requires the final FROM: join-path growth could multiply
+     rows through a later fan-out edge.
+   - a final nonempty GROUP BY whose every column's abstract domain
+     (the meet of the conjuncts' abstractions) is a single point admits
+     at most one group, hence at most one output row.  Sound even
+     through over-approximate abstractions (LIKE): if the
+     over-approximation is a singleton the true value set is contained
+     in it, so the group-key space still has at most one element; NULL
+     group keys cannot occur because every abstraction excludes NULL.
+     Finality matters: a further GROUP BY column could split the group.
+   - a decided LIMIT k caps the output at k rows. *)
+let bound pre (o : Outline.t) =
+  let hi = ref None in
+  let cap n = hi := Some (match !hi with None -> n | Some m -> min m n) in
+  let has_agg =
+    List.exists (fun (p : proj) -> Option.is_some p.p_agg) o.Outline.o_select
+  in
+  let agg_no_group =
+    has_agg && o.Outline.o_group_final && o.Outline.o_group_by = []
+  in
+  if agg_no_group then cap 1;
+  (match o.Outline.o_group_by with
+  | _ :: _ as group when o.Outline.o_group_final ->
+      let conj = conjuncts o in
+      let pinned_col (c : col_ref) =
+        let d =
+          List.fold_left
+            (fun d (p : pred) ->
+              if
+                p.pr_agg = None
+                && match p.pr_col with
+                   | Some pc -> equal_col_ref pc c
+                   | None -> false
+              then Domain.meet d (Domain.of_rhs p.pr_rhs)
+              else d)
+            Domain.top conj
+        in
+        Option.is_some (Domain.concretize d)
+      in
+      if List.for_all pinned_col group then cap 1
+  | _ :: _ | [] -> ());
+  (if o.Outline.o_from_final then
+     match o.Outline.o_from with
+     | Some f when f.f_tables <> [] -> (
+         match pinned_tables pre (conjuncts o) with
+         | [] -> ()
+         | seed ->
+             let pinned = pinned_closure pre f seed in
+             if List.for_all (fun t -> Hashtbl.mem pinned t) f.f_tables then
+               cap 1)
+     | Some _ | None -> ());
+  (match o.Outline.o_limit with Some n -> cap (max n 0) | None -> ());
+  let lo =
+    if
+      agg_no_group && o.Outline.o_select_final && o.Outline.o_having = []
+      && o.Outline.o_having_final && o.Outline.o_limit_final
+      && (match o.Outline.o_limit with None -> true | Some n -> n >= 1)
+    then 1
+    else 0
+  in
+  { c_lo = lo; c_hi = !hi }
+
+let bound_query pre q = bound pre (Outline.of_query q)
+
+(* DISTINCT adds nothing when the output rows are provably distinct
+   already: a single-row result, a grouped query projecting its whole
+   group key, or a single-table query projecting the table's whole
+   primary key. *)
+let redundant_distinct pre (q : query) =
+  q.q_distinct
+  &&
+  let plain_cols =
+    List.filter_map
+      (fun (p : proj) -> if p.p_agg = None then p.p_col else None)
+      q.q_select
+  in
+  (match (bound_query pre q).c_hi with Some n -> n <= 1 | None -> false)
+  || (match q.q_group_by with
+     | _ :: _ as group ->
+         List.for_all
+           (fun gc -> List.exists (equal_col_ref gc) plain_cols)
+           group
+     | [] -> (
+         match q.q_from.f_tables with
+         | [ t ] -> (
+             match Hashtbl.find_opt pre.s_pk t with
+             | Some (_ :: _ as pk) ->
+                 List.for_all
+                   (fun k ->
+                     List.exists
+                       (fun c ->
+                         String.equal c.cr_table t && String.equal c.cr_col k)
+                       plain_cols)
+                   pk
+             | Some [] | None -> false)
+         | _ -> false))
+
+(* A FROM table that no other clause reads and that joins through a
+   single key-preserving edge only restricts rows; under enforced FK
+   integrity the join is removable outright. *)
+let eliminable_joins pre (q : query) =
+  let referenced = Duosql.Ast.referenced_tables q in
+  List.filter
+    (fun t ->
+      (not (List.mem t referenced))
+      &&
+      let incident =
+        List.filter
+          (fun (e : join_edge) ->
+            String.equal e.j_from.cr_table t || String.equal e.j_to.cr_table t)
+          q.q_from.f_joins
+      in
+      match incident with
+      | [ e ] ->
+          let mine, _other =
+            if String.equal e.j_from.cr_table t then (e.j_from, e.j_to)
+            else (e.j_to, e.j_from)
+          in
+          single_pk pre t mine.cr_col
+      | [] | _ :: _ :: _ -> false)
+    q.q_from.f_tables
+
+(* Predicate implication among the conjuncts, with the subsumption
+   soundness rule: the implied side must abstract exactly. *)
+let implication_facts conj =
+  let arr = Array.of_list conj in
+  let doms = Array.map (fun (p : pred) -> Domain.of_rhs p.pr_rhs) arr in
+  let out = ref [] in
+  Array.iteri
+    (fun i pi ->
+      Array.iteri
+        (fun j pj ->
+          if
+            i <> j && same_target pi pj
+            && (not (equal_pred pi pj))
+            && Domain.exact_rhs pj.pr_rhs
+            && (not (Domain.is_top doms.(j)))
+            && Domain.leq doms.(i) doms.(j)
+          then
+            out :=
+              Printf.sprintf "%s implies %s (the weaker predicate is redundant)"
+                (Duosql.Pretty.pred pi) (Duosql.Pretty.pred pj)
+              :: !out)
+        arr)
+    arr;
+  List.rev !out
+
+let facts pre (q : query) =
+  let o = Outline.of_query q in
+  let conj = conjuncts o in
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  List.iter
+    (fun t -> add "%s is pinned to at most one row by primary-key point predicates" t)
+    (pinned_tables pre conj);
+  List.iter
+    (fun (e : join_edge) ->
+      let keyed (u : col_ref) (v : col_ref) =
+        if single_pk pre u.cr_table u.cr_col then
+          add "join %s = %s is key-preserving: each %s row matches at most one %s row"
+            (Duosql.Pretty.col_ref u) (Duosql.Pretty.col_ref v) v.cr_table
+            u.cr_table
+      in
+      keyed e.j_from e.j_to;
+      keyed e.j_to e.j_from)
+    q.q_from.f_joins;
+  List.iter
+    (fun t ->
+      add "%s is join-eliminable: unreferenced outside FROM and joined on its primary key (assuming FK integrity)"
+        t)
+    (eliminable_joins pre q);
+  List.iter (fun s -> add "%s" s) (implication_facts conj);
+  if redundant_distinct pre q then add "DISTINCT is redundant: output rows are already distinct";
+  List.rev !out
+
+type explanation = {
+  ex_canonical : string;
+  ex_facts : string list;
+  ex_card : card;
+}
+
+let explain pre q =
+  { ex_canonical = canonical_key q; ex_facts = facts pre q; ex_card = bound_query pre q }

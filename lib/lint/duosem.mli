@@ -1,0 +1,110 @@
+(** Duosem: database-free semantic analysis over queries and outlines.
+
+    Three layers on top of {!Domain} and the schema:
+
+    - a {b canonicalizer} rewriting a query into a normal form so that
+      semantically equal candidates render identically ({!canonical_key});
+    - a {b constraint reasoner} over schema PK/FK facts and the abstract
+      domain (predicate implication, redundant [DISTINCT], key-preserving
+      join elimination), surfaced as human-readable facts;
+    - a {b cardinality bounder} assigning abstract row-count intervals to
+      (partial) queries, usable as a database-free prune rule against a
+      sketch's required tuple count.
+
+    The normal form: FROM tables sorted; join edges oriented by their
+    rendered endpoints, sorted, deduplicated; WHERE/HAVING conjunct sets
+    folded per target through {!Domain} (so [BETWEEN 2 AND 8] and
+    [x >= 2 AND x <= 8] collide, duplicate and subsumed conjuncts
+    vanish, point intervals become [=]) with LIKE predicates kept
+    verbatim and sorted; OR disjunct lists sorted and deduplicated;
+    GROUP BY sorted; SELECT and ORDER BY kept positional.  Folding only
+    uses exact abstractions ({!Domain.exact_rhs}), so canonicalization
+    preserves each query's result multiset on every database (pinned by
+    a Duocheck property). *)
+
+(** {1 Canonicalizer} *)
+
+val canonical_query : Duosql.Ast.query -> Duosql.Ast.query
+(** The normal form.  Result-multiset-equivalent to the input on every
+    database.  The FROM clause is sorted only when the result multiset
+    provably cannot observe scan order — LIMIT cuts and bare columns
+    picked from a group's first row keep it verbatim. *)
+
+val canonical_key : Duosql.Ast.query -> string
+(** Rendering of {!canonical_query}: canonically-equal queries get equal
+    keys. *)
+
+val equal_queries : Duosql.Ast.query -> Duosql.Ast.query -> bool
+(** Key equality: semantic equivalence as decided by the canonicalizer.
+    Equal keys imply equal result multisets on every database (pinned by
+    a Duocheck property). *)
+
+val dedup_key : Duosql.Ast.query -> string
+(** Like {!canonical_key} but with the FROM clause unconditionally
+    sorted — a strict coarsening of {!Duosql.Equal.queries}' multiset
+    view, for candidate-emission dedup where scan-order variants count
+    as one candidate.  Not a semantic equivalence on order-sensitive
+    queries. *)
+
+val canonical_conjuncts : Duosql.Ast.pred list -> Duosql.Ast.pred list
+(** Normal form of a conjunct set: per-target interval folding for
+    exactly-abstracted predicates, opaque predicates kept verbatim, the
+    result sorted and deduplicated by rendering.  The returned list's
+    conjunction has exactly the satisfying set of the input's. *)
+
+val sorted_preds : Duosql.Ast.pred list -> Duosql.Ast.pred list
+(** Sort and deduplicate by rendering only — the canonicalization valid
+    under {e any} connective (commutativity and idempotence). *)
+
+(** {1 Prepared schema facts} *)
+
+type prepared
+(** Immutable per-schema tables (primary keys); safe to share across
+    domains. *)
+
+val prepare : Duodb.Schema.t -> prepared
+
+(** {1 Cardinality bounder} *)
+
+type card = { c_lo : int; c_hi : int option (** [None] is unbounded *) }
+(** An abstract row-count interval: every completion of the analyzed
+    outline returns between [c_lo] and [c_hi] rows (errors aside). *)
+
+val card_to_string : card -> string
+
+val bound : prepared -> Outline.t -> card
+(** Row-count interval of every completion of an open-world outline.
+    Upper bounds come from aggregation without GROUP BY (the single
+    implicit group), a final FROM fully pinned by primary-key point
+    predicates closed over key-preserving join edges, a final GROUP BY
+    whose every column is pinned to one constant by the conjuncts (a
+    single group), and a decided LIMIT.  Monotone: more decisions can
+    only tighten the interval. *)
+
+val bound_query : prepared -> Duosql.Ast.query -> card
+(** {!bound} of a complete query's closed outline. *)
+
+(** {1 Constraint reasoner} *)
+
+val redundant_distinct : prepared -> Duosql.Ast.query -> bool
+(** [SELECT DISTINCT] whose output rows are provably distinct already:
+    a single-row bound, a grouped query projecting its whole group key,
+    or a single-table query projecting the table's whole primary key. *)
+
+val eliminable_joins : prepared -> Duosql.Ast.query -> string list
+(** FROM tables referenced by no other clause and joined through one
+    key-preserving edge (their full single-column primary key): the join
+    only restricts rows and is removable under enforced FK integrity. *)
+
+val facts : prepared -> Duosql.Ast.query -> string list
+(** Every constraint-reasoner conclusion about the query, rendered as
+    one human-readable line each. *)
+
+type explanation = {
+  ex_canonical : string;  (** {!canonical_key} of the query *)
+  ex_facts : string list;  (** {!facts} *)
+  ex_card : card;  (** {!bound_query} *)
+}
+
+val explain : prepared -> Duosql.Ast.query -> explanation
+(** The [duolint --explain] payload for one query. *)

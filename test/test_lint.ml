@@ -354,9 +354,67 @@ let qcheck_cases =
     (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x11A7 |]))
     [ abstraction_sound; concretize_abstract; meet_exact; join_sound; widen_sound ]
 
+(* --- LIKE refinement: the case-folded prefix band --- *)
+
+let test_like_prefix_band () =
+  (* LIKE 'abc%': every match starts with abc in some case, so it lies in
+     [uppercase(prefix), succ(lowercase(prefix))) — here ['ABC', 'abd') *)
+  Alcotest.check dom "LIKE 'abc%' = ['ABC','abd')"
+    (itv ~lo:(t "ABC", false) ~hi:(t "abd", true) ())
+    (Domain.of_rhs (Cmp (Like, t "abc%")));
+  (* members and non-members of the band *)
+  Alcotest.(check bool) "'abcde' in band" true
+    (Domain.mem (t "abcde") (Domain.of_rhs (Cmp (Like, t "abc%"))));
+  Alcotest.(check bool) "'abd' out of band" false
+    (Domain.mem (t "abd") (Domain.of_rhs (Cmp (Like, t "abc%"))));
+  (* the band is an over-approximation: 'abZ' is inside ['AB','ac') yet
+     does not match 'ab%' — which is exactly why LIKE is not exact *)
+  Alcotest.(check bool) "'abZ' inside the LIKE 'ab%' band" true
+    (Domain.mem (t "abZ") (Domain.of_rhs (Cmp (Like, t "ab%"))));
+  (* _ is a wildcard too and ends the prefix *)
+  Alcotest.check dom "LIKE 'ab_d' = ['AB','ac')"
+    (itv ~lo:(t "AB", false) ~hi:(t "ac", true) ())
+    (Domain.of_rhs (Cmp (Like, t "ab_d")))
+
+let test_like_no_wildcard () =
+  (* a wildcard-free pattern is a case-insensitive equality: the band
+     closes at lowercase(pattern) inclusive *)
+  Alcotest.check dom "LIKE 'AbC' = ['ABC','abc']"
+    (itv ~lo:(t "ABC", false) ~hi:(t "abc", false) ())
+    (Domain.of_rhs (Cmp (Like, t "AbC")));
+  Alcotest.(check bool) "'aBc' member" true
+    (Domain.mem (t "aBc") (Domain.of_rhs (Cmp (Like, t "AbC"))))
+
+let test_like_degenerate () =
+  (* a leading wildcard gives no prefix: anything can match *)
+  Alcotest.check dom "LIKE '%abc' = top" Domain.top
+    (Domain.of_rhs (Cmp (Like, t "%abc")));
+  (* NOT LIKE's satisfying set is no interval at all *)
+  Alcotest.check dom "NOT LIKE 'abc%' = top" Domain.top
+    (Domain.of_rhs (Cmp (Not_like, t "abc%")));
+  (* LIKE intersects usefully with other constraints for unsat proofs *)
+  Alcotest.check dom "LIKE 'abc%' /\\ ='zz' = bot" Domain.bot
+    (Domain.meet
+       (Domain.of_rhs (Cmp (Like, t "abc%")))
+       (Domain.of_rhs (Cmp (Eq, t "zz"))))
+
+let test_like_not_exact () =
+  (* only exact abstractions may sit on the implied side of subsumption *)
+  Alcotest.(check bool) "LIKE inexact" false
+    (Domain.exact_rhs (Cmp (Like, t "abc%")));
+  Alcotest.(check bool) "NOT LIKE inexact" false
+    (Domain.exact_rhs (Cmp (Not_like, t "abc%")));
+  Alcotest.(check bool) "Eq exact" true (Domain.exact_rhs (Cmp (Eq, t "abc")));
+  Alcotest.(check bool) "BETWEEN exact" true
+    (Domain.exact_rhs (Between (i 1, i 2)))
+
 let suite =
   [
     Alcotest.test_case "meet: contradictions" `Quick test_meet_contradiction;
+    Alcotest.test_case "like: prefix band" `Quick test_like_prefix_band;
+    Alcotest.test_case "like: no wildcard" `Quick test_like_no_wildcard;
+    Alcotest.test_case "like: degenerate" `Quick test_like_degenerate;
+    Alcotest.test_case "like: inexact" `Quick test_like_not_exact;
     Alcotest.test_case "meet: narrowing" `Quick test_meet_narrows;
     Alcotest.test_case "meet: numeric cross-type" `Quick test_meet_floats_cross_type;
     Alcotest.test_case "join: hull" `Quick test_join_hull;

@@ -14,6 +14,7 @@ let () =
       ("steiner+joinpath", Test_steiner.suite);
       ("semantics", Test_semantics.suite);
       ("duolint", Test_lint.suite);
+      ("duosem", Test_sem.suite);
       ("verify", Test_verify.suite);
       ("frontier", Test_frontier.suite);
       ("duopar pool", Test_par.suite);
