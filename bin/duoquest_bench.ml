@@ -22,19 +22,35 @@ let run list quick ids =
     `Ok ()
   end
   else begin
-    let t =
-      Duobench.Experiments.create ~scale:(if quick then `Quick else `Full) ()
+    (* DUOQUEST_DOMAINS > 1 shards workload generation and the
+       simulation runs over one shared pool (results are identical to
+       the sequential run; only wall-clock changes). *)
+    let domains =
+      Duocore.Enumerate.effective_domains
+        { Duocore.Enumerate.default_config with
+          Duocore.Enumerate.domains = Duocore.Enumerate.domains_from_env () }
     in
-    let ppf = Format.std_formatter in
-    let ids = if ids = [] then Duobench.Experiments.all_ids else ids in
-    let rec go = function
-      | [] -> `Ok ()
-      | id :: rest -> (
-          match Duobench.Experiments.run t ppf id with
-          | Ok () -> go rest
-          | Error e -> `Error (false, e))
+    let pool =
+      if domains > 1 then Some (Duopar.Pool.create ~domains) else None
     in
-    go ids
+    Fun.protect
+      ~finally:(fun () -> Option.iter Duopar.Pool.shutdown pool)
+      (fun () ->
+        let t =
+          Duobench.Experiments.create
+            ~scale:(if quick then `Quick else `Full)
+            ?pool ()
+        in
+        let ppf = Format.std_formatter in
+        let ids = if ids = [] then Duobench.Experiments.all_ids else ids in
+        let rec go = function
+          | [] -> `Ok ()
+          | id :: rest -> (
+              match Duobench.Experiments.run t ppf id with
+              | Ok () -> go rest
+              | Error e -> `Error (false, e))
+        in
+        go ids)
   end
 
 let () =

@@ -26,42 +26,47 @@ type t = {
   pbe_study : Study.study Lazy.t;
 }
 
-let make_runs split =
+let make_runs ?pool split =
   let detail d = Some d in
   {
     r_dq =
-      lazy (Simulation.run_split ~mode:`Duoquest ~detail:(detail Tsq_synth.Full) (Lazy.force split));
+      lazy (Simulation.run_split ?pool ~mode:`Duoquest ~detail:(detail Tsq_synth.Full) (Lazy.force split));
     r_dq_partial =
-      lazy (Simulation.run_split ~mode:`Duoquest ~detail:(detail Tsq_synth.Partial) (Lazy.force split));
+      lazy (Simulation.run_split ?pool ~mode:`Duoquest ~detail:(detail Tsq_synth.Partial) (Lazy.force split));
     r_dq_minimal =
-      lazy (Simulation.run_split ~mode:`Duoquest ~detail:(detail Tsq_synth.Minimal) (Lazy.force split));
-    r_nli = lazy (Simulation.run_split ~mode:`Nli ~detail:None (Lazy.force split));
-    r_pbe = lazy (Simulation.run_pbe (Lazy.force split));
+      lazy (Simulation.run_split ?pool ~mode:`Duoquest ~detail:(detail Tsq_synth.Minimal) (Lazy.force split));
+    r_nli = lazy (Simulation.run_split ?pool ~mode:`Nli ~detail:None (Lazy.force split));
+    r_pbe = lazy (Simulation.run_pbe ?pool (Lazy.force split));
     r_noguide =
-      lazy (Simulation.run_split ~mode:`No_guide ~detail:(detail Tsq_synth.Full) (Lazy.force split));
+      lazy (Simulation.run_split ?pool ~mode:`No_guide ~detail:(detail Tsq_synth.Full) (Lazy.force split));
     r_nopq =
-      lazy (Simulation.run_split ~mode:`No_pq ~detail:(detail Tsq_synth.Full) (Lazy.force split));
+      lazy (Simulation.run_split ?pool ~mode:`No_pq ~detail:(detail Tsq_synth.Full) (Lazy.force split));
   }
 
-let create ?(scale = `Full) () =
+(* [pool] shards split generation and every simulation run across its
+   domains (per-task results and generated splits stay bit-identical to
+   the sequential path; see Simulation/Spider_gen).  The caller owns the
+   pool's lifetime — runs are lazy, so the pool must outlive the last
+   [Lazy.force] on this value. *)
+let create ?(scale = `Full) ?pool () =
   let dev =
     lazy
       (match scale with
-      | `Full -> Spider_gen.dev ()
-      | `Quick -> Spider_gen.mini ~seed:11 ~n_dbs:4 ~per_db:9 ())
+      | `Full -> Spider_gen.dev ?pool ()
+      | `Quick -> Spider_gen.mini ~seed:11 ?pool ~n_dbs:4 ~per_db:9 ())
   in
   let test =
     lazy
       (match scale with
-      | `Full -> Spider_gen.test ()
-      | `Quick -> Spider_gen.mini ~seed:22 ~n_dbs:6 ~per_db:9 ())
+      | `Full -> Spider_gen.test ?pool ()
+      | `Quick -> Spider_gen.mini ~seed:22 ?pool ~n_dbs:6 ~per_db:9 ())
   in
   {
     scale;
     dev;
     test;
-    dev_runs = make_runs dev;
-    test_runs = make_runs test;
+    dev_runs = make_runs ?pool dev;
+    test_runs = make_runs ?pool test;
     nli_study = lazy (Study.nli_study ());
     pbe_study = lazy (Study.pbe_study ());
   }

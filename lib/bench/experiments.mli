@@ -17,7 +17,11 @@ type scale =
 
 type t
 
-val create : ?scale:scale -> unit -> t
+(** [pool] shards split generation and every lazy simulation run across
+    the pool's domains (results are bit-identical to the sequential
+    path; only wall-clock changes).  The caller owns the pool and must
+    keep it alive until the last experiment has been forced. *)
+val create : ?scale:scale -> ?pool:Duopar.Pool.t -> unit -> t
 
 (** All experiment ids, in presentation order. *)
 val all_ids : string list

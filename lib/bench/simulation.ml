@@ -23,62 +23,102 @@ let sessions_of split =
     split.Spider_gen.databases;
   tbl
 
-let run_split ?(config = sim_config) ?(seed = 4242) ~mode ~detail split =
+(* Shard [f] over [items] on [pool] when it carries real parallelism,
+   merging results by index (fixed shard order).  Each item must carry
+   everything mutable it needs (pre-split rng, its own database) so
+   shards never share writable state; [Pool.run] is never nested —
+   sharded work runs its inner synthesis with [domains = 1]. *)
+let shard_map pool items f =
+  match pool with
+  | Some p when Duopar.Pool.domains p > 1 ->
+      let arr = Array.of_list items in
+      let out = Array.make (Array.length arr) None in
+      Duopar.Pool.run p (Array.length arr) (fun ~worker:_ i ->
+          out.(i) <- Some (f arr.(i)));
+      List.filter_map Fun.id (Array.to_list out)
+  | _ -> List.map f items
+
+(* Pre-split one child rng per task, in exactly the order the sequential
+   loop would draw them — an explicit ascending loop, so shard merges
+   reproduce the sequential stream bit-for-bit. *)
+let split_rngs rng n =
+  let rngs = Array.make (max 1 n) rng in
+  for i = 0 to n - 1 do
+    rngs.(i) <- Rng.split rng
+  done;
+  rngs
+
+let run_split ?(config = sim_config) ?(seed = 4242) ?pool ~mode ~detail split =
   let sessions = sessions_of split in
   let rng = Rng.create seed in
-  (* One worker pool for the whole split: spawning and joining domains
-     per task would dominate these sub-second runs. *)
-  let eff_domains = Enumerate.effective_domains config in
-  let pool =
-    if eff_domains > 1 then Some (Duopar.Pool.create ~domains:eff_domains)
-    else None
+  let n_tasks = List.length split.Spider_gen.tasks in
+  let rngs = split_rngs rng n_tasks in
+  (* Two ways to use the domains: [pool] shards the split one task per
+     pool shard with sequential inner synthesis (Duopar v2's Duobench
+     scaling — per-task outcomes are domain-count-invariant, so the
+     merged list matches the sequential one); without it the v1 shape
+     stands — one private pool parallelizing {e inside} each synthesis.
+     Pool rounds never nest either way. *)
+  let sharded = match pool with Some p -> Duopar.Pool.domains p > 1 | None -> false in
+  let inner_config =
+    if sharded then { config with Enumerate.domains = 1 } else config
+  in
+  let inner_pool =
+    if sharded then None
+    else
+      let eff_domains = Enumerate.effective_domains config in
+      if eff_domains > 1 then Some (Duopar.Pool.create ~domains:eff_domains)
+      else None
   in
   Fun.protect
-    ~finally:(fun () -> Option.iter Duopar.Pool.shutdown pool)
+    ~finally:(fun () -> Option.iter Duopar.Pool.shutdown inner_pool)
     (fun () ->
-      List.map
-        (fun (task : Spider_gen.task) ->
-          let trng = Rng.split rng in
-          let session = Hashtbl.find sessions task.Spider_gen.sp_db in
-          let db = Duoquest.session_db session in
-          let gold = task.Spider_gen.sp_gold in
-          let tsq =
-            match detail with
-            | None -> None
-            | Some d -> Tsq_synth.synthesize trng db gold ~detail:d
-          in
-          let outcome =
-            Duoquest.synthesize ~config ~mode ?tsq ?pool
-              ~literals:task.Spider_gen.sp_literals session
-              ~nlq:task.Spider_gen.sp_nlq ()
-          in
-          let rank = Duoquest.rank_of outcome ~gold in
-          let time =
-            Option.bind rank (fun r ->
-                List.nth_opt outcome.Enumerate.out_candidates (r - 1)
-                |> Option.map (fun c -> c.Enumerate.cand_time_s))
-          in
-          {
-            pt_task = task;
-            pt_rank = rank;
-            pt_time = time;
-            pt_candidates = List.length outcome.Enumerate.out_candidates;
-            pt_pops = outcome.Enumerate.out_pops;
-          })
-        split.Spider_gen.tasks)
+      let run_task i (task : Spider_gen.task) =
+        let trng = rngs.(i) in
+        let session = Hashtbl.find sessions task.Spider_gen.sp_db in
+        let db = Duoquest.session_db session in
+        let gold = task.Spider_gen.sp_gold in
+        let tsq =
+          match detail with
+          | None -> None
+          | Some d -> Tsq_synth.synthesize trng db gold ~detail:d
+        in
+        let outcome =
+          Duoquest.synthesize ~config:inner_config ~mode ?tsq ?pool:inner_pool
+            ~literals:task.Spider_gen.sp_literals session
+            ~nlq:task.Spider_gen.sp_nlq ()
+        in
+        let rank = Duoquest.rank_of outcome ~gold in
+        let time =
+          Option.bind rank (fun r ->
+              List.nth_opt outcome.Enumerate.out_candidates (r - 1)
+              |> Option.map (fun c -> c.Enumerate.cand_time_s))
+        in
+        {
+          pt_task = task;
+          pt_rank = rank;
+          pt_time = time;
+          pt_candidates = List.length outcome.Enumerate.out_candidates;
+          pt_pops = outcome.Enumerate.out_pops;
+        }
+      in
+      let indexed = List.mapi (fun i task -> (i, task)) split.Spider_gen.tasks in
+      shard_map pool indexed (fun (i, task) -> run_task i task))
 
 type pbe_status =
   | Pbe_correct
   | Pbe_incorrect
   | Pbe_unsupported
 
-let run_pbe ?(seed = 4242) split =
+let run_pbe ?(seed = 4242) ?pool split =
   let dbs = Hashtbl.create 16 in
   List.iter (fun (name, db) -> Hashtbl.replace dbs name db) split.Spider_gen.databases;
   let rng = Rng.create seed in
-  List.map
-    (fun (task : Spider_gen.task) ->
-      let trng = Rng.split rng in
+  let rngs = split_rngs rng (List.length split.Spider_gen.tasks) in
+  let indexed = List.mapi (fun i task -> (i, task)) split.Spider_gen.tasks in
+  shard_map pool indexed
+    (fun (i, (task : Spider_gen.task)) ->
+      let trng = rngs.(i) in
       let db = Hashtbl.find dbs task.Spider_gen.sp_db in
       let gold = task.Spider_gen.sp_gold in
       let status =
@@ -92,7 +132,6 @@ let run_pbe ?(seed = 4242) split =
               | Some _ | None -> Pbe_incorrect)
       in
       (task, status))
-    split.Spider_gen.tasks
 
 let top_k_count results k =
   List.length

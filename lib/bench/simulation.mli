@@ -20,10 +20,18 @@ val sim_config : Duocore.Enumerate.config
 
 (** [run_split ~mode ~detail split] runs one system over all tasks.
     [detail = None] means no TSQ is supplied (the NLI setting). Sessions
-    are cached per database. *)
+    are cached per database.
+
+    [pool] shards the split across the pool's domains — one task per
+    shard, sequential inner synthesis, per-task rngs pre-split in
+    sequential order and results merged in fixed shard order, so the
+    returned list is identical to the sequential one (wall-clock fields
+    aside).  Without [pool], the domains of [config] parallelize
+    {e inside} each synthesis instead (a private pool per call). *)
 val run_split :
   ?config:Duocore.Enumerate.config ->
   ?seed:int ->
+  ?pool:Duopar.Pool.t ->
   mode:Duocore.Duoquest.mode ->
   detail:Tsq_synth.detail option ->
   Spider_gen.split ->
@@ -35,9 +43,13 @@ type pbe_status =
   | Pbe_unsupported
 
 (** Run the PBE baseline over the split's tasks using the Full-TSQ example
-    tuples (Section 5.4.2's protocol). *)
+    tuples (Section 5.4.2's protocol).  [pool] shards tasks as in
+    {!run_split}. *)
 val run_pbe :
-  ?seed:int -> Spider_gen.split -> (Spider_gen.task * pbe_status) list
+  ?seed:int ->
+  ?pool:Duopar.Pool.t ->
+  Spider_gen.split ->
+  (Spider_gen.task * pbe_status) list
 
 (** Top-k accuracy over task results. *)
 val top_k_count : per_task list -> int -> int

@@ -943,19 +943,44 @@ let gen_task rng db_name db difficulty =
 let quotas total n =
   List.init n (fun i -> (total / n) + if i < total mod n then 1 else 0)
 
-let make_split split_name ~seed ~n_dbs ~easy ~medium ~hard =
+(* Shard [f] over [items] on [pool]'s domains, merged by index (fixed
+   shard order).  Items carry their own pre-split rng and database, so
+   shards share no writable state. *)
+let shard_map pool items f =
+  match pool with
+  | Some p when Duopar.Pool.domains p > 1 ->
+      let arr = Array.of_list items in
+      let out = Array.make (Array.length arr) None in
+      Duopar.Pool.run p (Array.length arr) (fun ~worker:_ i ->
+          out.(i) <- Some (f arr.(i)));
+      List.filter_map Fun.id (Array.to_list out)
+  | _ -> List.map f items
+
+let make_split ?pool split_name ~seed ~n_dbs ~easy ~medium ~hard =
   let rng = Rng.create seed in
-  let databases =
+  (* Determinism under sharding: every [Rng.split rng] below sits in the
+     exact structural position of the sequential code, so the parent
+     stream is consumed in the same order whether or not a pool is
+     supplied; the expensive work (database build, task generation) then
+     runs from the captured child rngs and is merged by index. *)
+  let db_specs =
     List.init n_dbs (fun i ->
         let dom = List.nth domains (i mod List.length domains) in
         let name = Printf.sprintf "%s_%d" dom.dom_name (i / List.length domains + 1) in
-        (name, dom.dom_build (Rng.split rng) name))
+        (name, dom, Rng.split rng))
+  in
+  let databases =
+    shard_map pool db_specs (fun (name, dom, drng) ->
+        (name, dom.dom_build drng name))
   in
   let gen_for difficulty total =
+    let specs =
+      List.map2
+        (fun (name, db) quota -> (name, db, quota, Rng.split rng))
+        databases (quotas total n_dbs)
+    in
     List.concat
-      (List.map2
-         (fun (name, db) quota ->
-           let trng = Rng.split rng in
+      (shard_map pool specs (fun (name, db, quota, trng) ->
            (* Prefer distinct gold queries; accept a repeat draw only after
               several attempts so small schemas can still fill quotas. *)
            let rec collect n acc seen =
@@ -973,20 +998,22 @@ let make_split split_name ~seed ~n_dbs ~easy ~medium ~hard =
                | None -> List.rev acc
                | Some (task, key) -> collect (n - 1) (task :: acc) (key :: seen)
            in
-           collect quota [] [])
-         databases (quotas total n_dbs))
+           collect quota [] []))
   in
   let tasks = gen_for `Easy easy @ gen_for `Medium medium @ gen_for `Hard hard in
   { split_name; databases; tasks }
 
-let dev () = make_split "spider-dev" ~seed:1001 ~n_dbs:20 ~easy:239 ~medium:252 ~hard:98
+let dev ?pool () =
+  make_split ?pool "spider-dev" ~seed:1001 ~n_dbs:20 ~easy:239 ~medium:252
+    ~hard:98
 
-let test () =
-  make_split "spider-test" ~seed:2002 ~n_dbs:40 ~easy:524 ~medium:481 ~hard:242
+let test ?pool () =
+  make_split ?pool "spider-test" ~seed:2002 ~n_dbs:40 ~easy:524 ~medium:481
+    ~hard:242
 
-let mini ?(seed = 7) ~n_dbs ~per_db () =
+let mini ?(seed = 7) ?pool ~n_dbs ~per_db () =
   let third = per_db / 3 in
-  make_split "spider-mini" ~seed ~n_dbs ~easy:(third * n_dbs)
+  make_split ?pool "spider-mini" ~seed ~n_dbs ~easy:(third * n_dbs)
     ~medium:(third * n_dbs)
     ~hard:((per_db - (2 * third)) * n_dbs)
 

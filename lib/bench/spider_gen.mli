@@ -40,15 +40,20 @@ type split = {
 }
 
 (** The dev split: 20 databases, 589 tasks (239 easy / 252 medium / 98
-    hard). Deterministic. *)
-val dev : unit -> split
+    hard). Deterministic — including under [pool], which shards the
+    database builds and per-database task generation across the pool's
+    domains: per-shard rngs are pre-split in the sequential draw order
+    and shards merge by index, so the split is bit-identical to the
+    sequential one (Table-5-scale generation is where Duobench spends
+    its setup time). *)
+val dev : ?pool:Duopar.Pool.t -> unit -> split
 
 (** The test split: 40 databases, 1247 tasks (524 / 481 / 242). *)
-val test : unit -> split
+val test : ?pool:Duopar.Pool.t -> unit -> split
 
 (** A small split for fast smoke tests: [n_dbs] databases and [per_db]
     tasks each, even difficulty mix. *)
-val mini : ?seed:int -> n_dbs:int -> per_db:int -> unit -> split
+val mini : ?seed:int -> ?pool:Duopar.Pool.t -> n_dbs:int -> per_db:int -> unit -> split
 
 val difficulty_to_string : difficulty -> string
 

@@ -313,6 +313,78 @@ let parallel_determinism_prop ((sc : Gen.scenario), seed) =
     QCheck.Test.fail_reportf "prune counts diverge at domains=%d" domains
   else true
 
+(* Adaptive determinism (Duopar v2): the speculation round size is a pure
+   performance knob.  Whatever the controller does — the AIMD law, the
+   fixed v1 round, or a seed-derived adversarial [spec_schedule]
+   thrashing between the floor and past the ceiling — and whether the
+   task arena is on or off, the candidates, loop accounting and prune
+   counts are bit-identical to the sequential run.  This is the contract
+   that lets the controller adapt freely at runtime. *)
+let adaptive_determinism_prop ((sc : Gen.scenario), seed) =
+  let ctx = ctx_of sc in
+  let domains = 2 + (seed mod 3) in
+  (* adversarial schedule: seed-derived sizes in [-1, 30], thrashing
+     through floor-degenerate rounds and ceiling clamps *)
+  let schedule i = (((seed / 4) + (i * 7)) mod 32) - 1 in
+  let run config =
+    Duocore.Enumerate.run config ctx sc.Gen.sc_db ~tsq:(Some sc.Gen.sc_tsq)
+      ~literals:[] ()
+  in
+  let base =
+    { Duocore.Enumerate.default_config with
+      Duocore.Enumerate.max_pops = 400;
+      max_candidates = 10;
+      time_budget_s = 20.0;
+      overcommit = true }
+  in
+  let seq = run { base with Duocore.Enumerate.domains = 1 } in
+  let regimes =
+    [
+      ("adaptive", { base with Duocore.Enumerate.domains });
+      ("fixed", { base with Duocore.Enumerate.domains; spec_adaptive = false });
+      ( "adversarial",
+        { base with
+          Duocore.Enumerate.domains;
+          spec_schedule = Some schedule } );
+      ( "no-arena",
+        { base with
+          Duocore.Enumerate.domains;
+          spec_schedule = Some schedule;
+          arena = false } );
+    ]
+  in
+  let sigs (o : Duocore.Enumerate.outcome) =
+    List.map
+      (fun (c : Duocore.Enumerate.candidate) ->
+        (Duosql.Pretty.query c.Duocore.Enumerate.cand_query,
+         c.Duocore.Enumerate.cand_pops))
+      o.Duocore.Enumerate.out_candidates
+  in
+  let prunes (o : Duocore.Enumerate.outcome) =
+    List.map
+      (Duocore.Verify.pruned_by o.Duocore.Enumerate.out_stats)
+      Duocore.Verify.all_stages
+  in
+  List.for_all
+    (fun (name, config) ->
+      let par = run config in
+      if sigs seq <> sigs par then
+        QCheck.Test.fail_reportf
+          "%s schedule diverges at domains=%d:\nseq: %s\npar: %s" name domains
+          (String.concat " | " (List.map fst (sigs seq)))
+          (String.concat " | " (List.map fst (sigs par)))
+      else if
+        seq.Duocore.Enumerate.out_pops <> par.Duocore.Enumerate.out_pops
+        || seq.Duocore.Enumerate.out_pushed <> par.Duocore.Enumerate.out_pushed
+      then
+        QCheck.Test.fail_reportf
+          "%s schedule: loop accounting diverges at domains=%d" name domains
+      else if prunes seq <> prunes par then
+        QCheck.Test.fail_reportf
+          "%s schedule: prune counts diverge at domains=%d" name domains
+      else true)
+    regimes
+
 (* Resume determinism: a run paused via [Enumerate.step] after any number
    of pops and resumed later is observably identical to the uninterrupted
    [run] — same candidates in the same order, same pop/push counts, same
@@ -867,6 +939,9 @@ let tests ?(mult = 1) () =
     QCheck.Test.make ~count:(6 * mult)
       ~name:"Duopar determinism: parallel enumeration = sequential"
       arb_seeded parallel_determinism_prop;
+    QCheck.Test.make ~count:(6 * mult)
+      ~name:"adaptive determinism: any controller schedule = sequential"
+      arb_seeded adaptive_determinism_prop;
     QCheck.Test.make ~count:(6 * mult)
       ~name:"resume determinism: stepped enumeration = uninterrupted run"
       arb_seeded resume_determinism_prop;

@@ -14,6 +14,16 @@ type config = {
   max_frontier : int;
   domains : int;
   overcommit : bool;
+  spec_adaptive : bool;
+      (* adaptive speculative round size (Duopar v2); [false] pins the
+         v1 fixed [4 * domains] round for A/B baselines *)
+  spec_schedule : (int -> int) option;
+      (* test hook: force round [i]'s size (clamped to the controller's
+         bounds) — determinism must hold under any schedule *)
+  arena : bool;
+      (* reusable task arenas: recycle round buffers and per-task stats
+         records so a steady-state round allocates (near-)zero fresh
+         heap; [false] keeps the v1 allocate-per-task profile *)
 }
 
 let default_config =
@@ -30,6 +40,9 @@ let default_config =
     max_frontier = 400_000;
     domains = 1;
     overcommit = false;
+    spec_adaptive = true;
+    spec_schedule = None;
+    arena = true;
   }
 
 (* Speculation only pays off when the extra domains map to real cores:
@@ -77,6 +90,10 @@ type outcome = {
   out_spec_rounds : int;
   out_spec_tasks : int;
   out_spec_hits : int;
+  out_spec_round_size : int;
+  out_spec_ewma : float;
+  out_spec_grows : int;
+  out_spec_shrinks : int;
   out_rebases : int;
   out_rebase_kept : int;
   out_rebase_dropped : int;
@@ -421,12 +438,82 @@ let judge env config children =
    speculation on states that are never popped leaves no trace, keeping
    prune counts identical to a [domains = 1] run. *)
 type task_result = {
-  tr_worker : int;
-  tr_children : (Partial.t * bool) list;
+  (* mutable so the task arena can recycle one record per slot across
+     rounds ([tr_stats] is zeroed with [Verify.reset_stats]) instead of
+     allocating a record + stats + timing floats per task *)
+  mutable tr_worker : int;
+  mutable tr_children : (Partial.t * bool) list;
   tr_stats : Verify.stats;
-  tr_expand_s : float;
-  tr_verify_s : float;
+  mutable tr_expand_s : float;
+  mutable tr_verify_s : float;
 }
+
+let fresh_result () =
+  {
+    tr_worker = 0;
+    tr_children = [];
+    tr_stats = Verify.new_stats ();
+    tr_expand_s = 0.0;
+    tr_verify_s = 0.0;
+  }
+
+(* Reusable per-round scratch (Duopar v2 task arena).  All arrays are
+   sized once to the controller's ceiling, so a steady-state round does
+   no array allocation; [task_result] records circulate through
+   round slot -> speculation memo -> (commit) -> free stack.  The
+   aliasing contract: a record belongs to exactly one owner at a time —
+   a round slot while its task runs, the memo entry afterwards, and the
+   free stack once the committing loop has merged (or a rebase dropped)
+   it — so recycling can never let two tasks write one stats record. *)
+type arena = {
+  ar_entries : (Partial.t * int) array;  (* [Frontier.pop_entries_into] buffer *)
+  ar_tasks : Partial.t array;  (* states picked for this round *)
+  ar_results : task_result array;  (* slot -> recycled result record *)
+  ar_free : task_result array;  (* stack of recycled records *)
+  mutable ar_n_free : int;
+  mutable ar_fn : (worker:int -> int -> unit) option;
+      (* the round body closure, built once on first use *)
+}
+
+let make_arena ~capacity =
+  {
+    ar_entries = Array.make capacity (Partial.root, -1);
+    ar_tasks = Array.make capacity Partial.root;
+    ar_results = Array.make capacity (fresh_result ());
+    ar_free = Array.make (4 * capacity) (fresh_result ());
+    ar_n_free = 0;
+    ar_fn = None;
+  }
+
+(* The arena path memoizes speculative results by the *physical* state:
+   the committing loop pops the very same [Partial.t] object the round
+   staged (the frontier stores states, never copies them), so identity
+   is an exact key and no [Partial.key] string is ever rendered on the
+   speculation hot path.  States are immutable, so the bounded
+   structural [Hashtbl.hash] of an object can never drift between the
+   staging [replace] and the commit [find]. *)
+module Phys_tbl = Hashtbl.Make (struct
+  type t = Partial.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* Recycle a result record whose owner (memo entry) is done with it; a
+   full stack simply drops the record to the GC — rare, harmless. *)
+let arena_recycle ar r =
+  if ar.ar_n_free < Array.length ar.ar_free then begin
+    r.tr_children <- [];  (* do not pin children past commit *)
+    ar.ar_free.(ar.ar_n_free) <- r;
+    ar.ar_n_free <- ar.ar_n_free + 1
+  end
+
+let arena_take ar =
+  if ar.ar_n_free > 0 then begin
+    ar.ar_n_free <- ar.ar_n_free - 1;
+    ar.ar_free.(ar.ar_n_free)
+  end
+  else fresh_result ()
 
 (* --- resumable enumeration state ---------------------------------------
    Everything [run] used to keep in closure-captured refs now lives in an
@@ -458,7 +545,14 @@ type state = {
       (* Duosem canonical keys of emitted candidates *)
   st_pool : Duopar.Pool.t option;
   st_owns_pool : bool;
+  st_controller : Duopar.Controller.t option;
+      (* adaptive round-size controller; [None] pins the fixed
+         [4 * domains] v1 round *)
+  st_arena : arena option;  (* [None] = v1 allocate-per-task profile *)
   st_memo : (string, task_result) Hashtbl.t;
+      (* v1 speculation memo, keyed by rendered [Partial.key] *)
+  st_memo_phys : task_result Phys_tbl.t;
+      (* arena-path speculation memo, keyed by physical state *)
   st_on_candidate : candidate -> unit;
   mutable st_candidates : candidate list;  (* newest first *)
   mutable st_n_candidates : int;
@@ -520,6 +614,18 @@ let init config ctx db ?index ?relcache ?pool ~tsq ~literals
       | None -> (Some (Duopar.Pool.create ~domains), true)
     else (None, false)
   in
+  let controller =
+    if domains > 1 && (config.spec_adaptive || config.spec_schedule <> None)
+    then
+      Some (Duopar.Controller.create ?schedule:config.spec_schedule ~domains ())
+    else None
+  in
+  let arena =
+    (* capacity = the controller ceiling (8 * domains), which also covers
+       the fixed 4 * domains round, so fill never outgrows the arrays *)
+    if domains > 1 && config.arena then Some (make_arena ~capacity:(8 * domains))
+    else None
+  in
   {
     st_config = config;
     st_ctx = ctx;
@@ -534,7 +640,10 @@ let init config ctx db ?index ?relcache ?pool ~tsq ~literals
     st_emitted = Hashtbl.create 64;
     st_pool = pool;
     st_owns_pool = owns_pool;
+    st_controller = controller;
+    st_arena = arena;
     st_memo = Hashtbl.create 256;
+    st_memo_phys = Phys_tbl.create 256;
     st_on_candidate = on_candidate;
     st_candidates = [];
     st_n_candidates = 0;
@@ -617,36 +726,131 @@ let process s worker (p : Partial.t) =
     tr_verify_s = t2 -. t1;
   }
 
+(* Arena variant of [process]: fill a recycled [task_result] in place.
+   Instead of copying the worker's env per task ([with_stats]), the
+   env's stats sink is retargeted in place — safe because each worker
+   owns its forked env, and worker 0's sink is restored by [fill] before
+   the committing loop runs again. *)
+let process_into s worker (p : Partial.t) (r : task_result) =
+  Verify.reset_stats r.tr_stats;
+  let env_t = s.st_envs.(worker) in
+  Verify.set_stats env_t r.tr_stats;
+  let t0 = Clock.mono () in
+  let children = expand ~guided:s.st_config.guided s.st_hints s.st_ctx p in
+  let t1 = Clock.mono () in
+  let verdicts = judge env_t s.st_config children in
+  let t2 = Clock.mono () in
+  (* zeroed for the same reason as in [process]: the relation-cache
+     mirrors are cumulative and re-derived at outcome time *)
+  r.tr_stats.Verify.relcache_hits <- 0;
+  r.tr_stats.Verify.pushdown_builds <- 0;
+  r.tr_worker <- worker;
+  r.tr_children <- verdicts;
+  r.tr_expand_s <- t1 -. t0;
+  r.tr_verify_s <- t2 -. t1
+
 (* One speculative pool round ahead of the committing loop: batch-pop the
    top of the frontier, process every un-memoized incomplete state on some
-   domain, memoize by state key, restore.  Keys are unique within the
-   frontier ([push_fresh] admits each key once), so a memo entry can only
-   belong to one live state. *)
+   domain, memoize (by physical state on the arena path, by rendered key
+   on the v1 path — [push_fresh] admits each key once, so either way a
+   memo entry belongs to exactly one live state), restore. *)
+let arena_round_fn s ar =
+  match ar.ar_fn with
+  | Some f -> f
+  | None ->
+      let f ~worker i = process_into s worker ar.ar_tasks.(i) ar.ar_results.(i) in
+      ar.ar_fn <- Some f;
+      f
+
 let fill s pool (p : Partial.t) =
-  let spec_batch = s.st_domains * 4 in
-  let extras = Frontier.pop_entries s.st_frontier (spec_batch - 1) in
-  let tasks =
-    Array.of_list
-      (p
-      :: List.filter_map
-           (fun ((st : Partial.t), _) ->
-             if Partial.is_complete st || Hashtbl.mem s.st_memo (Partial.key st)
-             then None
-             else Some st)
-           extras)
+  (* Round size: the adaptive controller closes the books on the last
+     round (cumulative [st_spec_hits] gives it the commit delta) and
+     picks the next size; without a controller the v1 fixed round
+     stands.  A floor-sized round carries only [p], and [Pool.run _ 1]
+     runs inline — the sequential degeneration really is sequential. *)
+  let spec_batch =
+    match s.st_controller with
+    | Some c ->
+        let b = Duopar.Controller.begin_round c ~hits:s.st_spec_hits in
+        (* Budget awareness is part of the controller law: [p] already
+           consumed a pop, so at most [remaining] further states can be
+           popped this refinement — staging past that is guaranteed
+           waste (the fixed v1 round does exactly that on every run's
+           last round). *)
+        let remaining =
+          s.st_config.max_pops - (s.st_pops - s.st_pop_base)
+        in
+        max 1 (min b (remaining + 1))
+    | None -> s.st_domains * 4
   in
   s.st_spec_rounds <- s.st_spec_rounds + 1;
-  s.st_spec_tasks <- s.st_spec_tasks + Array.length tasks;
-  let results = Array.make (Array.length tasks) None in
-  Duopar.Pool.run pool (Array.length tasks) (fun ~worker i ->
-      results.(i) <- Some (process s worker tasks.(i)));
-  Array.iteri
-    (fun i st ->
-      match results.(i) with
-      | Some r -> Hashtbl.replace s.st_memo (Partial.key st) r
-      | None -> ())
-    tasks;
-  Frontier.restore s.st_frontier extras
+  match s.st_arena with
+  | Some ar ->
+      (* Zero-allocation path: pop into the arena buffer, stage tasks
+         and recycled result records in the arena arrays, run, move the
+         records into the memo, restore.  [spec_batch] never exceeds the
+         arrays' capacity (controller ceiling). *)
+      let n_extra =
+        Frontier.pop_entries_into s.st_frontier ar.ar_entries (spec_batch - 1)
+      in
+      ar.ar_tasks.(0) <- p;
+      let n_tasks = ref 1 in
+      for i = 0 to n_extra - 1 do
+        let st, _ = ar.ar_entries.(i) in
+        if
+          (not (Partial.is_complete st))
+          && not (Phys_tbl.mem s.st_memo_phys st)
+        then begin
+          ar.ar_tasks.(!n_tasks) <- st;
+          incr n_tasks
+        end
+      done;
+      let n = !n_tasks in
+      for i = 0 to n - 1 do
+        ar.ar_results.(i) <- arena_take ar
+      done;
+      s.st_spec_tasks <- s.st_spec_tasks + n;
+      Option.iter
+        (fun c -> Duopar.Controller.launched c ~tasks:n)
+        s.st_controller;
+      Duopar.Pool.run pool n (arena_round_fn s ar);
+      (* [process_into] retargeted worker 0's (the caller's) stats sink;
+         point it back at the run record before the committing loop's
+         own verifications ([deprioritize]) resume. *)
+      Verify.set_stats s.st_envs.(0) s.st_stats;
+      for i = 0 to n - 1 do
+        Phys_tbl.replace s.st_memo_phys ar.ar_tasks.(i) ar.ar_results.(i);
+        ar.ar_tasks.(i) <- Partial.root
+      done;
+      Frontier.restore_array s.st_frontier ar.ar_entries n_extra
+  | None ->
+      let extras = Frontier.pop_entries s.st_frontier (spec_batch - 1) in
+      let tasks =
+        Array.of_list
+          (p
+          :: List.filter_map
+               (fun ((st : Partial.t), _) ->
+                 if
+                   Partial.is_complete st
+                   || Hashtbl.mem s.st_memo (Partial.key st)
+                 then None
+                 else Some st)
+               extras)
+      in
+      s.st_spec_tasks <- s.st_spec_tasks + Array.length tasks;
+      Option.iter
+        (fun c -> Duopar.Controller.launched c ~tasks:(Array.length tasks))
+        s.st_controller;
+      let results = Array.make (Array.length tasks) None in
+      Duopar.Pool.run pool (Array.length tasks) (fun ~worker i ->
+          results.(i) <- Some (process s worker tasks.(i)));
+      Array.iteri
+        (fun i st ->
+          match results.(i) with
+          | Some r -> Hashtbl.replace s.st_memo (Partial.key st) r
+          | None -> ())
+        tasks;
+      Frontier.restore s.st_frontier extras
 
 exception Slice_exhausted
 
@@ -750,16 +954,33 @@ let step ?max_pops s =
                      if ok then push_fresh s child)
                    verdicts
              | Some pool ->
-                 let key = Partial.key p in
                  let r =
-                   match Hashtbl.find_opt s.st_memo key with
-                   | Some r -> r
+                   match s.st_arena with
+                   | Some _ -> (
+                       (* Identity lookup: [p] is the object the round
+                          staged, so no key string is rendered here. *)
+                       match Phys_tbl.find_opt s.st_memo_phys p with
+                       | Some r ->
+                           Phys_tbl.remove s.st_memo_phys p;
+                           r
+                       | None ->
+                           (* [p] is always the first task of the fill. *)
+                           fill s pool p;
+                           let r = Phys_tbl.find s.st_memo_phys p in
+                           Phys_tbl.remove s.st_memo_phys p;
+                           r)
                    | None ->
-                       (* [p] is always the first task of the fill. *)
-                       fill s pool p;
-                       Hashtbl.find s.st_memo key
+                       let key = Partial.key p in
+                       let r =
+                         match Hashtbl.find_opt s.st_memo key with
+                         | Some r -> r
+                         | None ->
+                             fill s pool p;
+                             Hashtbl.find s.st_memo key
+                       in
+                       Hashtbl.remove s.st_memo key;
+                       r
                  in
-                 Hashtbl.remove s.st_memo key;
                  s.st_spec_hits <- s.st_spec_hits + 1;
                  Verify.merge_stats
                    ~into:s.st_domain_stats.(r.tr_worker)
@@ -770,7 +991,9 @@ let step ?max_pops s =
                    (fun ((child : Partial.t), ok) ->
                      if over_time () then raise Budget_exhausted;
                      if ok then push_fresh s child)
-                   r.tr_children)
+                   r.tr_children;
+                 (* committed: the record's memo ownership ends here *)
+                 Option.iter (fun ar -> arena_recycle ar r) s.st_arena)
        done
      with
     | Budget_exhausted -> s.st_finished <- true
@@ -817,7 +1040,14 @@ let rebase s ~tsq =
      state stays pruned under a tightening). *)
   Array.iteri (fun d env -> s.st_envs.(d) <- Verify.retarget env ~tsq) s.st_envs;
   s.st_hints <- hints_of_tsq tsq;
+  (* the dropped memo records go back to the arena, not the GC *)
+  Option.iter
+    (fun ar ->
+      Hashtbl.iter (fun _ r -> arena_recycle ar r) s.st_memo;
+      Phys_tbl.iter (fun _ r -> arena_recycle ar r) s.st_memo_phys)
+    s.st_arena;
   Hashtbl.reset s.st_memo;
+  Phys_tbl.reset s.st_memo_phys;
   let env = s.st_envs.(0) in
   (* Re-verify the frontier survivors.  Under NoPQ partial states were
      never verified against the sketch, so only complete states are
@@ -906,6 +1136,22 @@ let outcome s =
     out_spec_rounds = s.st_spec_rounds;
     out_spec_tasks = s.st_spec_tasks;
     out_spec_hits = s.st_spec_hits;
+    out_spec_round_size =
+      (match s.st_controller with
+      | Some c -> Duopar.Controller.size c
+      | None -> if s.st_pool = None then 0 else s.st_domains * 4);
+    out_spec_ewma =
+      (match s.st_controller with
+      | Some c -> Duopar.Controller.ewma c
+      | None -> 1.0);
+    out_spec_grows =
+      (match s.st_controller with
+      | Some c -> Duopar.Controller.grows c
+      | None -> 0);
+    out_spec_shrinks =
+      (match s.st_controller with
+      | Some c -> Duopar.Controller.shrinks c
+      | None -> 0);
     out_rebases = s.st_rebases;
     out_rebase_kept = s.st_rebase_kept;
     out_rebase_dropped = s.st_rebase_dropped;

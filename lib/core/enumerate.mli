@@ -45,6 +45,25 @@ type config = {
           the sequential path outright.  [true] keeps [domains] as
           requested regardless of the hardware (determinism tests
           exercise the speculative machinery this way). *)
+  spec_adaptive : bool;
+      (** Duopar v2 adaptive speculation: size each speculative round
+          from the measured commit rate ({!Duopar.Controller}'s AIMD law
+          over an EWMA of [spec_hits / spec_tasks], floor 1 — the
+          sequential degeneration — ceiling [8 * domains]).  [false]
+          pins the v1 fixed [4 * domains] round (A/B baseline).  The
+          round size never affects results, only how far ahead workers
+          precompute. *)
+  spec_schedule : (int -> int) option;
+      (** test hook: force round [i]'s size (clamped to the controller
+          bounds), overriding the AIMD law.  Candidates must be — and
+          are property-tested to be — bit-identical under any schedule. *)
+  arena : bool;
+      (** Duopar v2 task arenas: recycle the round buffers
+          ({!Frontier.pop_entries_into}), task descriptors and per-task
+          stats records ({!Verify.set_stats}) so a steady-state
+          speculative round allocates (near-)zero fresh heap.  [false]
+          keeps the v1 allocate-per-task profile (the bench's
+          [bytes_per_round] baseline). *)
 }
 
 (** Duoquest defaults: guided, pruning, 200k pops, 100 candidates, 60 s,
@@ -96,6 +115,14 @@ type outcome = {
   out_spec_hits : int;
       (** speculative results committed by a pop; [out_spec_hits /
           out_spec_tasks] is the speculation commit rate *)
+  out_spec_round_size : int;
+      (** the controller's current round size (the fixed [4 * domains]
+          with [spec_adaptive = false]; 0 when sequential) *)
+  out_spec_ewma : float;
+      (** the controller's commit-rate EWMA ([1.0] before any sample or
+          without a controller) *)
+  out_spec_grows : int;  (** controller additive-increase decisions *)
+  out_spec_shrinks : int;  (** controller multiplicative-decrease decisions *)
   out_rebases : int;  (** warm restarts taken via {!rebase} *)
   out_rebase_kept : int;
       (** frontier states and candidates that survived re-verification

@@ -46,3 +46,14 @@ val restore : t -> (Partial.t * int) list -> unit
 
 (** Total states ever pushed (the sequence counter). *)
 val pushed : t -> int
+
+(** [pop_entries_into t buf k] is {!pop_entries} into a caller-owned
+    buffer: pops up to [min k (Array.length buf)] entries into
+    [buf.(0 .. n-1)] (priority order) and returns [n].  Allocates
+    nothing — this is the Duopar v2 task-arena entry point. *)
+val pop_entries_into : t -> (Partial.t * int) array -> int -> int
+
+(** [restore_array t buf n] is {!restore} for [buf.(0 .. n-1)], clearing
+    each slot after re-insertion so the arena does not retain states
+    between rounds. *)
+val restore_array : t -> (Partial.t * int) array -> int -> unit

@@ -73,6 +73,30 @@ let new_stats () =
     batch_rounds = 0; batched_probes = 0;
     stage_seconds = Array.make (List.length all_stages) 0.0 }
 
+(* Zero a stats record in place so Duopar task arenas can recycle one
+   per task slot instead of allocating a fresh record every round. *)
+let reset_stats s =
+  s.column_probes <- 0;
+  s.index_probes <- 0;
+  s.row_probes <- 0;
+  s.full_executions <- 0;
+  s.relcache_hits <- 0;
+  s.pushdown_builds <- 0;
+  s.pruned <- 0;
+  s.pruned_by_static <- 0;
+  s.pruned_by_clauses <- 0;
+  s.pruned_by_cardinality <- 0;
+  s.pruned_by_semantics <- 0;
+  s.pruned_by_types <- 0;
+  s.pruned_by_column <- 0;
+  s.pruned_by_row <- 0;
+  s.pruned_by_complete <- 0;
+  s.dedup_semantic <- 0;
+  s.static_warnings <- 0;
+  s.batch_rounds <- 0;
+  s.batched_probes <- 0;
+  Array.fill s.stage_seconds 0 (Array.length s.stage_seconds) 0.0
+
 let pruned_by s = function
   | S_static -> s.pruned_by_static
   | S_clauses -> s.pruned_by_clauses
@@ -137,7 +161,10 @@ type env = {
   (* immutable schema key facts for the Duosem cardinality stage; safe
      to share across forked domains *)
   e_sem : Duolint.Duosem.prepared;
-  e_stats : stats;
+  (* mutable so Duopar task arenas can retarget one environment at a
+     per-slot stats record ([set_stats]) instead of copying the whole
+     env per task ([with_stats], kept for the legacy arena-off path) *)
+  mutable e_stats : stats;
   (* Master inverted index for text-literal column probes; forced on first
      use when no session index is supplied.  The database is append-only
      during synthesis, so the snapshot stays valid. *)
@@ -201,6 +228,12 @@ let fork_env env =
    speculative task a private stats record that is merged into the run's
    totals only if the task's state is actually popped. *)
 let with_stats env stats = { env with e_stats = stats }
+
+(* In-place variant of [with_stats]: point the environment's sink at
+   [stats] without copying the record.  Only safe within a single
+   domain — Duopar workers each own a forked env, so retargeting between
+   tasks never races. *)
+let set_stats env stats = env.e_stats <- stats
 
 (* Mirror the shared relation cache's counters into the stats record after
    each executor call, so outcomes report pushdown and reuse activity. *)

@@ -78,6 +78,11 @@ type stats = {
 
 val new_stats : unit -> stats
 
+(** Zero every counter of [s] in place (including [stage_seconds]).
+    Lets the Duopar task arenas recycle one stats record per task slot
+    across rounds instead of allocating fresh records. *)
+val reset_stats : stats -> unit
+
 (** Per-stage prune counter, by the same enum that indexes
     [stage_seconds]. *)
 val pruned_by : stats -> stage -> int
@@ -139,6 +144,12 @@ val fork_env : env -> env
     shared with [env].  Used to give each speculative task a private
     record that is merged (or discarded) at commit time. *)
 val with_stats : env -> stats -> env
+
+(** [set_stats env s] retargets [env]'s stats sink at [s] in place — the
+    zero-allocation counterpart of {!with_stats}.  Only safe from the
+    domain that owns [env]; Duopar workers each own a {!fork_env} clone,
+    so retargeting between arena tasks never races. *)
+val set_stats : env -> stats -> unit
 
 (** [verify env pq] is Algorithm 3's [Verify]: true when the partial query
     survives every applicable stage. *)

@@ -1,0 +1,122 @@
+(* Adaptive speculation controller (Duopar v2).
+
+   The enumerator's speculative rounds used to be a fixed [4 * domains]
+   tasks.  That size is only right when most speculated states are
+   committed soon after; on hostile workloads (frontier churn, deep
+   re-ranking) the commit rate collapses and every oversized round is
+   wasted expand+verify work.  The controller sets the next round's size
+   from the *measured* per-round commit rate:
+
+   - each round's sample is [hits since the last round / tasks launched
+     in the last round], clamped to [0, 1];
+   - samples feed an EWMA ([alpha = 0.3]) so one noisy round cannot whip
+     the size around;
+   - AIMD law: EWMA >= 0.8 grows the size additively (+[domains], the
+     marginal cost of keeping every domain busy one more task); EWMA
+     < 0.5 halves it (multiplicative decrease).  Between the thresholds
+     the size holds.
+
+   The floor is 1: a floor-sized round speculates nothing beyond the
+   state the committing loop is about to pop, so the run degenerates to
+   the sequential loop (same code path, no extra work).  The ceiling
+   defaults to [8 * domains].
+
+   Everything the controller reads is a deterministic function of the
+   enumeration schedule (task/hit *counts*, never clocks), so the round
+   sizes — and therefore the speculation pattern — are reproducible
+   run-to-run.  Results never depend on the sizes at all: the committing
+   loop alone decides what is popped and emitted (see DESIGN.md,
+   "Duopar v2"). *)
+
+type t = {
+  c_floor : int;
+  c_ceiling : int;
+  c_step : int;  (* additive-increase step: the domain count *)
+  c_schedule : (int -> int) option;
+      (* test hook: round index -> forced size (clamped); replaces the
+         AIMD law but leaves all accounting in place *)
+  mutable c_size : int;
+  mutable c_ewma : float;
+  mutable c_primed : bool;  (* [c_ewma] holds at least one sample *)
+  mutable c_rounds : int;
+  mutable c_grows : int;
+  mutable c_shrinks : int;
+  mutable c_prev_tasks : int;
+  mutable c_prev_hits : int;  (* cumulative hits at the last launch *)
+}
+
+let alpha = 0.3
+let grow_threshold = 0.8
+let shrink_threshold = 0.5
+
+let clamp t n = max t.c_floor (min t.c_ceiling n)
+
+let create ?schedule ?(floor = 1) ?ceiling ~domains () =
+  let domains = max 1 domains in
+  let floor = max 1 floor in
+  let ceiling =
+    match ceiling with Some c -> max floor c | None -> max floor (8 * domains)
+  in
+  let t =
+    {
+      c_floor = floor;
+      c_ceiling = ceiling;
+      c_step = domains;
+      c_schedule = schedule;
+      c_size = max floor (min ceiling (4 * domains));
+      c_ewma = 1.0;
+      c_primed = false;
+      c_rounds = 0;
+      c_grows = 0;
+      c_shrinks = 0;
+      c_prev_tasks = 0;
+      c_prev_hits = 0;
+    }
+  in
+  (match schedule with Some f -> t.c_size <- clamp t (f 0) | None -> ());
+  t
+
+let size t = t.c_size
+let ewma t = t.c_ewma
+let rounds t = t.c_rounds
+let grows t = t.c_grows
+let shrinks t = t.c_shrinks
+
+(* One AIMD step from the last round's commit sample.  Exposed separately
+   from {!begin_round} so unit tests can pin the transition law on
+   synthetic traces without running an enumeration. *)
+let observe t ~tasks ~hits =
+  if tasks > 0 then begin
+    let sample =
+      Float.max 0.0 (Float.min 1.0 (float_of_int hits /. float_of_int tasks))
+    in
+    t.c_ewma <-
+      (if t.c_primed then ((1.0 -. alpha) *. t.c_ewma) +. (alpha *. sample)
+       else sample);
+    t.c_primed <- true;
+    if t.c_ewma >= grow_threshold then begin
+      if t.c_size < t.c_ceiling then begin
+        t.c_size <- min t.c_ceiling (t.c_size + t.c_step);
+        t.c_grows <- t.c_grows + 1
+      end
+    end
+    else if t.c_ewma < shrink_threshold && t.c_size > t.c_floor then begin
+      t.c_size <- max t.c_floor (t.c_size / 2);
+      t.c_shrinks <- t.c_shrinks + 1
+    end
+  end
+
+let begin_round t ~hits =
+  if t.c_rounds > 0 then
+    observe t ~tasks:t.c_prev_tasks ~hits:(hits - t.c_prev_hits);
+  (* A forced schedule overrides the law's choice but keeps the EWMA and
+     decision counters honest, so adversarial-schedule tests still
+     exercise the accounting. *)
+  (match t.c_schedule with
+  | Some f -> t.c_size <- clamp t (f t.c_rounds)
+  | None -> ());
+  t.c_prev_hits <- hits;
+  t.c_rounds <- t.c_rounds + 1;
+  t.c_size
+
+let launched t ~tasks = t.c_prev_tasks <- tasks

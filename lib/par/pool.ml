@@ -1,11 +1,18 @@
 (* A round is one batch of [r_n] independent tasks.  Workers claim task
    indices from [r_next] (fetch-and-add work stealing) and count
-   completions in [r_done]; the worker that completes the last task
-   signals the caller under the pool mutex, so the caller's wait cannot
-   miss it. *)
+   completions in [r_done].
+
+   The pool owns ONE round record, reused for every round (Duopar v2's
+   zero-allocation contract: a steady-state round allocates nothing).
+   Reuse is safe because the record's plain fields ([r_n], [r_fn]) are
+   only written under the pool mutex while [active_workers] is zero —
+   every worker brackets its time inside [run_tasks] with a
+   mutex-protected increment/decrement of [active_workers], so a
+   straggler from a previous round can never race a reset: the caller
+   waits for full quiescence before touching the record. *)
 type round = {
-  r_n : int;
-  r_fn : worker:int -> int -> unit;
+  mutable r_n : int;
+  mutable r_fn : worker:int -> int -> unit;
   r_next : int Atomic.t;
   r_done : int Atomic.t;
 }
@@ -15,7 +22,9 @@ type t = {
   mu : Mutex.t;
   work_cv : Condition.t;  (* workers wait here for a new round / stop *)
   done_cv : Condition.t;  (* the caller waits here for round completion *)
-  mutable current : round option;
+  round : round;
+  mutable active_workers : int;
+      (* workers (caller included) currently inside [run_tasks] *)
   mutable epoch : int;  (* bumped once per installed round *)
   mutable stop : bool;
   mutable failure : (exn * Printexc.raw_backtrace) option;
@@ -39,16 +48,15 @@ let run_tasks t (r : round) ~worker =
          Mutex.lock t.mu;
          if Option.is_none t.failure then t.failure <- Some (e, bt);
          Mutex.unlock t.mu);
-      if Atomic.fetch_and_add r.r_done 1 = r.r_n - 1 then begin
-        (* last task: wake the caller.  Locking the mutex orders this
-           signal after the caller's wait registration. *)
-        Mutex.lock t.mu;
-        Condition.signal t.done_cv;
-        Mutex.unlock t.mu
-      end
+      Atomic.incr r.r_done
     end
   done
 
+(* Enter/exit the round under the mutex.  The exit of the last active
+   worker is the round's completion event: all tasks were claimed (or
+   the worker would still be looping) and all claimed tasks finished
+   (their workers were active until done), so signalling the caller
+   here cannot be early. *)
 let rec worker_loop t ~worker last_epoch =
   Mutex.lock t.mu;
   while (not t.stop) && t.epoch = last_epoch do
@@ -57,9 +65,13 @@ let rec worker_loop t ~worker last_epoch =
   if t.stop then Mutex.unlock t.mu
   else begin
     let epoch = t.epoch in
-    let r = t.current in
+    t.active_workers <- t.active_workers + 1;
     Mutex.unlock t.mu;
-    (match r with Some r -> run_tasks t r ~worker | None -> ());
+    run_tasks t t.round ~worker;
+    Mutex.lock t.mu;
+    t.active_workers <- t.active_workers - 1;
+    if t.active_workers = 0 then Condition.signal t.done_cv;
+    Mutex.unlock t.mu;
     worker_loop t ~worker epoch
   end
 
@@ -71,7 +83,14 @@ let create ~domains =
       mu = Mutex.create ();
       work_cv = Condition.create ();
       done_cv = Condition.create ();
-      current = None;
+      round =
+        {
+          r_n = 0;
+          r_fn = (fun ~worker:_ _ -> ());
+          r_next = Atomic.make 0;
+          r_done = Atomic.make 0;
+        };
+      active_workers = 0;
       epoch = 0;
       stop = false;
       failure = None;
@@ -86,27 +105,40 @@ let create ~domains =
 let run t n f =
   if n > 0 then begin
     if t.n_domains = 1 || n = 1 then
-      (* no pool traffic: the degenerate cases run inline *)
+      (* no pool traffic: the degenerate cases run inline — this is the
+         path a floor-1 speculative round takes, so the adaptive
+         controller's sequential degeneration really is the sequential
+         loop *)
       for i = 0 to n - 1 do
         f ~worker:0 i
       done
     else begin
-      let r =
-        { r_n = n; r_fn = f; r_next = Atomic.make 0; r_done = Atomic.make 0 }
-      in
+      let r = t.round in
       Mutex.lock t.mu;
+      (* Wait out stragglers from the previous round (workers that woke
+         late, entered, and found nothing to claim) before reinstalling
+         the shared record: writes below must not race their reads. *)
+      while t.active_workers > 0 do
+        Condition.wait t.done_cv t.mu
+      done;
       t.failure <- None;
-      t.current <- Some r;
+      r.r_n <- n;
+      r.r_fn <- f;
+      Atomic.set r.r_next 0;
+      Atomic.set r.r_done 0;
+      t.active_workers <- 1;  (* the caller is worker 0 *)
       t.epoch <- t.epoch + 1;
       Condition.broadcast t.work_cv;
       Mutex.unlock t.mu;
-      (* the caller is worker 0 *)
       run_tasks t r ~worker:0;
       Mutex.lock t.mu;
-      while Atomic.get r.r_done < r.r_n do
+      t.active_workers <- t.active_workers - 1;
+      while not (t.active_workers = 0 && Atomic.get r.r_done >= r.r_n) do
         Condition.wait t.done_cv t.mu
       done;
-      t.current <- None;
+      (* Close the round: late-waking workers will still enter once the
+         broadcast reaches them, claim nothing ([r_next] is exhausted —
+         the next [run] waits for them before resetting it), and leave. *)
       let failure = t.failure in
       t.failure <- None;
       Mutex.unlock t.mu;

@@ -183,6 +183,38 @@ let handle_candidates s k =
       ("exhausted", Json.Bool o.Enumerate.out_exhausted);
     ]
 
+(* Duopar visibility for operators: pool shape plus the adaptive
+   controller's live state aggregated over the open sessions —
+   [round_size] is the widest current round (sessions inherit their
+   controller across slices, so this is the steady-state answer to "how
+   far ahead is the server speculating"), and [commit_rate] is the
+   cumulative hits/tasks ratio (1.0 when nothing was speculated: the
+   degenerate sequential path wastes nothing). *)
+let duopar_fields t =
+  let tasks = ref 0 and hits = ref 0 and round_size = ref 0 in
+  Hashtbl.iter
+    (fun _ s ->
+      let o = Session.outcome s in
+      tasks := !tasks + o.Enumerate.out_spec_tasks;
+      hits := !hits + o.Enumerate.out_spec_hits;
+      round_size := max !round_size o.Enumerate.out_spec_round_size)
+    t.sessions;
+  let commit_rate =
+    if !tasks = 0 then 1.0 else float_of_int !hits /. float_of_int !tasks
+  in
+  [
+    ( "domains_requested",
+      Json.Num (float_of_int t.config.session_config.Enumerate.domains) );
+    ( "domains",
+      Json.Num
+        (float_of_int
+           (match t.pool with Some p -> Duopar.Pool.domains p | None -> 1)) );
+    ("round_size", Json.Num (float_of_int !round_size));
+    ("commit_rate", Json.Num commit_rate);
+    ("spec_tasks", Json.Num (float_of_int !tasks));
+    ("spec_hits", Json.Num (float_of_int !hits));
+  ]
+
 let stats_fields t =
   [
     ("sessions", Json.Num (float_of_int (Hashtbl.length t.sessions)));
@@ -195,6 +227,7 @@ let stats_fields t =
     ("rebased", Json.Num (float_of_int t.rebased));
     ("slices", Json.Num (float_of_int t.slices));
     ("draining", Json.Bool t.is_draining);
+    ("duopar", Json.Obj (duopar_fields t));
   ]
 
 let handle_request t req =

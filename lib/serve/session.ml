@@ -102,6 +102,10 @@ let empty_outcome () =
     out_spec_rounds = 0;
     out_spec_tasks = 0;
     out_spec_hits = 0;
+    out_spec_round_size = 0;
+    out_spec_ewma = 1.0;
+    out_spec_grows = 0;
+    out_spec_shrinks = 0;
     out_rebases = 0;
     out_rebase_kept = 0;
     out_rebase_dropped = 0;

@@ -253,6 +253,47 @@ let test_parallel_identical_dual () =
   Alcotest.(check int) "domain prunes sum to total"
     par.Enumerate.out_stats.Duocore.Verify.pruned committed
 
+(* Duopar v2: the adaptive controller, a pinned adversarial schedule and
+   the arena on/off switch are all pure performance knobs — every
+   configuration is observably identical to the sequential run, and the
+   outcome's controller counters reflect the regime that ran. *)
+let test_adaptive_regimes_identical () =
+  let run ?(adaptive = true) ?schedule ?(arena = true) domains =
+    let config =
+      { Enumerate.default_config with
+        Enumerate.max_pops = 4_000;
+        max_candidates = 30;
+        time_budget_s = 20.0;
+        domains;
+        overcommit = true;
+        spec_adaptive = adaptive;
+        spec_schedule = schedule;
+        arena }
+    in
+    Enumerate.run config (ctx "movie names and years") db ~tsq:None
+      ~literals:[] ()
+  in
+  let seq = run 1 in
+  let adaptive = run 4 in
+  check_identical seq adaptive;
+  Alcotest.(check bool) "controller sized some round" true
+    (adaptive.Enumerate.out_spec_round_size >= 1);
+  let fixed = run ~adaptive:false 4 in
+  check_identical seq fixed;
+  Alcotest.(check int) "fixed profile never adapts" 0
+    (fixed.Enumerate.out_spec_grows + fixed.Enumerate.out_spec_shrinks);
+  (* thrash the size between the floor and far past the ceiling *)
+  let adversarial = run ~schedule:(fun i -> (i * 13 mod 37) - 1) 4 in
+  check_identical seq adversarial;
+  let no_arena = run ~arena:false 4 in
+  check_identical seq no_arena;
+  (* floor-1 rounds degenerate to the sequential loop: every speculated
+     state is the one the committing loop pops next *)
+  let floor1 = run ~schedule:(fun _ -> 1) 4 in
+  check_identical seq floor1;
+  Alcotest.(check int) "floor-1 speculation all commits"
+    floor1.Enumerate.out_spec_tasks floor1.Enumerate.out_spec_hits
+
 let test_parallel_exhaustion_identical () =
   (* the exhaustive-enumeration flag and drop accounting survive
      speculation: restored states keep their identity *)
@@ -411,6 +452,8 @@ let suite =
       test_parallel_identical_nli;
     Alcotest.test_case "duopar: dual-spec run identical" `Quick
       test_parallel_identical_dual;
+    Alcotest.test_case "duopar: adaptive regimes identical" `Quick
+      test_adaptive_regimes_identical;
     Alcotest.test_case "duopar: exhaustion identical" `Quick
       test_parallel_exhaustion_identical;
     Alcotest.test_case "confidence partition" `Quick test_confidence_partition;
